@@ -1,0 +1,35 @@
+# Convenience targets for the RSN reproduction repo.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench table1 sweeps examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow" -x
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+table1:
+	$(PYTHON) -m repro.cli table1 --compare
+
+sweeps:
+	bash results/run_sweeps.sh
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/runtime_avfs_hardening.py
+	$(PYTHON) examples/tradeoff_exploration.py TreeFlat /tmp/tradeoff.csv
+	$(PYTHON) examples/fault_diagnosis.py
+	$(PYTHON) examples/batch_access.py
+	$(PYTHON) examples/post_silicon_validation.py
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -prune -exec rm -rf {} \;

@@ -1,0 +1,89 @@
+"""Ablation A3: EA operator parameters around the paper's choices.
+
+Sec. VI fixes population 100/300, bit-mutation 0.01 and one-point
+crossover 0.95.  This sweep varies one knob at a time on TreeBalanced and
+records the front hypervolume, showing how sensitive the synthesis is to
+each choice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import build_design
+from repro.core import SelectiveHardening
+from repro.ea import hypervolume_2d
+
+DESIGN = "TreeBalanced"
+GENERATIONS = 80
+
+
+@pytest.fixture(scope="module")
+def synthesis():
+    sh = SelectiveHardening(build_design(DESIGN), seed=0)
+    sh.report
+    return sh
+
+
+def _hv(synthesis, result):
+    _, front = result.front()
+    reference = (
+        synthesis.problem.max_cost * 1.05,
+        synthesis.problem.max_damage * 1.05,
+    )
+    return hypervolume_2d(front, reference)
+
+
+@pytest.mark.parametrize("population_size", [20, 100, 300])
+def test_population_size(benchmark, synthesis, population_size):
+    result = benchmark.pedantic(
+        lambda: synthesis.optimize(
+            generations=GENERATIONS, population_size=population_size
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "population_size": population_size,
+            "hypervolume": _hv(synthesis, result),
+        }
+    )
+
+
+@pytest.mark.parametrize("p_mutation", [0.001, 0.01, 0.1])
+def test_mutation_probability(benchmark, synthesis, p_mutation):
+    result = benchmark.pedantic(
+        lambda: synthesis.optimize(
+            generations=GENERATIONS,
+            population_size=100,
+            p_mutation=p_mutation,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "p_mutation": p_mutation,
+            "hypervolume": _hv(synthesis, result),
+        }
+    )
+
+
+@pytest.mark.parametrize("p_crossover", [0.0, 0.5, 0.95])
+def test_crossover_probability(benchmark, synthesis, p_crossover):
+    result = benchmark.pedantic(
+        lambda: synthesis.optimize(
+            generations=GENERATIONS,
+            population_size=100,
+            p_crossover=p_crossover,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "p_crossover": p_crossover,
+            "hypervolume": _hv(synthesis, result),
+        }
+    )

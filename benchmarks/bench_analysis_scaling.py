@@ -1,0 +1,77 @@
+"""Scalability of the criticality analysis (the paper's Sec. VI claim that
+"efficient hierarchical processing enables scalability with the increasing
+RSN size").
+
+Benchmarks the three pipeline stages separately on generated MBIST-style
+networks of growing size, plus the O(N) aggregate analysis against the
+O(N^2) explicit reference on a small network (the ablation justifying the
+hierarchical computation of Sec. IV-C).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_damage
+from repro.bench.generators import mbist_network
+from repro.rsn.ast import elaborate
+from repro.sp import decompose
+from repro.spec import spec_for_network
+
+SIZES = [
+    (113, 15),
+    (1_091, 28),
+    (6_068, 45),
+    (30_320, 217),
+]
+
+
+@pytest.mark.parametrize("n_segments,n_muxes", SIZES)
+def test_decomposition_scaling(benchmark, n_segments, n_muxes):
+    network = elaborate(mbist_network(n_segments, n_muxes, seed=0))
+
+    tree = benchmark.pedantic(
+        lambda: decompose(network), rounds=1, iterations=1
+    )
+    assert len(list(tree.primitive_leaves())) >= n_segments
+    benchmark.extra_info.update(
+        {"n_segments": n_segments, "n_muxes": n_muxes}
+    )
+
+
+@pytest.mark.parametrize("n_segments,n_muxes", SIZES)
+def test_fast_analysis_scaling(benchmark, n_segments, n_muxes):
+    network = elaborate(mbist_network(n_segments, n_muxes, seed=0))
+    spec = spec_for_network(network, seed=0)
+    tree = decompose(network)
+
+    report = benchmark.pedantic(
+        lambda: analyze_damage(network, spec, tree=tree, method="fast"),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.total > 0
+    benchmark.extra_info.update(
+        {
+            "n_segments": n_segments,
+            "n_muxes": n_muxes,
+            "max_damage": report.total,
+        }
+    )
+
+
+@pytest.mark.parametrize("method", ["fast", "explicit", "graph"])
+def test_fast_vs_explicit_analysis(benchmark, method):
+    """Ablation A4: the hierarchical aggregate analysis vs the per-fault
+    tree reference vs graph reachability on the same 113-segment
+    network."""
+    network = elaborate(mbist_network(113, 15, seed=0))
+    spec = spec_for_network(network, seed=0)
+    tree = decompose(network)
+
+    report = benchmark(
+        lambda: analyze_damage(network, spec, tree=tree, method=method)
+    )
+    benchmark.extra_info.update(
+        {"method": method, "max_damage": report.total}
+    )

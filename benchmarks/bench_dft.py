@@ -1,0 +1,66 @@
+"""DFT substrate benchmarks: test generation, fault simulation, diagnosis.
+
+Not a paper table — quantifies the cost of the compatibility story: the
+hardened RSNs keep using the same access/test/diagnosis procedures, so
+these procedures must stay cheap on the benchmark networks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import build_design
+from repro.dft import FaultDictionary, fault_coverage, full_test_sequence
+
+
+@pytest.fixture(scope="module")
+def tree_unbalanced():
+    return build_design("TreeUnbalanced")
+
+
+@pytest.fixture(scope="module")
+def sequence(tree_unbalanced):
+    return full_test_sequence(tree_unbalanced)
+
+
+def test_test_generation(benchmark, tree_unbalanced):
+    sequence = benchmark.pedantic(
+        lambda: full_test_sequence(tree_unbalanced), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {
+            "patterns": len(sequence),
+            "shift_bits": sequence.shift_bits(),
+        }
+    )
+
+
+def test_fault_simulation(benchmark, tree_unbalanced, sequence):
+    report = benchmark.pedantic(
+        lambda: fault_coverage(sequence), rounds=1, iterations=1
+    )
+    assert report.coverage > 0.9
+    benchmark.extra_info.update(
+        {
+            "coverage": report.coverage,
+            "faults": report.total,
+        }
+    )
+
+
+def test_fault_dictionary_and_diagnosis(
+    benchmark, tree_unbalanced, sequence
+):
+    from repro.analysis.faults import MuxStuck
+
+    dictionary = FaultDictionary(sequence)
+    mux = next(iter(tree_unbalanced.muxes())).name
+    observed = sequence.run(faults=[MuxStuck(mux, 0)])
+
+    ranked = benchmark(lambda: dictionary.diagnose(observed, top=5))
+    benchmark.extra_info.update(
+        {
+            "resolution": dictionary.resolution(),
+            "top_score": ranked[0][1],
+        }
+    )

@@ -1,0 +1,68 @@
+"""Substrate micro-benchmarks: scan simulation and retargeting throughput.
+
+Not a paper table — these keep the executable RSN model honest (the
+simulator is the test-suite's ground truth, so its performance bounds how
+large the property tests can go) and document the cost of strict
+sequential accessibility checks relative to the static analysis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_damage
+from repro.bench import build_design
+from repro.sim import Retargeter, ScanSimulator, structural_access
+from repro.sp import decompose
+from repro.spec import spec_for_network
+
+
+@pytest.fixture(scope="module")
+def tree_flat():
+    return build_design("TreeFlat")
+
+
+def test_simulator_shift_throughput(benchmark, tree_flat):
+    simulator = ScanSimulator(tree_flat)
+    length = simulator.path_length()
+    pattern = [k % 2 for k in range(length)]
+
+    benchmark(lambda: simulator.shift(pattern))
+    benchmark.extra_info["path_bits"] = length
+
+
+def test_retargeting_all_instruments(benchmark, tree_flat):
+    def access_everything():
+        simulator = ScanSimulator(tree_flat)
+        retargeter = Retargeter(simulator)
+        cycles = 0
+        for instrument in tree_flat.instrument_names():
+            segment = tree_flat.instrument(instrument).segment
+            cycles += retargeter.bring_onto_path(segment)
+        return cycles
+
+    cycles = benchmark(access_everything)
+    benchmark.extra_info["total_csu_cycles"] = cycles
+
+
+def test_structural_oracle(benchmark, tree_flat):
+    """Configuration enumeration on a 24-SIB flat chain (2^24 configs are
+    cut short by the all-accessible early exit)."""
+    access = benchmark.pedantic(
+        lambda: structural_access(tree_flat, max_configs=1 << 25),
+        rounds=1,
+        iterations=1,
+    )
+    assert access.observable == set(tree_flat.instrument_names())
+
+
+def test_decompose_plus_analyze_medium(benchmark):
+    network = build_design("p93791")
+    spec = spec_for_network(network, seed=0)
+
+    def full_analysis():
+        tree = decompose(network)
+        return analyze_damage(network, spec, tree=tree)
+
+    report = benchmark.pedantic(full_analysis, rounds=1, iterations=1)
+    benchmark.extra_info["max_damage"] = report.total

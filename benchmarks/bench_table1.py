@@ -1,0 +1,99 @@
+"""Table I — the paper's single results table, one benchmark per design.
+
+Regenerates every column for each design: benchmark characteristics
+(columns 1–2), the initial assessment (Max. Cost / Max. Damage, columns
+4–5), the SPEA-2 synthesis with the published per-design generation budget
+(column 6) and both constrained solution extractions (columns 7–10); the
+pytest-benchmark timing is column 11.
+
+The small/medium designs run here by default; the full 24-design sweep —
+including the million-segment MBIST networks — is driven by
+``python -m repro.cli table1`` (see EXPERIMENTS.md).  Set
+``REPRO_BENCH_FULL=1`` for the paper's full generation budgets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SMALL_DESIGNS, get_design, run_design
+
+
+@pytest.mark.parametrize("design_name", SMALL_DESIGNS)
+def test_table1_row(benchmark, design_name, generation_scale):
+    info = get_design(design_name)
+
+    def pipeline():
+        return run_design(
+            design_name,
+            scale_generations=generation_scale,
+            seed=0,
+            with_greedy=True,
+        )
+
+    row = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+
+    # columns 1-2 must match the published benchmark characteristics
+    assert (row.n_segments, row.n_muxes) == (
+        info.n_segments,
+        info.n_muxes,
+    )
+    # both Table-I extractions must exist and respect their caps
+    assert row.min_cost_damage is not None
+    assert row.min_cost_damage <= 0.10 * row.max_damage + 1e-9
+    assert row.min_damage_cost is not None
+    assert row.min_damage_cost <= 0.10 * row.max_cost + 1e-9
+
+    benchmark.extra_info.update(
+        {
+            "design": design_name,
+            "n_segments": row.n_segments,
+            "n_muxes": row.n_muxes,
+            "max_cost": row.max_cost,
+            "max_damage": row.max_damage,
+            "generations": row.generations,
+            "min_cost@dmg10": [row.min_cost_cost, row.min_cost_damage],
+            "min_damage@cost10": [
+                row.min_damage_cost,
+                row.min_damage_damage,
+            ],
+            "greedy_min_cost": row.greedy_min_cost_cost,
+            "greedy_min_damage": row.greedy_min_damage_damage,
+            "paper_generations": info.paper.generations,
+            "paper_runtime": info.paper.runtime,
+        }
+    )
+
+
+@pytest.mark.parametrize(
+    "design_name", ["MBIST_1_5_5", "MBIST_2_5_5", "MBIST_1_5_20"]
+)
+def test_table1_row_mbist(benchmark, design_name, generation_scale):
+    """The medium MBIST designs — many wide segments per control unit."""
+    info = get_design(design_name)
+
+    def pipeline():
+        return run_design(
+            design_name,
+            scale_generations=generation_scale,
+            seed=0,
+            with_greedy=False,
+        )
+
+    row = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    assert (row.n_segments, row.n_muxes) == (
+        info.n_segments,
+        info.n_muxes,
+    )
+    assert row.min_damage_cost is not None
+    benchmark.extra_info.update(
+        {
+            "design": design_name,
+            "max_damage": row.max_damage,
+            "min_cost@dmg10": [row.min_cost_cost, row.min_cost_damage],
+            "min_damage@cost10": [
+                row.min_damage_cost,
+                row.min_damage_damage,
+            ],
+        }
+    )

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark attaches its measured quantities (costs, damages, front
+quality) to ``benchmark.extra_info`` so a ``--benchmark-json`` run doubles
+as the experiment record behind EXPERIMENTS.md.
+
+Benchmarks default to time-boxed generation budgets; set
+``REPRO_BENCH_FULL=1`` to run the paper's full budgets (slow).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_budgets() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def generation_scale() -> float:
+    """Fraction of each design's published generation budget to run."""
+    return 1.0 if full_budgets() else 0.1

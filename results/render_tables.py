@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Render the EXPERIMENTS.md result tables from the sweep JSON files.
+
+Usage:  python results/render_tables.py
+Reads results/rows_full.json, rows_mux.json, rows_large.json (whichever
+exist) and prints markdown tables with paper-vs-measured columns.
+"""
+
+import json
+from pathlib import Path
+
+RESULTS = Path(__file__).resolve().parent
+
+
+def fmt(value, digits=0):
+    if value is None:
+        return "—"
+    return f"{value:,.{digits}f}"
+
+
+def pct(part, whole):
+    if part is None or not whole:
+        return "—"
+    return f"{100.0 * part / whole:.1f}%"
+
+
+def mmss(seconds):
+    minutes, secs = divmod(int(round(seconds)), 60)
+    return f"{minutes:02d}:{secs:02d}"
+
+
+def render(path, title):
+    if not path.exists():
+        print(f"({path.name} missing — run the sweep first)\n")
+        return
+    rows = json.loads(path.read_text())
+    print(f"### {title}\n")
+    print(
+        "| design | #seg | #mux | max cost | max damage | gens | "
+        "cost @ dmg≤10% | (paper %→ours %) | dmg @ cost≤10% | "
+        "(paper %→ours %) | greedy cost | time (paper) |"
+    )
+    print("|---|---|---|---|---|---|---|---|---|---|---|---|")
+    for r in rows:
+        p = r["paper"]
+        paper_cost_pct = pct(p["min_cost"][0], p["max_cost"])
+        ours_cost_pct = pct(r["min_cost"][0], r["max_cost"])
+        paper_dmg_pct = pct(p["min_damage"][1], p["max_damage"])
+        ours_dmg_pct = pct(r["min_damage"][1], r["max_damage"])
+        print(
+            f"| {r['design']} | {r['n_segments']:,} | {r['n_muxes']:,} "
+            f"| {fmt(r['max_cost'])} | {fmt(r['max_damage'])} "
+            f"| {r['generations']} "
+            f"| {fmt(r['min_cost'][0])} | {paper_cost_pct}→{ours_cost_pct} "
+            f"| {fmt(r['min_damage'][1])} | {paper_dmg_pct}→{ours_dmg_pct} "
+            f"| {fmt(r['greedy'][0])} "
+            f"| {mmss(r['runtime_seconds'])} ({p['runtime']}) |"
+        )
+    print()
+
+
+if __name__ == "__main__":
+    render(
+        RESULTS / "rows_full.json",
+        "Small/medium designs — faithful accounting, full generation "
+        "budgets",
+    )
+    render(
+        RESULTS / "rows_mux.json",
+        "Small/medium designs — mux-only accounting "
+        "(`--damage-sites mux --hardenable control`)",
+    )
+    render(
+        RESULTS / "rows_large.json",
+        "Large MBIST designs — faithful accounting, generation budgets "
+        "scaled ×0.1",
+    )

@@ -1,0 +1,10 @@
+#!/bin/bash
+cd /root/repo
+SMALL="TreeFlat TreeUnbalanced TreeBalanced TreeFlat_Ex q12710 a586710 p34392 t512505 p22810 p93791 MBIST_1_5_5 MBIST_2_5_5 MBIST_1_5_20 MBIST_2_5_20 MBIST_5_5_5 MBIST_1_20_20"
+LARGE="MBIST_2_20_20 MBIST_5_20_20 MBIST_20_20_20 MBIST_55_20_5 MBIST_100_20_5 MBIST_5_100_20 MBIST_5_100_100 MBIST_100_100_5"
+python -m repro.cli table1 --designs $SMALL --json results/rows_full.json --compare > results/table1_full.log 2>&1
+echo "FULL DONE"
+python -m repro.cli table1 --designs $SMALL --damage-sites mux --hardenable control --json results/rows_mux.json --compare > results/table1_mux.log 2>&1
+echo "MUX DONE"
+python -m repro.cli table1 --designs $LARGE --scale-generations 0.1 --json results/rows_large.json --compare > results/table1_large.log 2>&1
+echo "LARGE DONE"

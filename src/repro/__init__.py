@@ -1,0 +1,23 @@
+"""repro — Robust Reconfigurable Scan Networks (DATE 2022).
+
+A Python reproduction of N. Lylina, C.-H. Wang and H.-J. Wunderlich,
+"Robust Reconfigurable Scan Networks", DATE 2022: criticality analysis of
+IEEE 1687 reconfigurable scan networks and cost-efficient selective
+hardening of their control primitives via multi-objective evolutionary
+optimization.
+
+Public API highlights
+---------------------
+* :class:`repro.rsn.RsnBuilder` / :class:`repro.rsn.RsnNetwork` — model RSNs.
+* :func:`repro.sp.decompose` — series-parallel binary decomposition tree.
+* :class:`repro.spec.CriticalitySpec` — instrument damage weights.
+* :func:`repro.analysis.analyze_damage` — per-primitive criticality (Eq. 1).
+* :class:`repro.core.SelectiveHardening` — the paper's synthesis flow
+  (Eq. 2 / Eq. 3, SPEA-2) producing Pareto fronts and Table-I solutions.
+* :mod:`repro.bench` — ITC'16- and DATE'19-style benchmark designs and the
+  Table-I harness.
+"""
+
+from ._version import __version__
+
+__all__ = ["__version__"]

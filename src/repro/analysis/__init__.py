@@ -1,0 +1,75 @@
+"""Criticality analysis of RSN primitives (Sec. IV)."""
+
+from .accessibility import (
+    AccessibilityReport,
+    accessibility_under_single_faults,
+    verify_critical_instruments,
+)
+from .damage import (
+    DamageReport,
+    ExplicitDamageAnalysis,
+    FastDamageAnalysis,
+    analyze_damage,
+)
+from .effects import (
+    FaultEffect,
+    control_cell_break_effect,
+    effect_of_fault,
+    mux_stuck_effect,
+    observability_tree,
+    segment_break_effect,
+    settability_tree,
+)
+from .degradation import DegradationReport, degrade, worst_surviving_faults
+from .graph_analysis import (
+    GraphDamageAnalysis,
+    analyze_damage_graph,
+    expected_damage_under_rate,
+)
+from .structure import hierarchy_depth, kill_sizes, network_statistics
+from .faults import (
+    ControlCellBreak,
+    Fault,
+    MuxStuck,
+    SegmentBreak,
+    controlled_muxes,
+    faults_of_primitive,
+    iter_all_faults,
+    sib_stuck_asserted,
+    sib_stuck_deasserted,
+)
+
+__all__ = [
+    "AccessibilityReport",
+    "ControlCellBreak",
+    "DamageReport",
+    "DegradationReport",
+    "ExplicitDamageAnalysis",
+    "FastDamageAnalysis",
+    "Fault",
+    "GraphDamageAnalysis",
+    "FaultEffect",
+    "MuxStuck",
+    "SegmentBreak",
+    "accessibility_under_single_faults",
+    "analyze_damage",
+    "analyze_damage_graph",
+    "control_cell_break_effect",
+    "controlled_muxes",
+    "degrade",
+    "effect_of_fault",
+    "expected_damage_under_rate",
+    "faults_of_primitive",
+    "iter_all_faults",
+    "mux_stuck_effect",
+    "segment_break_effect",
+    "hierarchy_depth",
+    "kill_sizes",
+    "network_statistics",
+    "observability_tree",
+    "settability_tree",
+    "worst_surviving_faults",
+    "sib_stuck_asserted",
+    "sib_stuck_deasserted",
+    "verify_critical_instruments",
+]

@@ -1,0 +1,171 @@
+"""Instrument accessibility reports under single faults.
+
+Answers the questions behind the paper's claims: which instruments survive
+every remaining (un-hardened) single fault, and do all *important*
+instruments stay accessible through the hardened RSN ("All the important
+instruments remain accessible via the resulting RSNs", Sec. VI)?
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from ..errors import ReproError
+from ..rsn.network import RsnNetwork
+from ..rsn.primitives import NodeKind, SegmentRole
+from ..sp.reduce import decompose
+from ..sp.tree import SPTree
+from .damage import FastDamageAnalysis
+from .effects import (
+    FaultEffect,
+    control_cell_break_effect,
+    mux_stuck_effect,
+    segment_break_effect,
+)
+from .faults import faults_of_primitive, ControlCellBreak, MuxStuck, SegmentBreak
+
+
+class AccessibilityReport:
+    """Per-instrument worst-case accessibility over a set of fault sites.
+
+    * ``at_risk_observation`` — instruments some considered fault makes
+      unobservable;
+    * ``at_risk_control`` — instruments some considered fault makes
+      unsettable;
+    * ``safe`` — instruments untouched by every considered fault.
+    """
+
+    def __init__(
+        self,
+        network: RsnNetwork,
+        at_risk_observation: Set[str],
+        at_risk_control: Set[str],
+    ):
+        self.network = network
+        self.at_risk_observation = at_risk_observation
+        self.at_risk_control = at_risk_control
+
+    @property
+    def at_risk(self) -> Set[str]:
+        return self.at_risk_observation | self.at_risk_control
+
+    @property
+    def safe(self) -> Set[str]:
+        return set(self.network.instrument_names()) - self.at_risk
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"<AccessibilityReport {len(self.safe)} safe, "
+            f"{len(self.at_risk)} at risk of "
+            f"{len(self.network.instrument_names())} instruments>"
+        )
+
+
+def _effects_of_site(
+    network: RsnNetwork,
+    tree: SPTree,
+    analysis: FastDamageAnalysis,
+    site: str,
+) -> Iterable[FaultEffect]:
+    for fault in faults_of_primitive(network, site):
+        if isinstance(fault, SegmentBreak):
+            yield segment_break_effect(tree, fault.segment)
+        elif isinstance(fault, MuxStuck):
+            yield mux_stuck_effect(tree, fault.mux, fault.port)
+        elif isinstance(fault, ControlCellBreak):
+            yield control_cell_break_effect(
+                tree, fault.cell, analysis.cell_stuck_ports(fault.cell)
+            )
+
+
+def accessibility_under_single_faults(
+    network: RsnNetwork,
+    hardened_units: Iterable[str] = (),
+    tree: Optional[SPTree] = None,
+    spec=None,
+    sites: str = "all",
+) -> AccessibilityReport:
+    """Worst-case accessibility across all un-hardened single faults.
+
+    ``hardened_units`` may mix control-unit names and plain primitive
+    names (data segments hardened under ``hardenable="all"``); fault sites
+    covered by either are excluded (their defects are avoided).  ``spec``
+    is only needed to resolve the worst stuck value of muxes behind a
+    broken control cell; when omitted a neutral instrument-count weighting
+    is used.
+
+    ``sites`` restricts the considered fault sites: ``"all"`` (default),
+    ``"control"`` (only control cells and multiplexers — the network
+    effect of the access mechanism itself, excluding an instrument's own
+    register defect), or ``"data"`` (only plain data segments).
+    """
+    from ..errors import UnknownNodeError
+    from ..spec.criticality import uniform_spec
+
+    tree = tree if tree is not None else decompose(network)
+    if spec is None:
+        spec = uniform_spec(network.instrument_names())
+    analysis = FastDamageAnalysis(network, spec, tree=tree)
+
+    unit_names = set(network.unit_names())
+    hardened_members: Set[str] = set()
+    for name in hardened_units:
+        if name in unit_names:
+            hardened_members.update(network.unit(name).members)
+        elif name in network:
+            hardened_members.add(name)
+        else:
+            raise UnknownNodeError(
+                f"hardened spot {name!r} is neither a unit nor a node"
+            )
+
+    segment_of_instrument = {
+        instrument.name: instrument.segment
+        for instrument in network.instruments()
+    }
+    if sites not in ("all", "control", "data"):
+        raise ReproError(f"unknown fault-site filter {sites!r}")
+    at_risk_obs: Set[str] = set()
+    at_risk_ctl: Set[str] = set()
+    for node in network.nodes():
+        if node.kind not in (NodeKind.SEGMENT, NodeKind.MUX):
+            continue
+        is_control_site = node.kind is NodeKind.MUX or (
+            node.role is not SegmentRole.DATA
+        )
+        if sites == "control" and not is_control_site:
+            continue
+        if sites == "data" and is_control_site:
+            continue
+        if node.name in hardened_members:
+            continue
+        for effect in _effects_of_site(network, tree, analysis, node.name):
+            for name, segment in segment_of_instrument.items():
+                if segment in effect.unobservable:
+                    at_risk_obs.add(name)
+                if segment in effect.unsettable:
+                    at_risk_ctl.add(name)
+    return AccessibilityReport(network, at_risk_obs, at_risk_ctl)
+
+
+def verify_critical_instruments(
+    network: RsnNetwork,
+    spec,
+    hardened_units: Iterable[str],
+    tree: Optional[SPTree] = None,
+) -> Tuple[bool, List[str]]:
+    """Check the paper's headline guarantee for a hardening selection.
+
+    Returns ``(ok, offending)`` where ``offending`` lists critical
+    instruments that some remaining single fault still cuts off: an
+    observation-critical instrument that can lose observability or a
+    control-critical one that can lose settability.
+    """
+    report = accessibility_under_single_faults(
+        network, hardened_units=hardened_units, tree=tree, spec=spec
+    )
+    offending = sorted(
+        set(spec.critical_for_observation()) & report.at_risk_observation
+        | set(spec.critical_for_control()) & report.at_risk_control
+    )
+    return (not offending, offending)

@@ -1,0 +1,507 @@
+"""Criticality analysis: per-primitive damage ``d_j`` (Eq. 1, Sec. IV).
+
+Two interchangeable implementations are provided:
+
+* :class:`ExplicitDamageAnalysis` — evaluates every concrete fault with the
+  per-fault effect sets of :mod:`repro.analysis.effects`; O(N) per fault,
+  O(N^2) per network.  The readable reference implementation.
+* :class:`FastDamageAnalysis` — one O(N) pass using serial prefix sums over
+  the decomposition tree (the hierarchical computation of Sec. IV-C that
+  makes the approach scale to million-bit MBIST networks).
+
+Both assign each primitive ``j`` a damage value
+
+    d_j = sum_i do_i * y_ij + sum_i ds_i * z_ij            (Eq. 1)
+
+where the fault of ``j`` is: the single break fault for a data segment, the
+break-plus-uncontrolled-muxes fault for a configuration cell, and the
+``policy`` aggregate (worst case by default) over the stuck-at-id faults of
+a multiplexer.  For a broken control cell, each uncontrolled mux is taken
+at the stuck value with the worst *marginal* damage on top of the cell's
+own break effect (the break already costs the settability of everything
+serially after the cell, so a branch whose weight is mostly settability
+may not be the worst choice even if its standalone stuck damage is) —
+deterministic tie-break on the lowest port; both implementations use the
+same rule and are tested to agree exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..rsn.network import RsnNetwork
+from ..rsn.primitives import NodeKind, SegmentRole
+from ..sp.reduce import decompose
+from ..sp.tree import SPKind, SPNode, SPTree
+from .effects import (
+    control_cell_break_effect,
+    mux_stuck_effect,
+    segment_break_effect,
+)
+from .faults import ControlCellBreak, Fault, MuxStuck, SegmentBreak
+
+_POLICIES = ("max", "sum", "mean")
+
+
+def _aggregate(policy: str, values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    if policy == "max":
+        return max(values)
+    if policy == "sum":
+        return float(sum(values))
+    if policy == "mean":
+        return float(sum(values)) / len(values)
+    raise ReproError(f"unknown damage policy {policy!r}")
+
+
+class DamageReport:
+    """The outcome of a criticality analysis.
+
+    * ``primitive_damage`` — ``d_j`` for every scan primitive (segments,
+      control cells and multiplexers);
+    * ``unit_damage`` — per hardening unit: the sum of its members' ``d_j``
+      (Eq. 2 sums over primitives, and hardening a unit avoids the faults
+      of all its members);
+    * ``total`` — Eq. 2 with nothing hardened (Table I, "Max. Damage");
+    * ``residual(hardened)`` — Eq. 2 for a concrete selection.
+    """
+
+    def __init__(
+        self,
+        network: RsnNetwork,
+        policy: str,
+        primitive_damage: Dict[str, float],
+        unit_damage: Dict[str, float],
+    ):
+        self.network = network
+        self.policy = policy
+        self.primitive_damage = primitive_damage
+        self.unit_damage = unit_damage
+        self.total = float(sum(primitive_damage.values()))
+        self.hardenable = float(sum(unit_damage.values()))
+        # Damage of faults no hardening decision can avoid (data segments).
+        self.unavoidable = self.total - self.hardenable
+
+    def residual(self, hardened_units: Iterable[str]) -> float:
+        """Eq. 2 when the given units are hardened."""
+        avoided = 0.0
+        for name in hardened_units:
+            try:
+                avoided += self.unit_damage[name]
+            except KeyError:
+                raise ReproError(f"unknown hardening unit {name!r}") from None
+        return self.total - avoided
+
+    def unit_damage_vector(
+        self, unit_names: Sequence[str]
+    ) -> np.ndarray:
+        """Damage coefficients aligned with ``unit_names``."""
+        return np.array(
+            [self.unit_damage[name] for name in unit_names], dtype=float
+        )
+
+    def most_critical_units(self, count: int = 10) -> List[Tuple[str, float]]:
+        """The hardening units with the highest damage, descending."""
+        ranked = sorted(
+            self.unit_damage.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[:count]
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"<DamageReport {self.network.name}: total={self.total:.0f}, "
+            f"hardenable={self.hardenable:.0f}, policy={self.policy}>"
+        )
+
+
+class _AnalysisBase:
+    """Shared scaffolding of the two implementations."""
+
+    def __init__(
+        self,
+        network: RsnNetwork,
+        spec,
+        tree: Optional[SPTree] = None,
+        policy: str = "max",
+    ):
+        if policy not in _POLICIES:
+            raise ReproError(
+                f"policy must be one of {_POLICIES}, got {policy!r}"
+            )
+        self.network = network
+        self.spec = spec
+        if tree is False:  # tree-free analysis (graph reachability)
+            self.tree = None
+        else:
+            self.tree = tree if tree is not None else decompose(network)
+        self.policy = policy
+        self._cell_to_muxes: Dict[str, List[str]] = {}
+        for mux in network.muxes():
+            if mux.control_cell is not None:
+                self._cell_to_muxes.setdefault(mux.control_cell, []).append(
+                    mux.name
+                )
+
+    def muxes_of_cell(self, cell: str) -> List[str]:
+        """Muxes whose address port ``cell`` drives (precomputed)."""
+        return self._cell_to_muxes.get(cell, [])
+
+    # -- per-primitive damage -------------------------------------------
+    def primitive_damage(self, name: str) -> float:
+        node = self.network.node(name)
+        if node.kind is NodeKind.SEGMENT:
+            if node.role is SegmentRole.DATA:
+                return self.damage_of_fault(SegmentBreak(name))
+            return self.damage_of_fault(ControlCellBreak(name))
+        if node.kind is NodeKind.MUX:
+            values = [
+                self.damage_of_fault(MuxStuck(name, port))
+                for port in node.stuck_values()
+            ]
+            return _aggregate(self.policy, values)
+        return 0.0
+
+    def report(self, sites: str = "all") -> DamageReport:
+        """Per-primitive damage report.
+
+        ``sites="all"`` (default) sums Eq. 2 over every scan primitive;
+        ``sites="control"`` restricts the sum to the control primitives
+        (muxes and configuration cells) — the accounting under which only
+        defects in the access mechanism itself count, with data-register
+        defects considered the instruments' own concern; ``sites="mux"``
+        counts only the multiplexers' stuck-at-id faults — the narrowest
+        reading of Sec. IV-B.2, and the only accounting under which the
+        paper's published Max. Damage magnitudes are arithmetically
+        consistent (see EXPERIMENTS.md).
+        """
+        if sites not in ("all", "control", "mux"):
+            raise ReproError(f"unknown damage-site filter {sites!r}")
+        primitive_damage: Dict[str, float] = {}
+        for node in self.network.nodes():
+            if node.kind is NodeKind.MUX:
+                primitive_damage[node.name] = self.primitive_damage(node.name)
+            elif node.kind is NodeKind.SEGMENT:
+                skip = (
+                    sites == "mux"
+                    or (sites == "control" and node.role is SegmentRole.DATA)
+                )
+                if skip:
+                    primitive_damage[node.name] = 0.0
+                else:
+                    primitive_damage[node.name] = self.primitive_damage(
+                        node.name
+                    )
+        unit_damage = {
+            unit.name: sum(
+                primitive_damage[member] for member in unit.members
+            )
+            for unit in self.network.units()
+        }
+        return DamageReport(
+            self.network, self.policy, primitive_damage, unit_damage
+        )
+
+    def damage_of_fault(self, fault: Fault) -> float:
+        raise NotImplementedError
+
+    def cell_stuck_ports(self, cell: str) -> Dict[str, int]:
+        """Assumed stuck value per mux when ``cell`` is broken.
+
+        Each controlled mux is pinned to the port whose *marginal* damage
+        on top of the cell's break effect is highest (worst case over the
+        unknown state the defect leaves the address port in); ties resolve
+        to the lowest port.
+        """
+        raise NotImplementedError
+
+    def worst_stuck_port(self, mux: str) -> int:
+        """The stuck value of ``mux`` with the highest standalone damage
+        (lowest port wins ties)."""
+        node = self.network.node(mux)
+        best_port = 0
+        best_damage = -1.0
+        for port in node.stuck_values():
+            damage = self.damage_of_fault(MuxStuck(mux, port))
+            if damage > best_damage:
+                best_damage = damage
+                best_port = port
+        return best_port
+
+
+class ExplicitDamageAnalysis(_AnalysisBase):
+    """Reference implementation via per-fault effect sets."""
+
+    def __init__(self, network, spec, tree=None, policy="max"):
+        super().__init__(network, spec, tree=tree, policy=policy)
+        self._do_of: Dict[str, float] = {}
+        self._ds_of: Dict[str, float] = {}
+        for segment in network.segments():
+            if segment.instrument is not None:
+                do_w, ds_w = spec.weight(segment.instrument)
+                self._do_of[segment.name] = do_w
+                self._ds_of[segment.name] = ds_w
+
+    def damage_of_fault(self, fault: Fault) -> float:
+        if isinstance(fault, SegmentBreak):
+            effect = segment_break_effect(self.tree, fault.segment)
+        elif isinstance(fault, MuxStuck):
+            effect = mux_stuck_effect(self.tree, fault.mux, fault.port)
+        elif isinstance(fault, ControlCellBreak):
+            effect = control_cell_break_effect(
+                self.tree, fault.cell, self.cell_stuck_ports(fault.cell)
+            )
+        else:
+            raise ReproError(f"unknown fault {fault!r}")
+        return effect.damage(self._do_of, self._ds_of)
+
+    def cell_stuck_ports(self, cell: str) -> Dict[str, int]:
+        break_effect = segment_break_effect(self.tree, cell)
+        base = break_effect.damage(self._do_of, self._ds_of)
+        ports: Dict[str, int] = {}
+        for mux in self.muxes_of_cell(cell):
+            node = self.network.node(mux)
+            best_port = 0
+            best_marginal = -1.0
+            for port in node.stuck_values():
+                stuck = mux_stuck_effect(self.tree, mux, port)
+                marginal = (
+                    break_effect.union(stuck).damage(self._do_of, self._ds_of)
+                    - base
+                )
+                if marginal > best_marginal:
+                    best_marginal = marginal
+                    best_port = port
+            ports[mux] = best_port
+        return ports
+
+
+class FastDamageAnalysis(_AnalysisBase):
+    """Scalable implementation via serial prefix sums (Sec. IV-C).
+
+    All per-leaf quantities reduce to range sums over the serial leaf
+    order: a subtree covers a contiguous index range, the innermost
+    parallel branch around a leaf is such a range, and the "serially
+    before / after within the branch" partition of a break fault is a pair
+    of sub-ranges.  Total preprocessing is O(N); every ``damage_of_fault``
+    is O(1) for breaks and O(branches) for stuck faults.
+    """
+
+    def __init__(self, network, spec, tree=None, policy="max"):
+        super().__init__(network, spec, tree=tree, policy=policy)
+        if self.tree.is_virtualized:
+            raise ReproError(
+                "the aggregate analysis cannot run on a virtualized "
+                "(duplicated-leaf) tree — use "
+                "repro.analysis.GraphDamageAnalysis for non-SP networks"
+            )
+        self.tree.annotate_ranges()
+        leaves = self.tree.leaves
+        count = len(leaves)
+        do_w = np.zeros(count)
+        ds_w = np.zeros(count)
+        for index, leaf in enumerate(leaves):
+            if leaf.kind is not SPKind.LEAF:
+                continue
+            node = network.node(leaf.primitive)
+            if node.kind is NodeKind.SEGMENT and node.instrument is not None:
+                do_w[index], ds_w[index] = spec.weight(node.instrument)
+        self._do = do_w
+        self._ds = ds_w
+        self._prefix_do = np.concatenate(([0.0], np.cumsum(do_w)))
+        self._prefix_ds = np.concatenate(([0.0], np.cumsum(ds_w)))
+        self._branch_lo = np.zeros(count, dtype=np.int64)
+        self._branch_hi = np.zeros(count, dtype=np.int64)
+        self._fill_branch_ranges()
+        self._stuck_cache: Dict[str, Dict[int, float]] = {}
+
+    def _fill_branch_ranges(self) -> None:
+        root = self.tree.root
+        stack: List[Tuple[SPNode, int, int]] = [(root, root.lo, root.hi)]
+        while stack:
+            node, lo, hi = stack.pop()
+            if node.is_leaf:
+                self._branch_lo[node.lo] = lo
+                self._branch_hi[node.lo] = hi
+                continue
+            if node.kind is SPKind.SERIES:
+                stack.append((node.left, lo, hi))
+                stack.append((node.right, lo, hi))
+            else:  # PARALLEL: each child opens its own branch
+                stack.append((node.left, node.left.lo, node.left.hi))
+                stack.append((node.right, node.right.lo, node.right.hi))
+
+    # -- range helpers ----------------------------------------------------
+    def _range_do(self, lo: int, hi: int) -> float:
+        if lo > hi:
+            return 0.0
+        return float(self._prefix_do[hi + 1] - self._prefix_do[lo])
+
+    def _range_ds(self, lo: int, hi: int) -> float:
+        if lo > hi:
+            return 0.0
+        return float(self._prefix_ds[hi + 1] - self._prefix_ds[lo])
+
+    def _range_both(self, lo: int, hi: int) -> float:
+        return self._range_do(lo, hi) + self._range_ds(lo, hi)
+
+    # -- fault damages ------------------------------------------------------
+    def _break_damage(self, index: int) -> float:
+        lo = int(self._branch_lo[index])
+        hi = int(self._branch_hi[index])
+        return (
+            float(self._do[index] + self._ds[index])
+            + self._range_do(lo, index - 1)
+            + self._range_ds(index + 1, hi)
+        )
+
+    def _stuck_damages(self, mux: str) -> Dict[int, float]:
+        cached = self._stuck_cache.get(mux)
+        if cached is not None:
+            return cached
+        leaf = self.tree.leaf(mux)
+        if leaf.mux_branches is None:
+            raise ReproError(f"{mux!r} is not a mux leaf in the tree")
+        weights = []
+        port_to_entry: Dict[int, int] = {}
+        for entry_index, (ports, subtree) in enumerate(leaf.mux_branches):
+            weights.append(self._range_both(subtree.lo, subtree.hi))
+            for port in ports:
+                port_to_entry[port] = entry_index
+        total = float(sum(weights))
+        damages = {
+            port: total - weights[entry]
+            for port, entry in port_to_entry.items()
+        }
+        self._stuck_cache[mux] = damages
+        return damages
+
+    def _marginal_extra(
+        self, dead_lo: int, dead_hi: int, index: int, lo: int, hi: int
+    ) -> float:
+        """Extra damage of a dead interval on top of a break at ``index``
+        whose branch is ``[lo, hi]``: the interval's full weight minus what
+        the break already charged — settability inside the after-part,
+        observability inside the before-part, both for the cell itself."""
+        extra = self._range_both(dead_lo, dead_hi)
+        extra -= self._range_ds(max(dead_lo, index + 1), min(dead_hi, hi))
+        extra -= self._range_do(max(dead_lo, lo), min(dead_hi, index - 1))
+        if dead_lo <= index <= dead_hi:
+            extra -= float(self._do[index] + self._ds[index])
+        return extra
+
+    def _dead_intervals(self, mux: str, port: int) -> List[Tuple[int, int]]:
+        leaf = self.tree.leaf(mux)
+        return [
+            (subtree.lo, subtree.hi)
+            for ports, subtree in leaf.mux_branches
+            if port not in ports and subtree.lo <= subtree.hi
+        ]
+
+    def cell_stuck_ports(self, cell: str) -> Dict[str, int]:
+        leaf = self.tree.leaf(cell)
+        index = self.tree.leaf_index(leaf)
+        lo = int(self._branch_lo[index])
+        hi = int(self._branch_hi[index])
+        ports: Dict[str, int] = {}
+        for mux in self.muxes_of_cell(cell):
+            node = self.network.node(mux)
+            best_port = 0
+            best_marginal = -1.0
+            for port in node.stuck_values():
+                marginal = sum(
+                    self._marginal_extra(dead_lo, dead_hi, index, lo, hi)
+                    for dead_lo, dead_hi in self._dead_intervals(mux, port)
+                )
+                if marginal > best_marginal:
+                    best_marginal = marginal
+                    best_port = port
+            ports[mux] = best_port
+        return ports
+
+    def _cell_break_damage(self, cell: str) -> float:
+        leaf = self.tree.leaf(cell)
+        index = self.tree.leaf_index(leaf)
+        damage = self._break_damage(index)
+        lo = int(self._branch_lo[index])
+        hi = int(self._branch_hi[index])
+
+        # Dead-branch intervals of every controlled mux at its worst
+        # marginal stuck value, deduplicated to maximal intervals (subtree
+        # ranges nest or are disjoint, never partially overlap).
+        intervals: List[Tuple[int, int]] = []
+        for mux, port in self.cell_stuck_ports(cell).items():
+            intervals.extend(self._dead_intervals(mux, port))
+        for dead_lo, dead_hi in _maximal_intervals(intervals):
+            damage += self._marginal_extra(dead_lo, dead_hi, index, lo, hi)
+        return damage
+
+    def damage_of_fault(self, fault: Fault) -> float:
+        if isinstance(fault, SegmentBreak):
+            leaf = self.tree.leaf(fault.segment)
+            return self._break_damage(self.tree.leaf_index(leaf))
+        if isinstance(fault, MuxStuck):
+            damages = self._stuck_damages(fault.mux)
+            try:
+                return damages[fault.port]
+            except KeyError:
+                raise ReproError(
+                    f"mux {fault.mux!r} has no port {fault.port}"
+                ) from None
+        if isinstance(fault, ControlCellBreak):
+            return self._cell_break_damage(fault.cell)
+        raise ReproError(f"unknown fault {fault!r}")
+
+    def worst_stuck_port(self, mux: str) -> int:
+        damages = self._stuck_damages(mux)
+        best_port = min(damages)
+        for port in sorted(damages):
+            if damages[port] > damages[best_port]:
+                best_port = port
+        return best_port
+
+
+def _maximal_intervals(
+    intervals: List[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """Drop intervals nested inside another (subtree ranges never partially
+    overlap, so this yields a disjoint cover of the union)."""
+    result: List[Tuple[int, int]] = []
+    for lo, hi in sorted(intervals, key=lambda pair: (pair[0], -pair[1])):
+        if result and result[-1][0] <= lo and hi <= result[-1][1]:
+            continue
+        result.append((lo, hi))
+    return result
+
+
+def analyze_damage(
+    network: RsnNetwork,
+    spec,
+    tree: Optional[SPTree] = None,
+    method: str = "fast",
+    policy: str = "max",
+    sites: str = "all",
+) -> DamageReport:
+    """Run the criticality analysis and return its :class:`DamageReport`.
+
+    ``method`` selects the implementation: ``"fast"`` (default, the O(N)
+    hierarchical computation), ``"explicit"`` (per-fault reference on the
+    tree) or ``"graph"`` (reachability-based; the only one that works on
+    non-series-parallel networks).
+    """
+    if method == "fast":
+        analysis = FastDamageAnalysis(network, spec, tree=tree, policy=policy)
+    elif method == "explicit":
+        analysis = ExplicitDamageAnalysis(
+            network, spec, tree=tree, policy=policy
+        )
+    elif method == "graph":
+        from .graph_analysis import GraphDamageAnalysis
+
+        analysis = GraphDamageAnalysis(network, spec, policy=policy)
+    else:
+        raise ReproError(f"unknown analysis method {method!r}")
+    return analysis.report(sites=sites)

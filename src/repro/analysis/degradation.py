@@ -1,0 +1,165 @@
+"""Graceful degradation: the residual access plan after a real defect.
+
+The paper contrasts selective hardening with tolerating faults at runtime
+(its ref. [5], "Graceful Degradation of Reconfigurable Scan Networks").
+When a defect strikes an *unhardened* spot in the field, the device is not
+necessarily lost — the RSN still reaches every instrument outside the
+fault's shadow.  This module computes that residual capability:
+
+* which instruments stay fully accessible, structurally;
+* which additionally become unreachable for real pattern sequences
+  because the defect cut off the configuration cells needed to open their
+  path (the second-order effect only the CSU-level oracle sees);
+* the weighted residual capability relative to the healthy network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..rsn.network import RsnNetwork
+from .damage import FastDamageAnalysis
+from .effects import effect_of_fault
+from .faults import ControlCellBreak, Fault
+
+
+class DegradationReport:
+    """Residual instrument access after one concrete defect."""
+
+    def __init__(
+        self,
+        network: RsnNetwork,
+        fault: Fault,
+        lost_observation: Set[str],
+        lost_control: Set[str],
+        sequential_losses: Optional[Set[str]],
+        residual_capability: float,
+    ):
+        self.network = network
+        self.fault = fault
+        self.lost_observation = lost_observation
+        self.lost_control = lost_control
+        # instruments the static analysis deems fine but no CSU sequence
+        # can actually reach any more (None when strict checking was off)
+        self.sequential_losses = sequential_losses
+        # weighted share of the specification still served, in [0, 1]
+        self.residual_capability = residual_capability
+
+    @property
+    def lost(self) -> Set[str]:
+        extra = self.sequential_losses or set()
+        return self.lost_observation | self.lost_control | extra
+
+    @property
+    def intact(self) -> Set[str]:
+        return set(self.network.instrument_names()) - self.lost
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"<DegradationReport {self.fault!r}: {len(self.intact)} intact, "
+            f"{len(self.lost)} lost, capability "
+            f"{self.residual_capability:.1%}>"
+        )
+
+
+def degrade(
+    network: RsnNetwork,
+    fault: Fault,
+    spec=None,
+    tree=None,
+    strict: bool = False,
+) -> DegradationReport:
+    """Assess the network after ``fault`` has physically occurred.
+
+    With ``strict=True`` every structurally-surviving instrument is also
+    exercised through the fault-injected simulator (slow but exact about
+    configuration cut-offs).  ``spec`` weights the residual-capability
+    figure; unweighted instrument counting is used when omitted.
+    """
+    from ..spec.criticality import uniform_spec
+
+    if spec is None or len(spec) == 0:
+        spec = uniform_spec(network.instrument_names())
+    analysis = FastDamageAnalysis(network, spec, tree=tree)
+    mux_ports = (
+        analysis.cell_stuck_ports(fault.cell)
+        if isinstance(fault, ControlCellBreak)
+        else None
+    )
+    effect = effect_of_fault(
+        analysis.tree, network, fault, mux_ports=mux_ports
+    )
+    lost_observation, lost_control = effect.lost_instruments(network)
+
+    sequential_losses: Optional[Set[str]] = None
+    if strict:
+        from ..sim.oracle import strict_access
+
+        access = strict_access(
+            network, faults=[fault], assumed_ports=mux_ports
+        )
+        sequential_losses = set()
+        for name in network.instrument_names():
+            if name in lost_observation or name in lost_control:
+                continue
+            if name not in access.observable or name not in access.settable:
+                sequential_losses.add(name)
+
+    total_weight = sum(
+        spec.do(name) + spec.ds(name)
+        for name in network.instrument_names()
+    )
+    lost_weight = sum(spec.do(name) for name in lost_observation) + sum(
+        spec.ds(name) for name in lost_control
+    )
+    if sequential_losses:
+        lost_weight += sum(
+            spec.do(name) + spec.ds(name) for name in sequential_losses
+        )
+    capability = (
+        1.0 - lost_weight / total_weight if total_weight else 1.0
+    )
+    return DegradationReport(
+        network,
+        fault,
+        lost_observation,
+        lost_control,
+        sequential_losses,
+        max(0.0, capability),
+    )
+
+
+def worst_surviving_faults(
+    network: RsnNetwork,
+    spec,
+    hardened_units,
+    count: int = 5,
+    tree=None,
+) -> List[DegradationReport]:
+    """The worst defects a hardening selection still leaves possible.
+
+    Ranks the faults of every un-hardened primitive by their degradation
+    and returns the ``count`` worst — the residual risk profile of a
+    solution.
+    """
+    from ..rsn.primitives import NodeKind
+    from .faults import faults_of_primitive
+
+    unit_names = set(network.unit_names())
+    covered: Set[str] = set()
+    for name in hardened_units:
+        if name in unit_names:
+            covered.update(network.unit(name).members)
+        else:
+            covered.add(name)
+
+    reports = []
+    for node in network.nodes():
+        if node.kind not in (NodeKind.SEGMENT, NodeKind.MUX):
+            continue
+        if node.name in covered:
+            continue
+        for fault in faults_of_primitive(network, node.name):
+            reports.append(degrade(network, fault, spec=spec, tree=tree))
+    reports.sort(key=lambda report: report.residual_capability)
+    return reports[:count]

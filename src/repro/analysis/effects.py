@@ -1,0 +1,221 @@
+"""Explicit per-fault effect computation on the decomposition tree.
+
+This is the readable, specification-level implementation of Sec. IV-B: for
+one concrete fault it derives which primitives lose observability (cannot
+propagate their contents to the scan-out — they are disconnected in the
+paper's *observability tree* under the fault) and which lose settability
+(cannot receive values from the scan-in — disconnected in the *settability
+tree*).
+
+It costs O(N) per fault.  The scalable aggregate implementation lives in
+:mod:`repro.analysis.damage`; the property-based test-suite checks that the
+two (and the scan-simulation oracle) always agree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Set, Tuple
+
+from ..errors import ReproError
+from ..rsn.network import RsnNetwork
+from ..sp.tree import SPKind, SPNode, SPTree
+from .faults import ControlCellBreak, Fault, MuxStuck, SegmentBreak
+
+
+class FaultEffect:
+    """Primitives that become inaccessible under one fault.
+
+    ``unobservable`` / ``unsettable`` hold primitive names (segments and
+    muxes).  An instrument is *lost for observation* when its host segment
+    is unobservable, analogously for control.
+    """
+
+    __slots__ = ("fault", "unobservable", "unsettable")
+
+    def __init__(self, fault, unobservable: Set[str], unsettable: Set[str]):
+        self.fault = fault
+        self.unobservable = unobservable
+        self.unsettable = unsettable
+
+    def lost_instruments(
+        self, network: RsnNetwork
+    ) -> Tuple[Set[str], Set[str]]:
+        """(instruments unobservable, instruments unsettable)."""
+        unobs: Set[str] = set()
+        unset: Set[str] = set()
+        for instrument in network.instruments():
+            if instrument.segment in self.unobservable:
+                unobs.add(instrument.name)
+            if instrument.segment in self.unsettable:
+                unset.add(instrument.name)
+        return unobs, unset
+
+    def damage(self, do_of: Mapping[str, float], ds_of: Mapping[str, float]) -> float:
+        """Eq. 1 for this fault given per-segment weight maps."""
+        return (
+            sum(do_of.get(name, 0.0) for name in self.unobservable)
+            + sum(ds_of.get(name, 0.0) for name in self.unsettable)
+        )
+
+    def union(self, other: "FaultEffect") -> "FaultEffect":
+        return FaultEffect(
+            self.fault,
+            self.unobservable | other.unobservable,
+            self.unsettable | other.unsettable,
+        )
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"<FaultEffect {self.fault!r}: {len(self.unobservable)} unobs, "
+            f"{len(self.unsettable)} unset>"
+        )
+
+
+def _check_physical(tree: SPTree) -> None:
+    if tree.is_virtualized:
+        raise ReproError(
+            "per-fault effects are not defined on a virtualized "
+            "(duplicated-leaf) decomposition tree; analyze non-SP "
+            "networks with repro.analysis.GraphDamageAnalysis"
+        )
+
+
+def _subtree_primitives(node: SPNode) -> List[str]:
+    return [
+        leaf.primitive
+        for leaf in node.in_order_leaves()
+        if leaf.kind is SPKind.LEAF
+    ]
+
+
+def segment_break_effect(tree: SPTree, segment: str) -> FaultEffect:
+    """Effect of a broken scan segment (Sec. IV-B.1).
+
+    The fault is isolated inside the innermost parallel branch around the
+    segment (the branch its closest parental multiplexer can deselect).
+    Within the branch, everything serially closer to the scan-in loses
+    observability, everything serially closer to the scan-out loses
+    settability, and the segment itself loses both.
+    """
+    _check_physical(tree)
+    leaf = tree.leaf(segment)
+    branch = tree.branch_root(leaf)
+    own_index = tree.leaf_index(leaf)
+    unobservable: Set[str] = {segment}
+    unsettable: Set[str] = {segment}
+    for other in branch.in_order_leaves():
+        if other.kind is not SPKind.LEAF or other is leaf:
+            continue
+        if tree.leaf_index(other) < own_index:
+            unobservable.add(other.primitive)
+        else:
+            unsettable.add(other.primitive)
+    return FaultEffect(SegmentBreak(segment), unobservable, unsettable)
+
+
+def mux_stuck_effect(tree: SPTree, mux: str, port: int) -> FaultEffect:
+    """Effect of a stuck-at-id multiplexer (Sec. IV-B.2).
+
+    Every branch that is *not* permanently selected becomes inaccessible in
+    both directions: no path through it can be sensitized any more.
+    """
+    _check_physical(tree)
+    leaf = tree.leaf(mux)
+    if leaf.mux_branches is None:
+        raise ReproError(f"{mux!r} is not a mux leaf in the tree")
+    ports = {p for branch_ports, _ in leaf.mux_branches for p in branch_ports}
+    if port not in ports:
+        raise ReproError(f"mux {mux!r} has no port {port}")
+    dead: Set[str] = set()
+    for branch_ports, subtree in leaf.mux_branches:
+        if port not in branch_ports:
+            dead.update(_subtree_primitives(subtree))
+    return FaultEffect(MuxStuck(mux, port), set(dead), set(dead))
+
+
+def control_cell_break_effect(
+    tree: SPTree,
+    cell: str,
+    mux_ports: Mapping[str, int],
+) -> FaultEffect:
+    """Effect of a broken configuration cell.
+
+    The cell's chain position breaks like any segment, and every mux in
+    ``mux_ports`` additionally behaves as stuck at the given port (the
+    caller chooses the ports — the damage analyses use the worst standalone
+    stuck value of each mux).
+    """
+    effect = segment_break_effect(tree, cell)
+    effect = FaultEffect(
+        ControlCellBreak(cell), effect.unobservable, effect.unsettable
+    )
+    for mux, port in mux_ports.items():
+        effect = effect.union(mux_stuck_effect(tree, mux, port))
+    effect.fault = ControlCellBreak(cell)
+    return effect
+
+
+def _pruned_tree(tree: SPTree, removed: Set[str]) -> SPNode:
+    """A copy of the decomposition tree with the given leaves replaced by
+    wire vertices (disconnected), series/parallel structure intact."""
+    mapping = {}
+    for node in tree.root.post_order():
+        if node.kind is SPKind.WIRE or (
+            node.kind is SPKind.LEAF and node.primitive in removed
+        ):
+            clone = SPNode.wire()
+        elif node.kind is SPKind.LEAF:
+            clone = SPNode.leaf(node.primitive)
+        else:
+            clone = SPNode(
+                node.kind,
+                left=mapping[id(node.left)],
+                right=mapping[id(node.right)],
+            )
+        mapping[id(node)] = clone
+    return mapping[id(tree.root)]
+
+
+def observability_tree(tree: SPTree, fault: Fault, network=None) -> SPNode:
+    """The paper's *observability tree under a fault f* (Sec. IV-B.1).
+
+    A copy of the decomposition tree in which every primitive that can no
+    longer propagate its contents to the scan-out is disconnected
+    (replaced by a wire vertex).  The remaining leaves are exactly the
+    observable primitives.
+    """
+    effect = effect_of_fault(tree, network, fault)
+    return _pruned_tree(tree, effect.unobservable)
+
+
+def settability_tree(tree: SPTree, fault: Fault, network=None) -> SPNode:
+    """The paper's *settability tree under a fault f*: the decomposition
+    tree with every no-longer-settable primitive disconnected."""
+    effect = effect_of_fault(tree, network, fault)
+    return _pruned_tree(tree, effect.unsettable)
+
+
+def effect_of_fault(
+    tree: SPTree,
+    network: RsnNetwork,
+    fault: Fault,
+    mux_ports: Mapping[str, int] = None,
+) -> FaultEffect:
+    """Dispatch on the fault type.
+
+    ``mux_ports`` is only consulted for :class:`ControlCellBreak`; when
+    omitted, every controlled mux is taken at port 0.
+    """
+    if isinstance(fault, SegmentBreak):
+        return segment_break_effect(tree, fault.segment)
+    if isinstance(fault, MuxStuck):
+        return mux_stuck_effect(tree, fault.mux, fault.port)
+    if isinstance(fault, ControlCellBreak):
+        if mux_ports is None:
+            from .faults import controlled_muxes
+
+            mux_ports = {
+                mux: 0 for mux in controlled_muxes(network, fault.cell)
+            }
+        return control_cell_break_effect(tree, fault.cell, mux_ports)
+    raise ReproError(f"unknown fault {fault!r}")

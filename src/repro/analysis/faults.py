@@ -1,0 +1,150 @@
+"""Permanent fault models of RSN primitives (Sec. IV-B).
+
+Three concrete single-fault classes are analyzed:
+
+* :class:`SegmentBreak` — a defect in a scan segment breaks the integrity
+  of every scan path traversing it;
+* :class:`MuxStuck` — a stuck-at-id fault: the multiplexer permanently
+  selects one input regardless of its address port;
+* :class:`ControlCellBreak` — a defect in a configuration cell: the cell's
+  own chain position is broken *and* every multiplexer it drives loses its
+  address control (taken at the worst stuck value).
+
+SIB faults are combinations of these, per the paper: *stuck-at-asserted* /
+*stuck-at-deasserted* are ``MuxStuck`` on the SIB's bypass mux (hosted /
+bypass port) and a defect SIB bit is a ``ControlCellBreak``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple, Union
+
+from ..errors import ReproError
+from ..rsn.network import RsnNetwork
+from ..rsn.primitives import NodeKind, ScanMux, SegmentRole
+
+
+class SegmentBreak:
+    """Broken scan chain inside segment ``segment``."""
+
+    __slots__ = ("segment",)
+
+    def __init__(self, segment: str):
+        self.segment = segment
+
+    @property
+    def site(self) -> str:
+        return self.segment
+
+    def __eq__(self, other):
+        return isinstance(other, SegmentBreak) and other.segment == self.segment
+
+    def __hash__(self):
+        return hash(("SegmentBreak", self.segment))
+
+    def __repr__(self):
+        return f"SegmentBreak({self.segment!r})"
+
+
+class MuxStuck:
+    """Mux ``mux`` permanently selecting input port ``port``."""
+
+    __slots__ = ("mux", "port")
+
+    def __init__(self, mux: str, port: int):
+        self.mux = mux
+        self.port = int(port)
+
+    @property
+    def site(self) -> str:
+        return self.mux
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, MuxStuck)
+            and (other.mux, other.port) == (self.mux, self.port)
+        )
+
+    def __hash__(self):
+        return hash(("MuxStuck", self.mux, self.port))
+
+    def __repr__(self):
+        return f"MuxStuck({self.mux!r}, port={self.port})"
+
+
+class ControlCellBreak:
+    """Broken configuration cell: chain break + uncontrolled muxes."""
+
+    __slots__ = ("cell",)
+
+    def __init__(self, cell: str):
+        self.cell = cell
+
+    @property
+    def site(self) -> str:
+        return self.cell
+
+    def __eq__(self, other):
+        return isinstance(other, ControlCellBreak) and other.cell == self.cell
+
+    def __hash__(self):
+        return hash(("ControlCellBreak", self.cell))
+
+    def __repr__(self):
+        return f"ControlCellBreak({self.cell!r})"
+
+
+Fault = Union[SegmentBreak, MuxStuck, ControlCellBreak]
+
+
+def sib_stuck_asserted(network: RsnNetwork, sib: str) -> MuxStuck:
+    """The SIB permanently grants access to its hosted sub-network."""
+    unit = network.unit(sib)
+    if not unit.is_sib:
+        raise ReproError(f"{sib!r} is not a SIB unit")
+    return MuxStuck(unit.muxes[0], ScanMux.SIB_HOSTED_PORT)
+
+
+def sib_stuck_deasserted(network: RsnNetwork, sib: str) -> MuxStuck:
+    """The SIB permanently bypasses its hosted sub-network."""
+    unit = network.unit(sib)
+    if not unit.is_sib:
+        raise ReproError(f"{sib!r} is not a SIB unit")
+    return MuxStuck(unit.muxes[0], ScanMux.SIB_BYPASS_PORT)
+
+
+def controlled_muxes(network: RsnNetwork, cell: str) -> List[str]:
+    """Names of the muxes whose address port ``cell`` drives."""
+    return [
+        mux.name
+        for mux in network.muxes()
+        if mux.control_cell == cell
+    ]
+
+
+def faults_of_primitive(
+    network: RsnNetwork, name: str
+) -> Tuple[Fault, ...]:
+    """The concrete fault list of one scan primitive.
+
+    * data segment -> a single :class:`SegmentBreak`;
+    * control segment (incl. SIB bits) -> a single
+      :class:`ControlCellBreak`;
+    * mux -> one :class:`MuxStuck` per input port.
+    """
+    node = network.node(name)
+    if node.kind is NodeKind.SEGMENT:
+        if node.role is SegmentRole.DATA:
+            return (SegmentBreak(name),)
+        return (ControlCellBreak(name),)
+    if node.kind is NodeKind.MUX:
+        return tuple(MuxStuck(name, port) for port in node.stuck_values())
+    return ()
+
+
+def iter_all_faults(network: RsnNetwork) -> Iterator[Fault]:
+    """Every modeled single fault of the network, in topological order of
+    its fault site."""
+    for name in network.node_names():
+        for fault in faults_of_primitive(network, name):
+            yield fault

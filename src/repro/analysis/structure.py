@@ -1,0 +1,88 @@
+"""Structural statistics of an RSN — the quantities that explain why one
+network's damage profile differs from another's.
+
+The kill-size distribution (how many instruments each multiplexer's worst
+stuck fault cuts off) is the single best predictor of how concentrated the
+damage budget is, hence how cheap a 10 %-damage hardening solution can be;
+EXPERIMENTS.md uses these numbers to discuss the shape differences between
+our count-exact benchmark reconstructions and the paper's originals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..rsn.network import RsnNetwork
+from ..sp.reduce import decompose
+from ..sp.tree import SPKind, SPTree
+
+
+def hierarchy_depth(tree: SPTree) -> int:
+    """Maximum nesting depth of parallel branches (SIB/mux levels)."""
+    depth = 0
+    stack = [(tree.root, 0)]
+    while stack:
+        node, level = stack.pop()
+        if node.kind is SPKind.PARALLEL:
+            level += 1
+            depth = max(depth, level)
+        for child in node.children():
+            stack.append((child, level))
+    return depth
+
+
+def kill_sizes(network: RsnNetwork, tree: Optional[SPTree] = None) -> Dict[str, int]:
+    """Per-mux worst-case kill size: instruments cut off by the worst
+    stuck-at-id value."""
+    tree = tree if tree is not None else decompose(network)
+    instrument_segments = {
+        instrument.segment for instrument in network.instruments()
+    }
+    sizes: Dict[str, int] = {}
+    for mux in network.muxes():
+        leaf = tree.leaf(mux.name)
+        worst = 0
+        weights_per_entry = []
+        for _, subtree in leaf.mux_branches:
+            count = sum(
+                1
+                for inner in subtree.in_order_leaves()
+                if inner.kind is SPKind.LEAF
+                and inner.primitive in instrument_segments
+            )
+            weights_per_entry.append(count)
+        total = sum(weights_per_entry)
+        for count in weights_per_entry:
+            worst = max(worst, total - count)
+        sizes[mux.name] = worst
+    return sizes
+
+
+def network_statistics(
+    network: RsnNetwork, tree: Optional[SPTree] = None
+) -> Dict[str, float]:
+    """A flat summary of the network's structure.
+
+    Keys: ``n_segments``, ``n_muxes``, ``n_instruments``, ``total_bits``,
+    ``hierarchy_depth``, ``max_kill``, ``mean_kill``,
+    ``kill_concentration`` (fraction of the total kill mass owned by the
+    top 10 % of muxes — 1.0 means a handful of muxes gate everything).
+    """
+    tree = tree if tree is not None else decompose(network)
+    n_segments, n_muxes = network.counts()
+    sizes = sorted(kill_sizes(network, tree).values(), reverse=True)
+    total_kill = sum(sizes)
+    top = max(1, len(sizes) // 10)
+    concentration = (
+        sum(sizes[:top]) / total_kill if total_kill else 0.0
+    )
+    return {
+        "n_segments": n_segments,
+        "n_muxes": n_muxes,
+        "n_instruments": len(network.instrument_names()),
+        "total_bits": network.total_bits(),
+        "hierarchy_depth": hierarchy_depth(tree),
+        "max_kill": sizes[0] if sizes else 0,
+        "mean_kill": (total_kill / len(sizes)) if sizes else 0.0,
+        "kill_concentration": concentration,
+    }

@@ -1,0 +1,32 @@
+"""Benchmark designs and the Table-I harness (Sec. VI)."""
+
+from . import generators
+from .designs import (
+    DESIGNS,
+    MEDIUM_DESIGNS,
+    SMALL_DESIGNS,
+    DesignInfo,
+    build_design,
+    design_names,
+    get_design,
+)
+from .report import format_comparison, format_row, format_seconds, format_table
+from .table1 import Table1Row, run_design, run_table
+
+__all__ = [
+    "DESIGNS",
+    "DesignInfo",
+    "MEDIUM_DESIGNS",
+    "SMALL_DESIGNS",
+    "Table1Row",
+    "build_design",
+    "design_names",
+    "format_comparison",
+    "format_row",
+    "format_seconds",
+    "format_table",
+    "generators",
+    "get_design",
+    "run_design",
+    "run_table",
+]

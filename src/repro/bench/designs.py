@@ -1,0 +1,231 @@
+"""Registry of the paper's 24 benchmark designs (Table I).
+
+Every entry records the published benchmark characteristics (segment and
+multiplexer counts — reproduced exactly by the generators) together with
+the full row of values the paper reports, so the harness can print
+paper-vs-measured comparisons.  Paper cost/damage values depend on the
+authors' unpublished cost model and random specification draw, so only the
+*shape* is comparable; see EXPERIMENTS.md.
+
+``MBIST_a_b_c`` naming: the paper never defines the parameterization and
+the published counts are not monotone in the name parameters, so the names
+are treated as opaque design identifiers with known counts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import BenchmarkError
+from ..rsn.ast import NetworkDecl, elaborate
+from ..rsn.network import RsnNetwork
+from . import generators
+
+
+class PaperRow:
+    """The values Table I reports for one design."""
+
+    __slots__ = (
+        "max_cost",
+        "max_damage",
+        "generations",
+        "min_cost_cost",
+        "min_cost_damage",
+        "min_damage_cost",
+        "min_damage_damage",
+        "runtime",
+    )
+
+    def __init__(
+        self,
+        max_cost: int,
+        max_damage: int,
+        generations: int,
+        min_cost_cost: int,
+        min_cost_damage: int,
+        min_damage_cost: int,
+        min_damage_damage: int,
+        runtime: str,
+    ):
+        self.max_cost = max_cost
+        self.max_damage = max_damage
+        self.generations = generations
+        self.min_cost_cost = min_cost_cost
+        self.min_cost_damage = min_cost_damage
+        self.min_damage_cost = min_damage_cost
+        self.min_damage_damage = min_damage_damage
+        self.runtime = runtime
+
+
+class DesignInfo:
+    """One benchmark design: family, exact counts, paper row."""
+
+    __slots__ = ("name", "family", "n_segments", "n_muxes", "paper", "seed")
+
+    def __init__(
+        self,
+        name: str,
+        family: str,
+        n_segments: int,
+        n_muxes: int,
+        paper: PaperRow,
+        seed: int = 0,
+    ):
+        self.name = name
+        self.family = family
+        self.n_segments = n_segments
+        self.n_muxes = n_muxes
+        self.paper = paper
+        self.seed = seed
+
+    def generate(self) -> NetworkDecl:
+        """The design's network description (deterministic)."""
+        builder = _FAMILIES.get(self.family)
+        if builder is None:
+            raise BenchmarkError(f"unknown design family {self.family!r}")
+        return builder(
+            self.n_segments, self.n_muxes, self.seed, self.name
+        )
+
+    def build(self) -> RsnNetwork:
+        """The design's elaborated RSN graph."""
+        return elaborate(self.generate())
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"<DesignInfo {self.name}: {self.n_segments} segments, "
+            f"{self.n_muxes} muxes ({self.family})>"
+        )
+
+
+def _tree_flat(s, m, seed, name):
+    return generators.flat_sib_chain(s, m, seed=seed, name=name)
+
+
+def _tree_balanced(s, m, seed, name):
+    return generators.balanced_sib_tree(s, m, seed=seed, name=name)
+
+
+def _tree_unbalanced(s, m, seed, name):
+    return generators.unbalanced_sib_tree(s, m, seed=seed, name=name)
+
+
+def _soc(s, m, seed, name):
+    return generators.soc_mux_network(s, m, seed=seed, name=name)
+
+
+def _mbist(s, m, seed, name):
+    return generators.mbist_network(s, m, seed=seed, name=name)
+
+
+_FAMILIES: Dict[str, Callable] = {
+    "tree_flat": _tree_flat,
+    "tree_balanced": _tree_balanced,
+    "tree_unbalanced": _tree_unbalanced,
+    "soc": _soc,
+    "mbist": _mbist,
+}
+
+
+def _design(name, family, s, m, paper_values, seed=0):
+    return DesignInfo(name, family, s, m, PaperRow(*paper_values), seed=seed)
+
+
+# name, family, segments, muxes,
+#   (max cost, max damage, generations,
+#    min-cost solution (cost, damage), min-damage solution (cost, damage),
+#    runtime m:s)
+DESIGNS: Dict[str, DesignInfo] = {
+    d.name: d
+    for d in [
+        _design("TreeFlat", "tree_flat", 24, 24,
+                (350, 502, 300, 7, 42, 8, 26, "00:07")),
+        _design("TreeUnbalanced", "tree_unbalanced", 63, 28,
+                (142, 1656, 300, 10, 155, 14, 31, "00:02")),
+        _design("TreeBalanced", "tree_balanced", 90, 46,
+                (211, 4206, 1000, 18, 362, 21, 216, "00:03")),
+        _design("TreeFlat_Ex", "tree_flat", 123, 60,
+                (289, 597, 2000, 29, 57, 28, 60, "00:04")),
+        _design("q12710", "soc", 47, 25,
+                (127, 576, 300, 8, 27, 12, 19, "00:03")),
+        _design("a586710", "soc", 79, 47,
+                (155, 1010, 2000, 5, 90, 15, 24, "00:15")),
+        _design("p34392", "soc", 245, 142,
+                (482, 7932, 700, 8, 683, 48, 68, "00:34")),
+        _design("t512505", "soc", 288, 160,
+                (713, 7146, 1000, 21, 699, 71, 121, "00:16")),
+        _design("p22810", "soc", 537, 283,
+                (1298, 22911, 1000, 33, 2215, 28, 3712, "01:01")),
+        _design("p93791", "soc", 1241, 653,
+                (2946, 293771, 3500, 38, 28681, 286, 561, "06:10")),
+        _design("MBIST_1_5_5", "mbist", 113, 15,
+                (137, 74004, 300, 32, 7176, 13, 20799, "00:26")),
+        _design("MBIST_1_5_20", "mbist", 1523, 15,
+                (362, 632421, 400, 35, 62264, 36, 60344, "02:21")),
+        _design("MBIST_1_20_20", "mbist", 6068, 45,
+                (1412, 8252305, 500, 129, 801889, 137, 752261, "10:01")),
+        _design("MBIST_2_5_5", "mbist", 1091, 28,
+                (137, 83509, 500, 19, 8141, 13, 12081, "03:45")),
+        _design("MBIST_2_5_20", "mbist", 3041, 28,
+                (362, 560484, 700, 34, 54314, 36, 50060, "04:17")),
+        _design("MBIST_2_20_20", "mbist", 12131, 88,
+                (1412, 8174778, 700, 129, 788085, 138, 722191, "08:18")),
+        _design("MBIST_5_5_5", "mbist", 2720, 67,
+                (411, 148811, 500, 8, 14213, 41, 163, "01:10")),
+        _design("MBIST_5_20_20", "mbist", 30320, 217,
+                (385, 6175005, 900, 127, 614605, 36, 1343502, "15:02")),
+        _design("MBIST_5_100_20", "mbist", 151520, 1017,
+                (7012, 203302366, 200, 1983, 20555328, 701, 48147171,
+                 "35:17")),
+        _design("MBIST_5_100_100", "mbist", 671520, 1017,
+                (93447, 2138755955, 1500, 17066, 213650290, 8625,
+                 405742391, "92:01")),
+        _design("MBIST_20_20_20", "mbist", 121265, 862,
+                (1412, 6175005, 900, 131, 605065, 141, 537474, "23:40")),
+        _design("MBIST_55_20_5", "mbist", 216305, 8102,
+                (512, 814369, 500, 112, 78595, 51, 208782, "05:43")),
+        _design("MBIST_100_20_5", "mbist", 118970, 2367,
+                (512, 639278, 1800, 87, 63268, 51, 144057, "07:15")),
+        _design("MBIST_100_100_5", "mbist", 1080305, 20102,
+                (2512, 20977832, 1200, 273, 2096139, 248, 2396324,
+                 "59:32")),
+    ]
+}
+
+# Designs small enough for quick CI-style runs (used by default in the
+# pytest benchmarks; the CLI runs everything).
+SMALL_DESIGNS: List[str] = [
+    "TreeFlat",
+    "TreeUnbalanced",
+    "TreeBalanced",
+    "TreeFlat_Ex",
+    "q12710",
+    "a586710",
+    "p34392",
+    "t512505",
+]
+MEDIUM_DESIGNS: List[str] = SMALL_DESIGNS + [
+    "p22810",
+    "p93791",
+    "MBIST_1_5_5",
+    "MBIST_2_5_5",
+    "MBIST_1_5_20",
+]
+
+
+def get_design(name: str) -> DesignInfo:
+    try:
+        return DESIGNS[name]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown design {name!r}; known: {', '.join(DESIGNS)}"
+        ) from None
+
+
+def build_design(name: str) -> RsnNetwork:
+    """Elaborated RSN for a registry design."""
+    return get_design(name).build()
+
+
+def design_names() -> List[str]:
+    return list(DESIGNS)

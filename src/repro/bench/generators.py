@@ -1,0 +1,372 @@
+"""Benchmark RSN generators (ITC'16- and DATE'19-style networks).
+
+The paper evaluates on the ITC'16 benchmark suite [22] and the DATE'19
+MBIST set [23].  Those ICL files are not redistributable / available
+offline, so each design is synthesized structurally in the style of its
+family and **count-exact**: the generated network has exactly the segment
+and multiplexer counts the paper's Table I publishes (the analysis and the
+optimizer consume nothing but the graph topology, the counts and the
+weights, so count-exact same-family networks exercise identical code paths
+and reproduce the scaling behaviour).  All generators are deterministic in
+their seed.
+
+Families:
+
+* ``flat_sib_chain``    — TreeFlat / TreeFlat_Ex: one flat chain of SIBs;
+* ``balanced_sib_tree`` — TreeBalanced: SIBs nested as a balanced tree;
+* ``unbalanced_sib_tree`` — TreeUnbalanced: deeply skewed SIB nesting;
+* ``soc_mux_network``   — the ITC'02-derived SoC designs (q12710, p22810,
+  p93791, ...): per-module bypass multiplexers over module chains;
+* ``mbist_network``     — DATE'19 MBIST: few SIB-controlled interfaces in
+  front of very many wide data registers.
+
+Every data segment hosts an instrument (auto-named), matching the paper's
+specification procedure which weights "all the instruments".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..errors import BenchmarkError
+from ..rsn.ast import (
+    Item,
+    MuxDecl,
+    NetworkDecl,
+    SegmentDecl,
+    SibDecl,
+)
+from ..rsn.network import RsnNetwork
+from ..rsn.ast import elaborate
+
+_SEGMENT_LENGTHS = (1, 2, 4, 8, 12, 16, 24, 32)
+_MBIST_LENGTHS = (8, 16, 32, 64, 96, 128)
+
+
+def _check_counts(decl: NetworkDecl, n_segments: int, n_muxes: int) -> None:
+    got = decl.counts()
+    if got != (n_segments, n_muxes):
+        raise BenchmarkError(
+            f"{decl.name!r}: generator produced counts {got}, "
+            f"wanted ({n_segments}, {n_muxes})"
+        )
+
+
+def _split(total: int, parts: int, rng: random.Random, minimum: int = 0) -> List[int]:
+    """Randomly split ``total`` into ``parts`` non-negative summands with a
+    per-part minimum."""
+    if parts <= 0:
+        raise BenchmarkError("cannot split into zero parts")
+    if total < parts * minimum:
+        raise BenchmarkError(
+            f"cannot split {total} into {parts} parts of at least {minimum}"
+        )
+    remaining = total - parts * minimum
+    cuts = sorted(rng.randint(0, remaining) for _ in range(parts - 1))
+    sizes = []
+    previous = 0
+    for cut in cuts + [remaining]:
+        sizes.append(minimum + cut - previous)
+        previous = cut
+    return sizes
+
+
+def _segment(
+    rng: random.Random,
+    counter: List[int],
+    lengths=_SEGMENT_LENGTHS,
+) -> SegmentDecl:
+    counter[0] += 1
+    name = f"seg{counter[0]}"
+    return SegmentDecl(
+        name, length=rng.choice(lengths), instrument=f"i_{name}"
+    )
+
+
+# ----------------------------------------------------------------------
+# the paper's worked example (Figs. 1-4)
+# ----------------------------------------------------------------------
+def fig1_example() -> RsnNetwork:
+    """The running example of the paper, reconstructed from the text:
+
+    * ``m0`` dominates segment ``c2`` and is its parent;
+    * ``m2`` dominates ``m1`` without being its parent (they are
+      "neighbors");
+    * a stuck-at-1 fault of ``m0`` makes instruments i1, i2 and i3
+      inaccessible (Fig. 4).
+    """
+    from ..rsn.builder import RsnBuilder
+
+    builder = RsnBuilder("fig1")
+    with builder.mux("m2") as outer:
+        with outer.branch():
+            with builder.mux("m0") as middle:
+                with middle.branch():
+                    with builder.mux("m1") as inner:
+                        with inner.branch():
+                            builder.segment("a", length=2, instrument="i1")
+                        with inner.branch():
+                            builder.segment("b", length=3, instrument="i2")
+                    builder.segment("c2", length=2, instrument="i3")
+                with middle.branch():
+                    builder.segment("d", length=4, instrument="i4")
+        with outer.branch():
+            builder.segment("g", length=2, instrument="i5")
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# ITC'16-style tree networks
+# ----------------------------------------------------------------------
+def flat_sib_chain(
+    n_segments: int,
+    n_sibs: int,
+    seed: int = 0,
+    name: str = "tree_flat",
+) -> NetworkDecl:
+    """A flat chain of SIBs, each hosting its share of the segments."""
+    if n_segments < n_sibs:
+        raise BenchmarkError("flat chain needs at least one segment per SIB")
+    rng = random.Random(seed)
+    counter = [0]
+    shares = _split(n_segments, n_sibs, rng, minimum=1)
+    items: List[Item] = []
+    for index, share in enumerate(shares):
+        children: List[Item] = [
+            _segment(rng, counter) for _ in range(share)
+        ]
+        items.append(SibDecl(f"sib{index}", children))
+    decl = NetworkDecl(name, items)
+    _check_counts(decl, n_segments, n_sibs)
+    return decl
+
+
+def balanced_sib_tree(
+    n_segments: int,
+    n_sibs: int,
+    seed: int = 0,
+    arity: int = 2,
+    name: str = "tree_balanced",
+) -> NetworkDecl:
+    """SIBs nested as a (near-)balanced ``arity``-ary tree; leaf SIBs host
+    the data segments."""
+    if n_segments < 1 or n_sibs < 1:
+        raise BenchmarkError("tree needs at least one segment and one SIB")
+    rng = random.Random(seed)
+    counter = [0]
+
+    # Build the SIB tree breadth-first: node k's children are the next
+    # ``arity`` unassigned SIB indices.
+    children_of: List[List[int]] = [[] for _ in range(n_sibs)]
+    next_child = 1
+    for node in range(n_sibs):
+        for _ in range(arity):
+            if next_child >= n_sibs:
+                break
+            children_of[node].append(next_child)
+            next_child += 1
+
+    leaves = [k for k in range(n_sibs) if not children_of[k]]
+    shares = dict(
+        zip(leaves, _split(n_segments, len(leaves), rng, minimum=1))
+    )
+
+    def build(node: int) -> SibDecl:
+        items: List[Item] = [build(child) for child in children_of[node]]
+        for _ in range(shares.get(node, 0)):
+            items.append(_segment(rng, counter))
+        return SibDecl(f"sib{node}", items)
+
+    decl = NetworkDecl(name, [build(0)])
+    _check_counts(decl, n_segments, n_sibs)
+    return decl
+
+
+def unbalanced_sib_tree(
+    n_segments: int,
+    n_sibs: int,
+    seed: int = 0,
+    name: str = "tree_unbalanced",
+) -> NetworkDecl:
+    """Deeply skewed nesting: every SIB hosts the next SIB plus its own
+    share of segments (a degenerate tree — the worst case for naive
+    recursive processing, which is why all library traversals are
+    iterative)."""
+    if n_segments < n_sibs:
+        raise BenchmarkError("needs at least one segment per SIB")
+    rng = random.Random(seed)
+    counter = [0]
+    shares = _split(n_segments, n_sibs, rng, minimum=1)
+    inner: Optional[SibDecl] = None
+    for index in range(n_sibs - 1, -1, -1):
+        items: List[Item] = []
+        if inner is not None:
+            items.append(inner)
+        for _ in range(shares[index]):
+            items.append(_segment(rng, counter))
+        inner = SibDecl(f"sib{index}", items)
+    decl = NetworkDecl(name, [inner])
+    _check_counts(decl, n_segments, n_sibs)
+    return decl
+
+
+# ----------------------------------------------------------------------
+# ITC'02-derived SoC-style networks
+# ----------------------------------------------------------------------
+def soc_mux_network(
+    n_segments: int,
+    n_muxes: int,
+    seed: int = 0,
+    name: str = "soc",
+    nesting: float = 0.3,
+) -> NetworkDecl:
+    """Module-per-mux SoC access network.
+
+    Each module is a bypassable chain selected by a 2:1 multiplexer
+    (dedicated select cell); with probability ``nesting`` a module embeds
+    the next module inside its chain, giving the irregular hierarchies the
+    ITC'02-derived benchmarks show.
+    """
+    if n_segments < n_muxes:
+        raise BenchmarkError("needs at least one segment per module")
+    rng = random.Random(seed)
+    counter = [0]
+    shares = _split(n_segments, n_muxes, rng, minimum=1)
+
+    modules: List[Item] = []
+    pending: Optional[MuxDecl] = None
+    for index in range(n_muxes - 1, -1, -1):
+        content: List[Item] = [
+            _segment(rng, counter) for _ in range(shares[index])
+        ]
+        if pending is not None and rng.random() < nesting:
+            position = rng.randint(0, len(content))
+            content.insert(position, pending)
+            pending = None
+        elif pending is not None:
+            modules.append(pending)
+            pending = None
+        bypass_first = rng.random() < 0.5
+        branches = [content, []] if bypass_first else [[], content]
+        pending = MuxDecl(f"mux{index}", branches)
+    if pending is not None:
+        modules.append(pending)
+    modules.reverse()
+    decl = NetworkDecl(name, modules)
+    _check_counts(decl, n_segments, n_muxes)
+    return decl
+
+
+# ----------------------------------------------------------------------
+# DATE'19-style MBIST networks
+# ----------------------------------------------------------------------
+def mbist_network(
+    n_segments: int,
+    n_sibs: int,
+    seed: int = 0,
+    name: str = "mbist",
+    group_arity: int = 4,
+) -> NetworkDecl:
+    """MBIST-style access network: hierarchically grouped SIB-gated memory
+    interfaces, each hosting many wide data registers (status, repair,
+    pattern and address registers of the memories behind it).
+
+    The SIBs nest as a (near-)``group_arity``-ary hierarchy — memory
+    groups behind group SIBs behind controller SIBs — so a defect in a
+    high-level SIB cuts off a whole subtree of memories, which is what
+    makes the family the paper's scalability stress-test.  Both counts are
+    matched exactly.
+    """
+    if n_segments < n_sibs:
+        raise BenchmarkError("needs at least one register per interface")
+    rng = random.Random(seed)
+    counter = [0]
+    # Skewed shares: a few interfaces own most of the registers, like
+    # grouped memories of heterogeneous sizes.
+    weights = [rng.random() ** 2 + 1e-3 for _ in range(n_sibs)]
+    scale = (n_segments - n_sibs) / sum(weights)
+    shares = [1 + int(weight * scale) for weight in weights]
+    deficit = n_segments - sum(shares)
+    index = 0
+    while deficit > 0:
+        shares[index % n_sibs] += 1
+        deficit -= 1
+        index += 1
+    while deficit < 0:
+        if shares[index % n_sibs] > 1:
+            shares[index % n_sibs] -= 1
+            deficit += 1
+        index += 1
+
+    # SIB hierarchy: node k's children are the next group_arity indices
+    # (breadth-first near-complete tree).
+    children_of: List[List[int]] = [[] for _ in range(n_sibs)]
+    next_child = 1
+    for node in range(n_sibs):
+        for _ in range(group_arity):
+            if next_child >= n_sibs:
+                break
+            children_of[node].append(next_child)
+            next_child += 1
+
+    def build(node: int) -> SibDecl:
+        items: List[Item] = [build(child) for child in children_of[node]]
+        for _ in range(shares[node]):
+            items.append(_segment(rng, counter, lengths=_MBIST_LENGTHS))
+        return SibDecl(f"mbist_sib{node}", items)
+
+    decl = NetworkDecl(name, [build(0)])
+    _check_counts(decl, n_segments, n_sibs)
+    return decl
+
+
+# ----------------------------------------------------------------------
+# random SP networks (property tests)
+# ----------------------------------------------------------------------
+def random_network(
+    seed: int = 0,
+    max_depth: int = 3,
+    max_items: int = 4,
+    name: str = "random",
+) -> NetworkDecl:
+    """A small random hierarchical RSN for property-based testing.
+
+    Mixes segments, SIBs and multi-branch muxes (including pure bypass
+    branches); always at least one instrument-bearing segment.
+    """
+    rng = random.Random(seed)
+    counter = [0]
+    unit = [0]
+
+    def chain(depth: int) -> List[Item]:
+        items: List[Item] = []
+        for _ in range(rng.randint(1, max_items)):
+            roll = rng.random()
+            if depth >= max_depth or roll < 0.5:
+                items.append(_segment(rng, counter, lengths=(1, 2, 3, 4)))
+            elif roll < 0.8:
+                unit[0] += 1
+                items.append(SibDecl(f"rsib{unit[0]}", chain(depth + 1)))
+            else:
+                unit[0] += 1
+                uid = unit[0]
+                n_branches = rng.randint(2, 3)
+                branches = [chain(depth + 1)]
+                for _ in range(n_branches - 1):
+                    branches.append(
+                        [] if rng.random() < 0.4 else chain(depth + 1)
+                    )
+                rng.shuffle(branches)
+                items.append(MuxDecl(f"rmux{uid}", branches))
+        return items
+
+    items = chain(0)
+    if not any(isinstance(item, SegmentDecl) for item in items):
+        items.append(_segment(rng, counter, lengths=(1, 2)))
+    return NetworkDecl(f"{name}_{seed}", items)
+
+
+def build(decl: NetworkDecl) -> RsnNetwork:
+    """Elaborate a generated description (convenience re-export)."""
+    return elaborate(decl)

@@ -1,0 +1,94 @@
+"""Formatting of harness results (Table-I style output)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .table1 import Table1Row
+
+_HEADER = (
+    f"{'Design':16s} {'#Seg':>8s} {'#Mux':>6s} "
+    f"{'MaxCost':>9s} {'MaxDamage':>13s} {'Gens':>6s} "
+    f"{'Cost|D<=10%':>11s} {'Damage':>12s} "
+    f"{'Cost|C<=10%':>11s} {'Damage':>12s} {'Time':>8s}"
+)
+
+
+def _num(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:,.0f}"
+
+
+def format_seconds(seconds: float) -> str:
+    """mm:ss like the paper's runtime column."""
+    minutes, secs = divmod(int(round(seconds)), 60)
+    return f"{minutes:02d}:{secs:02d}"
+
+
+def format_row(row: Table1Row) -> str:
+    return (
+        f"{row.name:16s} {row.n_segments:>8,d} {row.n_muxes:>6,d} "
+        f"{_num(row.max_cost):>9s} {_num(row.max_damage):>13s} "
+        f"{row.generations:>6d} "
+        f"{_num(row.min_cost_cost):>11s} {_num(row.min_cost_damage):>12s} "
+        f"{_num(row.min_damage_cost):>11s} "
+        f"{_num(row.min_damage_damage):>12s} "
+        f"{format_seconds(row.runtime_seconds):>8s}"
+    )
+
+
+def format_table(rows: Iterable[Table1Row]) -> str:
+    """The measured table in the paper's column layout."""
+    lines = [_HEADER, "-" * len(_HEADER)]
+    lines.extend(format_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_comparison(rows: Iterable[Table1Row]) -> str:
+    """Per-design paper-vs-measured summary.
+
+    Absolute costs/damages are not comparable (unpublished cost model and
+    random weight draw); the comparable *shape* quantities are the relative
+    ones: cost fraction of Max. Cost needed for <=10 % damage, and the
+    damage fraction reachable within <=10 % cost.
+    """
+    lines: List[str] = []
+    header = (
+        f"{'Design':16s} | {'cost%@dmg<=10% paper':>21s} {'ours':>7s} "
+        f"| {'dmg%@cost<=10% paper':>21s} {'ours':>7s} "
+        f"| {'time paper':>10s} {'ours':>7s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        paper = row.design.paper
+        paper_cost_pct = (
+            100.0 * paper.min_cost_cost / paper.max_cost
+            if paper.max_cost
+            else float("nan")
+        )
+        paper_dmg_pct = (
+            100.0 * paper.min_damage_damage / paper.max_damage
+            if paper.max_damage
+            else float("nan")
+        )
+        ours_cost_pct = (
+            100.0 * row.min_cost_cost / row.max_cost
+            if row.min_cost_cost is not None and row.max_cost
+            else None
+        )
+        ours_dmg_pct = (
+            100.0 * row.min_damage_damage / row.max_damage
+            if row.min_damage_damage is not None and row.max_damage
+            else None
+        )
+        lines.append(
+            f"{row.name:16s} | {paper_cost_pct:>20.1f}% "
+            f"{(f'{ours_cost_pct:.1f}%' if ours_cost_pct is not None else '-'):>7s} "
+            f"| {paper_dmg_pct:>20.1f}% "
+            f"{(f'{ours_dmg_pct:.1f}%' if ours_dmg_pct is not None else '-'):>7s} "
+            f"| {paper.runtime:>10s} "
+            f"{format_seconds(row.runtime_seconds):>7s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,314 @@
+"""Command-line interface: ``repro-rsn`` / ``python -m repro.cli``.
+
+Subcommands
+-----------
+* ``designs`` — list the benchmark registry;
+* ``table1``  — regenerate the paper's Table I (optionally scaled);
+* ``analyze`` — criticality analysis of a network file;
+* ``harden``  — full selective-hardening synthesis of a network file;
+* ``example`` — walk through the paper's Fig. 1-4 example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .analysis import analyze_damage
+from .bench import (
+    DESIGNS,
+    build_design,
+    format_comparison,
+    format_table,
+    run_table,
+)
+from .core import SelectiveHardening
+from .rsn import icl
+from .rsn.ast import elaborate
+from .spec import spec_for_network
+
+
+def _add_table1(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "table1", help="regenerate the paper's Table I"
+    )
+    parser.add_argument(
+        "--designs",
+        nargs="*",
+        default=None,
+        help="subset of design names (default: all 24)",
+    )
+    parser.add_argument(
+        "--scale-generations",
+        type=float,
+        default=1.0,
+        help="multiply every design's generation budget (default 1.0)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--algorithm", choices=["spea2", "nsga2"], default="spea2"
+    )
+    parser.add_argument(
+        "--json", dest="json_path", default=None,
+        help="also dump rows as JSON to this path",
+    )
+    parser.add_argument(
+        "--damage-sites",
+        choices=["all", "control", "mux"],
+        default="all",
+        help="which primitives' faults Eq. 2 sums over",
+    )
+    parser.add_argument(
+        "--hardenable",
+        choices=["all", "control"],
+        default="all",
+        help="which primitives may be hardened",
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="print the paper-vs-measured comparison table",
+    )
+
+
+def _cmd_table1(args) -> int:
+    names = args.designs if args.designs else None
+    if names:
+        unknown = [name for name in names if name not in DESIGNS]
+        if unknown:
+            print(f"unknown designs: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    rows = run_table(
+        names=names,
+        scale_generations=args.scale_generations,
+        seed=args.seed,
+        algorithm=args.algorithm,
+        verbose=True,
+        hardenable=args.hardenable,
+        damage_sites=args.damage_sites,
+    )
+    print()
+    print(format_table(rows))
+    if args.compare:
+        print()
+        print(format_comparison(rows))
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump([row.as_dict() for row in rows], handle, indent=2)
+        print(f"\nwrote {args.json_path}")
+    return 0
+
+
+def _cmd_designs(args) -> int:
+    print(f"{'Design':16s} {'Family':16s} {'#Seg':>9s} {'#Mux':>7s} "
+          f"{'Gens':>6s}")
+    for info in DESIGNS.values():
+        print(
+            f"{info.name:16s} {info.family:16s} {info.n_segments:>9,d} "
+            f"{info.n_muxes:>7,d} {info.paper.generations:>6d}"
+        )
+    return 0
+
+
+def _load_network(path: str):
+    if path in DESIGNS:
+        return build_design(path)
+    return elaborate(icl.load(path))
+
+
+def _cmd_analyze(args) -> int:
+    network = _load_network(args.network)
+    spec = spec_for_network(network, seed=args.seed)
+    report = analyze_damage(network, spec)
+    n_seg, n_mux = network.counts()
+    print(f"network          : {network.name}")
+    print(f"segments / muxes : {n_seg:,} / {n_mux:,}")
+    print(f"instruments      : {len(network.instrument_names()):,}")
+    print(f"total damage     : {report.total:,.0f}")
+    print(f"  via units      : {report.hardenable:,.0f}")
+    print(f"  unavoidable    : {report.unavoidable:,.0f}")
+    print("most critical hardening units:")
+    for name, damage in report.most_critical_units(args.top):
+        print(f"  {name:24s} {damage:>14,.0f}")
+    return 0
+
+
+def _cmd_harden(args) -> int:
+    network = _load_network(args.network)
+    spec = spec_for_network(network, seed=args.seed)
+    synthesis = SelectiveHardening(network, spec=spec, seed=args.seed)
+    print(f"max cost   : {synthesis.max_cost:,.0f}")
+    print(f"max damage : {synthesis.max_damage:,.0f}")
+    result = synthesis.optimize(
+        generations=args.generations, algorithm=args.algorithm
+    )
+    print(f"front      : {len(result.objectives)} points "
+          f"({result.runtime_seconds:.1f}s)")
+    for label, solution in (
+        ("min cost @ damage<=10%", result.min_cost_solution(0.10)),
+        ("min damage @ cost<=10%", result.min_damage_solution(0.10)),
+    ):
+        if solution is None:
+            print(f"{label}: infeasible on this front")
+            continue
+        print(
+            f"{label}: {solution.n_hardened} spots, "
+            f"cost {solution.cost:,.0f} ({solution.cost_fraction:.1%}), "
+            f"damage {solution.damage:,.0f} "
+            f"({solution.damage_fraction:.1%})"
+        )
+        if args.verify:
+            ok, offending = solution.verify_critical(spec)
+            state = "all safe" if ok else f"AT RISK: {offending}"
+            print(f"  critical instruments: {state}")
+        if args.show_spots:
+            for name in solution.hardened[: args.show_spots]:
+                print(f"    harden {name}")
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    from .rsn.visualize import network_to_dot, tree_to_dot
+
+    network = _load_network(args.network)
+    if args.tree:
+        from .sp import decompose
+
+        source = tree_to_dot(decompose(network))
+    else:
+        source = network_to_dot(network)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        print(f"wrote {args.output}")
+    else:
+        print(source, end="")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from .bench import get_design
+
+    decl = get_design(args.design).generate()
+    icl.dump(decl, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .analysis import network_statistics
+
+    network = _load_network(args.network)
+    stats = network_statistics(network)
+    for key, value in stats.items():
+        if isinstance(value, float):
+            print(f"{key:20s} {value:,.3f}")
+        else:
+            print(f"{key:20s} {value:,}")
+    return 0
+
+
+def _cmd_example(args) -> int:
+    from .bench.generators import fig1_example
+    from .analysis import mux_stuck_effect
+    from .sp import decompose
+
+    network = fig1_example()
+    tree = decompose(network)
+    print("The paper's running example (Figs. 1-4), reconstructed:")
+    print(tree.root.format())
+    effect = mux_stuck_effect(tree, "m0", 1)
+    unobs, unset = effect.lost_instruments(network)
+    print("\nstuck-at-1 fault of m0 (Fig. 4):")
+    print(f"  instruments lost: {sorted(unobs | unset)}")
+    spec = spec_for_network(network, seed=args.seed)
+    report = analyze_damage(network, spec)
+    print("\nper-unit criticality:")
+    for name, damage in report.most_critical_units(10):
+        print(f"  {name:16s} {damage:>8,.0f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-rsn",
+        description="Robust Reconfigurable Scan Networks (DATE 2022) "
+        "reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    _add_table1(subparsers)
+
+    subparsers.add_parser("designs", help="list the benchmark registry")
+
+    analyze = subparsers.add_parser(
+        "analyze", help="criticality analysis of a network"
+    )
+    analyze.add_argument(
+        "network", help="a design name or a path to a network file"
+    )
+    analyze.add_argument("--seed", type=int, default=0)
+    analyze.add_argument("--top", type=int, default=10)
+
+    harden = subparsers.add_parser(
+        "harden", help="selective-hardening synthesis of a network"
+    )
+    harden.add_argument(
+        "network", help="a design name or a path to a network file"
+    )
+    harden.add_argument("--generations", type=int, default=300)
+    harden.add_argument(
+        "--algorithm", choices=["spea2", "nsga2"], default="spea2"
+    )
+    harden.add_argument("--seed", type=int, default=0)
+    harden.add_argument("--verify", action="store_true")
+    harden.add_argument("--show-spots", type=int, default=0)
+
+    example = subparsers.add_parser(
+        "example", help="walk through the paper's worked example"
+    )
+    example.add_argument("--seed", type=int, default=0)
+
+    stats = subparsers.add_parser(
+        "stats", help="structural statistics of a network"
+    )
+    stats.add_argument(
+        "network", help="a design name or a path to a network file"
+    )
+
+    export = subparsers.add_parser(
+        "export", help="write a benchmark design as a network file"
+    )
+    export.add_argument("design", help="a design name from the registry")
+    export.add_argument("output", help="output path")
+
+    dot = subparsers.add_parser(
+        "dot", help="Graphviz DOT of a network (or its decomposition tree)"
+    )
+    dot.add_argument(
+        "network", help="a design name or a path to a network file"
+    )
+    dot.add_argument("--tree", action="store_true")
+    dot.add_argument("--output", default=None)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "table1": _cmd_table1,
+        "designs": _cmd_designs,
+        "analyze": _cmd_analyze,
+        "harden": _cmd_harden,
+        "example": _cmd_example,
+        "stats": _cmd_stats,
+        "export": _cmd_export,
+        "dot": _cmd_dot,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The paper's primary contribution: robust RSN synthesis via selective
+hardening (Sec. V)."""
+
+from . import baselines
+from .hardening import SelectiveHardening, default_population_size
+from .problem import HardeningProblem
+from .protect import critical_threat_sites, protect_critical_instruments
+from .result import HardeningResult, HardeningSolution
+
+__all__ = [
+    "HardeningProblem",
+    "HardeningResult",
+    "HardeningSolution",
+    "SelectiveHardening",
+    "baselines",
+    "critical_threat_sites",
+    "default_population_size",
+    "protect_critical_instruments",
+]

@@ -1,0 +1,226 @@
+"""Baselines against which the evolutionary solutions are judged.
+
+The single-fault model makes both objectives linear in the hardening
+vector, which admits exact and near-exact reference solvers:
+
+* :func:`supported_front` — the supported Pareto points of the linear
+  bi-objective problem (prefixes of the damage/cost ratio order).  Every
+  supported point is Pareto-optimal; an EA front should track this curve.
+* :func:`greedy_min_cost` / :func:`greedy_min_damage` — the two Table-I
+  extraction modes solved greedily on the ratio order.
+* :func:`random_selection` — the strawman: harden a random subset of the
+  same cardinality/budget.
+* :func:`full_tmr_cost` / :func:`fault_tolerant_overhead` — hardware-cost
+  comparators for the "conventional approaches" of Sec. I: protecting the
+  whole RSN with TMR, and a coarse estimate of the extra connectivity a
+  fault-tolerant re-synthesis à la Brandhofer et al. [4] inserts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import OptimizationError
+from ..rsn.network import RsnNetwork
+from ..rsn.primitives import NodeKind
+from .problem import HardeningProblem
+
+
+def ratio_order(problem: HardeningProblem) -> np.ndarray:
+    """Candidate indices by descending avoided-damage per cost unit.
+
+    Zero-damage candidates sort last; ties break on lower cost, then on
+    candidate order for determinism.
+    """
+    ratio = problem.damages / problem.costs
+    return np.lexsort(
+        (np.arange(problem.n_vars), problem.costs, -ratio)
+    )
+
+
+def supported_front(
+    problem: HardeningProblem,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(orders, points): the supported Pareto points of the linear problem.
+
+    ``points[k]`` is the (cost, damage) of hardening the first ``k``
+    candidates of the ratio order — k from 0 (nothing) to r (everything).
+    Genomes are not materialized (r can be tens of thousands); use
+    :func:`genome_of_prefix` for a chosen prefix length.
+    """
+    order = ratio_order(problem)
+    cost = np.concatenate(([0.0], np.cumsum(problem.costs[order])))
+    damage = problem.max_damage - np.concatenate(
+        ([0.0], np.cumsum(problem.damages[order]))
+    )
+    return order, np.stack([cost, damage], axis=1)
+
+
+def genome_of_prefix(
+    problem: HardeningProblem, order: np.ndarray, length: int
+) -> np.ndarray:
+    """Genome hardening the first ``length`` candidates of ``order``."""
+    genome = np.zeros(problem.n_vars, dtype=bool)
+    genome[order[:length]] = True
+    return genome
+
+
+def greedy_min_cost(
+    problem: HardeningProblem, damage_cap: float
+) -> Optional[np.ndarray]:
+    """Cheapest greedy selection with residual damage <= ``damage_cap``.
+
+    Walks the ratio order until the cap is met, then prunes re-checkable
+    candidates whose removal keeps the cap (cost polish).  Returns None
+    when even hardening everything cannot reach the cap.
+    """
+    if problem.floor_damage > damage_cap:
+        return None
+    order = ratio_order(problem)
+    genome = np.zeros(problem.n_vars, dtype=bool)
+    damage = problem.max_damage
+    for index in order:
+        if damage <= damage_cap:
+            break
+        genome[index] = True
+        damage -= problem.damages[index]
+    # Polish: drop expensive members whose damage is not needed.
+    slack = damage_cap - damage
+    chosen = np.flatnonzero(genome)
+    for index in chosen[np.argsort(-problem.costs[chosen], kind="stable")]:
+        if problem.damages[index] <= slack:
+            genome[index] = False
+            slack -= problem.damages[index]
+    return genome
+
+
+def greedy_min_damage(
+    problem: HardeningProblem, cost_cap: float
+) -> np.ndarray:
+    """Greedy damage minimization within a hardening budget.
+
+    Ratio-ordered greedy with skip (a knapsack heuristic): candidates that
+    do not fit the remaining budget are skipped, not terminal.
+    """
+    order = ratio_order(problem)
+    genome = np.zeros(problem.n_vars, dtype=bool)
+    budget = float(cost_cap)
+    for index in order:
+        cost = problem.costs[index]
+        if cost <= budget and problem.damages[index] > 0:
+            genome[index] = True
+            budget -= cost
+    return genome
+
+
+def random_selection(
+    problem: HardeningProblem,
+    cost_cap: float,
+    seed: int = 0,
+) -> np.ndarray:
+    """Harden uniformly random candidates while the budget lasts."""
+    rng = np.random.default_rng(seed)
+    genome = np.zeros(problem.n_vars, dtype=bool)
+    budget = float(cost_cap)
+    for index in rng.permutation(problem.n_vars):
+        cost = problem.costs[index]
+        if cost <= budget:
+            genome[index] = True
+            budget -= cost
+    return genome
+
+
+def exact_pareto_front(
+    problem: HardeningProblem,
+    max_states: int = 2_000_000,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The *complete* Pareto front by dynamic programming.
+
+    The supported front (ratio prefixes) misses unsupported points — the
+    cheapest selections for intermediate damage targets.  With integer
+    costs (all shipped cost models produce them), a knapsack-style DP over
+    the cost axis computes the exact best damage for every budget:
+    O(r · C) time and O(C) space with C = total integer cost.  Genomes are
+    reconstructed by backtracking over per-item decision bitsets.
+
+    Returns ``(genomes, objectives)`` of the non-dominated points, sorted
+    by cost.  Raises :class:`OptimizationError` when the costs are not
+    integral or the state space exceeds ``max_states``.
+    """
+    costs = problem.costs
+    if not np.allclose(costs, np.round(costs)):
+        raise OptimizationError(
+            "exact_pareto_front needs integer hardening costs"
+        )
+    int_costs = np.round(costs).astype(np.int64)
+    capacity = int(int_costs.sum())
+    if (capacity + 1) * max(1, problem.n_vars) > max_states:
+        raise OptimizationError(
+            f"DP state space {(capacity + 1)}x{problem.n_vars} exceeds "
+            f"max_states={max_states}"
+        )
+
+    # best[c] = max avoidable damage within budget c
+    best = np.full(capacity + 1, -np.inf)
+    best[0] = 0.0
+    taken = np.zeros((problem.n_vars, capacity + 1), dtype=bool)
+    for index in range(problem.n_vars):
+        weight = int(int_costs[index])
+        gain = float(problem.damages[index])
+        if weight == 0:
+            continue
+        candidate = np.full_like(best, -np.inf)
+        candidate[weight:] = best[:-weight] + gain
+        improved = candidate > best
+        taken[index] = improved
+        best = np.where(improved, candidate, best)
+
+    # sweep budgets, keep strict improvements (the Pareto staircase)
+    genomes = []
+    points = []
+    best_damage = np.inf
+    for budget in range(capacity + 1):
+        if not np.isfinite(best[budget]):
+            continue
+        damage = problem.max_damage - best[budget]
+        if damage < best_damage - 1e-9:
+            best_damage = damage
+            genome = np.zeros(problem.n_vars, dtype=bool)
+            remaining = budget
+            for index in range(problem.n_vars - 1, -1, -1):
+                if taken[index, remaining]:
+                    genome[index] = True
+                    remaining -= int(int_costs[index])
+            genomes.append(genome)
+            points.append((float(budget), damage))
+    return np.asarray(genomes, dtype=bool), np.asarray(points, dtype=float)
+
+
+# ----------------------------------------------------------------------
+# whole-network comparators (Sec. I's "conventional approaches")
+# ----------------------------------------------------------------------
+def full_tmr_cost(problem: HardeningProblem) -> float:
+    """Cost of hardening every candidate — TMR for the whole control
+    logic (plus all data segments under ``hardenable='all'``)."""
+    return problem.max_cost
+
+
+def fault_tolerant_overhead(network: RsnNetwork) -> float:
+    """Coarse gate estimate of a fault-tolerant re-synthesis [4].
+
+    That approach augments the RSN with additional connectivities so that
+    every segment stays reachable around one fault; at minimum this takes
+    one extra 2:1 multiplexer (with its control bit) per fan-out stem plus
+    a detour wire per reconvergence.  The estimate exists to compare
+    orders of magnitude, not exact synthesis results.
+    """
+    extra = 0.0
+    for name in network.node_names():
+        node = network.node(name)
+        if node.kind is NodeKind.FANOUT:
+            extra += 2 * 2 + 1 + 2 + 1  # mux gates + voterless control bit
+        elif node.kind is NodeKind.MUX:
+            extra += 2.0  # detour wiring / widened select decoding
+    return extra

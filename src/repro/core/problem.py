@@ -1,0 +1,128 @@
+"""The selective-hardening optimization problem (Sec. V, Eq. 2 / Eq. 3).
+
+A *candidate* is one hardening decision: by default a control unit (a mux
+together with the configuration cells driving it, or a SIB's bit + mux
+combination); with ``hardenable="all"`` every data segment becomes an
+additional singleton candidate.
+
+Because the analysis works under a single-permanent-fault model, hardening
+candidate ``i`` avoids exactly the faults of its members and nothing else —
+the interdependence between ``x_i`` and ``y_{i,j}`` the paper states in
+Sec. V.  Both objectives are therefore linear in the genome:
+
+    cost(x)   = sum_i c_i x_i                               (Eq. 3)
+    damage(x) = D_max - sum_i d_i x_i                        (Eq. 2)
+
+which the problem evaluates for a whole population with two matrix
+products.  (The linear structure also admits exact baselines — see
+:mod:`repro.core.baselines` — that the benchmarks use to judge the EA.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.damage import DamageReport
+from ..errors import OptimizationError
+from ..rsn.network import RsnNetwork
+from ..spec.cost_model import CostModel
+
+
+class HardeningProblem:
+    """Bi-objective (cost, residual damage) minimization."""
+
+    n_objectives = 2
+
+    def __init__(
+        self,
+        network: RsnNetwork,
+        report: DamageReport,
+        cost_model: CostModel,
+        hardenable: str = "all",
+    ):
+        if hardenable not in ("control", "all"):
+            raise OptimizationError(
+                f"hardenable must be 'control' or 'all', got {hardenable!r}"
+            )
+        self.network = network
+        self.report = report
+        self.cost_model = cost_model
+        self.hardenable = hardenable
+
+        names: List[str] = []
+        costs: List[float] = []
+        damages: List[float] = []
+        for unit in network.units():
+            names.append(unit.name)
+            costs.append(cost_model.unit_cost(network, unit))
+            damages.append(report.unit_damage[unit.name])
+        if hardenable == "all":
+            for segment in network.data_segments():
+                names.append(segment.name)
+                costs.append(cost_model.segment_cost(network, segment.name))
+                damages.append(report.primitive_damage[segment.name])
+        if not names:
+            raise OptimizationError(
+                f"network {network.name!r} has no hardening candidates"
+            )
+
+        self.candidates: Tuple[str, ...] = tuple(names)
+        self.costs = np.asarray(costs, dtype=float)
+        self.damages = np.asarray(damages, dtype=float)
+        self.n_vars = len(names)
+        self.max_cost = float(self.costs.sum())
+        self.max_damage = report.total
+        # Damage that no admissible selection can avoid.
+        self.floor_damage = self.max_damage - float(self.damages.sum())
+
+    # Cap the float copy made per evaluation chunk (million-variable
+    # genomes would otherwise blow up a 300-row population to gigabytes).
+    _CHUNK_FLOATS = 8_000_000
+
+    # ------------------------------------------------------------------
+    def evaluate(self, genomes: np.ndarray) -> np.ndarray:
+        """(P, 2) objectives [cost, damage] for a boolean genome matrix."""
+        genomes = np.asarray(genomes)
+        if genomes.ndim != 2 or genomes.shape[1] != self.n_vars:
+            raise OptimizationError(
+                f"expected (P, {self.n_vars}) genomes, got "
+                f"{tuple(genomes.shape)}"
+            )
+        rows = genomes.shape[0]
+        cost = np.empty(rows)
+        damage = np.empty(rows)
+        chunk = max(1, self._CHUNK_FLOATS // max(1, self.n_vars))
+        for start in range(0, rows, chunk):
+            block = genomes[start : start + chunk].astype(float)
+            cost[start : start + chunk] = block @ self.costs
+            damage[start : start + chunk] = (
+                self.max_damage - block @ self.damages
+            )
+        return np.stack([cost, damage], axis=1)
+
+    def evaluate_one(self, genome: np.ndarray) -> Tuple[float, float]:
+        """(cost, damage) of a single genome."""
+        cost, damage = self.evaluate(np.asarray(genome, dtype=bool)[None, :])[0]
+        return float(cost), float(damage)
+
+    def genome_of(self, selected: Sequence[str]) -> np.ndarray:
+        """Boolean genome for a list of candidate names."""
+        index = {name: k for k, name in enumerate(self.candidates)}
+        genome = np.zeros(self.n_vars, dtype=bool)
+        for name in selected:
+            try:
+                genome[index[name]] = True
+            except KeyError:
+                raise OptimizationError(
+                    f"unknown hardening candidate {name!r}"
+                ) from None
+        return genome
+
+    def selected_names(self, genome: np.ndarray) -> List[str]:
+        """Candidate names a genome hardens."""
+        genome = np.asarray(genome, dtype=bool)
+        return [
+            name for name, bit in zip(self.candidates, genome) if bit
+        ]

@@ -1,0 +1,108 @@
+"""Guaranteed protection of critical instruments (library extension).
+
+The paper's cost function makes important instruments dominate Eq. 2, so
+minimizing damage *tends* to protect them — but a front point extracted at
+"damage <= 10 %" may still leave some single fault that cuts a critical
+instrument off (10 % of a large maximum can pay for a few critical hits).
+
+This module turns the tendency into a guarantee: it enumerates exactly the
+fault sites whose defect would make an observation-critical instrument
+unobservable or a control-critical one unsettable, and augments a base
+solution with the candidates covering those sites.  The result is the
+cheapest *superset* of the base solution for which
+:func:`repro.analysis.verify_critical_instruments` holds — cheapest
+because every added spot is individually necessary: each one hosts at
+least one fault that would otherwise violate the guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..analysis.accessibility import _effects_of_site
+from ..analysis.damage import FastDamageAnalysis
+from ..rsn.primitives import NodeKind
+from ..spec.criticality import uniform_spec
+from .problem import HardeningProblem
+from .result import HardeningSolution
+
+
+def critical_threat_sites(
+    network,
+    spec,
+    tree=None,
+) -> Set[str]:
+    """Primitives with some fault that harms a critical instrument.
+
+    "Harms" is direction-aware: losing observability only matters for
+    observation-critical instruments, settability for control-critical
+    ones.
+    """
+    analysis = FastDamageAnalysis(
+        network,
+        spec if len(spec) else uniform_spec(network.instrument_names()),
+        tree=tree,
+    )
+    tree = analysis.tree
+    obs_segments = {
+        network.instrument(name).segment
+        for name in spec.critical_for_observation()
+    }
+    ctl_segments = {
+        network.instrument(name).segment
+        for name in spec.critical_for_control()
+    }
+    if not obs_segments and not ctl_segments:
+        return set()
+
+    threats: Set[str] = set()
+    for node in network.nodes():
+        if node.kind not in (NodeKind.SEGMENT, NodeKind.MUX):
+            continue
+        for effect in _effects_of_site(network, tree, analysis, node.name):
+            if (
+                effect.unobservable & obs_segments
+                or effect.unsettable & ctl_segments
+            ):
+                threats.add(node.name)
+                break
+    return threats
+
+
+def protect_critical_instruments(
+    problem: HardeningProblem,
+    spec,
+    base_genome: Optional[np.ndarray] = None,
+    tree=None,
+) -> Tuple[HardeningSolution, List[str]]:
+    """Augment a solution until every critical instrument is fault-proof.
+
+    Returns ``(solution, uncoverable)`` — ``uncoverable`` lists threat
+    sites no hardening candidate covers (possible under
+    ``hardenable="control"`` when a critical instrument's own data segment
+    can break; empty under the default ``hardenable="all"``).
+    """
+    network = problem.network
+    threats = critical_threat_sites(network, spec, tree=tree)
+
+    genome = (
+        np.zeros(problem.n_vars, dtype=bool)
+        if base_genome is None
+        else np.asarray(base_genome, dtype=bool).copy()
+    )
+    candidate_index = {
+        name: position for position, name in enumerate(problem.candidates)
+    }
+    uncoverable: List[str] = []
+    for site in sorted(threats):
+        unit = network.unit_of(site)
+        cover = unit.name if unit is not None else site
+        position = candidate_index.get(cover)
+        if position is None:
+            uncoverable.append(site)
+        else:
+            genome[position] = True
+    solution = HardeningSolution(problem, genome, label="critical-safe")
+    return solution, uncoverable

@@ -1,0 +1,182 @@
+"""Hardening results and the two Table-I solution extractions."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.accessibility import verify_critical_instruments
+from ..ea.result import EAResult
+from .problem import HardeningProblem
+
+
+class HardeningSolution:
+    """One selected point: which spots to harden and what it buys."""
+
+    def __init__(
+        self,
+        problem: HardeningProblem,
+        genome: np.ndarray,
+        label: str = "",
+    ):
+        self.problem = problem
+        self.genome = np.asarray(genome, dtype=bool)
+        self.label = label
+        self.cost, self.damage = problem.evaluate_one(self.genome)
+
+    @property
+    def hardened(self) -> List[str]:
+        """Names of the hardened candidates."""
+        return self.problem.selected_names(self.genome)
+
+    @property
+    def n_hardened(self) -> int:
+        return int(self.genome.sum())
+
+    @property
+    def cost_fraction(self) -> float:
+        """Cost relative to hardening everything (Table I's Max. Cost)."""
+        if self.problem.max_cost == 0:
+            return 0.0
+        return self.cost / self.problem.max_cost
+
+    @property
+    def damage_fraction(self) -> float:
+        """Residual damage relative to the unhardened network."""
+        if self.problem.max_damage == 0:
+            return 0.0
+        return self.damage / self.problem.max_damage
+
+    def hardened_units(self) -> List[str]:
+        """Hardened control units only (excludes data-segment spots)."""
+        unit_names = set(self.problem.network.unit_names())
+        return [name for name in self.hardened if name in unit_names]
+
+    def verify_critical(self, spec) -> Tuple[bool, List[str]]:
+        """Check that every important instrument survives all remaining
+        single faults (the paper's Sec. VI claim).
+
+        All hardened spots count — control units *and* data segments.
+        """
+        return verify_critical_instruments(
+            self.problem.network, spec, self.hardened
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready record: the spots to harden and what they buy."""
+        return {
+            "label": self.label,
+            "hardened": self.hardened,
+            "cost": self.cost,
+            "cost_fraction": self.cost_fraction,
+            "damage": self.damage,
+            "damage_fraction": self.damage_fraction,
+        }
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        tag = f" {self.label}" if self.label else ""
+        return (
+            f"<HardeningSolution{tag}: {self.n_hardened} spots, "
+            f"cost={self.cost:.0f} ({self.cost_fraction:.1%}), "
+            f"damage={self.damage:.0f} ({self.damage_fraction:.1%})>"
+        )
+
+
+class HardeningResult:
+    """A full synthesis outcome: the front plus the Table-I extractions."""
+
+    def __init__(
+        self,
+        problem: HardeningProblem,
+        genomes: np.ndarray,
+        objectives: np.ndarray,
+        ea_result: Optional[EAResult] = None,
+        runtime_seconds: float = 0.0,
+    ):
+        self.problem = problem
+        self.genomes = np.asarray(genomes, dtype=bool)
+        self.objectives = np.asarray(objectives, dtype=float)
+        self.ea_result = ea_result
+        self.runtime_seconds = runtime_seconds
+
+    @property
+    def max_cost(self) -> float:
+        return self.problem.max_cost
+
+    @property
+    def max_damage(self) -> float:
+        return self.problem.max_damage
+
+    def front(self) -> Tuple[np.ndarray, np.ndarray]:
+        from ..ea.pareto import dedupe_front
+
+        indices = dedupe_front(self.objectives)
+        return self.genomes[indices], self.objectives[indices]
+
+    # ------------------------------------------------------------------
+    # Table-I extractions
+    # ------------------------------------------------------------------
+    def min_cost_solution(
+        self, damage_fraction: float = 0.10
+    ) -> Optional[HardeningSolution]:
+        """Cheapest front point with damage <= fraction of Max. Damage
+        (Table I, columns 7–8).  None when the front has no such point."""
+        cap = damage_fraction * self.problem.max_damage
+        best = None
+        for genome, (cost, damage) in zip(self.genomes, self.objectives):
+            if damage <= cap and (best is None or cost < best[0]):
+                best = (cost, genome)
+        if best is None:
+            return None
+        return HardeningSolution(
+            self.problem, best[1], label=f"min-cost@damage<={damage_fraction:.0%}"
+        )
+
+    def min_damage_solution(
+        self, cost_fraction: float = 0.10
+    ) -> Optional[HardeningSolution]:
+        """Lowest-damage front point with cost <= fraction of Max. Cost
+        (Table I, columns 9–10).  None when the front has no such point."""
+        cap = cost_fraction * self.problem.max_cost
+        best = None
+        for genome, (cost, damage) in zip(self.genomes, self.objectives):
+            if cost <= cap and (best is None or damage < best[0]):
+                best = (damage, genome)
+        if best is None:
+            return None
+        return HardeningSolution(
+            self.problem, best[1], label=f"min-damage@cost<={cost_fraction:.0%}"
+        )
+
+    def solution(self, genome: np.ndarray, label: str = "") -> HardeningSolution:
+        return HardeningSolution(self.problem, genome, label=label)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready record of the front and the Table-I extractions."""
+        _, front = self.front()
+        min_cost = self.min_cost_solution()
+        min_damage = self.min_damage_solution()
+        return {
+            "network": self.problem.network.name,
+            "max_cost": self.problem.max_cost,
+            "max_damage": self.problem.max_damage,
+            "front": [[float(c), float(d)] for c, d in front],
+            "runtime_seconds": self.runtime_seconds,
+            "min_cost_solution": (
+                None if min_cost is None else min_cost.to_dict()
+            ),
+            "min_damage_solution": (
+                None if min_damage is None else min_damage.to_dict()
+            ),
+        }
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"<HardeningResult {self.problem.network.name}: "
+            f"{len(self.objectives)} points, "
+            f"{self.runtime_seconds:.1f}s>"
+        )

@@ -1,0 +1,30 @@
+"""Testing the RSN itself: pattern generation, fault simulation and
+diagnosis (the access/test/diagnosis procedures the robust RSNs of the
+paper stay compatible with — refs. [6–8, 16, 17])."""
+
+from .diagnose import FaultDictionary
+from .generate import (
+    access_sweep_sequence,
+    full_test_sequence,
+    port_exercise_sequence,
+    untestable_ports,
+)
+from .patterns import PatternSequence, ScanPattern
+from .schedule import AccessRequest, ScheduleResult, merge_schedule
+from .simulate import CoverageReport, fault_coverage, fault_syndrome
+
+__all__ = [
+    "AccessRequest",
+    "CoverageReport",
+    "FaultDictionary",
+    "PatternSequence",
+    "ScheduleResult",
+    "ScanPattern",
+    "access_sweep_sequence",
+    "fault_coverage",
+    "fault_syndrome",
+    "merge_schedule",
+    "full_test_sequence",
+    "port_exercise_sequence",
+    "untestable_ports",
+]

@@ -1,0 +1,97 @@
+"""Syndrome-based fault diagnosis for RSNs.
+
+A light-weight version of the sequence-based diagnosis the paper cites as
+[17]: fault-simulate the test sequence once to build a *fault dictionary*
+(fault -> syndrome), then rank candidate faults for an observed faulty
+response by syndrome similarity.  Faults with identical syndromes form an
+*ambiguity group* — the theoretical resolution limit of the sequence,
+which :func:`ambiguity_groups` reports directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..analysis.faults import Fault, iter_all_faults
+from .patterns import Mismatch, PatternSequence
+from .simulate import Syndrome, fault_syndrome
+
+
+class FaultDictionary:
+    """Precomputed fault -> syndrome mapping for one test sequence."""
+
+    def __init__(
+        self,
+        sequence: PatternSequence,
+        faults: Optional[Iterable[Fault]] = None,
+        syndromes: Optional[Dict[Fault, Syndrome]] = None,
+    ):
+        self.sequence = sequence
+        if syndromes is not None:
+            self.syndromes = dict(syndromes)
+            return
+        self.syndromes = {}
+        if faults is None:
+            faults = list(iter_all_faults(sequence.network))
+        for fault in faults:
+            _, syndrome = fault_syndrome(sequence, fault)
+            self.syndromes[fault] = syndrome
+
+    @classmethod
+    def from_coverage(cls, sequence: PatternSequence, report) -> "FaultDictionary":
+        """Reuse the syndromes a coverage run already computed."""
+        return cls(sequence, syndromes=report.syndromes)
+
+    # ------------------------------------------------------------------
+    def diagnose(
+        self, observed: Iterable[Mismatch], top: int = 5
+    ) -> List[Tuple[Fault, float]]:
+        """Rank candidate faults for an observed syndrome.
+
+        Scores are Jaccard similarities between the observed mismatch set
+        and each dictionary syndrome (1.0 = exact match); an empty
+        observation matches only faults with empty syndromes.
+        """
+        observation: FrozenSet[Mismatch] = frozenset(observed)
+        scored: List[Tuple[Fault, float]] = []
+        for fault, syndrome in self.syndromes.items():
+            union = observation | syndrome
+            if not union:
+                score = 1.0
+            else:
+                score = len(observation & syndrome) / len(union)
+            scored.append((fault, score))
+        scored.sort(key=lambda item: (-item[1], repr(item[0])))
+        return scored[:top]
+
+    def ambiguity_groups(self) -> List[List[Fault]]:
+        """Faults the sequence cannot tell apart (same non-empty
+        syndrome), largest group first."""
+        by_syndrome: Dict[Syndrome, List[Fault]] = {}
+        for fault, syndrome in self.syndromes.items():
+            if syndrome:
+                by_syndrome.setdefault(syndrome, []).append(fault)
+        groups = [
+            group for group in by_syndrome.values() if len(group) > 1
+        ]
+        groups.sort(key=len, reverse=True)
+        return groups
+
+    def resolution(self) -> float:
+        """Fraction of detected faults uniquely identified by their
+        syndrome (1.0 = perfect diagnosis)."""
+        detected = [
+            fault
+            for fault, syndrome in self.syndromes.items()
+            if syndrome
+        ]
+        if not detected:
+            return 1.0
+        ambiguous = sum(len(group) for group in self.ambiguity_groups())
+        return (len(detected) - ambiguous) / len(detected)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"<FaultDictionary {len(self.syndromes)} faults, "
+            f"resolution {self.resolution():.1%}>"
+        )

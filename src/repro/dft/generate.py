@@ -1,0 +1,177 @@
+"""Structural test generation for RSNs.
+
+Generates pattern sequences that test the scan network *itself* (in the
+spirit of the structure-oriented test the paper cites as [16]):
+
+* :func:`port_exercise_sequence` — drive every multiplexer input port
+  active at least once and push a payload through it.  A stuck-at-id mux
+  then fails the patterns of its other ports.
+* :func:`access_sweep_sequence` — write and read every instrument segment
+  at least once, catching chain breaks the port patterns missed.
+* :func:`full_test_sequence` — both, concatenated from a single reset.
+
+Patterns are generated against a *recording* golden simulator: every CSU
+operation performed during generation is captured together with the
+fault-free responses, which become the expectations replayed during fault
+simulation (:mod:`repro.dft.simulate`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import RetargetingError
+from ..rsn.network import RsnNetwork
+from ..sim.retarget import Retargeter, to_bits
+from ..sim.simulator import Bit, ScanSimulator
+from .patterns import PatternSequence, ScanPattern
+
+
+class _RecordingSimulator(ScanSimulator):
+    """Golden simulator that logs every scan cycle as a test pattern."""
+
+    def __init__(self, network: RsnNetwork):
+        super().__init__(network)
+        self.log: List[ScanPattern] = []
+        self._note = ""
+
+    def note(self, text: str) -> None:
+        self._note = text
+
+    def scan_cycle(self, writes=None):
+        writes = dict(writes or {})
+        golden_path_bits = self.path_length()
+        observed = super().scan_cycle(writes)
+        self.log.append(
+            ScanPattern(
+                writes,
+                {name: list(bits) for name, bits in observed.items()},
+                expected_path_bits=golden_path_bits,
+                note=self._note,
+            )
+        )
+        return observed
+
+
+def _payload_bits(segment_length: int, salt: int) -> List[Bit]:
+    """A deterministic non-constant payload (alternating, salted)."""
+    return [(position + salt) % 2 for position in range(segment_length)]
+
+
+def _activate_selects(
+    recorder: _RecordingSimulator,
+    selects: Dict[str, int],
+    max_cycles: int = 64,
+) -> bool:
+    """Drive the golden simulator until all ``selects`` hold."""
+    network = recorder.network
+    cell_values: Dict[str, int] = {}
+    for mux, port in selects.items():
+        cell = network.node(mux).control_cell
+        if cell is None:
+            continue
+        if cell_values.get(cell, port) != port:
+            return False  # conflicting shared-select requirement
+        cell_values[cell] = port
+
+    for _ in range(max_cycles):
+        if all(
+            recorder.select_of(mux) == port
+            for mux, port in selects.items()
+        ):
+            return True
+        active = {seg.name for seg in recorder.active_segments()}
+        writes = {
+            cell: to_bits(value, network.node(cell).length)
+            for cell, value in cell_values.items()
+            if cell in active
+        }
+        if not writes:
+            return False
+        recorder.scan_cycle(writes)
+    return all(
+        recorder.select_of(mux) == port for mux, port in selects.items()
+    )
+
+
+def _payload_and_readback(recorder: _RecordingSimulator, salt: int) -> None:
+    """Write a payload into every data segment on the path, read it back."""
+    writes = {}
+    for segment in recorder.active_segments():
+        if not segment.is_control:
+            writes[segment.name] = _payload_bits(segment.length, salt)
+    recorder.scan_cycle(writes)
+    recorder.scan_cycle({})  # read-back (expectations recorded)
+
+
+def port_exercise_sequence(network: RsnNetwork) -> PatternSequence:
+    """Exercise every multiplexer input port with a payload.
+
+    Ports whose activation is impossible on the fault-free network (e.g.
+    conflicting shared select cells) are skipped — they are reported by
+    :func:`untestable_ports`.
+    """
+    recorder = _RecordingSimulator(network)
+    planner = Retargeter(ScanSimulator(network))
+    for mux in sorted(m.name for m in network.muxes()):
+        node = network.node(mux)
+        for port in range(node.fanin):
+            try:
+                path = planner.plan_path_through_port(mux, port)
+                selects = planner.required_selects(path)
+            except RetargetingError:
+                continue
+            selects[mux] = port
+            recorder.note(f"port {mux}:{port}")
+            if _activate_selects(recorder, selects):
+                _payload_and_readback(recorder, salt=port)
+    return PatternSequence(network, recorder.log)
+
+
+def access_sweep_sequence(
+    network: RsnNetwork,
+    segments: Optional[List[str]] = None,
+) -> PatternSequence:
+    """Write + read every (given) data segment at least once."""
+    recorder = _RecordingSimulator(network)
+    retargeter = Retargeter(recorder)
+    if segments is None:
+        segments = [seg.name for seg in network.data_segments()]
+    for salt, name in enumerate(sorted(segments)):
+        recorder.note(f"sweep {name}")
+        try:
+            retargeter.bring_onto_path(name)
+        except RetargetingError:
+            continue
+        width = network.node(name).length
+        recorder.scan_cycle({name: _payload_bits(width, salt)})
+        recorder.scan_cycle({})
+    return PatternSequence(network, recorder.log)
+
+
+def full_test_sequence(network: RsnNetwork) -> PatternSequence:
+    """Port exercise plus an access sweep over still-unverified segments."""
+    ports = port_exercise_sequence(network)
+    missing = [
+        seg.name
+        for seg in network.data_segments()
+        if seg.name not in ports.covered_segments()
+    ]
+    sweep = access_sweep_sequence(network, segments=missing)
+    return PatternSequence(network, list(ports) + list(sweep))
+
+
+def untestable_ports(network: RsnNetwork) -> List[str]:
+    """Mux ports no fault-free configuration can exercise (conflicting
+    shared select cells), as ``"mux:port"`` strings."""
+    planner = Retargeter(ScanSimulator(network))
+    blocked: List[str] = []
+    for mux in sorted(m.name for m in network.muxes()):
+        node = network.node(mux)
+        for port in range(node.fanin):
+            try:
+                path = planner.plan_path_through_port(mux, port)
+                planner.required_selects(path)
+            except RetargetingError:
+                blocked.append(f"{mux}:{port}")
+    return blocked

@@ -1,0 +1,145 @@
+"""Scan test patterns for RSNs.
+
+A :class:`ScanPattern` is one capture–shift–update operation: values
+written into segments on the currently active path, plus expectations on
+the bits that shift out during the same operation (which are the previous
+contents of the path).  A :class:`PatternSequence` is an ordered list of
+patterns executed from reset — the unit the paper's cited test-generation
+and diagnosis procedures ([16], [17]) work with, and the thing the robust
+RSN must keep compatible ("the resulting RSNs ... can also use the same
+access patterns as the initial RSNs", Sec. V).
+
+Executing a sequence against a fault-injected simulator yields a
+*syndrome*: the set of (pattern, segment) positions whose read-back
+mismatched.  Fault simulation and diagnosis build on syndromes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..rsn.network import RsnNetwork
+from ..sim.simulator import Bit, ScanSimulator
+
+Mismatch = Tuple[int, str]  # (pattern index, segment name)
+
+
+class ScanPattern:
+    """One CSU operation with optional read-back expectations.
+
+    ``writes``  — segment name -> bits to deliver this cycle;
+    ``expects`` — segment name -> bits that must shift out this cycle
+    (i.e. the segment's contents prior to this operation);
+    ``expected_path_bits`` — the fault-free shift length of this
+    operation.  On real hardware the scan-out is a serial stream, so a
+    fault that changes the active path's length (e.g. a SIB stuck
+    *asserted*, which silently inserts its sub-network) misaligns every
+    following bit; comparing the path length models that detection
+    mechanism.  The sentinel mismatch position is ``PATH_LENGTH``.
+    """
+
+    PATH_LENGTH = "<path-length>"
+
+    __slots__ = ("writes", "expects", "expected_path_bits", "note")
+
+    def __init__(
+        self,
+        writes: Optional[Dict[str, List[Bit]]] = None,
+        expects: Optional[Dict[str, List[Bit]]] = None,
+        expected_path_bits: Optional[int] = None,
+        note: str = "",
+    ):
+        self.writes = dict(writes or {})
+        self.expects = dict(expects or {})
+        self.expected_path_bits = expected_path_bits
+        self.note = note
+
+    def apply(self, simulator: ScanSimulator, index: int = 0) -> List[Mismatch]:
+        """Execute on a simulator; return the mismatch positions.
+
+        A write that cannot be delivered (its segment is not on the active
+        path — e.g. because a fault re-routed the network) counts as a
+        mismatch on that segment, as does an expected segment that is
+        absent from the path or whose bits differ (unknown ``None`` bits
+        always differ).
+        """
+        mismatches: List[Mismatch] = []
+        if (
+            self.expected_path_bits is not None
+            and simulator.path_length() != self.expected_path_bits
+        ):
+            mismatches.append((index, self.PATH_LENGTH))
+        writes = dict(self.writes)
+        active = {
+            segment.name for segment in simulator.active_segments()
+        }
+        for name in list(writes):
+            if name not in active:
+                mismatches.append((index, name))
+                del writes[name]
+        try:
+            observed = simulator.scan_cycle(writes)
+        except SimulationError:
+            # the whole operation failed; every expectation is violated
+            mismatches.extend((index, name) for name in self.expects)
+            return mismatches
+        for name, bits in self.expects.items():
+            if observed.get(name) != list(bits):
+                mismatches.append((index, name))
+        return mismatches
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        tag = f" {self.note}" if self.note else ""
+        return (
+            f"<ScanPattern{tag}: {len(self.writes)} writes, "
+            f"{len(self.expects)} expects>"
+        )
+
+
+class PatternSequence:
+    """An ordered test sequence executed from network reset."""
+
+    def __init__(self, network: RsnNetwork, patterns: Sequence[ScanPattern]):
+        self.network = network
+        self.patterns = list(patterns)
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self):
+        return iter(self.patterns)
+
+    def run(self, faults=(), assumed_ports=None) -> List[Mismatch]:
+        """Execute from reset on a (possibly fault-injected) simulator and
+        return the syndrome — an empty list means a passing run."""
+        simulator = ScanSimulator(
+            self.network, faults=faults, assumed_ports=assumed_ports
+        )
+        syndrome: List[Mismatch] = []
+        for position, pattern in enumerate(self.patterns):
+            syndrome.extend(pattern.apply(simulator, position))
+        return syndrome
+
+    def covered_segments(self) -> set:
+        """Segments whose contents some pattern actually verifies."""
+        covered = set()
+        for pattern in self.patterns:
+            covered.update(pattern.expects)
+        return covered
+
+    def shift_bits(self) -> int:
+        """Total shift length of the sequence on the fault-free network
+        (test-time proxy)."""
+        simulator = ScanSimulator(self.network)
+        total = 0
+        for pattern in self.patterns:
+            total += simulator.path_length()
+            pattern.apply(simulator)
+        return total
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"<PatternSequence {self.network.name}: "
+            f"{len(self.patterns)} patterns>"
+        )

@@ -1,0 +1,126 @@
+"""Fault simulation of RSN test sequences.
+
+Replays a :class:`~repro.dft.patterns.PatternSequence` against every
+modeled fault and reports which faults the sequence detects — the
+coverage metric structure-oriented RSN test aims at — together with each
+fault's *syndrome* (the mismatch positions), the raw material for
+diagnosis.
+
+Detection semantics per fault class:
+
+* segment / control-cell breaks, mux stuck-at-id: detected when the
+  replayed sequence produces at least one mismatch;
+* a broken control cell leaves its muxes in an unknown but fixed state:
+  the fault counts as detected only when **every** possible pinned state
+  yields a mismatch (worst-case detection).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..analysis.faults import (
+    ControlCellBreak,
+    Fault,
+    MuxStuck,
+    SegmentBreak,
+    iter_all_faults,
+)
+from ..rsn.network import RsnNetwork
+from .patterns import Mismatch, PatternSequence
+
+Syndrome = FrozenSet[Mismatch]
+
+
+class CoverageReport:
+    """Outcome of fault-simulating one test sequence."""
+
+    def __init__(
+        self,
+        network: RsnNetwork,
+        detected: List[Fault],
+        undetected: List[Fault],
+        syndromes: Dict[Fault, Syndrome],
+    ):
+        self.network = network
+        self.detected = detected
+        self.undetected = undetected
+        self.syndromes = syndromes
+
+    @property
+    def total(self) -> int:
+        return len(self.detected) + len(self.undetected)
+
+    @property
+    def coverage(self) -> float:
+        """Detected fraction of the modeled faults (1.0 = full)."""
+        if not self.total:
+            return 1.0
+        return len(self.detected) / self.total
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"<CoverageReport {self.network.name}: "
+            f"{len(self.detected)}/{self.total} detected "
+            f"({self.coverage:.1%})>"
+        )
+
+
+def _cell_pinnings(
+    network: RsnNetwork, cell: str
+) -> List[Dict[str, int]]:
+    """Every possible fixed select state of the muxes a cell drives."""
+    muxes = [
+        mux for mux in network.muxes() if mux.control_cell == cell
+    ]
+    if not muxes:
+        return [{}]
+    ranges = [range(mux.fanin) for mux in muxes]
+    return [
+        {mux.name: port for mux, port in zip(muxes, combo)}
+        for combo in itertools.product(*ranges)
+    ]
+
+
+def fault_syndrome(
+    sequence: PatternSequence,
+    fault: Fault,
+) -> Tuple[bool, Syndrome]:
+    """(detected, syndrome) of one fault under the sequence.
+
+    For a control-cell break the returned syndrome is the one of the
+    *first* pinned state (deterministic); detection is worst-case over
+    all pinned states.
+    """
+    network = sequence.network
+    if isinstance(fault, ControlCellBreak):
+        syndromes = [
+            frozenset(sequence.run(faults=[fault], assumed_ports=pins))
+            for pins in _cell_pinnings(network, fault.cell)
+        ]
+        detected = all(syndromes)
+        return detected, syndromes[0]
+    syndrome = frozenset(sequence.run(faults=[fault]))
+    return bool(syndrome), syndrome
+
+
+def fault_coverage(
+    sequence: PatternSequence,
+    faults: Optional[Iterable[Fault]] = None,
+) -> CoverageReport:
+    """Fault-simulate the sequence against all (or given) faults."""
+    network = sequence.network
+    if faults is None:
+        faults = list(iter_all_faults(network))
+    detected: List[Fault] = []
+    undetected: List[Fault] = []
+    syndromes: Dict[Fault, Syndrome] = {}
+    for fault in faults:
+        hit, syndrome = fault_syndrome(sequence, fault)
+        syndromes[fault] = syndrome
+        if hit:
+            detected.append(fault)
+        else:
+            undetected.append(fault)
+    return CoverageReport(network, detected, undetected, syndromes)

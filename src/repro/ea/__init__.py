@@ -1,0 +1,48 @@
+"""Multi-objective evolutionary optimization (Sec. V)."""
+
+from .nsga2 import NSGA2
+from .operators import (
+    binary_tournament,
+    bit_mutation,
+    init_population,
+    one_point_crossover,
+)
+from .pareto import (
+    crowding_distance,
+    dedupe_front,
+    dominates,
+    domination_matrix,
+    fast_non_dominated_sort,
+    hypervolume_2d,
+    non_dominated_mask,
+    normalize,
+    pareto_front,
+)
+from .problem import FunctionProblem, Problem, check_problem
+from .result import EAResult
+from .spea2 import SPEA2
+from .termination import HypervolumeStall, TargetObjective
+
+__all__ = [
+    "EAResult",
+    "FunctionProblem",
+    "HypervolumeStall",
+    "NSGA2",
+    "Problem",
+    "SPEA2",
+    "TargetObjective",
+    "binary_tournament",
+    "bit_mutation",
+    "check_problem",
+    "crowding_distance",
+    "dedupe_front",
+    "dominates",
+    "domination_matrix",
+    "fast_non_dominated_sort",
+    "hypervolume_2d",
+    "init_population",
+    "non_dominated_mask",
+    "normalize",
+    "one_point_crossover",
+    "pareto_front",
+]

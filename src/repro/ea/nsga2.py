@@ -1,0 +1,167 @@
+"""NSGA-II (Deb et al.) — the paper's cited alternative optimizer [15].
+
+Implemented as an ablation baseline against SPEA-2: fast non-dominated
+sorting, crowding-distance diversity, (rank, crowding) binary tournaments
+and an elitist (μ + λ) merge, with the same variation operators as the
+SPEA-2 runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import OptimizationError
+from .operators import (
+    bit_mutation,
+    init_population,
+    one_point_crossover,
+)
+from .pareto import (
+    crowding_distance,
+    fast_non_dominated_sort,
+    hypervolume_2d,
+)
+from .problem import Problem, check_problem
+from .result import EAResult
+
+
+class NSGA2:
+    """Elitist non-dominated sorting GA with crowding distance."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        population_size: int = 100,
+        p_crossover: float = 0.95,
+        p_mutation: float = 0.01,
+        init: str = "diverse",
+        seed: int = 0,
+    ):
+        check_problem(problem)
+        if population_size < 2:
+            raise OptimizationError("population_size must be >= 2")
+        self.problem = problem
+        self.population_size = int(population_size)
+        self.p_crossover = float(p_crossover)
+        self.p_mutation = float(p_mutation)
+        self.init = init
+        self.seed = int(seed)
+
+    def run(
+        self,
+        generations: int,
+        early_stop: Optional[Callable[[List[Dict[str, float]]], bool]] = None,
+    ) -> EAResult:
+        rng = np.random.default_rng(self.seed)
+        population = init_population(
+            rng, self.population_size, self.problem.n_vars, style=self.init
+        )
+        objectives = self.problem.evaluate(population)
+        n_evaluations = len(population)
+        reference = tuple(objectives.max(axis=0) * 1.05 + 1e-9)
+
+        ranks, crowding = _rank_and_crowding(objectives)
+        history: List[Dict[str, float]] = []
+        generation = 0
+        for generation in range(1, generations + 1):
+            offspring = self._variation(rng, population, ranks, crowding)
+            offspring_objs = self.problem.evaluate(offspring)
+            n_evaluations += len(offspring)
+
+            merged = np.vstack([population, offspring])
+            merged_objs = np.vstack([objectives, offspring_objs])
+            keep = _elitist_selection(merged_objs, self.population_size)
+            population = merged[keep]
+            objectives = merged_objs[keep]
+            ranks, crowding = _rank_and_crowding(objectives)
+
+            first_front = population[ranks == 0]
+            first_objs = objectives[ranks == 0]
+            history.append(
+                {
+                    "generation": generation,
+                    "archive_size": int((ranks == 0).sum()),
+                    "hypervolume": hypervolume_2d(first_objs, reference)
+                    if first_objs.shape[1] == 2
+                    else 0.0,
+                    "best_obj0": float(objectives[:, 0].min()),
+                    "best_obj1": float(objectives[:, 1].min())
+                    if objectives.shape[1] > 1
+                    else 0.0,
+                }
+            )
+            if early_stop is not None and early_stop(history):
+                break
+
+        mask = ranks == 0
+        return EAResult(
+            algorithm="nsga2",
+            genomes=population[mask],
+            objectives=objectives[mask],
+            history=history,
+            generations=generation,
+            n_evaluations=n_evaluations,
+            seed=self.seed,
+            reference=reference,
+        )
+
+    def _variation(
+        self,
+        rng: np.random.Generator,
+        population: np.ndarray,
+        ranks: np.ndarray,
+        crowding: np.ndarray,
+    ) -> np.ndarray:
+        count = self.population_size + (self.population_size % 2)
+        first = rng.integers(0, len(population), size=count)
+        second = rng.integers(0, len(population), size=count)
+        winners = np.where(
+            _crowded_better(ranks, crowding, first, second), first, second
+        )
+        parents = population[winners]
+        offspring = one_point_crossover(rng, parents, self.p_crossover)
+        return bit_mutation(rng, offspring, self.p_mutation)[
+            : self.population_size
+        ]
+
+
+def _crowded_better(
+    ranks: np.ndarray,
+    crowding: np.ndarray,
+    first: np.ndarray,
+    second: np.ndarray,
+) -> np.ndarray:
+    """Deb's crowded-comparison: lower rank wins, ties -> larger crowding."""
+    better_rank = ranks[first] < ranks[second]
+    same_rank = ranks[first] == ranks[second]
+    better_crowd = crowding[first] >= crowding[second]
+    return better_rank | (same_rank & better_crowd)
+
+
+def _rank_and_crowding(
+    objectives: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    ranks = np.zeros(len(objectives), dtype=int)
+    crowding = np.zeros(len(objectives))
+    for depth, front in enumerate(fast_non_dominated_sort(objectives)):
+        ranks[front] = depth
+        crowding[front] = crowding_distance(objectives[front])
+    return ranks, crowding
+
+
+def _elitist_selection(objectives: np.ndarray, size: int) -> np.ndarray:
+    """Fill the next population front by front, crowding-truncated."""
+    keep: List[int] = []
+    for front in fast_non_dominated_sort(objectives):
+        if len(keep) + len(front) <= size:
+            keep.extend(int(index) for index in front)
+            continue
+        remaining = size - len(keep)
+        if remaining > 0:
+            crowd = crowding_distance(objectives[front])
+            order = np.argsort(-crowd, kind="stable")
+            keep.extend(int(front[i]) for i in order[:remaining])
+        break
+    return np.asarray(keep, dtype=int)

@@ -1,0 +1,124 @@
+"""Pareto dominance utilities for minimization problems.
+
+All objective arrays are ``(n, m)`` with every objective minimized.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import OptimizationError
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """True when ``a`` Pareto-dominates ``b`` (<= everywhere, < somewhere)."""
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def domination_matrix(objectives: np.ndarray) -> np.ndarray:
+    """Boolean matrix ``M[i, j]`` = individual ``i`` dominates ``j``."""
+    objs = np.asarray(objectives, dtype=float)
+    less_equal = np.all(objs[:, None, :] <= objs[None, :, :], axis=2)
+    strictly_less = np.any(objs[:, None, :] < objs[None, :, :], axis=2)
+    return less_equal & strictly_less
+
+
+def non_dominated_mask(objectives: np.ndarray) -> np.ndarray:
+    """Mask of points no other point dominates."""
+    matrix = domination_matrix(objectives)
+    return ~matrix.any(axis=0)
+
+
+def pareto_front(
+    objectives: np.ndarray,
+) -> np.ndarray:
+    """Indices of the non-dominated points, sorted by the first objective."""
+    mask = non_dominated_mask(objectives)
+    indices = np.flatnonzero(mask)
+    order = np.lexsort(
+        (objectives[indices, 1], objectives[indices, 0])
+    )
+    return indices[order]
+
+
+def dedupe_front(objectives: np.ndarray) -> np.ndarray:
+    """Indices of a duplicate-free non-dominated front."""
+    indices = pareto_front(objectives)
+    seen = set()
+    unique = []
+    for index in indices:
+        key = tuple(objectives[index])
+        if key not in seen:
+            seen.add(key)
+            unique.append(index)
+    return np.asarray(unique, dtype=int)
+
+
+def fast_non_dominated_sort(objectives: np.ndarray) -> List[np.ndarray]:
+    """Deb's fast non-dominated sorting: list of fronts (index arrays)."""
+    matrix = domination_matrix(objectives)
+    dominated_count = matrix.sum(axis=0).astype(int)
+    fronts: List[np.ndarray] = []
+    current = np.flatnonzero(dominated_count == 0)
+    assigned = np.zeros(len(objectives), dtype=bool)
+    while len(current):
+        fronts.append(current)
+        assigned[current] = True
+        for index in current:
+            dominated_count[matrix[index]] -= 1
+        current = np.flatnonzero((dominated_count == 0) & ~assigned)
+    return fronts
+
+
+def crowding_distance(objectives: np.ndarray) -> np.ndarray:
+    """NSGA-II crowding distance within one front."""
+    objs = np.asarray(objectives, dtype=float)
+    count, n_obj = objs.shape
+    if count <= 2:
+        return np.full(count, np.inf)
+    distance = np.zeros(count)
+    for objective in range(n_obj):
+        order = np.argsort(objs[:, objective], kind="stable")
+        spread = objs[order[-1], objective] - objs[order[0], objective]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if spread <= 0:
+            continue
+        gaps = (
+            objs[order[2:], objective] - objs[order[:-2], objective]
+        ) / spread
+        distance[order[1:-1]] += gaps
+    return distance
+
+
+def hypervolume_2d(
+    objectives: np.ndarray, reference: Sequence[float]
+) -> float:
+    """Hypervolume (area) dominated by a 2-objective minimization front.
+
+    Points beyond the reference point contribute nothing.
+    """
+    objs = np.asarray(objectives, dtype=float)
+    if objs.ndim != 2 or objs.shape[1] != 2:
+        raise OptimizationError("hypervolume_2d needs (n, 2) objectives")
+    ref_x, ref_y = float(reference[0]), float(reference[1])
+    front = objs[pareto_front(objs)]
+    area = 0.0
+    previous_y = ref_y
+    for x, y in front:
+        if x >= ref_x or y >= previous_y:
+            continue
+        area += (ref_x - x) * (previous_y - y)
+        previous_y = y
+    return area
+
+
+def normalize(objectives: np.ndarray) -> np.ndarray:
+    """Min-max normalize each objective to [0, 1] (degenerate spans -> 0)."""
+    objs = np.asarray(objectives, dtype=float)
+    lo = objs.min(axis=0)
+    span = objs.max(axis=0) - lo
+    span[span == 0] = 1.0
+    return (objs - lo) / span

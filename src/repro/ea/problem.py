@@ -1,0 +1,60 @@
+"""Multi-objective problem interface for the evolutionary algorithms.
+
+A problem exposes the genome length and evaluates whole populations at
+once (``(P, n_vars)`` boolean genome matrix -> ``(P, n_objectives)`` float
+objective matrix, all objectives minimized).  Batch evaluation keeps the
+optimizer loop in numpy; the selective-hardening problem in
+:mod:`repro.core` evaluates a 300-genome population in one matrix product.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from ..errors import OptimizationError
+
+
+class Problem(Protocol):
+    """Anything the EAs can optimize."""
+
+    n_vars: int
+    n_objectives: int
+
+    def evaluate(self, genomes: np.ndarray) -> np.ndarray:
+        """Objective matrix for a boolean genome matrix (minimize all)."""
+        ...  # pragma: no cover - protocol
+
+
+class FunctionProblem:
+    """Adapter wrapping a per-genome callable (tests, toy problems)."""
+
+    def __init__(self, n_vars: int, n_objectives: int, function):
+        if n_vars < 1 or n_objectives < 1:
+            raise OptimizationError("n_vars and n_objectives must be >= 1")
+        self.n_vars = n_vars
+        self.n_objectives = n_objectives
+        self._function = function
+
+    def evaluate(self, genomes: np.ndarray) -> np.ndarray:
+        genomes = np.asarray(genomes, dtype=bool)
+        if genomes.ndim != 2 or genomes.shape[1] != self.n_vars:
+            raise OptimizationError(
+                f"expected (P, {self.n_vars}) genomes, got {genomes.shape}"
+            )
+        rows = [self._function(row) for row in genomes]
+        objectives = np.asarray(rows, dtype=float)
+        if objectives.shape != (len(genomes), self.n_objectives):
+            raise OptimizationError(
+                "objective function returned the wrong shape"
+            )
+        return objectives
+
+
+def check_problem(problem: Problem) -> None:
+    """Validate basic problem invariants (used by the optimizers)."""
+    if getattr(problem, "n_vars", 0) < 1:
+        raise OptimizationError("problem must have n_vars >= 1")
+    if getattr(problem, "n_objectives", 0) < 1:
+        raise OptimizationError("problem must have n_objectives >= 1")

@@ -1,0 +1,61 @@
+"""Result container shared by the evolutionary algorithms."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .pareto import dedupe_front, hypervolume_2d
+
+
+class EAResult:
+    """Final non-dominated set plus run statistics.
+
+    ``genomes`` / ``objectives`` hold the final archive (SPEA-2) or first
+    front (NSGA-II); ``history`` one record per generation with the
+    hypervolume against ``reference`` and basic set statistics.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        genomes: np.ndarray,
+        objectives: np.ndarray,
+        history: List[Dict[str, float]],
+        generations: int,
+        n_evaluations: int,
+        seed: int,
+        reference: Optional[Tuple[float, float]] = None,
+    ):
+        self.algorithm = algorithm
+        self.genomes = np.asarray(genomes, dtype=bool)
+        self.objectives = np.asarray(objectives, dtype=float)
+        self.history = history
+        self.generations = generations
+        self.n_evaluations = n_evaluations
+        self.seed = seed
+        self.reference = reference
+
+    def front(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Duplicate-free non-dominated (genomes, objectives), sorted by
+        the first objective."""
+        indices = dedupe_front(self.objectives)
+        return self.genomes[indices], self.objectives[indices]
+
+    def hypervolume(self) -> float:
+        """Hypervolume of the final front against the run's reference."""
+        if self.reference is None or not len(self.objectives):
+            return 0.0
+        return hypervolume_2d(self.objectives, self.reference)
+
+    def best_for_objective(self, objective: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(genome, objectives) of the point minimizing one objective."""
+        index = int(np.argmin(self.objectives[:, objective]))
+        return self.genomes[index], self.objectives[index]
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"<EAResult {self.algorithm}: {len(self.objectives)} points, "
+            f"{self.generations} generations, {self.n_evaluations} evals>"
+        )

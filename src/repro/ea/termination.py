@@ -1,0 +1,48 @@
+"""Early-stopping predicates for the evolutionary runs.
+
+The paper terminates on a fixed generation budget (Sec. V, step 4); these
+helpers add practical alternatives for the library user.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import OptimizationError
+
+
+class HypervolumeStall:
+    """Stop when the hypervolume has not improved for ``patience``
+    generations by more than ``rel_tol`` relative to its current value."""
+
+    def __init__(self, patience: int = 50, rel_tol: float = 1e-4):
+        if patience < 1:
+            raise OptimizationError("patience must be >= 1")
+        self.patience = int(patience)
+        self.rel_tol = float(rel_tol)
+
+    def __call__(self, history: List[Dict[str, float]]) -> bool:
+        if len(history) <= self.patience:
+            return False
+        current = history[-1]["hypervolume"]
+        past = history[-1 - self.patience]["hypervolume"]
+        if current <= 0:
+            return False
+        return (current - past) <= self.rel_tol * current
+
+
+class TargetObjective:
+    """Stop as soon as some archive point reaches a target value on one
+    objective (e.g. "damage below 10 % of maximum")."""
+
+    def __init__(self, objective: int, target: float):
+        self.objective = int(objective)
+        self.target = float(target)
+
+    def __call__(self, history: List[Dict[str, float]]) -> bool:
+        key = f"best_obj{self.objective}"
+        if key not in history[-1]:
+            raise OptimizationError(
+                f"history does not track objective {self.objective}"
+            )
+        return history[-1][key] <= self.target

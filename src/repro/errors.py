@@ -1,0 +1,84 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  More specific subclasses
+exist per subsystem (network construction, series-parallel processing,
+specification handling, simulation and optimization).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class NetworkError(ReproError):
+    """Raised when an RSN is structurally malformed."""
+
+
+class ValidationError(NetworkError):
+    """Raised when network validation fails.
+
+    Carries the list of individual problems so callers can report all of
+    them at once instead of fixing one issue per run.
+    """
+
+    def __init__(self, problems):
+        self.problems = list(problems)
+        joined = "; ".join(self.problems)
+        super().__init__(f"network validation failed: {joined}")
+
+
+class DuplicateNameError(NetworkError):
+    """Raised when two nodes in one network share a name."""
+
+
+class UnknownNodeError(NetworkError):
+    """Raised when a node name does not exist in the network."""
+
+
+class BuilderError(ReproError):
+    """Raised on misuse of the hierarchical network builder."""
+
+
+class IclFormatError(ReproError):
+    """Raised when parsing the textual network format fails."""
+
+    def __init__(self, message, line=None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class NotSeriesParallelError(ReproError):
+    """Raised when an RSN graph cannot be reduced to series-parallel form.
+
+    ``blocked_edges`` holds a snapshot of the irreducible remainder which is
+    useful for diagnosing why virtualization did not succeed.
+    """
+
+    def __init__(self, message, blocked_edges=()):
+        self.blocked_edges = list(blocked_edges)
+        super().__init__(message)
+
+
+class SpecificationError(ReproError):
+    """Raised when a criticality specification is inconsistent."""
+
+
+class SimulationError(ReproError):
+    """Raised when scan simulation is driven into an invalid state."""
+
+
+class RetargetingError(SimulationError):
+    """Raised when no access pattern can be generated for a target."""
+
+
+class OptimizationError(ReproError):
+    """Raised on invalid optimizer configuration or an infeasible request."""
+
+
+class BenchmarkError(ReproError):
+    """Raised when a benchmark design cannot be produced as requested."""

@@ -1,0 +1,27 @@
+"""Generic graph algorithms used by the RSN analyses."""
+
+from .dominators import (
+    dominates,
+    immediate_dominators,
+    immediate_post_dominators,
+    post_dominates,
+)
+from .reconvergence import (
+    closing_reconvergence,
+    closing_reconvergence_fast,
+    fanout_stems,
+    reconvergence_gates,
+    stem_region,
+)
+
+__all__ = [
+    "closing_reconvergence",
+    "closing_reconvergence_fast",
+    "dominates",
+    "fanout_stems",
+    "immediate_dominators",
+    "immediate_post_dominators",
+    "post_dominates",
+    "reconvergence_gates",
+    "stem_region",
+]

@@ -1,0 +1,70 @@
+"""Dominator and post-dominator relations on an RSN graph.
+
+A vertex ``a`` *dominates* ``b`` when every scan-in-to-``b`` path passes
+through ``a``; it *post-dominates* ``b`` when every ``b``-to-scan-out path
+passes through ``a``.  Section III of the paper phrases the parent relation
+of the decomposition tree in these terms ("since all the paths through the
+segment c2 traverse the multiplexer m0, then m0 dominates c2"), and the
+test-suite cross-checks the tree-derived parent relation against these
+graph-level facts.
+
+Built on :func:`networkx.immediate_dominators` (simple-graph based; the
+multigraph's parallel edges are irrelevant for domination).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import networkx as nx
+
+from ..rsn.network import RsnNetwork
+
+
+def _simple_digraph(network: RsnNetwork, reverse: bool = False):
+    graph = nx.DiGraph()
+    graph.add_nodes_from(network.node_names())
+    for src, dst in network.edges():
+        if reverse:
+            graph.add_edge(dst, src)
+        else:
+            graph.add_edge(src, dst)
+    return graph
+
+
+def immediate_dominators(network: RsnNetwork) -> Dict[str, str]:
+    """Immediate dominator of every vertex, rooted at the scan-in port."""
+    graph = _simple_digraph(network)
+    return dict(nx.immediate_dominators(graph, network.scan_in))
+
+
+def immediate_post_dominators(network: RsnNetwork) -> Dict[str, str]:
+    """Immediate post-dominator of every vertex (dominators of the
+    reversed graph rooted at the scan-out port)."""
+    graph = _simple_digraph(network, reverse=True)
+    return dict(nx.immediate_dominators(graph, network.scan_out))
+
+
+def _in_dom_chain(tree: Dict[str, str], a: str, b: str) -> bool:
+    node = b
+    while True:
+        if node == a:
+            return True
+        parent = tree.get(node)
+        if parent is None or parent == node:
+            return False
+        node = parent
+
+
+def dominates(network: RsnNetwork, a: str, b: str) -> bool:
+    """True when every scan-in -> ``b`` path passes through ``a``."""
+    if a == b:
+        return True
+    return _in_dom_chain(immediate_dominators(network), a, b)
+
+
+def post_dominates(network: RsnNetwork, a: str, b: str) -> bool:
+    """True when every ``b`` -> scan-out path passes through ``a``."""
+    if a == b:
+        return True
+    return _in_dom_chain(immediate_post_dominators(network), a, b)

@@ -1,0 +1,129 @@
+"""Fan-out stems, reconvergence gates and stem regions (Sec. III).
+
+Following Maamari & Rajski's stem-region terminology as used by the paper:
+
+* a vertex ``s`` is a *reconvergent fan-out stem* when at least two disjoint
+  paths exist from ``s`` to some destination ``d``; that ``d`` is a
+  *reconvergence gate* of ``s`` (in RSNs only multiplexers reconverge);
+* the *closing reconvergence* of a stem is the reconvergence gate that does
+  not reach any other reconvergence gate of the stem;
+* the *stem region* of a stem contains every primitive reachable from the
+  stem from which the closing reconvergence is still reachable.
+
+These functions work on arbitrary RSN graphs (series-parallel or not); on
+SP graphs the closing reconvergence equals the immediate post-dominator of
+the stem, which the test-suite exploits as a cross-check.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+import networkx as nx
+
+from ..rsn.network import RsnNetwork
+from ..rsn.primitives import NodeKind
+from .dominators import immediate_post_dominators
+
+
+def fanout_stems(network: RsnNetwork) -> List[str]:
+    """All vertices with more than one scan successor, in name order.
+
+    In a well-formed RSN these are exactly the explicit fan-out vertices.
+    """
+    stems = [
+        name
+        for name in network.node_names()
+        if len(network.successors(name)) > 1
+    ]
+    return sorted(stems)
+
+
+def reconvergence_gates(network: RsnNetwork, stem: str) -> List[str]:
+    """Multiplexers reached by >= 2 internally vertex-disjoint stem paths.
+
+    Uses max-flow based disjoint-path counting; intended for analysis and
+    validation on small to medium networks, not for the inner loop of the
+    scalable criticality analysis (which never needs it).
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(network.node_names())
+    graph.add_edges_from(set(network.edges()))
+    gates = []
+    for node in network.nodes():
+        if node.kind is not NodeKind.MUX or node.name == stem:
+            continue
+        if not nx.has_path(graph, stem, node.name):
+            continue
+        try:
+            paths = list(
+                nx.node_disjoint_paths(graph, stem, node.name, cutoff=2)
+            )
+        except nx.NetworkXNoPath:  # pragma: no cover - has_path guards this
+            continue
+        if len(paths) >= 2:
+            gates.append(node.name)
+    return sorted(gates)
+
+
+def closing_reconvergence(network: RsnNetwork, stem: str) -> Optional[str]:
+    """The closing reconvergence gate of ``stem`` or None.
+
+    Computed as the gate of the stem from which no other gate of the same
+    stem is reachable (unique in a DAG whenever the stem reconverges at
+    all).
+    """
+    gates = reconvergence_gates(network, stem)
+    if not gates:
+        return None
+    graph = nx.DiGraph()
+    graph.add_nodes_from(network.node_names())
+    graph.add_edges_from(set(network.edges()))
+    closing = [
+        gate
+        for gate in gates
+        if not any(
+            other != gate and nx.has_path(graph, gate, other)
+            for other in gates
+        )
+    ]
+    if len(closing) != 1:
+        # A DAG stem always has a unique last gate; several "closing" gates
+        # mean the stem regions interleave in a non-series-parallel way.
+        return None
+    return closing[0]
+
+
+def stem_region(network: RsnNetwork, stem: str) -> Set[str]:
+    """All vertices on a path from ``stem`` to its closing reconvergence.
+
+    Empty when the stem has no closing reconvergence.  The closing gate
+    itself is included, matching the paper's usage (the gate is the region's
+    parent primitive); the stem is excluded.
+    """
+    closing = closing_reconvergence(network, stem)
+    if closing is None:
+        return set()
+    graph = nx.DiGraph()
+    graph.add_nodes_from(network.node_names())
+    graph.add_edges_from(set(network.edges()))
+    from_stem = nx.descendants(graph, stem)
+    to_closing = nx.ancestors(graph, closing) | {closing}
+    return (from_stem & to_closing) | ({closing} & from_stem)
+
+
+def closing_reconvergence_fast(network: RsnNetwork, stem: str) -> Optional[str]:
+    """Closing reconvergence via immediate post-domination.
+
+    On series-parallel RSNs this agrees with :func:`closing_reconvergence`
+    and costs one dominator-tree computation instead of repeated max-flow
+    calls.
+    """
+    ipdom = immediate_post_dominators(network)
+    gate = ipdom.get(stem)
+    if gate is None or gate == stem:
+        return None
+    node = network.node(gate)
+    if node.kind is NodeKind.MUX:
+        return gate
+    return None

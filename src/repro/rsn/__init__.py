@@ -1,0 +1,51 @@
+"""RSN data model: primitives, graph, hierarchical builder, text format."""
+
+from .ast import (
+    ControlCellDecl,
+    MuxDecl,
+    NetworkDecl,
+    SegmentDecl,
+    SibDecl,
+    elaborate,
+    sib_bit_name,
+    sib_mux_name,
+)
+from .builder import RsnBuilder
+from .network import RsnNetwork, iter_instrument_segments
+from .visualize import network_to_dot, tree_to_dot
+from .primitives import (
+    ControlUnit,
+    Fanout,
+    Instrument,
+    Node,
+    NodeKind,
+    ScanMux,
+    ScanPort,
+    ScanSegment,
+    SegmentRole,
+)
+
+__all__ = [
+    "ControlCellDecl",
+    "ControlUnit",
+    "Fanout",
+    "Instrument",
+    "MuxDecl",
+    "NetworkDecl",
+    "Node",
+    "NodeKind",
+    "RsnBuilder",
+    "RsnNetwork",
+    "ScanMux",
+    "ScanPort",
+    "ScanSegment",
+    "SegmentDecl",
+    "SegmentRole",
+    "SibDecl",
+    "elaborate",
+    "iter_instrument_segments",
+    "network_to_dot",
+    "sib_bit_name",
+    "tree_to_dot",
+    "sib_mux_name",
+]

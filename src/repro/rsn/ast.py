@@ -1,0 +1,302 @@
+"""Hierarchical description of an RSN and its elaboration into a graph.
+
+Most RSNs are naturally hierarchical: chains of segments, SIBs hosting
+sub-networks, multiplexers selecting between branches.  The classes here
+form a small AST for that hierarchy.  :func:`elaborate` flattens an AST into
+an :class:`repro.rsn.network.RsnNetwork`, inserting the fan-out vertices,
+bypass wires and control units the graph model needs.
+
+The AST is also the unit of (de)serialization for the textual network
+format (:mod:`repro.rsn.icl`) and the output of the benchmark generators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import BuilderError
+from .network import RsnNetwork
+from .primitives import ControlUnit, SegmentRole
+
+Item = Union["SegmentDecl", "ControlCellDecl", "SibDecl", "MuxDecl"]
+
+
+class SegmentDecl:
+    """A plain scan segment, optionally hosting an instrument."""
+
+    __slots__ = ("name", "length", "instrument")
+
+    def __init__(
+        self,
+        name: str,
+        length: int = 1,
+        instrument: Optional[str] = None,
+    ):
+        self.name = name
+        self.length = int(length)
+        self.instrument = instrument
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SegmentDecl)
+            and (self.name, self.length, self.instrument)
+            == (other.name, other.length, other.instrument)
+        )
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"SegmentDecl({self.name!r}, {self.length}, {self.instrument!r})"
+
+
+class ControlCellDecl:
+    """A configuration register cell that drives scan multiplexers.
+
+    The cell sits on the scan path at its declaration position; muxes
+    reference it by name through ``MuxDecl.control``.
+    """
+
+    __slots__ = ("name", "length")
+
+    def __init__(self, name: str, length: int = 1):
+        self.name = name
+        self.length = int(length)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ControlCellDecl)
+            and (self.name, self.length) == (other.name, other.length)
+        )
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"ControlCellDecl({self.name!r}, {self.length})"
+
+
+class SibDecl:
+    """A Segment Insertion Bit hosting a sub-network.
+
+    Elaborates, as in the paper's model, to a one-bit control segment plus a
+    bypass multiplexer (port 0 = bypass, port 1 = hosted chain) tied into a
+    single control unit.
+    """
+
+    __slots__ = ("name", "children")
+
+    def __init__(self, name: str, children: Sequence[Item]):
+        self.name = name
+        self.children = list(children)
+        if not self.children:
+            raise BuilderError(f"SIB {name!r} must host at least one item")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SibDecl)
+            and self.name == other.name
+            and self.children == other.children
+        )
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"SibDecl({self.name!r}, {len(self.children)} children)"
+
+
+class MuxDecl:
+    """A scan multiplexer selecting between branch chains.
+
+    ``branches`` is a list of item lists; an empty list is a pure bypass
+    wire.  ``control`` optionally names a :class:`ControlCellDecl` declared
+    elsewhere in the network; when omitted, a dedicated one-bit control cell
+    is elaborated directly in front of the branching point.
+    """
+
+    __slots__ = ("name", "branches", "control")
+
+    def __init__(
+        self,
+        name: str,
+        branches: Sequence[Sequence[Item]],
+        control: Optional[str] = None,
+    ):
+        self.name = name
+        self.branches = [list(branch) for branch in branches]
+        self.control = control
+        if len(self.branches) < 2:
+            raise BuilderError(f"mux {name!r} needs at least two branches")
+        if all(not branch for branch in self.branches):
+            raise BuilderError(f"mux {name!r} has only bypass branches")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, MuxDecl)
+            and (self.name, self.control) == (other.name, other.control)
+            and self.branches == other.branches
+        )
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"MuxDecl({self.name!r}, {len(self.branches)} branches)"
+
+
+class NetworkDecl:
+    """A whole network: a chain of items between scan-in and scan-out."""
+
+    __slots__ = ("name", "items")
+
+    def __init__(self, name: str, items: Sequence[Item]):
+        self.name = name
+        self.items = list(items)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, NetworkDecl)
+            and self.name == other.name
+            and self.items == other.items
+        )
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"NetworkDecl({self.name!r}, {len(self.items)} items)"
+
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterable[Item]:
+        """All declarations in scan order (depth-first)."""
+        stack: List[Item] = list(reversed(self.items))
+        while stack:
+            item = stack.pop()
+            yield item
+            if isinstance(item, SibDecl):
+                stack.extend(reversed(item.children))
+            elif isinstance(item, MuxDecl):
+                for branch in reversed(item.branches):
+                    stack.extend(reversed(branch))
+
+    def counts(self) -> Tuple[int, int]:
+        """(#data segments, #muxes) without elaborating."""
+        n_seg = 0
+        n_mux = 0
+        for item in self.walk():
+            if isinstance(item, SegmentDecl):
+                n_seg += 1
+            elif isinstance(item, (SibDecl, MuxDecl)):
+                n_mux += 1
+        return n_seg, n_mux
+
+
+# ----------------------------------------------------------------------
+# elaboration
+# ----------------------------------------------------------------------
+class _Elaborator:
+    def __init__(self, decl: NetworkDecl):
+        self.decl = decl
+        self.network = RsnNetwork(decl.name)
+        self.cell_muxes: Dict[str, List[str]] = {}
+        self._auto = 0
+
+    def _fresh(self, prefix: str) -> str:
+        self._auto += 1
+        return f"_{prefix}{self._auto}"
+
+    def run(self, validate: bool = True) -> RsnNetwork:
+        net = self.network
+        net.add_scan_in()
+        net.add_scan_out()
+        tail = self._chain(self.decl.items, net.scan_in)
+        net.add_edge(tail, net.scan_out)
+        self._register_units()
+        if validate:
+            net.validate()
+        return net
+
+    def _chain(self, items: Sequence[Item], head: str) -> str:
+        """Elaborate a chain of items; return the name of its last node."""
+        tail = head
+        for item in items:
+            tail = self._item(item, tail)
+        return tail
+
+    def _item(self, item: Item, tail: str) -> str:
+        if isinstance(item, SegmentDecl):
+            instrument = item.instrument
+            self.network.add_segment(
+                item.name, length=item.length, instrument=instrument
+            )
+            self.network.add_edge(tail, item.name)
+            return item.name
+        if isinstance(item, ControlCellDecl):
+            self.network.add_segment(
+                item.name, length=item.length, role=SegmentRole.CONTROL
+            )
+            self.network.add_edge(tail, item.name)
+            return item.name
+        if isinstance(item, SibDecl):
+            return self._sib(item, tail)
+        if isinstance(item, MuxDecl):
+            return self._mux(item, tail)
+        raise BuilderError(f"unknown AST item {item!r}")
+
+    def _sib(self, sib: SibDecl, tail: str) -> str:
+        net = self.network
+        bit = f"{sib.name}.bit"
+        mux = f"{sib.name}.mux"
+        fan = self._fresh("fan")
+        net.add_segment(bit, length=1, role=SegmentRole.SIB)
+        net.add_fanout(fan)
+        net.add_edge(tail, bit)
+        net.add_edge(bit, fan)
+        hosted_tail = self._chain(sib.children, fan)
+        net.add_mux(mux, fanin=2, control_cell=bit, sib_of=sib.name)
+        net.add_edge(fan, mux)  # port 0: bypass
+        net.add_edge(hosted_tail, mux)  # port 1: hosted sub-network
+        net.register_unit(
+            ControlUnit(sib.name, muxes=[mux], cells=[bit], is_sib=True)
+        )
+        return mux
+
+    def _mux(self, decl: MuxDecl, tail: str) -> str:
+        net = self.network
+        control = decl.control
+        if control is None:
+            control = f"{decl.name}.sel"
+            width = max(1, (len(decl.branches) - 1).bit_length())
+            net.add_segment(control, length=width, role=SegmentRole.CONTROL)
+            net.add_edge(tail, control)
+            tail = control
+        fan = self._fresh("fan")
+        net.add_fanout(fan)
+        net.add_edge(tail, fan)
+        branch_tails = [self._chain(branch, fan) for branch in decl.branches]
+        net.add_mux(
+            decl.name, fanin=len(decl.branches), control_cell=control
+        )
+        for branch_tail in branch_tails:
+            net.add_edge(branch_tail, decl.name)
+        self.cell_muxes.setdefault(control, []).append(decl.name)
+        return decl.name
+
+    def _register_units(self) -> None:
+        """One hardening unit per control cell with all the muxes it drives.
+
+        References to undeclared cells are skipped here — network
+        validation reports them on the mux itself with a better message.
+        """
+        for cell, muxes in self.cell_muxes.items():
+            if cell not in self.network:
+                continue
+            self.network.register_unit(
+                ControlUnit(f"unit.{cell}", muxes=muxes, cells=[cell])
+            )
+
+
+def elaborate(decl: NetworkDecl, validate: bool = True) -> RsnNetwork:
+    """Flatten a hierarchical network description into an RSN graph.
+
+    Raises :class:`repro.errors.ValidationError` when the result is
+    structurally malformed (e.g. a mux references an undeclared control
+    cell) unless ``validate`` is False.
+    """
+    return _Elaborator(decl).run(validate=validate)
+
+
+def sib_mux_name(sib_name: str) -> str:
+    """Graph name of the bypass mux elaborated for a SIB declaration."""
+    return f"{sib_name}.mux"
+
+
+def sib_bit_name(sib_name: str) -> str:
+    """Graph name of the control bit elaborated for a SIB declaration."""
+    return f"{sib_name}.bit"

@@ -1,0 +1,157 @@
+"""Fluent, hierarchy-aware construction of RSN descriptions.
+
+Example
+-------
+>>> from repro.rsn.builder import RsnBuilder
+>>> b = RsnBuilder("demo")
+>>> b.segment("temp0", length=8, instrument="temp_sensor")
+>>> with b.sib("core_sib"):
+...     b.segment("bist_status", length=16, instrument="mbist")
+>>> with b.mux("m0") as m:
+...     with m.branch():
+...         b.segment("dbg", length=4, instrument="debug")
+...     with m.branch():
+...         pass  # bypass wire
+>>> network = b.build()
+>>> network.counts()
+(3, 3)
+
+The builder records a :class:`repro.rsn.ast.NetworkDecl`; ``build()``
+elaborates it into the flat :class:`repro.rsn.network.RsnNetwork` graph.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional
+
+from ..errors import BuilderError
+from .ast import (
+    ControlCellDecl,
+    Item,
+    MuxDecl,
+    NetworkDecl,
+    SegmentDecl,
+    SibDecl,
+    elaborate,
+)
+from .network import RsnNetwork
+
+
+class _MuxScope:
+    """Handle returned by :meth:`RsnBuilder.mux` for adding branches."""
+
+    def __init__(self, builder: "RsnBuilder"):
+        self._builder = builder
+        self._branches: List[List[Item]] = []
+
+    @contextlib.contextmanager
+    def branch(self) -> Iterator[None]:
+        """Open the next branch of the multiplexer.
+
+        Items added inside the ``with`` block belong to this branch; an
+        empty block declares a pure bypass wire.
+        """
+        items: List[Item] = []
+        self._branches.append(items)
+        self._builder._stack.append(items)
+        try:
+            yield
+        finally:
+            self._builder._stack.pop()
+
+
+class RsnBuilder:
+    """Builds a hierarchical RSN description imperatively."""
+
+    def __init__(self, name: str = "rsn"):
+        self.name = name
+        self._items: List[Item] = []
+        self._stack: List[List[Item]] = [self._items]
+        self._auto = 0
+        self._names: set = set()
+
+    # ------------------------------------------------------------------
+    def _fresh(self, prefix: str) -> str:
+        while True:
+            self._auto += 1
+            name = f"{prefix}{self._auto}"
+            if name not in self._names:
+                return name
+
+    def _claim(self, name: Optional[str], prefix: str) -> str:
+        if name is None:
+            name = self._fresh(prefix)
+        if name in self._names:
+            raise BuilderError(f"duplicate declaration name {name!r}")
+        self._names.add(name)
+        return name
+
+    def _append(self, item: Item) -> Item:
+        self._stack[-1].append(item)
+        return item
+
+    # ------------------------------------------------------------------
+    def segment(
+        self,
+        name: Optional[str] = None,
+        length: int = 1,
+        instrument=None,
+    ) -> SegmentDecl:
+        """Append a scan segment to the current chain.
+
+        ``instrument`` may be a name, ``True`` (auto-named from the
+        segment), or ``None`` for an instrument-less segment.
+        """
+        name = self._claim(name, "seg")
+        if instrument is True:
+            instrument = f"i_{name}"
+        decl = SegmentDecl(name, length=length, instrument=instrument)
+        self._append(decl)
+        return decl
+
+    def control_cell(
+        self, name: Optional[str] = None, length: int = 1
+    ) -> ControlCellDecl:
+        """Append a configuration cell that muxes can reference."""
+        name = self._claim(name, "cfg")
+        decl = ControlCellDecl(name, length=length)
+        self._append(decl)
+        return decl
+
+    @contextlib.contextmanager
+    def sib(self, name: Optional[str] = None) -> Iterator[str]:
+        """Open a SIB; items added inside become its hosted sub-network."""
+        name = self._claim(name, "sib")
+        children: List[Item] = []
+        self._stack.append(children)
+        try:
+            yield name
+        finally:
+            self._stack.pop()
+        self._append(SibDecl(name, children))
+
+    @contextlib.contextmanager
+    def mux(
+        self, name: Optional[str] = None, control: Optional[str] = None
+    ) -> Iterator[_MuxScope]:
+        """Open a multiplexer; add branches via the yielded scope.
+
+        ``control`` names a :meth:`control_cell`; when omitted a dedicated
+        one-bit select cell is elaborated in front of the branching point.
+        """
+        name = self._claim(name, "mux")
+        scope = _MuxScope(self)
+        yield scope
+        self._append(MuxDecl(name, scope._branches, control=control))
+
+    # ------------------------------------------------------------------
+    def ast(self) -> NetworkDecl:
+        """The hierarchical description built so far."""
+        if len(self._stack) != 1:
+            raise BuilderError("unbalanced builder scopes")
+        return NetworkDecl(self.name, list(self._items))
+
+    def build(self, validate: bool = True) -> RsnNetwork:
+        """Elaborate the description into a validated RSN graph."""
+        return elaborate(self.ast(), validate=validate)

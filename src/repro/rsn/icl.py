@@ -1,0 +1,269 @@
+"""Textual network format (ICL-inspired), round-trippable.
+
+IEEE 1687 describes networks in ICL; full ICL is far richer than the graph
+model needs, so the library uses a small indentation-based format carrying
+exactly the information of :class:`repro.rsn.ast.NetworkDecl`:
+
+.. code-block:: text
+
+    network demo
+      segment temp0 length=8 instrument=temp_sensor
+      sib core_sib
+        segment bist_status length=16 instrument=mbist
+      control cfg0 length=1
+      mux m0 control=cfg0
+        branch
+          segment dbg length=4 instrument=debug
+        branch
+
+Indentation is two spaces per level; ``#`` starts a comment.  ``dumps`` and
+``loads`` are exact inverses on every valid description.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import IclFormatError
+from .ast import (
+    ControlCellDecl,
+    Item,
+    MuxDecl,
+    NetworkDecl,
+    SegmentDecl,
+    SibDecl,
+)
+
+_INDENT = "  "
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+def dumps(decl: NetworkDecl) -> str:
+    """Serialize a network description to the textual format."""
+    lines: List[str] = [f"network {decl.name}"]
+    _dump_items(decl.items, 1, lines)
+    return "\n".join(lines) + "\n"
+
+
+def _dump_items(items, depth: int, lines: List[str]) -> None:
+    pad = _INDENT * depth
+    for item in items:
+        if isinstance(item, SegmentDecl):
+            line = f"{pad}segment {item.name} length={item.length}"
+            if item.instrument is not None:
+                line += f" instrument={item.instrument}"
+            lines.append(line)
+        elif isinstance(item, ControlCellDecl):
+            lines.append(f"{pad}control {item.name} length={item.length}")
+        elif isinstance(item, SibDecl):
+            lines.append(f"{pad}sib {item.name}")
+            _dump_items(item.children, depth + 1, lines)
+        elif isinstance(item, MuxDecl):
+            line = f"{pad}mux {item.name}"
+            if item.control is not None:
+                line += f" control={item.control}"
+            lines.append(line)
+            for branch in item.branches:
+                lines.append(f"{pad}{_INDENT}branch")
+                _dump_items(branch, depth + 2, lines)
+        else:  # pragma: no cover - guarded by AST types
+            raise IclFormatError(f"cannot serialize {item!r}")
+
+
+def dump(decl: NetworkDecl, path) -> None:
+    """Serialize a network description to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(decl))
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+class _Line:
+    __slots__ = ("number", "depth", "keyword", "name", "options")
+
+    def __init__(self, number, depth, keyword, name, options):
+        self.number = number
+        self.depth = depth
+        self.keyword = keyword
+        self.name = name
+        self.options = options
+
+
+def _tokenize(text: str) -> List[_Line]:
+    lines: List[_Line] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        body = raw.split("#", 1)[0].rstrip()
+        if not body.strip():
+            continue
+        stripped = body.lstrip(" ")
+        indent = len(body) - len(stripped)
+        if indent % len(_INDENT) != 0:
+            raise IclFormatError(
+                f"indentation must be a multiple of {len(_INDENT)} spaces",
+                line=number,
+            )
+        if "\t" in body:
+            raise IclFormatError("tabs are not allowed", line=number)
+        parts = stripped.split()
+        keyword = parts[0]
+        name: Optional[str] = None
+        options = {}
+        for part in parts[1:]:
+            if "=" in part:
+                key, _, value = part.partition("=")
+                if not key or not value:
+                    raise IclFormatError(
+                        f"malformed option {part!r}", line=number
+                    )
+                if key in options:
+                    raise IclFormatError(
+                        f"duplicate option {key!r}", line=number
+                    )
+                options[key] = value
+            elif name is None:
+                name = part
+            else:
+                raise IclFormatError(
+                    f"unexpected token {part!r}", line=number
+                )
+        lines.append(
+            _Line(number, indent // len(_INDENT), keyword, name, options)
+        )
+    return lines
+
+
+def _int_option(line: _Line, key: str, default: int) -> int:
+    if key not in line.options:
+        return default
+    value = line.options.pop(key)
+    try:
+        return int(value)
+    except ValueError:
+        raise IclFormatError(
+            f"option {key!r} must be an integer, got {value!r}",
+            line=line.number,
+        ) from None
+
+
+def _reject_extra_options(line: _Line) -> None:
+    if line.options:
+        extra = ", ".join(sorted(line.options))
+        raise IclFormatError(
+            f"unknown option(s) for {line.keyword!r}: {extra}",
+            line=line.number,
+        )
+
+
+class _Parser:
+    def __init__(self, lines: List[_Line]):
+        self.lines = lines
+        self.pos = 0
+
+    def peek(self) -> Optional[_Line]:
+        if self.pos < len(self.lines):
+            return self.lines[self.pos]
+        return None
+
+    def next(self) -> _Line:
+        line = self.lines[self.pos]
+        self.pos += 1
+        return line
+
+    def parse_network(self) -> NetworkDecl:
+        if not self.lines:
+            raise IclFormatError("empty input")
+        header = self.next()
+        if header.keyword != "network" or header.depth != 0:
+            raise IclFormatError(
+                "input must start with a top-level 'network' line",
+                line=header.number,
+            )
+        if header.name is None:
+            raise IclFormatError("network needs a name", line=header.number)
+        _reject_extra_options(header)
+        items = self.parse_items(1)
+        leftover = self.peek()
+        if leftover is not None:
+            raise IclFormatError(
+                f"unexpected {leftover.keyword!r} at depth {leftover.depth}",
+                line=leftover.number,
+            )
+        return NetworkDecl(header.name, items)
+
+    def parse_items(self, depth: int) -> List[Item]:
+        items: List[Item] = []
+        while True:
+            line = self.peek()
+            if line is None or line.depth < depth:
+                return items
+            if line.depth > depth:
+                raise IclFormatError(
+                    "unexpected indentation", line=line.number
+                )
+            items.append(self.parse_item(depth))
+
+    def parse_item(self, depth: int) -> Item:
+        line = self.next()
+        if line.name is None and line.keyword != "branch":
+            raise IclFormatError(
+                f"{line.keyword!r} needs a name", line=line.number
+            )
+        if line.keyword == "segment":
+            length = _int_option(line, "length", 1)
+            instrument = line.options.pop("instrument", None)
+            _reject_extra_options(line)
+            return SegmentDecl(line.name, length=length, instrument=instrument)
+        if line.keyword == "control":
+            length = _int_option(line, "length", 1)
+            _reject_extra_options(line)
+            return ControlCellDecl(line.name, length=length)
+        if line.keyword == "sib":
+            _reject_extra_options(line)
+            children = self.parse_items(depth + 1)
+            if not children:
+                raise IclFormatError(
+                    f"sib {line.name!r} hosts nothing", line=line.number
+                )
+            return SibDecl(line.name, children)
+        if line.keyword == "mux":
+            control = line.options.pop("control", None)
+            _reject_extra_options(line)
+            branches = self.parse_branches(depth + 1, line)
+            return MuxDecl(line.name, branches, control=control)
+        raise IclFormatError(
+            f"unknown keyword {line.keyword!r}", line=line.number
+        )
+
+    def parse_branches(self, depth: int, mux_line: _Line) -> List[List[Item]]:
+        branches: List[List[Item]] = []
+        while True:
+            line = self.peek()
+            if line is None or line.depth < depth or line.keyword != "branch":
+                break
+            branch_line = self.next()
+            if branch_line.name is not None or branch_line.options:
+                raise IclFormatError(
+                    "'branch' takes no name or options",
+                    line=branch_line.number,
+                )
+            branches.append(self.parse_items(depth + 1))
+        if len(branches) < 2:
+            raise IclFormatError(
+                f"mux {mux_line.name!r} needs at least two branches",
+                line=mux_line.number,
+            )
+        return branches
+
+
+def loads(text: str) -> NetworkDecl:
+    """Parse the textual format into a network description."""
+    return _Parser(_tokenize(text)).parse_network()
+
+
+def load(path) -> NetworkDecl:
+    """Parse the textual format from a file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,221 @@
+"""Scan primitives of a Reconfigurable Scan Network.
+
+An RSN is modeled as a directed graph whose vertices are *scan primitives*
+(scan segments and scan multiplexers), fan-out points, and the primary
+scan-in / scan-out ports — exactly the vertex classes of Section III of the
+paper.  A Segment Insertion Bit (SIB) is represented, as in the paper, as a
+combination of a one-bit control segment and a multiplexer; the two are tied
+together into a single :class:`ControlUnit` for hardening decisions.
+
+The classes here are deliberately small value objects; all connectivity
+lives in :class:`repro.rsn.network.RsnNetwork`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+
+class NodeKind(enum.Enum):
+    """Vertex classes of the RSN graph model."""
+
+    SCAN_IN = "scan_in"
+    SCAN_OUT = "scan_out"
+    SEGMENT = "segment"
+    MUX = "mux"
+    FANOUT = "fanout"
+
+
+class SegmentRole(enum.Enum):
+    """What a scan segment is used for.
+
+    * ``DATA`` — a plain shift-register segment, typically hosting an
+      instrument interface (test data registers, sensor read-out, ...).
+    * ``CONTROL`` — a configuration cell whose update stage drives the
+      address port of one or more scan multiplexers.
+    * ``SIB`` — the one-bit control segment of a Segment Insertion Bit;
+      a special case of ``CONTROL`` that always drives exactly one mux.
+    """
+
+    DATA = "data"
+    CONTROL = "control"
+    SIB = "sib"
+
+
+class Node:
+    """Base class of all RSN graph vertices."""
+
+    __slots__ = ("name",)
+
+    kind: NodeKind
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise ValueError("node name must be a non-empty string")
+        self.name = name
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class ScanPort(Node):
+    """A primary scan-in or scan-out port of the network.
+
+    ``kind`` is stored per instance (SCAN_IN or SCAN_OUT), unlike the other
+    node classes where it is a class attribute.
+    """
+
+    __slots__ = ("kind",)
+
+    def __init__(self, name: str, kind: NodeKind):
+        if kind not in (NodeKind.SCAN_IN, NodeKind.SCAN_OUT):
+            raise ValueError("ScanPort kind must be SCAN_IN or SCAN_OUT")
+        super().__init__(name)
+        self.kind = kind
+
+
+class ScanSegment(Node):
+    """A scan segment: a shift register of ``length`` bits.
+
+    A segment may host an *instrument*: the embedded block (sensor, BIST
+    engine, debug register, ...) whose evaluation results are captured into
+    the segment and whose stimuli are updated from it.  ``instrument`` holds
+    the instrument name in that case.
+
+    ``role`` distinguishes plain data segments from control cells; see
+    :class:`SegmentRole`.
+    """
+
+    __slots__ = ("length", "instrument", "role")
+
+    kind = NodeKind.SEGMENT
+
+    def __init__(
+        self,
+        name: str,
+        length: int = 1,
+        instrument: Optional[str] = None,
+        role: SegmentRole = SegmentRole.DATA,
+    ):
+        super().__init__(name)
+        if length < 1:
+            raise ValueError(f"segment {name!r}: length must be >= 1")
+        if role is not SegmentRole.DATA and instrument is not None:
+            raise ValueError(
+                f"segment {name!r}: control cells cannot host instruments"
+            )
+        self.length = int(length)
+        self.instrument = instrument
+        self.role = role
+
+    @property
+    def is_control(self) -> bool:
+        """True for configuration cells (including SIB bits)."""
+        return self.role is not SegmentRole.DATA
+
+    @property
+    def hosts_instrument(self) -> bool:
+        return self.instrument is not None
+
+
+class ScanMux(Node):
+    """A scan multiplexer selecting one of ``fanin`` scan branches.
+
+    The address port is driven by the update stage of ``control_cell`` (a
+    :class:`ScanSegment` with a control role).  ``sib_of`` names the SIB this
+    mux belongs to when it is the bypass multiplexer of a Segment Insertion
+    Bit, in which case port ``SIB_BYPASS_PORT`` is the bypass wire and port
+    ``SIB_HOSTED_PORT`` is the hosted sub-network.
+    """
+
+    __slots__ = ("fanin", "control_cell", "sib_of")
+
+    kind = NodeKind.MUX
+
+    SIB_BYPASS_PORT = 0
+    SIB_HOSTED_PORT = 1
+
+    def __init__(
+        self,
+        name: str,
+        fanin: int = 2,
+        control_cell: Optional[str] = None,
+        sib_of: Optional[str] = None,
+    ):
+        super().__init__(name)
+        if fanin < 2:
+            raise ValueError(f"mux {name!r}: fanin must be >= 2")
+        self.fanin = int(fanin)
+        self.control_cell = control_cell
+        self.sib_of = sib_of
+
+    @property
+    def is_sib_mux(self) -> bool:
+        return self.sib_of is not None
+
+    def stuck_values(self) -> Tuple[int, ...]:
+        """All possible stuck-at-id fault values for this mux."""
+        return tuple(range(self.fanin))
+
+
+class Fanout(Node):
+    """An explicit fan-out vertex: one scan branch splitting into several.
+
+    Fan-outs carry no state and are assumed fault-free (a broken wire is a
+    segment-level defect in the adjacent primitive); they exist so that the
+    graph matches the paper's vertex classes and so that fan-out *stems* of
+    reconvergent regions are explicit.
+    """
+
+    __slots__ = ()
+
+    kind = NodeKind.FANOUT
+
+
+class Instrument:
+    """An embedded instrument accessed through the RSN.
+
+    The damage weights of losing observability / settability live in the
+    criticality specification (:mod:`repro.spec`), not here, because the
+    same network can be analyzed under many specifications.
+    """
+
+    __slots__ = ("name", "segment", "description")
+
+    def __init__(self, name: str, segment: str, description: str = ""):
+        self.name = name
+        self.segment = segment
+        self.description = description
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<Instrument {self.name} @ {self.segment}>"
+
+
+class ControlUnit:
+    """The unit of a hardening decision.
+
+    Hardening a scan multiplexer only helps if the configuration cell that
+    drives its address port is protected as well, so the pair (and, for a
+    SIB, the bit + mux combination) forms one selectable "spot".  ``members``
+    lists the graph node names covered by the unit; ``muxes`` the subset that
+    are multiplexers and ``cells`` the subset that are control segments.
+    """
+
+    __slots__ = ("name", "muxes", "cells", "is_sib")
+
+    def __init__(self, name, muxes, cells, is_sib=False):
+        self.name = name
+        self.muxes = tuple(muxes)
+        self.cells = tuple(cells)
+        self.is_sib = bool(is_sib)
+        if not self.muxes:
+            raise ValueError(f"control unit {name!r} must contain a mux")
+
+    @property
+    def members(self) -> Tuple[str, ...]:
+        return self.cells + self.muxes
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        tag = "sib" if self.is_sib else "mux"
+        return f"<ControlUnit {self.name} [{tag}] {self.members}>"

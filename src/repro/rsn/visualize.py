@@ -1,0 +1,110 @@
+"""Graphviz DOT export of RSN graphs and decomposition trees.
+
+Debugging and documentation aid: render with ``dot -Tsvg``.  Node shapes
+follow DFT-schematic conventions — boxes for scan segments (double border
+for configuration cells), trapezoids for multiplexers, points for
+fan-outs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from .network import RsnNetwork
+from .primitives import NodeKind, SegmentRole
+
+
+def _escape(name: str) -> str:
+    return name.replace('"', '\\"')
+
+
+def network_to_dot(
+    network: RsnNetwork,
+    highlight: Iterable[str] = (),
+    rankdir: str = "LR",
+) -> str:
+    """DOT source for the RSN graph.
+
+    ``highlight`` names nodes (or hardening units) to fill — e.g. the
+    spots a hardening solution selects.
+    """
+    unit_names = set(network.unit_names())
+    highlighted: Set[str] = set()
+    for name in highlight:
+        if name in unit_names:
+            highlighted.update(network.unit(name).members)
+        else:
+            highlighted.add(name)
+
+    lines = [
+        f'digraph "{_escape(network.name)}" {{',
+        f"  rankdir={rankdir};",
+        '  node [fontsize=10, fontname="Helvetica"];',
+    ]
+    for node in network.nodes():
+        name = _escape(node.name)
+        attributes = []
+        if node.kind is NodeKind.SEGMENT:
+            label = f"{name}\\n[{node.length}]"
+            if node.instrument:
+                label += f"\\n({_escape(node.instrument)})"
+            shape = (
+                "box3d"
+                if node.role is not SegmentRole.DATA
+                else "box"
+            )
+            attributes = [f'shape={shape}', f'label="{label}"']
+        elif node.kind is NodeKind.MUX:
+            attributes = ["shape=trapezium", f'label="{name}"']
+        elif node.kind is NodeKind.FANOUT:
+            attributes = ["shape=point", 'label=""']
+        else:
+            attributes = ["shape=plaintext", f'label="{name}"']
+        if node.name in highlighted:
+            attributes.append('style=filled, fillcolor="#ffd27f"')
+        lines.append(f'  "{name}" [{", ".join(attributes)}];')
+    for src, dst in network.edges():
+        label = ""
+        dst_node = network.node(dst)
+        if dst_node.kind is NodeKind.MUX:
+            port = network.predecessors(dst).index(src)
+            label = f' [label="{port}"]'
+        lines.append(f'  "{_escape(src)}" -> "{_escape(dst)}"{label};')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def tree_to_dot(tree, max_nodes: int = 2000) -> str:
+    """DOT source for a binary decomposition tree (Fig. 3 style)."""
+    from ..sp.tree import SPKind
+
+    lines = [
+        "digraph decomposition {",
+        '  node [fontsize=10, fontname="Helvetica"];',
+    ]
+    count = 0
+    identifiers = {}
+    for node in tree.root.pre_order():
+        count += 1
+        if count > max_nodes:
+            lines.append('  "..." [shape=plaintext];')
+            break
+        identifiers[id(node)] = f"n{count}"
+        if node.kind is SPKind.LEAF:
+            lines.append(
+                f'  n{count} [shape=box, label="{_escape(node.primitive)}"];'
+            )
+        elif node.kind is SPKind.WIRE:
+            lines.append(f'  n{count} [shape=point, label=""];')
+        else:
+            color = "#9fc5e8" if node.kind is SPKind.SERIES else "#b6d7a8"
+            lines.append(
+                f'  n{count} [shape=circle, style=filled, '
+                f'fillcolor="{color}", label="{node.kind.value}"];'
+            )
+        if node.parent is not None and id(node.parent) in identifiers:
+            lines.append(
+                f'  {identifiers[id(node.parent)]} -> n{count};'
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

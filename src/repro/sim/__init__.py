@@ -1,0 +1,14 @@
+"""Scan simulation substrate: CSU simulator, retargeting, access oracles."""
+
+from .oracle import AccessSets, strict_access, structural_access
+from .retarget import Retargeter, to_bits
+from .simulator import ScanSimulator
+
+__all__ = [
+    "AccessSets",
+    "Retargeter",
+    "ScanSimulator",
+    "strict_access",
+    "to_bits",
+    "structural_access",
+]

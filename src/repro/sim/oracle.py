@@ -1,0 +1,203 @@
+"""Structure-free accessibility oracles.
+
+Two oracles, both independent of the decomposition tree, used as ground
+truth for the static criticality analysis:
+
+* :func:`structural_access` — configuration enumeration: an instrument is
+  *settable* when some assignment of mux selects puts its segment on the
+  active path with no break between scan-in and the segment, *observable*
+  when some assignment yields a break-free stretch from the segment to
+  scan-out.  This matches the analysis' optimistic semantics (any
+  configuration is assumed reachable).  Exponential in the number of free
+  multiplexers — intended for the property tests' small random networks.
+
+* :func:`strict_access` — sequential semantics: actually drive the
+  simulator via the retargeter; an instrument counts as accessible only if
+  a real CSU sequence reads/writes it under the injected fault.  Stricter
+  than the paper's model (a fault can cut off the very control cells needed
+  to open a path); exposed as a library extension.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..errors import RetargetingError, SimulationError
+from ..rsn.network import RsnNetwork
+from ..rsn.primitives import NodeKind
+from ..analysis.faults import ControlCellBreak, Fault, MuxStuck, SegmentBreak
+from .retarget import Retargeter
+from .simulator import ScanSimulator
+
+
+class AccessSets:
+    """Which instruments remain observable / settable under one fault."""
+
+    __slots__ = ("observable", "settable")
+
+    def __init__(self, observable: Set[str], settable: Set[str]):
+        self.observable = observable
+        self.settable = settable
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"<AccessSets {len(self.observable)} observable, "
+            f"{len(self.settable)} settable>"
+        )
+
+
+def _split_faults(
+    network: RsnNetwork,
+    faults: Iterable[Fault],
+    assumed_ports: Optional[Mapping[str, int]],
+) -> Tuple[Set[str], Dict[str, int]]:
+    broken: Set[str] = set()
+    forced: Dict[str, int] = {}
+    assumed = dict(assumed_ports or {})
+    for fault in faults:
+        if isinstance(fault, SegmentBreak):
+            broken.add(fault.segment)
+        elif isinstance(fault, MuxStuck):
+            forced[fault.mux] = fault.port
+        elif isinstance(fault, ControlCellBreak):
+            broken.add(fault.cell)
+            for mux in network.muxes():
+                if mux.control_cell == fault.cell:
+                    forced[mux.name] = assumed.get(mux.name, 0)
+        else:
+            raise SimulationError(f"unknown fault {fault!r}")
+    return broken, forced
+
+
+def _path_for_config(
+    network: RsnNetwork, selects: Mapping[str, int]
+) -> List[str]:
+    """Active path (scan-in first) under a complete select assignment."""
+    path = [network.scan_out]
+    current = network.scan_out
+    while current != network.scan_in:
+        node = network.node(current)
+        if node.kind is NodeKind.MUX:
+            current = network.predecessors(current)[
+                selects[current] % node.fanin
+            ]
+        else:
+            current = network.predecessors(current)[0]
+        path.append(current)
+    path.reverse()
+    return path
+
+
+def structural_access(
+    network: RsnNetwork,
+    faults: Iterable[Fault] = (),
+    assumed_ports: Optional[Mapping[str, int]] = None,
+    max_configs: int = 1 << 16,
+) -> AccessSets:
+    """Enumerate every mux configuration; see the module docstring.
+
+    ``assumed_ports`` pins the muxes behind a broken control cell (pass the
+    analysis' :meth:`cell_stuck_ports` choice to compare like for like).
+    """
+    broken, forced = _split_faults(network, faults, assumed_ports)
+    free_muxes = [
+        mux for mux in network.muxes() if mux.name not in forced
+    ]
+    total = 1
+    for mux in free_muxes:
+        total *= mux.fanin
+        if total > max_configs:
+            raise SimulationError(
+                f"{network.name!r}: {total}+ configurations exceed "
+                f"max_configs={max_configs}"
+            )
+
+    segment_of = {
+        instrument.name: instrument.segment
+        for instrument in network.instruments()
+    }
+    observable: Set[str] = set()
+    settable: Set[str] = set()
+    # Enumerate the "most open" configurations first (highest ports — for
+    # SIBs that is the asserted state), so the accumulate-and-early-exit
+    # loop terminates after a handful of configurations on healthy
+    # networks instead of walking a 2^n tail.
+    port_ranges = [
+        range(mux.fanin - 1, -1, -1) for mux in free_muxes
+    ]
+    for combo in itertools.product(*port_ranges):
+        selects = dict(forced)
+        selects.update(
+            {mux.name: port for mux, port in zip(free_muxes, combo)}
+        )
+        path = _path_for_config(network, selects)
+        segments_on_path = [
+            name
+            for name in path
+            if network.node(name).kind is NodeKind.SEGMENT
+        ]
+        break_seen = False
+        clean_prefix: Set[str] = set()
+        for name in segments_on_path:
+            if name in broken:
+                break_seen = True
+                continue
+            if not break_seen:
+                clean_prefix.add(name)
+        break_seen = False
+        clean_suffix: Set[str] = set()
+        for name in reversed(segments_on_path):
+            if name in broken:
+                break_seen = True
+                continue
+            if not break_seen:
+                clean_suffix.add(name)
+        for instrument, segment in segment_of.items():
+            if segment in clean_prefix:
+                settable.add(instrument)
+            if segment in clean_suffix:
+                observable.add(instrument)
+        if len(observable) == len(segment_of) and len(settable) == len(
+            segment_of
+        ):
+            break
+    return AccessSets(observable, settable)
+
+
+def strict_access(
+    network: RsnNetwork,
+    faults: Iterable[Fault] = (),
+    assumed_ports: Optional[Mapping[str, int]] = None,
+) -> AccessSets:
+    """Sequential accessibility by actually retargeting every instrument.
+
+    An instrument is settable when a fresh write of an alternating pattern
+    lands intact, observable when a read-out returns fully known bits.
+    """
+    observable: Set[str] = set()
+    settable: Set[str] = set()
+    for instrument in network.instrument_names():
+        simulator = ScanSimulator(
+            network, faults=faults, assumed_ports=assumed_ports
+        )
+        retargeter = Retargeter(simulator)
+        segment = network.instrument(instrument).segment
+        pattern = [(k + 1) % 2 for k in range(network.node(segment).length)]
+        try:
+            retargeter.write_instrument(instrument, pattern)
+        except RetargetingError:
+            pass
+        else:
+            settable.add(instrument)
+        simulator = ScanSimulator(
+            network, faults=faults, assumed_ports=assumed_ports
+        )
+        retargeter = Retargeter(simulator)
+        try:
+            retargeter.read_instrument(instrument)
+        except RetargetingError:
+            pass
+        else:
+            observable.add(instrument)
+    return AccessSets(observable, settable)

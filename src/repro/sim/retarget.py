@@ -1,0 +1,282 @@
+"""Pattern retargeting: turning instrument accesses into scan operations.
+
+Given a target instrument, the retargeter plans a scan-in-to-scan-out path
+through the instrument's segment, derives the multiplexer selects that
+activate it, and drives the :class:`~repro.sim.simulator.ScanSimulator`
+through as many capture–shift–update cycles as the control hierarchy needs
+(one CSU cycle per SIB level, as in standard IJTAG retargeting).
+
+Because it runs on the simulator, it is also the *strict sequential*
+accessibility oracle: under an injected fault it fails exactly when the
+instrument cannot really be accessed any more by any pattern sequence —
+including the second-order case where the fault cuts off the configuration
+cells needed to open the path, which the paper's (and our) static analysis
+deliberately treats optimistically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import RetargetingError
+from ..rsn.primitives import NodeKind
+from .simulator import Bit, ScanSimulator
+
+
+class Retargeter:
+    """Plans and executes instrument accesses on a simulator."""
+
+    def __init__(self, simulator: ScanSimulator):
+        self.simulator = simulator
+        self.network = simulator.network
+
+    # ------------------------------------------------------------------
+    # path planning
+    # ------------------------------------------------------------------
+    def plan_path(
+        self,
+        target_segment: str,
+        avoid_upstream_breaks: bool = True,
+        avoid_downstream_breaks: bool = True,
+    ) -> List[str]:
+        """A scan-in -> target -> scan-out path honouring stuck muxes.
+
+        Broken segments are avoided on the sides where the access needs
+        clean data: upstream for writes, downstream for reads.  Raises
+        :class:`RetargetingError` when no such path exists (the instrument
+        is structurally inaccessible under the injected faults).
+        """
+        upstream = self._search_backward(
+            target_segment, avoid_breaks=avoid_upstream_breaks
+        )
+        downstream = self._search_forward(
+            target_segment, avoid_breaks=avoid_downstream_breaks
+        )
+        if upstream is None or downstream is None:
+            raise RetargetingError(
+                f"no fault-free path through {target_segment!r}"
+            )
+        return upstream[:-1] + [target_segment] + downstream[1:]
+
+    def _blocked(self, name: str, avoid_breaks: bool) -> bool:
+        if not avoid_breaks:
+            return False
+        node = self.network.node(name)
+        return (
+            node.kind is NodeKind.SEGMENT
+            and name in self.simulator.broken
+        )
+
+    def _search_backward(
+        self, start: str, avoid_breaks: bool = True
+    ) -> Optional[List[str]]:
+        """Path scan_in -> ... -> start, stuck-aware, break-avoiding."""
+        # Depth-first over predecessors; entering a mux from a non-selected
+        # port is fine *backwards* (we exit through its output), but when
+        # the walk passes through a stuck mux's input side the chosen
+        # predecessor must be the stuck port.
+        scan_in = self.network.scan_in
+        stack: List[Tuple[str, List[str]]] = [(start, [start])]
+        seen: Set[str] = set()
+        while stack:
+            current, path = stack.pop()
+            if current == scan_in:
+                path.reverse()
+                return path
+            if current in seen:
+                continue
+            seen.add(current)
+            node = self.network.node(current)
+            preds = self.network.predecessors(current)
+            if node.kind is NodeKind.MUX:
+                stuck = self.simulator.stuck.get(current)
+                candidates = (
+                    [preds[stuck % node.fanin]]
+                    if stuck is not None
+                    else list(preds)
+                )
+            else:
+                candidates = list(preds)
+            for pred in candidates:
+                if self._blocked(pred, avoid_breaks):
+                    continue
+                stack.append((pred, path + [pred]))
+        return None
+
+    def _search_forward(
+        self, start: str, avoid_breaks: bool = True
+    ) -> Optional[List[str]]:
+        """Path start -> ... -> scan_out, stuck-aware, break-avoiding."""
+        scan_out = self.network.scan_out
+        stack: List[Tuple[str, List[str]]] = [(start, [start])]
+        seen: Set[str] = set()
+        while stack:
+            current, path = stack.pop()
+            if current == scan_out:
+                return path
+            if current in seen:
+                continue
+            seen.add(current)
+            for succ in self.network.successors(current):
+                if self._blocked(succ, avoid_breaks):
+                    continue
+                node = self.network.node(succ)
+                if node.kind is NodeKind.MUX:
+                    stuck = self.simulator.stuck.get(succ)
+                    if stuck is not None:
+                        port = self._entry_ports(current, succ)
+                        if stuck % node.fanin not in port:
+                            continue
+                stack.append((succ, path + [succ]))
+        return None
+
+    def _entry_ports(self, src: str, mux: str) -> Set[int]:
+        return {
+            port
+            for port, pred in enumerate(self.network.predecessors(mux))
+            if pred == src
+        }
+
+    def plan_path_through_port(self, mux: str, port: int) -> List[str]:
+        """A scan-in -> scan-out path entering ``mux`` on ``port``.
+
+        Used by structural test generation (exercise every mux input);
+        raises :class:`RetargetingError` when the port is unreachable
+        under the injected faults.
+        """
+        node = self.network.node(mux)
+        if node.kind is not NodeKind.MUX:
+            raise RetargetingError(f"{mux!r} is not a mux")
+        if not 0 <= port < node.fanin:
+            raise RetargetingError(f"mux {mux!r} has no port {port}")
+        stuck = self.simulator.stuck.get(mux)
+        if stuck is not None and stuck % node.fanin != port:
+            raise RetargetingError(
+                f"mux {mux!r} is stuck at {stuck}, port {port} unreachable"
+            )
+        predecessor = self.network.predecessors(mux)[port]
+        upstream = self._search_backward(predecessor)
+        downstream = self._search_forward(mux)
+        if upstream is None or downstream is None:
+            raise RetargetingError(
+                f"no path entering {mux!r} on port {port}"
+            )
+        return upstream + [mux] + downstream[1:]
+
+    def required_selects(self, path: Sequence[str]) -> Dict[str, int]:
+        """Mux select values that activate ``path``."""
+        selects: Dict[str, int] = {}
+        for src, dst in zip(path, path[1:]):
+            node = self.network.node(dst)
+            if node.kind is NodeKind.MUX:
+                ports = self._entry_ports(src, dst)
+                stuck = self.simulator.stuck.get(dst)
+                if stuck is not None:
+                    if stuck % node.fanin not in ports:
+                        raise RetargetingError(
+                            f"path needs mux {dst!r} on port {sorted(ports)} "
+                            f"but it is stuck at {stuck}"
+                        )
+                    continue
+                selects[dst] = min(ports)
+        return selects
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def bring_onto_path(
+        self,
+        target_segment: str,
+        max_cycles: int = 64,
+        avoid_upstream_breaks: bool = True,
+        avoid_downstream_breaks: bool = True,
+    ) -> int:
+        """Reconfigure until the target segment is on the active path.
+
+        Returns the number of CSU cycles spent.  Each cycle writes the
+        desired select values into every control cell currently reachable
+        on the active path; hierarchical networks (SIB trees) open one
+        level per cycle.
+        """
+        path = self.plan_path(
+            target_segment,
+            avoid_upstream_breaks=avoid_upstream_breaks,
+            avoid_downstream_breaks=avoid_downstream_breaks,
+        )
+        selects = self.required_selects(path)
+        cell_values: Dict[str, int] = {}
+        for mux, port in selects.items():
+            cell = self.network.node(mux).control_cell
+            if cell is None:
+                continue
+            if cell_values.get(cell, port) != port:
+                raise RetargetingError(
+                    f"conflicting selects required on control cell {cell!r}"
+                )
+            cell_values[cell] = port
+
+        cycles = 0
+        while cycles < max_cycles:
+            active = {seg.name for seg in self.simulator.active_segments()}
+            if target_segment in active:
+                return cycles
+            writes: Dict[str, List[Bit]] = {}
+            for cell, value in cell_values.items():
+                if cell in active:
+                    width = self.network.node(cell).length
+                    writes[cell] = to_bits(value, width)
+            before = self.simulator.active_path()
+            self.simulator.scan_cycle(writes)
+            cycles += 1
+            if self.simulator.active_path() == before and not writes:
+                raise RetargetingError(
+                    f"cannot reach {target_segment!r}: no reachable control "
+                    "cells change the active path"
+                )
+        raise RetargetingError(
+            f"{target_segment!r} unreachable within {max_cycles} CSU cycles"
+        )
+
+    def write_instrument(
+        self, instrument: str, bits: Sequence[Bit]
+    ) -> int:
+        """Deliver ``bits`` to the instrument's segment; returns CSU cycles.
+
+        Raises :class:`RetargetingError` when the instrument cannot be set
+        (no path, or the write is corrupted by a break on the way in).
+        """
+        segment = self.network.instrument(instrument).segment
+        cycles = self.bring_onto_path(segment, avoid_downstream_breaks=False)
+        self.simulator.scan_cycle({segment: list(bits)})
+        landed = self.simulator.register(segment)
+        if list(landed) != list(bits):
+            raise RetargetingError(
+                f"write to {instrument!r} corrupted: wanted {list(bits)}, "
+                f"segment holds {list(landed)}"
+            )
+        return cycles + 1
+
+    def read_instrument(self, instrument: str) -> List[Bit]:
+        """Capture and return the instrument's current response bits.
+
+        Raises :class:`RetargetingError` when the instrument cannot be
+        observed (no path, or the read-out passes through a break).
+        """
+        segment = self.network.instrument(instrument).segment
+        self.bring_onto_path(segment, avoid_upstream_breaks=False)
+        observed = self.simulator.scan_cycle()[segment]
+        if any(bit is None for bit in observed):
+            raise RetargetingError(
+                f"read of {instrument!r} returned unknown bits"
+            )
+        return observed
+
+
+def to_bits(value: int, width: int) -> List[Bit]:
+    """MSB-first bit vector of ``value`` (index 0 = MSB, matching the
+    simulator's update convention)."""
+    return [(value >> (width - 1 - k)) & 1 for k in range(width)]
+
+
+# backwards-compatible private alias
+_to_bits = to_bits

@@ -1,0 +1,6 @@
+"""Series-parallel processing of RSN graphs (Sec. III of the paper)."""
+
+from .reduce import decompose, is_series_parallel
+from .tree import SPKind, SPNode, SPTree
+
+__all__ = ["SPKind", "SPNode", "SPTree", "decompose", "is_series_parallel"]

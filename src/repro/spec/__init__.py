@@ -1,0 +1,41 @@
+"""Criticality specifications and hardening cost models (Sec. IV-A, Eq. 3)."""
+
+from .defects import (
+    AreaDefects,
+    DefectModel,
+    UniformDefects,
+    defect_weights,
+    expected_damage_report,
+)
+from .cost_model import (
+    CostModel,
+    GateCountCost,
+    PerBitCost,
+    UniformCost,
+    cost_vector,
+    max_cost,
+)
+from .criticality import (
+    CriticalitySpec,
+    random_spec,
+    spec_for_network,
+    uniform_spec,
+)
+
+__all__ = [
+    "AreaDefects",
+    "CostModel",
+    "DefectModel",
+    "UniformDefects",
+    "defect_weights",
+    "expected_damage_report",
+    "CriticalitySpec",
+    "GateCountCost",
+    "PerBitCost",
+    "UniformCost",
+    "cost_vector",
+    "max_cost",
+    "random_spec",
+    "spec_for_network",
+    "uniform_spec",
+]

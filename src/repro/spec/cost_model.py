@@ -1,0 +1,133 @@
+"""Hardening cost models (the flexible cost function of Eq. 3).
+
+The paper's scheme is "independent of the actual hardening technique to be
+used"; correspondingly the cost of hardening a control unit is a pluggable
+policy.  The default :class:`GateCountCost` estimates the silicon overhead
+of local TMR — triplicated storage with majority voters for the control
+cells plus guarded multiplexer cells — which is the kind of
+design-for-manufacturability hardening the paper cites.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Sequence
+
+import numpy as np
+
+from ..errors import SpecificationError
+from ..rsn.network import RsnNetwork
+from ..rsn.primitives import ControlUnit
+
+
+class CostModel(Protocol):
+    """Anything that prices the hardening of one control unit."""
+
+    def unit_cost(self, network: RsnNetwork, unit: ControlUnit) -> float:
+        """Hardening cost ``c_i`` of ``unit`` — must be > 0."""
+        ...  # pragma: no cover - protocol
+
+    def segment_cost(self, network: RsnNetwork, segment: str) -> float:
+        """Hardening cost of a plain data segment (used when the
+        optimizer is configured with ``hardenable="all"``)."""
+        ...  # pragma: no cover - protocol
+
+
+class UniformCost:
+    """Every hardened spot costs the same (defaults to 1).
+
+    Turns Eq. 3 into "minimize the number of hardened primitives".
+    """
+
+    def __init__(self, cost: float = 1.0):
+        if cost <= 0:
+            raise SpecificationError("uniform cost must be positive")
+        self.cost = float(cost)
+
+    def unit_cost(self, network: RsnNetwork, unit: ControlUnit) -> float:
+        return self.cost
+
+    def segment_cost(self, network: RsnNetwork, segment: str) -> float:
+        return self.cost
+
+
+class GateCountCost:
+    """Local-TMR gate estimate (the default).
+
+    * each control-cell bit: two extra flip-flops plus a majority voter
+      (``ff_factor`` per bit + ``voter`` per cell);
+    * each multiplexer: duplicated pass gates per extra input plus a
+      guard/voter stage (``mux_factor`` per input + ``voter``).
+    """
+
+    def __init__(
+        self,
+        ff_factor: float = 2.0,
+        mux_factor: float = 2.0,
+        voter: float = 1.0,
+    ):
+        if min(ff_factor, mux_factor) <= 0 or voter < 0:
+            raise SpecificationError("cost factors must be positive")
+        self.ff_factor = float(ff_factor)
+        self.mux_factor = float(mux_factor)
+        self.voter = float(voter)
+
+    def unit_cost(self, network: RsnNetwork, unit: ControlUnit) -> float:
+        cost = 0.0
+        for cell in unit.cells:
+            segment = network.node(cell)
+            cost += self.ff_factor * segment.length + self.voter
+        for mux in unit.muxes:
+            node = network.node(mux)
+            cost += self.mux_factor * node.fanin + self.voter
+        return cost
+
+    def segment_cost(self, network: RsnNetwork, segment: str) -> float:
+        node = network.node(segment)
+        return self.ff_factor * node.length + self.voter
+
+
+class PerBitCost:
+    """Cost proportional to the unit's scan bits only.
+
+    Useful to study how solutions shift when multiplexer hardening is
+    (nearly) free compared to storage hardening.
+    """
+
+    def __init__(self, per_bit: float = 1.0, per_mux: float = 0.0):
+        if per_bit <= 0 or per_mux < 0:
+            raise SpecificationError("per_bit must be positive")
+        self.per_bit = float(per_bit)
+        self.per_mux = float(per_mux)
+
+    def unit_cost(self, network: RsnNetwork, unit: ControlUnit) -> float:
+        bits = sum(network.node(cell).length for cell in unit.cells)
+        return max(self.per_bit * bits + self.per_mux * len(unit.muxes),
+                   self.per_bit)
+
+    def segment_cost(self, network: RsnNetwork, segment: str) -> float:
+        return self.per_bit * network.node(segment).length
+
+
+def cost_vector(
+    network: RsnNetwork,
+    units: Sequence[ControlUnit],
+    model: CostModel,
+) -> np.ndarray:
+    """Vector of ``c_i`` aligned with ``units`` (Eq. 3's coefficients)."""
+    costs = np.array(
+        [model.unit_cost(network, unit) for unit in units], dtype=float
+    )
+    if len(costs) and costs.min() <= 0:
+        raise SpecificationError("cost model produced a non-positive cost")
+    return costs
+
+
+def max_cost(
+    network: RsnNetwork,
+    units: Iterable[ControlUnit],
+    model: CostModel,
+) -> float:
+    """Total cost of hardening everything — Table I's "Max. Cost" column."""
+    return float(
+        sum(model.unit_cost(network, unit) for unit in units)
+    )

@@ -1,0 +1,105 @@
+"""Defect-probability models: yield-aware damage weighting.
+
+Eq. 2 sums the damage of every possible single fault with equal weight —
+implicitly assuming all defects are equally likely.  Physically, a
+primitive's defect probability grows with its silicon area, so a large
+configuration register is a likelier fault site than a single multiplexer.
+A :class:`DefectModel` assigns every primitive a relative defect weight;
+:func:`expected_damage_report` rescales a criticality analysis with those
+weights, turning Eq. 2 into an *expected damage* objective.  The hardening
+machinery is unchanged — it consumes the reweighted report.
+
+This is the library's generalization hook for the "flexible cost
+function" of the paper's abstract; the uniform model reproduces the
+paper's accounting exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol
+
+from ..errors import SpecificationError
+from ..rsn.network import RsnNetwork
+from ..rsn.primitives import NodeKind
+
+
+class DefectModel(Protocol):
+    """Relative defect likelihood per scan primitive."""
+
+    def weight(self, network: RsnNetwork, primitive: str) -> float:
+        """Non-negative relative defect weight of one primitive."""
+        ...  # pragma: no cover - protocol
+
+
+class UniformDefects:
+    """Every primitive equally likely to be defect (the paper's model)."""
+
+    def weight(self, network: RsnNetwork, primitive: str) -> float:
+        return 1.0
+
+
+class AreaDefects:
+    """Defect weight proportional to a gate-area estimate.
+
+    * segments: ``bit_area`` per flip-flop;
+    * multiplexers: ``mux_area`` per input.
+    """
+
+    def __init__(self, bit_area: float = 1.0, mux_area: float = 0.5):
+        if bit_area <= 0 or mux_area <= 0:
+            raise SpecificationError("areas must be positive")
+        self.bit_area = float(bit_area)
+        self.mux_area = float(mux_area)
+
+    def weight(self, network: RsnNetwork, primitive: str) -> float:
+        node = network.node(primitive)
+        if node.kind is NodeKind.SEGMENT:
+            return self.bit_area * node.length
+        if node.kind is NodeKind.MUX:
+            return self.mux_area * node.fanin
+        return 0.0
+
+
+def defect_weights(
+    network: RsnNetwork, model: DefectModel, normalize: bool = True
+) -> Dict[str, float]:
+    """Per-primitive defect weights, optionally normalized to mean 1.
+
+    Normalization keeps the expected-damage numbers on the same scale as
+    the unweighted Eq. 2 so the two are directly comparable.
+    """
+    weights = {}
+    for node in network.nodes():
+        if node.kind in (NodeKind.SEGMENT, NodeKind.MUX):
+            value = float(model.weight(network, node.name))
+            if value < 0:
+                raise SpecificationError(
+                    f"negative defect weight for {node.name!r}"
+                )
+            weights[node.name] = value
+    if normalize and weights:
+        mean = sum(weights.values()) / len(weights)
+        if mean > 0:
+            weights = {
+                name: value / mean for name, value in weights.items()
+            }
+    return weights
+
+
+def expected_damage_report(report, model: DefectModel, normalize: bool = True):
+    """A copy of a :class:`~repro.analysis.damage.DamageReport` with every
+    ``d_j`` rescaled by the primitive's defect weight."""
+    from ..analysis.damage import DamageReport
+
+    weights = defect_weights(report.network, model, normalize=normalize)
+    primitive_damage = {
+        name: damage * weights.get(name, 0.0)
+        for name, damage in report.primitive_damage.items()
+    }
+    unit_damage = {
+        unit.name: sum(primitive_damage[member] for member in unit.members)
+        for unit in report.network.units()
+    }
+    return DamageReport(
+        report.network, report.policy, primitive_damage, unit_damage
+    )

@@ -1,0 +1,110 @@
+"""Unit tests for accessibility reports and critical-instrument checks."""
+
+from repro.analysis import (
+    accessibility_under_single_faults,
+    analyze_damage,
+    verify_critical_instruments,
+)
+from repro.spec import CriticalitySpec, spec_for_network
+
+
+class TestAccessibilityUnderSingleFaults:
+    def test_unhardened_network_everything_at_risk(self, fig1_network):
+        report = accessibility_under_single_faults(fig1_network)
+        # every instrument has at least its own-segment break
+        assert report.at_risk == set(fig1_network.instrument_names())
+        assert report.safe == set()
+
+    def test_hardening_all_units_still_leaves_segment_faults(
+        self, fig1_network
+    ):
+        report = accessibility_under_single_faults(
+            fig1_network,
+            hardened_units=fig1_network.unit_names(),
+        )
+        # data segment breaks remain: each instrument's own segment
+        assert report.at_risk == set(fig1_network.instrument_names())
+
+    def test_hardened_sib_protects_upstream_observability(self, sib_network):
+        unhardened = accessibility_under_single_faults(sib_network)
+        hardened = accessibility_under_single_faults(
+            sib_network, hardened_units=["sib0"]
+        )
+        assert hardened.at_risk_observation <= unhardened.at_risk_observation
+        assert hardened.at_risk_control <= unhardened.at_risk_control
+
+    def test_at_risk_union(self, fig1_network):
+        report = accessibility_under_single_faults(fig1_network)
+        assert report.at_risk == (
+            report.at_risk_observation | report.at_risk_control
+        )
+
+
+class TestVerifyCriticalInstruments:
+    def test_fault_free_critical_check_fails_without_hardening(
+        self, fig1_network
+    ):
+        spec = CriticalitySpec(
+            {"i1": (1000, 1000), "i4": (1, 1)},
+            critical_observation=["i1"],
+            critical_control=["i1"],
+        )
+        ok, offending = verify_critical_instruments(fig1_network, spec, [])
+        assert not ok
+        assert offending == ["i1"]
+
+    def test_no_criticals_always_ok(self, fig1_network):
+        # three equal weights: none dominates the sum of the others
+        spec = CriticalitySpec(
+            {"i3": (1, 1), "i4": (1, 1), "i5": (1, 1)},
+        )
+        ok, offending = verify_critical_instruments(fig1_network, spec, [])
+        assert ok and offending == []
+
+    def test_solution_protecting_criticals(self, fig1_network):
+        """Hardened units cannot remove data-segment breaks, so the
+        verification is about observation-criticals whose segment faults
+        only lose settability elsewhere; construct a case where hardening
+        the right mux units protects the critical instrument."""
+        spec = spec_for_network(fig1_network, seed=11)
+        report = analyze_damage(fig1_network, spec)
+        ok_all, offending_all = verify_critical_instruments(
+            fig1_network, spec, report.unit_damage.keys()
+        )
+        ok_none, offending_none = verify_critical_instruments(
+            fig1_network, spec, []
+        )
+        # hardening everything can only shrink the offending set
+        assert set(offending_all) <= set(offending_none)
+
+
+class TestSiteFilter:
+    def test_control_sites_exclude_self_faults(self, sib_network):
+        report = accessibility_under_single_faults(
+            sib_network, sites="control"
+        )
+        full = accessibility_under_single_faults(sib_network, sites="all")
+        assert report.at_risk <= full.at_risk
+
+    def test_data_and_control_cover_all(self, fig1_network):
+        control = accessibility_under_single_faults(
+            fig1_network, sites="control"
+        )
+        data = accessibility_under_single_faults(fig1_network, sites="data")
+        full = accessibility_under_single_faults(fig1_network, sites="all")
+        assert control.at_risk | data.at_risk == full.at_risk
+
+    def test_unknown_filter_rejected(self, fig1_network):
+        import pytest
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            accessibility_under_single_faults(fig1_network, sites="bogus")
+
+    def test_hardening_control_units_clears_control_risk(self, sib_network):
+        report = accessibility_under_single_faults(
+            sib_network,
+            hardened_units=sib_network.unit_names(),
+            sites="control",
+        )
+        assert report.at_risk == set()

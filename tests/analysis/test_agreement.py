@@ -1,0 +1,109 @@
+"""The central property test: three independent implementations of the
+fault-accessibility semantics must agree.
+
+1. ``FastDamageAnalysis``    — O(N) prefix-sum aggregates on the tree;
+2. ``ExplicitDamageAnalysis`` — literal per-fault effect sets;
+3. ``structural_access``      — configuration-enumerating scan-path oracle
+   (no decomposition tree involved at all).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze_damage
+from repro.analysis.damage import ExplicitDamageAnalysis, FastDamageAnalysis
+from repro.analysis.effects import (
+    control_cell_break_effect,
+    mux_stuck_effect,
+    segment_break_effect,
+)
+from repro.analysis.faults import (
+    ControlCellBreak,
+    MuxStuck,
+    SegmentBreak,
+    faults_of_primitive,
+)
+from repro.bench.generators import random_network
+from repro.rsn.ast import elaborate
+from repro.rsn.primitives import NodeKind
+from repro.sim import structural_access
+from repro.sp import decompose
+from repro.spec import random_spec
+
+seeds = st.integers(min_value=0, max_value=50_000)
+
+
+def _build(seed):
+    network = elaborate(random_network(seed=seed, max_depth=2, max_items=3))
+    spec = random_spec(network.instrument_names(), seed=seed)
+    return network, spec
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=seeds)
+def test_fast_equals_explicit_on_random_networks(seed):
+    network, spec = _build(seed)
+    fast = analyze_damage(network, spec, method="fast")
+    explicit = analyze_damage(network, spec, method="explicit")
+    assert fast.total == pytest.approx(explicit.total)
+    for name, value in fast.primitive_damage.items():
+        assert value == pytest.approx(
+            explicit.primitive_damage[name]
+        ), name
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_analysis_sets_equal_oracle_sets(seed):
+    """For every fault of every primitive: the instruments the tree-based
+    analysis declares inaccessible are exactly those the enumeration
+    oracle cannot reach."""
+    network, _ = _build(seed)
+    spec = random_spec(network.instrument_names(), seed=seed)
+    tree = decompose(network)
+    fast = FastDamageAnalysis(network, spec, tree=tree)
+    instruments = set(network.instrument_names())
+
+    for node in network.nodes():
+        if node.kind not in (NodeKind.SEGMENT, NodeKind.MUX):
+            continue
+        for fault in faults_of_primitive(network, node.name):
+            if isinstance(fault, SegmentBreak):
+                effect = segment_break_effect(tree, fault.segment)
+                assumed = None
+            elif isinstance(fault, MuxStuck):
+                effect = mux_stuck_effect(tree, fault.mux, fault.port)
+                assumed = None
+            else:
+                assumed = fast.cell_stuck_ports(fault.cell)
+                effect = control_cell_break_effect(
+                    tree, fault.cell, assumed
+                )
+            unobs, unset = effect.lost_instruments(network)
+            access = structural_access(
+                network, faults=[fault], assumed_ports=assumed
+            )
+            assert instruments - access.observable == unobs, fault
+            assert instruments - access.settable == unset, fault
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_total_damage_invariants(seed):
+    network, spec = _build(seed)
+    report = analyze_damage(network, spec)
+    assert report.total >= 0
+    assert 0 <= report.hardenable <= report.total + 1e-9
+    assert all(v >= 0 for v in report.primitive_damage.values())
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds)
+def test_fault_free_network_fully_accessible(seed):
+    """Paper Sec. VI: 'in the defect-free case, all the instruments are
+    accessible'."""
+    network, _ = _build(seed)
+    access = structural_access(network)
+    everything = set(network.instrument_names())
+    assert access.observable == everything
+    assert access.settable == everything

@@ -1,0 +1,79 @@
+"""Unit tests for graceful-degradation reporting."""
+
+import pytest
+
+from repro.analysis import degrade, worst_surviving_faults
+from repro.analysis.faults import ControlCellBreak, MuxStuck, SegmentBreak
+from repro.spec import CriticalitySpec, spec_for_network
+
+
+class TestDegrade:
+    def test_fig4_defect(self, fig1_network):
+        report = degrade(fig1_network, MuxStuck("m0", 1))
+        assert report.lost_observation == {"i1", "i2", "i3"}
+        assert report.intact == {"i4", "i5"}
+        assert 0.0 < report.residual_capability < 1.0
+
+    def test_break_asymmetry(self, fig1_network):
+        report = degrade(fig1_network, SegmentBreak("c2"))
+        assert "i1" in report.lost_observation
+        assert "i1" not in report.lost_control
+
+    def test_weighted_capability(self, fig1_network):
+        heavy = CriticalitySpec(
+            {"i4": (98.0, 0.0), "i5": (1.0, 1.0)},
+        )
+        # losing i4 under this spec is catastrophic
+        report = degrade(fig1_network, MuxStuck("m0", 0), spec=heavy)
+        assert report.residual_capability == pytest.approx(0.02)
+
+    def test_capability_one_for_harmless_fault(self, sib_network):
+        # SIB stuck asserted: everything stays reachable
+        report = degrade(sib_network, MuxStuck("sib0.mux", 1))
+        assert report.lost == set()
+        assert report.residual_capability == 1.0
+
+    def test_strict_mode_catches_config_cutoff(self, nested_sib_network):
+        report = degrade(
+            nested_sib_network,
+            ControlCellBreak("outer.bit"),
+            strict=True,
+        )
+        assert report.sequential_losses is not None
+        # structurally fine instruments may still be sequentially lost
+        assert report.lost >= (
+            report.lost_observation | report.lost_control
+        )
+
+
+class TestWorstSurvivingFaults:
+    def test_ranking_ascending_capability(self, fig1_network):
+        spec = spec_for_network(fig1_network, seed=1)
+        reports = worst_surviving_faults(fig1_network, spec, [], count=5)
+        capabilities = [r.residual_capability for r in reports]
+        assert capabilities == sorted(capabilities)
+        assert len(reports) == 5
+
+    def test_hardened_units_excluded(self, fig1_network):
+        spec = spec_for_network(fig1_network, seed=1)
+        everything = list(fig1_network.unit_names()) + [
+            seg.name for seg in fig1_network.data_segments()
+        ]
+        reports = worst_surviving_faults(
+            fig1_network, spec, everything, count=10
+        )
+        assert reports == []
+
+    def test_hardening_improves_worst_case(self, fig1_network):
+        spec = spec_for_network(fig1_network, seed=1)
+        unprotected = worst_surviving_faults(fig1_network, spec, [], count=1)
+        top_unit = unprotected[0].fault.site
+        unit = fig1_network.unit_of(top_unit)
+        hardened = [unit.name if unit else top_unit]
+        protected = worst_surviving_faults(
+            fig1_network, spec, hardened, count=1
+        )
+        assert (
+            protected[0].residual_capability
+            >= unprotected[0].residual_capability
+        )

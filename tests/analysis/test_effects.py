@@ -1,0 +1,215 @@
+"""Unit tests for explicit per-fault effect computation (Sec. IV-B)."""
+
+import pytest
+
+from repro.analysis import (
+    control_cell_break_effect,
+    effect_of_fault,
+    mux_stuck_effect,
+    segment_break_effect,
+)
+from repro.analysis.faults import ControlCellBreak, MuxStuck, SegmentBreak
+from repro.errors import ReproError
+from repro.sp import decompose
+
+
+class TestSegmentBreak:
+    def test_trunk_break_splits_before_after(self, chain_network):
+        tree = decompose(chain_network)
+        effect = segment_break_effect(tree, "s2")
+        assert effect.unobservable == {"s1", "s2"}
+        assert effect.unsettable == {"s2", "s3"}
+
+    def test_first_segment_of_chain(self, chain_network):
+        tree = decompose(chain_network)
+        effect = segment_break_effect(tree, "s1")
+        assert effect.unobservable == {"s1"}
+        assert effect.unsettable == {"s1", "s2", "s3"}
+
+    def test_break_isolated_inside_sib(self, sib_network):
+        """Sec. IV-B.1: the effect stays inside the branch of the closest
+        parental multiplexer — 'pre' outside the SIB is untouched."""
+        tree = decompose(sib_network)
+        effect = segment_break_effect(tree, "in1")
+        assert "pre" not in effect.unobservable
+        assert "pre" not in effect.unsettable
+        assert effect.unsettable == {"in1", "in2"}
+        assert effect.unobservable == {"in1"}
+
+    def test_broken_segment_loses_both(self, fig1_tree):
+        effect = segment_break_effect(fig1_tree, "c2")
+        assert "c2" in effect.unobservable
+        assert "c2" in effect.unsettable
+
+    def test_fig1_c2_break(self, fig1_tree):
+        effect = segment_break_effect(fig1_tree, "c2")
+        # everything before c2 in m0's branch loses observability
+        assert {"a", "b", "m1"} <= effect.unobservable
+        # the sibling branch d and the outside g stay accessible
+        assert "d" not in effect.unobservable
+        assert "d" not in effect.unsettable
+        assert "g" not in effect.unobservable
+
+    def test_instruments_lost(self, fig1_network, fig1_tree):
+        effect = segment_break_effect(fig1_tree, "c2")
+        unobs, unset = effect.lost_instruments(fig1_network)
+        assert unobs == {"i1", "i2", "i3"}
+        assert unset == {"i3"}
+
+
+class TestMuxStuck:
+    def test_fig4_stuck_at_1_of_m0(self, fig1_network, fig1_tree):
+        """The paper's Fig. 4: stuck-at-1 of m0 makes i1, i2 and i3
+        inaccessible."""
+        effect = mux_stuck_effect(fig1_tree, "m0", 1)
+        unobs, unset = effect.lost_instruments(fig1_network)
+        assert unobs == {"i1", "i2", "i3"}
+        assert unset == {"i1", "i2", "i3"}
+
+    def test_stuck_at_0_of_m0_kills_d(self, fig1_network, fig1_tree):
+        effect = mux_stuck_effect(fig1_tree, "m0", 0)
+        unobs, unset = effect.lost_instruments(fig1_network)
+        assert unobs == unset == {"i4"}
+
+    def test_dead_set_symmetric(self, fig1_tree):
+        effect = mux_stuck_effect(fig1_tree, "m2", 0)
+        assert effect.unobservable == effect.unsettable
+
+    def test_sib_stuck_asserted_harmless(self, sib_network):
+        """Stuck-at-asserted always grants access to the sub-network: only
+        the bypass wire (no primitives) is lost."""
+        tree = decompose(sib_network)
+        effect = mux_stuck_effect(tree, "sib0.mux", 1)
+        assert effect.unobservable == set()
+        assert effect.unsettable == set()
+
+    def test_sib_stuck_deasserted_kills_hosted(self, sib_network):
+        tree = decompose(sib_network)
+        effect = mux_stuck_effect(tree, "sib0.mux", 0)
+        assert {"in1", "in2"} <= effect.unobservable
+
+    def test_three_branch_mux_stuck(self, mux3_network):
+        tree = decompose(mux3_network)
+        effect = mux_stuck_effect(tree, "m", 1)  # bypass selected
+        assert {"x", "y"} <= effect.unobservable
+        effect = mux_stuck_effect(tree, "m", 0)
+        assert "y" in effect.unobservable
+        assert "x" not in effect.unobservable
+
+    def test_unknown_port_rejected(self, fig1_tree):
+        with pytest.raises(ReproError):
+            mux_stuck_effect(fig1_tree, "m0", 7)
+
+    def test_non_mux_rejected(self, fig1_tree):
+        with pytest.raises(ReproError):
+            mux_stuck_effect(fig1_tree, "c2", 0)
+
+
+class TestControlCellBreak:
+    def test_union_of_break_and_stuck(self, sib_network):
+        tree = decompose(sib_network)
+        effect = control_cell_break_effect(
+            tree, "sib0.bit", {"sib0.mux": 0}
+        )
+        # break: hosted chain after the bit loses settability and the
+        # upstream trunk loses observability (the bit sits on the trunk);
+        # stuck-at-bypass additionally kills the hosted chain both ways.
+        assert {"in1", "in2"} <= effect.unsettable
+        assert {"in1", "in2"} <= effect.unobservable
+        assert "pre" in effect.unobservable
+        assert "pre" not in effect.unsettable
+
+    def test_fault_type_preserved(self, sib_network):
+        tree = decompose(sib_network)
+        effect = control_cell_break_effect(tree, "sib0.bit", {})
+        assert isinstance(effect.fault, ControlCellBreak)
+
+
+class TestDispatch:
+    def test_effect_of_fault_dispatch(self, fig1_network, fig1_tree):
+        cases = [
+            SegmentBreak("c2"),
+            MuxStuck("m0", 1),
+            ControlCellBreak("m0.sel"),
+        ]
+        for fault in cases:
+            effect = effect_of_fault(fig1_tree, fig1_network, fault)
+            assert effect.unobservable or effect.unsettable
+
+    def test_unknown_fault_rejected(self, fig1_network, fig1_tree):
+        with pytest.raises(ReproError):
+            effect_of_fault(fig1_tree, fig1_network, object())
+
+
+class TestFaultEffectHelpers:
+    def test_damage_weighting(self, fig1_tree):
+        effect = segment_break_effect(fig1_tree, "c2")
+        damage = effect.damage({"c2": 5.0, "a": 2.0}, {"c2": 7.0})
+        # unobservable: c2 (5) + a (2); unsettable: c2 (7)
+        assert damage == 14.0
+
+    def test_union(self, fig1_tree):
+        first = segment_break_effect(fig1_tree, "c2")
+        second = mux_stuck_effect(fig1_tree, "m0", 0)
+        merged = first.union(second)
+        assert merged.unobservable == (
+            first.unobservable | second.unobservable
+        )
+        assert merged.unsettable == first.unsettable | second.unsettable
+
+
+class TestFaultTrees:
+    """The paper's observability/settability trees under a fault."""
+
+    def test_settability_tree_drops_exactly_unsettable(
+        self, fig1_network, fig1_tree
+    ):
+        from repro.analysis import settability_tree, segment_break_effect
+        from repro.sp import SPKind
+
+        effect = segment_break_effect(fig1_tree, "c2")
+        pruned = settability_tree(fig1_tree, SegmentBreak("c2"))
+        remaining = {
+            leaf.primitive
+            for leaf in pruned.in_order_leaves()
+            if leaf.kind is SPKind.LEAF
+        }
+        all_primitives = {
+            leaf.primitive for leaf in fig1_tree.primitive_leaves()
+        }
+        assert remaining == all_primitives - effect.unsettable
+
+    def test_observability_tree_drops_exactly_unobservable(
+        self, fig1_network, fig1_tree
+    ):
+        from repro.analysis import observability_tree, mux_stuck_effect
+        from repro.sp import SPKind
+
+        effect = mux_stuck_effect(fig1_tree, "m0", 1)
+        pruned = observability_tree(fig1_tree, MuxStuck("m0", 1))
+        remaining = {
+            leaf.primitive
+            for leaf in pruned.in_order_leaves()
+            if leaf.kind is SPKind.LEAF
+        }
+        all_primitives = {
+            leaf.primitive for leaf in fig1_tree.primitive_leaves()
+        }
+        assert remaining == all_primitives - effect.unobservable
+
+    def test_pruned_tree_keeps_structure(self, fig1_tree):
+        from repro.analysis import observability_tree
+        from repro.sp import SPKind
+
+        pruned = observability_tree(fig1_tree, SegmentBreak("g"))
+        kinds_original = [
+            n.kind
+            for n in fig1_tree.root.post_order()
+            if n.kind in (SPKind.SERIES, SPKind.PARALLEL)
+        ]
+        kinds_pruned = [
+            n.kind
+            for n in pruned.post_order()
+            if n.kind in (SPKind.SERIES, SPKind.PARALLEL)
+        ]
+        assert kinds_original == kinds_pruned

@@ -1,0 +1,93 @@
+"""Unit tests for the fault model value types and enumeration."""
+
+import pytest
+
+from repro.analysis.faults import (
+    ControlCellBreak,
+    MuxStuck,
+    SegmentBreak,
+    controlled_muxes,
+    faults_of_primitive,
+    iter_all_faults,
+    sib_stuck_asserted,
+    sib_stuck_deasserted,
+)
+from repro.errors import ReproError
+
+
+class TestFaultValueTypes:
+    def test_equality_and_hash(self):
+        assert SegmentBreak("s") == SegmentBreak("s")
+        assert SegmentBreak("s") != SegmentBreak("t")
+        assert MuxStuck("m", 0) != MuxStuck("m", 1)
+        assert len({MuxStuck("m", 0), MuxStuck("m", 0)}) == 1
+        assert ControlCellBreak("c") == ControlCellBreak("c")
+        assert SegmentBreak("x") != ControlCellBreak("x")
+
+    def test_site_property(self):
+        assert SegmentBreak("s").site == "s"
+        assert MuxStuck("m", 1).site == "m"
+        assert ControlCellBreak("c").site == "c"
+
+    def test_repr_contains_names(self):
+        assert "m" in repr(MuxStuck("m", 1))
+        assert "port=1" in repr(MuxStuck("m", 1))
+
+
+class TestSibFaultHelpers:
+    def test_stuck_asserted_selects_hosted_port(self, sib_network):
+        fault = sib_stuck_asserted(sib_network, "sib0")
+        assert fault == MuxStuck("sib0.mux", 1)
+
+    def test_stuck_deasserted_selects_bypass_port(self, sib_network):
+        fault = sib_stuck_deasserted(sib_network, "sib0")
+        assert fault == MuxStuck("sib0.mux", 0)
+
+    def test_non_sib_unit_rejected(self, mux3_network):
+        with pytest.raises(ReproError):
+            sib_stuck_asserted(mux3_network, "unit.m.sel")
+
+
+class TestFaultEnumeration:
+    def test_faults_of_data_segment(self, fig1_network):
+        assert faults_of_primitive(fig1_network, "a") == (
+            SegmentBreak("a"),
+        )
+
+    def test_faults_of_control_cell(self, fig1_network):
+        assert faults_of_primitive(fig1_network, "m0.sel") == (
+            ControlCellBreak("m0.sel"),
+        )
+
+    def test_faults_of_mux(self, fig1_network):
+        assert faults_of_primitive(fig1_network, "m0") == (
+            MuxStuck("m0", 0),
+            MuxStuck("m0", 1),
+        )
+
+    def test_ports_and_fanout_have_no_faults(self, fig1_network):
+        fanouts = [
+            name
+            for name in fig1_network.node_names()
+            if fig1_network.node(name).kind.value == "fanout"
+        ]
+        assert faults_of_primitive(fig1_network, fanouts[0]) == ()
+        assert faults_of_primitive(fig1_network, "scan_in") == ()
+
+    def test_iter_all_faults_census(self, fig1_network):
+        faults = list(iter_all_faults(fig1_network))
+        breaks = [f for f in faults if isinstance(f, SegmentBreak)]
+        cell_breaks = [
+            f for f in faults if isinstance(f, ControlCellBreak)
+        ]
+        stucks = [f for f in faults if isinstance(f, MuxStuck)]
+        assert len(breaks) == 5  # the five data segments
+        assert len(cell_breaks) == 3  # three select cells
+        assert len(stucks) == 6  # three 2:1 muxes
+
+    def test_controlled_muxes(self, fig1_network, shared_cell_network):
+        assert controlled_muxes(fig1_network, "m0.sel") == ["m0"]
+        assert sorted(
+            controlled_muxes(shared_cell_network, "sel")
+        ) == ["mA", "mB"]
+        assert controlled_muxes(fig1_network, "a") == []

@@ -1,0 +1,177 @@
+"""Unit tests for the multi-fault extension of the graph analysis."""
+
+import pytest
+
+from repro.analysis import GraphDamageAnalysis, expected_damage_under_rate
+from repro.analysis.faults import ControlCellBreak, MuxStuck, SegmentBreak
+from repro.sim import structural_access
+from repro.spec import spec_for_network, uniform_spec
+
+
+@pytest.fixture
+def analysis(fig1_network):
+    return GraphDamageAnalysis(
+        fig1_network, uniform_spec(fig1_network.instrument_names())
+    )
+
+
+class TestEffectOfFaults:
+    def test_single_fault_matches_single_api(self, analysis):
+        for fault in (SegmentBreak("c2"), MuxStuck("m0", 1)):
+            joint = analysis.effect_of_faults([fault])
+            single = analysis.effect_of_fault(fault)
+            assert joint.unobservable == single.unobservable
+            assert joint.unsettable == single.unsettable
+
+    def test_pair_matches_oracle(self, analysis, fig1_network):
+        faults = [MuxStuck("m0", 1), SegmentBreak("g")]
+        effect = analysis.effect_of_faults(faults)
+        unobs, unset = effect.lost_instruments(fig1_network)
+        access = structural_access(fig1_network, faults=faults)
+        instruments = set(fig1_network.instrument_names())
+        assert instruments - access.observable == unobs
+        assert instruments - access.settable == unset
+
+    def test_pair_at_least_as_bad_as_each_single(self, analysis):
+        first = MuxStuck("m0", 1)
+        second = SegmentBreak("g")
+        joint = analysis.effect_of_faults([first, second])
+        for fault in (first, second):
+            single = analysis.effect_of_fault(fault)
+            assert single.unobservable <= joint.unobservable
+            assert single.unsettable <= joint.unsettable
+
+    def test_joint_can_exceed_union(self, fig1_network):
+        """Two faults can kill an instrument neither kills alone (break
+        one route, pin the other away)."""
+        analysis = GraphDamageAnalysis(
+            fig1_network, uniform_spec(fig1_network.instrument_names())
+        )
+        # m2 stuck on the m0-side + break of c2: i4 loses observability
+        # only jointly? i4's route is via m0 port1; break c2 kills port0.
+        joint = analysis.effect_of_faults(
+            [MuxStuck("m2", 1), SegmentBreak("d")]
+        )
+        union = analysis.effect_of_fault(
+            MuxStuck("m2", 1)
+        ).union(analysis.effect_of_fault(SegmentBreak("d")))
+        assert union.unobservable <= joint.unobservable
+
+    def test_damage_of_faults(self, analysis):
+        value = analysis.damage_of_faults(
+            [MuxStuck("m0", 1), SegmentBreak("g")]
+        )
+        assert value >= analysis.damage_of_fault(MuxStuck("m0", 1))
+
+    def test_cell_break_in_multiset(self, analysis):
+        effect = analysis.effect_of_faults([ControlCellBreak("m0.sel")])
+        single = analysis.effect_of_fault(ControlCellBreak("m0.sel"))
+        # the multiset path pins at the same worst ports but evaluates the
+        # COMBINED scenario, which can only be at least as severe
+        assert single.unsettable <= effect.unsettable | single.unsettable
+
+
+class TestExpectedDamage:
+    def test_zero_rate_zero_damage(self, fig1_network):
+        spec = spec_for_network(fig1_network, seed=0)
+        assert expected_damage_under_rate(fig1_network, spec, 0.0) == 0.0
+
+    def test_monotone_in_rate(self, fig1_network):
+        spec = spec_for_network(fig1_network, seed=0)
+        low = expected_damage_under_rate(
+            fig1_network, spec, 0.01, samples=60, seed=1
+        )
+        high = expected_damage_under_rate(
+            fig1_network, spec, 0.2, samples=60, seed=1
+        )
+        assert high > low
+
+    def test_hardening_reduces_expectation(self, fig1_network):
+        spec = spec_for_network(fig1_network, seed=0)
+        unprotected = expected_damage_under_rate(
+            fig1_network, spec, 0.1, samples=80, seed=2
+        )
+        protected = expected_damage_under_rate(
+            fig1_network,
+            spec,
+            0.1,
+            samples=80,
+            seed=2,
+            hardened_units=fig1_network.unit_names(),
+        )
+        assert protected < unprotected
+
+    def test_bad_rate_rejected(self, fig1_network):
+        from repro.errors import ReproError
+
+        spec = spec_for_network(fig1_network, seed=0)
+        with pytest.raises(ReproError):
+            expected_damage_under_rate(fig1_network, spec, 1.5)
+
+    def test_deterministic_in_seed(self, fig1_network):
+        spec = spec_for_network(fig1_network, seed=0)
+        first = expected_damage_under_rate(
+            fig1_network, spec, 0.1, samples=40, seed=7
+        )
+        second = expected_damage_under_rate(
+            fig1_network, spec, 0.1, samples=40, seed=7
+        )
+        assert first == second
+
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generators import random_network
+from repro.rsn.ast import elaborate
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    pick=st.integers(min_value=0, max_value=10_000),
+)
+def test_random_fault_pairs_match_oracle(seed, pick):
+    """Joint two-fault effects agree with the configuration-enumeration
+    oracle on random SP networks (breaks and stucks only — cell breaks
+    involve the worst-port choice, covered by dedicated tests)."""
+    from repro.analysis.faults import faults_of_primitive
+    from repro.rsn.primitives import NodeKind
+
+    network = elaborate(random_network(seed=seed, max_depth=2, max_items=3))
+    spec = uniform_spec(network.instrument_names())
+    analysis = GraphDamageAnalysis(network, spec)
+    pool = [
+        fault
+        for node in network.nodes()
+        if node.kind in (NodeKind.SEGMENT, NodeKind.MUX)
+        for fault in faults_of_primitive(network, node.name)
+        if not isinstance(fault, ControlCellBreak)
+    ]
+    if len(pool) < 2:
+        return
+    first = pool[pick % len(pool)]
+    second = pool[(pick // 7 + 1) % len(pool)]
+    if first.site == second.site:
+        return
+    faults = [first, second]
+    effect = analysis.effect_of_faults(faults)
+    unobs, unset = effect.lost_instruments(network)
+    access = structural_access(network, faults=faults)
+    instruments = set(network.instrument_names())
+    assert instruments - access.observable == unobs, faults
+    assert instruments - access.settable == unset, faults
+
+
+class TestFirstOrderConsistency:
+    def test_small_rate_matches_mean_policy_eq2(self, fig1_network):
+        """E[damage]/rate -> sum over sites of the average fault damage as
+        rate -> 0, which is exactly Eq. 2 under the 'mean' mux policy."""
+        from repro.analysis import analyze_damage
+
+        spec = spec_for_network(fig1_network, seed=3)
+        linear = analyze_damage(fig1_network, spec, policy="mean").total
+        rate = 0.004
+        estimate = expected_damage_under_rate(
+            fig1_network, spec, rate, samples=4000, seed=5
+        )
+        assert estimate / rate == pytest.approx(linear, rel=0.35)

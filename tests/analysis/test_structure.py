@@ -1,0 +1,57 @@
+"""Unit tests for the structural statistics helpers."""
+
+from repro.analysis import hierarchy_depth, kill_sizes, network_statistics
+from repro.bench import build_design
+from repro.sp import decompose
+
+
+class TestHierarchyDepth:
+    def test_chain_has_zero_depth(self, chain_network):
+        assert hierarchy_depth(decompose(chain_network)) == 0
+
+    def test_single_sib_depth_one(self, sib_network):
+        assert hierarchy_depth(decompose(sib_network)) == 1
+
+    def test_nested_sibs_depth_two(self, nested_sib_network):
+        assert hierarchy_depth(decompose(nested_sib_network)) == 2
+
+    def test_fig1_depth(self, fig1_network):
+        assert hierarchy_depth(decompose(fig1_network)) == 3
+
+
+class TestKillSizes:
+    def test_fig1_values(self, fig1_network):
+        sizes = kill_sizes(fig1_network)
+        assert sizes["m1"] == 1      # worst stuck kills a or b
+        assert sizes["m0"] == 3      # kills i1-i3 (Fig. 4)
+        assert sizes["m2"] == 4      # kills the whole m0 side
+
+    def test_sib_kill_is_hosted_instruments(self, sib_network):
+        sizes = kill_sizes(sib_network)
+        assert sizes["sib0.mux"] == 2
+
+    def test_flat_chain_kills_are_small(self):
+        network = build_design("TreeFlat")
+        sizes = kill_sizes(network)
+        assert max(sizes.values()) <= 3
+
+
+class TestNetworkStatistics:
+    def test_keys_and_consistency(self, fig1_network):
+        stats = network_statistics(fig1_network)
+        assert stats["n_segments"] == 5
+        assert stats["n_muxes"] == 3
+        assert stats["n_instruments"] == 5
+        assert stats["max_kill"] == 4
+        assert 0.0 <= stats["kill_concentration"] <= 1.0
+
+    def test_nested_mbist_more_concentrated_than_flat(self):
+        flat = network_statistics(build_design("TreeFlat"))
+        nested = network_statistics(build_design("MBIST_1_5_5"))
+        assert nested["max_kill"] > flat["max_kill"]
+        assert nested["hierarchy_depth"] > flat["hierarchy_depth"]
+
+    def test_no_mux_network(self, chain_network):
+        stats = network_statistics(chain_network)
+        assert stats["max_kill"] == 0
+        assert stats["mean_kill"] == 0.0

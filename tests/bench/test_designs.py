@@ -1,0 +1,75 @@
+"""Unit tests for the Table-I design registry."""
+
+import pytest
+
+from repro.bench import DESIGNS, build_design, design_names, get_design
+from repro.errors import BenchmarkError
+
+
+class TestRegistry:
+    def test_all_24_designs_present(self):
+        assert len(DESIGNS) == 24
+
+    def test_paper_counts_recorded(self):
+        info = DESIGNS["p93791"]
+        assert info.n_segments == 1241
+        assert info.n_muxes == 653
+        assert info.paper.generations == 3500
+        assert info.paper.max_damage == 293771
+        assert info.paper.runtime == "06:10"
+
+    def test_families_known(self):
+        families = {info.family for info in DESIGNS.values()}
+        assert families == {
+            "tree_flat",
+            "tree_balanced",
+            "tree_unbalanced",
+            "soc",
+            "mbist",
+        }
+
+    def test_get_design_unknown_rejected(self):
+        with pytest.raises(BenchmarkError):
+            get_design("nonexistent")
+
+    def test_design_names_order(self):
+        names = design_names()
+        assert names[0] == "TreeFlat"
+        assert "MBIST_5_100_100" in names
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "TreeFlat",
+        "TreeUnbalanced",
+        "TreeBalanced",
+        "TreeFlat_Ex",
+        "q12710",
+        "a586710",
+        "p34392",
+        "t512505",
+        "p22810",
+        "MBIST_1_5_5",
+        "MBIST_2_5_5",
+    ],
+)
+def test_generated_designs_are_count_exact(name):
+    info = get_design(name)
+    network = build_design(name)
+    assert network.counts() == (info.n_segments, info.n_muxes)
+    network.validate()
+
+
+def test_generation_is_deterministic():
+    first = get_design("TreeBalanced").generate()
+    second = get_design("TreeBalanced").generate()
+    assert first == second
+
+
+def test_every_design_declares_positive_paper_values():
+    for info in DESIGNS.values():
+        assert info.paper.max_cost > 0
+        assert info.paper.max_damage > 0
+        assert info.paper.generations > 0
+        assert info.n_segments >= info.n_muxes >= 1

@@ -1,0 +1,191 @@
+"""Unit tests for the benchmark network generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench import generators
+from repro.errors import BenchmarkError
+from repro.rsn.ast import elaborate
+from repro.sp import decompose, is_series_parallel
+
+
+class TestFig1Example:
+    def test_structure(self):
+        network = generators.fig1_example()
+        assert network.counts() == (5, 3)
+        assert set(network.instrument_names()) == {
+            "i1", "i2", "i3", "i4", "i5",
+        }
+
+    def test_paper_facts_hold(self):
+        from repro.analysis import mux_stuck_effect
+
+        network = generators.fig1_example()
+        tree = decompose(network)
+        assert tree.parent_mux(tree.leaf("c2")).primitive == "m0"
+        effect = mux_stuck_effect(tree, "m0", 1)
+        unobs, _ = effect.lost_instruments(network)
+        assert unobs == {"i1", "i2", "i3"}
+
+
+class TestFlatChain:
+    def test_exact_counts(self):
+        decl = generators.flat_sib_chain(24, 24, seed=0)
+        assert decl.counts() == (24, 24)
+        elaborate(decl).validate()
+
+    def test_uneven_share(self):
+        decl = generators.flat_sib_chain(10, 3, seed=1)
+        assert decl.counts() == (10, 3)
+
+    def test_too_few_segments_rejected(self):
+        with pytest.raises(BenchmarkError):
+            generators.flat_sib_chain(2, 3)
+
+    def test_deterministic(self):
+        assert generators.flat_sib_chain(12, 4, seed=7) == (
+            generators.flat_sib_chain(12, 4, seed=7)
+        )
+
+
+class TestBalancedTree:
+    def test_exact_counts(self):
+        decl = generators.balanced_sib_tree(90, 46, seed=0)
+        assert decl.counts() == (90, 46)
+        elaborate(decl).validate()
+
+    def test_single_sib(self):
+        decl = generators.balanced_sib_tree(5, 1, seed=0)
+        assert decl.counts() == (5, 1)
+
+    def test_tree_is_nested(self):
+        decl = generators.balanced_sib_tree(20, 7, seed=0)
+        # root SIB hosts other SIBs
+        from repro.rsn.ast import SibDecl
+
+        root = decl.items[0]
+        assert isinstance(root, SibDecl)
+        assert any(isinstance(child, SibDecl) for child in root.children)
+
+
+class TestUnbalancedTree:
+    def test_exact_counts(self):
+        decl = generators.unbalanced_sib_tree(63, 28, seed=0)
+        assert decl.counts() == (63, 28)
+        elaborate(decl).validate()
+
+    def test_maximal_nesting_depth(self):
+        from repro.rsn.ast import SibDecl
+
+        decl = generators.unbalanced_sib_tree(8, 8, seed=0)
+        depth = 0
+        items = decl.items
+        while True:
+            sibs = [item for item in items if isinstance(item, SibDecl)]
+            if not sibs:
+                break
+            depth += 1
+            items = sibs[0].children
+        assert depth == 8
+
+
+class TestSocNetwork:
+    def test_exact_counts(self):
+        decl = generators.soc_mux_network(47, 25, seed=0)
+        assert decl.counts() == (47, 25)
+        elaborate(decl).validate()
+
+    def test_series_parallel(self):
+        network = elaborate(generators.soc_mux_network(100, 40, seed=3))
+        assert is_series_parallel(network)
+
+    def test_nesting_parameter(self):
+        from repro.rsn.ast import MuxDecl
+
+        flat = generators.soc_mux_network(30, 10, seed=5, nesting=0.0)
+        assert all(isinstance(item, MuxDecl) for item in flat.items)
+        assert len(flat.items) == 10
+
+
+class TestMbistNetwork:
+    def test_exact_counts(self):
+        decl = generators.mbist_network(113, 15, seed=0)
+        assert decl.counts() == (113, 15)
+        elaborate(decl).validate()
+
+    def test_wide_registers(self):
+        from repro.rsn.ast import SegmentDecl
+
+        decl = generators.mbist_network(50, 5, seed=0)
+        lengths = [
+            item.length
+            for item in decl.walk()
+            if isinstance(item, SegmentDecl)
+        ]
+        assert min(lengths) >= 8  # MBIST registers are wide
+
+    def test_skewed_shares(self):
+        from repro.rsn.ast import SegmentDecl, SibDecl
+
+        decl = generators.mbist_network(200, 10, seed=2)
+        shares = []
+        stack = [item for item in decl.items if isinstance(item, SibDecl)]
+        while stack:
+            sib = stack.pop()
+            shares.append(
+                sum(
+                    1
+                    for child in sib.children
+                    if isinstance(child, SegmentDecl)
+                )
+            )
+            stack.extend(
+                child
+                for child in sib.children
+                if isinstance(child, SibDecl)
+            )
+        assert max(shares) > 2 * min(shares)
+
+    def test_hierarchical_grouping(self):
+        from repro.rsn.ast import SibDecl
+
+        decl = generators.mbist_network(100, 9, seed=0)
+        root = decl.items[0]
+        assert isinstance(root, SibDecl)
+        nested = [c for c in root.children if isinstance(c, SibDecl)]
+        assert nested, "MBIST SIBs must nest hierarchically"
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_units=st.integers(min_value=1, max_value=20),
+    extra_segments=st.integers(min_value=0, max_value=40),
+    seed=st.integers(min_value=0, max_value=500),
+    family=st.sampled_from(
+        ["flat_sib_chain", "balanced_sib_tree", "unbalanced_sib_tree",
+         "mbist_network"]
+    ),
+)
+def test_generators_hit_requested_counts(
+    n_units, extra_segments, seed, family
+):
+    n_segments = n_units + extra_segments
+    generator = getattr(generators, family)
+    decl = generator(n_segments, n_units, seed=seed)
+    assert decl.counts() == (n_segments, n_units)
+    network = elaborate(decl)
+    assert network.counts() == (n_segments, n_units)
+    assert is_series_parallel(network)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_units=st.integers(min_value=1, max_value=15),
+    extra=st.integers(min_value=0, max_value=30),
+    seed=st.integers(min_value=0, max_value=300),
+)
+def test_soc_generator_hits_counts(n_units, extra, seed):
+    decl = generators.soc_mux_network(n_units + extra, n_units, seed=seed)
+    assert decl.counts() == (n_units + extra, n_units)
+    network = elaborate(decl)
+    assert is_series_parallel(network)

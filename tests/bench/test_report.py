@@ -1,0 +1,68 @@
+"""Unit tests for the Table-I report formatting."""
+
+import pytest
+
+from repro.bench import format_comparison, format_row, format_seconds, format_table
+from repro.bench.designs import get_design
+from repro.bench.table1 import Table1Row
+
+
+@pytest.fixture
+def synthetic_row():
+    row = Table1Row(get_design("TreeFlat"))
+    row.max_cost = 1000.0
+    row.max_damage = 50_000.0
+    row.generations = 300
+    row.min_cost_cost = 120.0
+    row.min_cost_damage = 4_900.0
+    row.min_damage_cost = 95.0
+    row.min_damage_damage = 20_000.0
+    row.runtime_seconds = 83.4
+    row.front_size = 40
+    return row
+
+
+class TestFormatSeconds:
+    def test_zero(self):
+        assert format_seconds(0) == "00:00"
+
+    def test_rounding(self):
+        assert format_seconds(59.6) == "01:00"
+
+    def test_hours_spill_into_minutes(self):
+        assert format_seconds(3723) == "62:03"
+
+
+class TestFormatRow:
+    def test_numbers_thousand_separated(self, synthetic_row):
+        text = format_row(synthetic_row)
+        assert "50,000" in text
+        assert "01:23" in text
+
+    def test_missing_solution_dash(self, synthetic_row):
+        synthetic_row.min_cost_cost = None
+        synthetic_row.min_cost_damage = None
+        text = format_row(synthetic_row)
+        assert text.count(" -") >= 2
+
+
+class TestFormatTable:
+    def test_header_and_separator(self, synthetic_row):
+        text = format_table([synthetic_row])
+        lines = text.splitlines()
+        assert lines[0].startswith("Design")
+        assert set(lines[1]) == {"-"}
+        assert len(lines) == 3
+
+
+class TestFormatComparison:
+    def test_percentages_present(self, synthetic_row):
+        text = format_comparison([synthetic_row])
+        # ours: 120/1000 = 12.0%; paper TreeFlat: 7/350 = 2.0%
+        assert "12.0%" in text
+        assert "2.0%" in text
+
+    def test_missing_measurement_dash(self, synthetic_row):
+        synthetic_row.min_cost_cost = None
+        text = format_comparison([synthetic_row])
+        assert "-" in text.splitlines()[-1]

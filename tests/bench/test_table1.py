@@ -1,0 +1,104 @@
+"""Unit tests for the Table-I harness and report formatting."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    format_comparison,
+    format_row,
+    format_seconds,
+    format_table,
+    run_design,
+    run_table,
+)
+
+
+@pytest.fixture(scope="module")
+def tree_flat_row():
+    return run_design(
+        "TreeFlat", generations=60, population_size=40, seed=0
+    )
+
+
+class TestRunDesign:
+    def test_row_fields(self, tree_flat_row):
+        row = tree_flat_row
+        assert row.name == "TreeFlat"
+        assert row.n_segments == 24
+        assert row.n_muxes == 24
+        assert row.max_cost > 0
+        assert row.max_damage > 0
+        assert row.generations == 60
+        assert row.runtime_seconds > 0
+        assert row.front_size > 0
+
+    def test_min_cost_solution_meets_cap(self, tree_flat_row):
+        row = tree_flat_row
+        if row.min_cost_damage is not None:
+            assert row.min_cost_damage <= 0.10 * row.max_damage + 1e-9
+
+    def test_min_damage_solution_meets_cap(self, tree_flat_row):
+        row = tree_flat_row
+        assert row.min_damage_cost is not None
+        assert row.min_damage_cost <= 0.10 * row.max_cost + 1e-9
+
+    def test_greedy_reference_present(self, tree_flat_row):
+        assert tree_flat_row.greedy_min_cost_cost is not None
+        assert tree_flat_row.greedy_min_damage_damage is not None
+
+    def test_as_dict_roundtrips_through_json(self, tree_flat_row):
+        data = json.loads(json.dumps(tree_flat_row.as_dict()))
+        assert data["design"] == "TreeFlat"
+        assert data["paper"]["max_damage"] == 502
+
+    def test_scale_generations(self):
+        row = run_design(
+            "TreeFlat",
+            scale_generations=0.1,
+            population_size=20,
+            seed=0,
+            with_greedy=False,
+        )
+        assert row.generations == 30  # ceil(300 * 0.1)
+
+
+class TestRunTable:
+    def test_subset(self):
+        rows = run_table(
+            names=["TreeFlat", "q12710"],
+            generations=20,
+            population_size=16,
+            with_greedy=False,
+        )
+        assert [row.name for row in rows] == ["TreeFlat", "q12710"]
+
+
+class TestFormatting:
+    def test_format_seconds(self):
+        assert format_seconds(0) == "00:00"
+        assert format_seconds(61) == "01:01"
+        assert format_seconds(3601) == "60:01"
+
+    def test_format_row_contains_key_numbers(self, tree_flat_row):
+        text = format_row(tree_flat_row)
+        assert "TreeFlat" in text
+        assert "24" in text
+
+    def test_format_table_has_header(self, tree_flat_row):
+        text = format_table([tree_flat_row])
+        assert "MaxDamage" in text
+        assert "TreeFlat" in text
+
+    def test_format_comparison(self, tree_flat_row):
+        text = format_comparison([tree_flat_row])
+        assert "TreeFlat" in text
+        assert "%" in text
+
+    def test_none_solutions_render_as_dash(self, tree_flat_row):
+        saved_cost = tree_flat_row.min_cost_cost
+        tree_flat_row.min_cost_cost = None
+        try:
+            assert " -" in format_row(tree_flat_row)
+        finally:
+            tree_flat_row.min_cost_cost = saved_cost

@@ -1,0 +1,221 @@
+"""Unit tests for the exact / greedy / random baselines."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_damage
+from repro.core import baselines
+from repro.core.problem import HardeningProblem
+from repro.ea import dominates
+from repro.spec import GateCountCost, spec_for_network
+
+
+@pytest.fixture
+def problem(fig1_network):
+    spec = spec_for_network(fig1_network, seed=3)
+    report = analyze_damage(fig1_network, spec)
+    return HardeningProblem(fig1_network, report, GateCountCost())
+
+
+class TestRatioOrder:
+    def test_permutation(self, problem):
+        order = baselines.ratio_order(problem)
+        assert sorted(order) == list(range(problem.n_vars))
+
+    def test_descending_ratio(self, problem):
+        order = baselines.ratio_order(problem)
+        ratios = problem.damages[order] / problem.costs[order]
+        assert all(
+            ratios[k] >= ratios[k + 1] - 1e-12
+            for k in range(len(ratios) - 1)
+        )
+
+
+class TestSupportedFront:
+    def test_endpoints(self, problem):
+        _, points = baselines.supported_front(problem)
+        assert points[0][0] == 0.0
+        assert points[0][1] == problem.max_damage
+        assert points[-1][0] == pytest.approx(problem.max_cost)
+        assert points[-1][1] == pytest.approx(problem.floor_damage)
+
+    def test_cost_increasing_damage_decreasing(self, problem):
+        _, points = baselines.supported_front(problem)
+        assert (np.diff(points[:, 0]) >= -1e-12).all()
+        assert (np.diff(points[:, 1]) <= 1e-12).all()
+
+    def test_prefix_genome_matches_point(self, problem):
+        order, points = baselines.supported_front(problem)
+        for length in (0, 1, problem.n_vars // 2, problem.n_vars):
+            genome = baselines.genome_of_prefix(problem, order, length)
+            cost, damage = problem.evaluate_one(genome)
+            assert cost == pytest.approx(points[length][0])
+            assert damage == pytest.approx(points[length][1])
+
+    def test_supported_points_are_pareto_optimal(self, problem):
+        """No random selection may dominate a supported point."""
+        _, points = baselines.supported_front(problem)
+        rng = np.random.default_rng(0)
+        genomes = rng.random((300, problem.n_vars)) < rng.random((300, 1))
+        objectives = problem.evaluate(genomes)
+        for point in points[:: max(1, len(points) // 8)]:
+            for row in objectives:
+                assert not dominates(row, point)
+
+
+class TestGreedyMinCost:
+    def test_meets_damage_cap(self, problem):
+        cap = 0.10 * problem.max_damage
+        genome = baselines.greedy_min_cost(problem, cap)
+        assert genome is not None
+        _, damage = problem.evaluate_one(genome)
+        assert damage <= cap + 1e-9
+
+    def test_infeasible_cap_returns_none(self, problem):
+        impossible = problem.floor_damage - 1.0
+        if impossible < 0:
+            pytest.skip("floor damage is zero for this network")
+        assert baselines.greedy_min_cost(problem, impossible) is None
+
+    def test_trivial_cap_hardens_nothing(self, problem):
+        genome = baselines.greedy_min_cost(problem, problem.max_damage)
+        assert genome is not None
+        assert genome.sum() == 0
+
+    def test_polish_never_violates_cap(self, problem):
+        for fraction in (0.05, 0.2, 0.5, 0.9):
+            cap = fraction * problem.max_damage
+            genome = baselines.greedy_min_cost(problem, cap)
+            if genome is None:
+                continue
+            _, damage = problem.evaluate_one(genome)
+            assert damage <= cap + 1e-9
+
+
+class TestGreedyMinDamage:
+    def test_respects_budget(self, problem):
+        for fraction in (0.05, 0.1, 0.3):
+            budget = fraction * problem.max_cost
+            genome = baselines.greedy_min_damage(problem, budget)
+            cost, _ = problem.evaluate_one(genome)
+            assert cost <= budget + 1e-9
+
+    def test_beats_random_on_average(self, problem):
+        budget = 0.15 * problem.max_cost
+        greedy_genome = baselines.greedy_min_damage(problem, budget)
+        _, greedy_damage = problem.evaluate_one(greedy_genome)
+        random_damages = []
+        for seed in range(10):
+            random_genome = baselines.random_selection(
+                problem, budget, seed=seed
+            )
+            _, damage = problem.evaluate_one(random_genome)
+            random_damages.append(damage)
+        assert greedy_damage <= np.mean(random_damages)
+
+    def test_zero_budget_hardens_nothing(self, problem):
+        genome = baselines.greedy_min_damage(problem, 0.0)
+        assert genome.sum() == 0
+
+
+class TestRandomSelection:
+    def test_budget_respected(self, problem):
+        budget = 0.2 * problem.max_cost
+        genome = baselines.random_selection(problem, budget, seed=1)
+        cost, _ = problem.evaluate_one(genome)
+        assert cost <= budget + 1e-9
+
+    def test_deterministic_in_seed(self, problem):
+        budget = 0.2 * problem.max_cost
+        first = baselines.random_selection(problem, budget, seed=2)
+        second = baselines.random_selection(problem, budget, seed=2)
+        assert (first == second).all()
+
+
+class TestWholeNetworkComparators:
+    def test_full_tmr_is_max_cost(self, problem):
+        assert baselines.full_tmr_cost(problem) == problem.max_cost
+
+    def test_fault_tolerant_overhead_positive(self, fig1_network):
+        assert baselines.fault_tolerant_overhead(fig1_network) > 0
+
+    def test_selective_hardening_cheaper_than_alternatives(self, problem):
+        """The paper's pitch: the 10%-damage selective solution costs far
+        less than protecting everything."""
+        cap = 0.10 * problem.max_damage
+        genome = baselines.greedy_min_cost(problem, cap)
+        assert genome is not None
+        cost, _ = problem.evaluate_one(genome)
+        assert cost < 0.8 * baselines.full_tmr_cost(problem)
+
+
+class TestExactParetoFront:
+    def test_points_match_genomes(self, problem):
+        from repro.core.baselines import exact_pareto_front
+
+        genomes, points = exact_pareto_front(problem)
+        for genome, (cost, damage) in zip(genomes, points):
+            got_cost, got_damage = problem.evaluate_one(genome)
+            assert got_cost == pytest.approx(cost)
+            assert got_damage == pytest.approx(damage)
+
+    def test_front_is_mutually_nondominated(self, problem):
+        from repro.core.baselines import exact_pareto_front
+        from repro.ea import domination_matrix
+
+        _, points = exact_pareto_front(problem)
+        assert not domination_matrix(points).any()
+
+    def test_contains_every_supported_point(self, problem):
+        """Supported (ratio-prefix) Pareto points are a subset of the
+        complete DP front."""
+        from repro.core.baselines import (
+            exact_pareto_front,
+            supported_front,
+        )
+        from repro.ea import dedupe_front
+
+        _, dp_points = exact_pareto_front(problem)
+        _, prefix_points = supported_front(problem)
+        supported = prefix_points[dedupe_front(prefix_points)]
+        dp_set = {tuple(p) for p in dp_points}
+        for cost, damage in supported:
+            # the DP must reach the same damage at cost <= the supported
+            # point's cost
+            assert any(
+                c <= cost + 1e-9 and d <= damage + 1e-9
+                for c, d in dp_points
+            )
+
+    def test_dominates_or_matches_greedy(self, problem):
+        from repro.core.baselines import exact_pareto_front, greedy_min_cost
+
+        _, dp_points = exact_pareto_front(problem)
+        cap = 0.10 * problem.max_damage
+        greedy = greedy_min_cost(problem, cap)
+        g_cost, _ = problem.evaluate_one(greedy)
+        best_dp = min(
+            cost for cost, damage in dp_points if damage <= cap + 1e-9
+        )
+        assert best_dp <= g_cost + 1e-9
+
+    def test_non_integer_costs_rejected(self, fig1_network):
+        from repro.analysis import analyze_damage
+        from repro.core.baselines import exact_pareto_front
+        from repro.core.problem import HardeningProblem
+        from repro.spec import PerBitCost, spec_for_network
+
+        spec = spec_for_network(fig1_network, seed=3)
+        report = analyze_damage(fig1_network, spec)
+        problem_frac = HardeningProblem(
+            fig1_network, report, PerBitCost(per_bit=0.5)
+        )
+        with pytest.raises(Exception):
+            exact_pareto_front(problem_frac)
+
+    def test_state_space_guard(self, problem):
+        from repro.core.baselines import exact_pareto_front
+        from repro.errors import OptimizationError
+
+        with pytest.raises(OptimizationError):
+            exact_pareto_front(problem, max_states=10)

@@ -1,0 +1,187 @@
+"""Unit and integration tests for the SelectiveHardening flow."""
+
+import numpy as np
+import pytest
+
+from repro.core import SelectiveHardening, default_population_size
+from repro.ea import dominates
+from repro.errors import OptimizationError
+from repro.spec import CriticalitySpec, UniformCost, spec_for_network
+
+
+@pytest.fixture
+def synthesis(fig1_network):
+    return SelectiveHardening(fig1_network, seed=3)
+
+
+class TestConstruction:
+    def test_defaults(self, synthesis, fig1_network):
+        assert synthesis.network is fig1_network
+        assert synthesis.max_cost > 0
+        assert synthesis.max_damage > 0
+
+    def test_report_cached(self, synthesis):
+        assert synthesis.report is synthesis.report
+
+    def test_spec_defaults_to_paper_random(self, fig1_network):
+        auto = SelectiveHardening(fig1_network, seed=9)
+        expected = spec_for_network(fig1_network, seed=9)
+        assert auto.spec == expected
+
+    def test_population_rule(self, fig1_network):
+        assert default_population_size(fig1_network) == 100
+
+    def test_population_rule_large(self):
+        from repro.bench.designs import build_design
+
+        network = build_design("p34392")  # 142 muxes
+        assert default_population_size(network) == 300
+
+
+class TestOptimize:
+    def test_spea2_run(self, synthesis):
+        result = synthesis.optimize(generations=40, population_size=24)
+        assert len(result.objectives) > 0
+        assert result.runtime_seconds > 0
+        assert result.ea_result.algorithm == "spea2"
+
+    def test_nsga2_run(self, synthesis):
+        result = synthesis.optimize(
+            generations=40, population_size=24, algorithm="nsga2"
+        )
+        assert result.ea_result.algorithm == "nsga2"
+
+    def test_unknown_algorithm_rejected(self, synthesis):
+        with pytest.raises(OptimizationError):
+            synthesis.optimize(generations=5, algorithm="anneal")
+
+    def test_front_has_cheap_and_robust_ends(self, synthesis):
+        result = synthesis.optimize(generations=80, population_size=40)
+        _, objs = result.front()
+        assert objs[0][0] < 0.2 * synthesis.max_cost
+        assert objs[-1][1] < 0.5 * synthesis.max_damage
+
+    def test_deterministic(self, fig1_network):
+        first = SelectiveHardening(fig1_network, seed=2).optimize(
+            generations=20, population_size=16
+        )
+        second = SelectiveHardening(fig1_network, seed=2).optimize(
+            generations=20, population_size=16
+        )
+        assert np.array_equal(first.objectives, second.objectives)
+
+
+class TestExactAndGreedy:
+    def test_exact_front_endpoints(self, synthesis):
+        exact = synthesis.exact_front()
+        _, points = exact.front()
+        assert points[0][0] == 0.0
+        assert points[-1][1] == pytest.approx(
+            synthesis.problem.floor_damage
+        )
+
+    def test_ea_front_not_dominating_exact(self, synthesis):
+        """Non-dominated supported points are Pareto-optimal: the EA can
+        match but never dominate them."""
+        exact = synthesis.exact_front()
+        _, exact_front = exact.front()
+        result = synthesis.optimize(generations=60, population_size=40)
+        for ea_point in result.objectives:
+            for exact_point in exact_front:
+                assert not dominates(ea_point, exact_point)
+
+    def test_ea_close_to_exact_on_small_network(self, synthesis):
+        """On a 10-candidate-scale problem the EA should essentially find
+        the supported front."""
+        exact = synthesis.exact_front()
+        result = synthesis.optimize(generations=150, population_size=60)
+        min_cost_exact = exact.min_cost_solution(0.10)
+        min_cost_ea = result.min_cost_solution(0.10)
+        assert min_cost_ea is not None
+        assert min_cost_ea.cost <= 1.3 * min_cost_exact.cost + 5
+
+    def test_greedy_result_solutions(self, synthesis):
+        greedy = synthesis.greedy_result()
+        min_cost = greedy.min_cost_solution(0.10)
+        assert min_cost is not None
+        assert min_cost.damage <= 0.10 * synthesis.max_damage + 1e-9
+        min_damage = greedy.min_damage_solution(0.10)
+        assert min_damage is not None
+        assert min_damage.cost <= 0.10 * synthesis.max_cost + 1e-9
+
+
+class TestHardenableModes:
+    def test_control_mode_has_fewer_candidates(self, fig1_network):
+        all_mode = SelectiveHardening(fig1_network, seed=1)
+        control_mode = SelectiveHardening(
+            fig1_network, seed=1, hardenable="control"
+        )
+        assert control_mode.problem.n_vars < all_mode.problem.n_vars
+
+    def test_control_mode_floor_is_segment_damage(self, fig1_network):
+        control_mode = SelectiveHardening(
+            fig1_network, seed=1, hardenable="control"
+        )
+        assert control_mode.problem.floor_damage == pytest.approx(
+            control_mode.report.unavoidable
+        )
+
+    def test_cost_model_override(self, fig1_network):
+        uniform = SelectiveHardening(
+            fig1_network, seed=1, cost_model=UniformCost()
+        )
+        assert uniform.max_cost == uniform.problem.n_vars
+
+
+class TestSolutions:
+    def test_solution_properties(self, synthesis):
+        result = synthesis.optimize(generations=60, population_size=40)
+        solution = result.min_damage_solution(0.15)
+        assert solution is not None
+        assert solution.n_hardened == len(solution.hardened)
+        assert 0 <= solution.cost_fraction <= 1
+        assert 0 <= solution.damage_fraction <= 1
+
+    def test_min_cost_none_when_infeasible(self, fig1_network):
+        spec = CriticalitySpec(
+            {name: (1.0, 1.0) for name in fig1_network.instrument_names()}
+        )
+        synthesis = SelectiveHardening(
+            fig1_network, spec=spec, hardenable="control", seed=1
+        )
+        result = synthesis.optimize(generations=20, population_size=16)
+        # segment damage floor makes <=1% residual damage unreachable
+        assert result.min_cost_solution(0.01) is None
+
+    def test_verify_critical_with_full_hardening(self, synthesis):
+        result = synthesis.optimize(generations=30, population_size=16)
+        genome = np.ones(synthesis.problem.n_vars, dtype=bool)
+        everything = result.solution(genome, label="all")
+        ok, offending = everything.verify_critical(synthesis.spec)
+        assert ok, offending
+
+
+class TestTopologyPreservation:
+    """Sec. V: 'The RSN topology is not affected by the presented method' —
+    the synthesis must never mutate the network, so every pre-existing
+    access pattern keeps working unchanged."""
+
+    def test_network_untouched_by_synthesis(self, fig1_network):
+        before_nodes = sorted(fig1_network.node_names())
+        before_edges = sorted(fig1_network.edges())
+        synthesis = SelectiveHardening(fig1_network, seed=0)
+        synthesis.optimize(generations=30, population_size=16)
+        assert sorted(fig1_network.node_names()) == before_nodes
+        assert sorted(fig1_network.edges()) == before_edges
+
+    def test_same_access_patterns_pass_after_hardening(self, fig1_network):
+        from repro.dft import full_test_sequence
+
+        sequence = full_test_sequence(fig1_network)
+        synthesis = SelectiveHardening(fig1_network, seed=0)
+        result = synthesis.optimize(generations=30, population_size=16)
+        solution = result.min_damage_solution(0.5)
+        assert solution is not None
+        # the hardened network is physically the same network; the
+        # original pattern sequence still passes verbatim
+        assert sequence.run() == []

@@ -1,0 +1,126 @@
+"""Unit tests for the hardening optimization problem."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_damage
+from repro.core.problem import HardeningProblem
+from repro.errors import OptimizationError
+from repro.spec import GateCountCost, UniformCost
+
+
+@pytest.fixture
+def fig1_problem(fig1_network, fig1_spec):
+    report = analyze_damage(fig1_network, fig1_spec)
+    return HardeningProblem(fig1_network, report, GateCountCost())
+
+
+class TestCandidates:
+    def test_all_mode_includes_units_and_segments(
+        self, fig1_network, fig1_spec
+    ):
+        report = analyze_damage(fig1_network, fig1_spec)
+        problem = HardeningProblem(
+            fig1_network, report, UniformCost(), hardenable="all"
+        )
+        names = set(problem.candidates)
+        assert set(fig1_network.unit_names()) <= names
+        assert {"a", "b", "c2", "d", "g"} <= names
+
+    def test_control_mode_units_only(self, fig1_network, fig1_spec):
+        report = analyze_damage(fig1_network, fig1_spec)
+        problem = HardeningProblem(
+            fig1_network, report, UniformCost(), hardenable="control"
+        )
+        assert set(problem.candidates) == set(fig1_network.unit_names())
+
+    def test_unknown_mode_rejected(self, fig1_network, fig1_spec):
+        report = analyze_damage(fig1_network, fig1_spec)
+        with pytest.raises(OptimizationError):
+            HardeningProblem(
+                fig1_network, report, UniformCost(), hardenable="some"
+            )
+
+    def test_chain_without_muxes_still_has_segment_candidates(
+        self, chain_network
+    ):
+        from repro.spec import uniform_spec
+
+        spec = uniform_spec(chain_network.instrument_names())
+        report = analyze_damage(chain_network, spec)
+        problem = HardeningProblem(
+            chain_network, report, UniformCost(), hardenable="all"
+        )
+        assert problem.n_vars == 3
+
+    def test_chain_control_mode_rejected(self, chain_network):
+        from repro.spec import uniform_spec
+
+        spec = uniform_spec(chain_network.instrument_names())
+        report = analyze_damage(chain_network, spec)
+        with pytest.raises(OptimizationError):
+            HardeningProblem(
+                chain_network, report, UniformCost(), hardenable="control"
+            )
+
+
+class TestEvaluation:
+    def test_empty_selection(self, fig1_problem):
+        genome = np.zeros(fig1_problem.n_vars, dtype=bool)
+        cost, damage = fig1_problem.evaluate_one(genome)
+        assert cost == 0.0
+        assert damage == fig1_problem.max_damage
+
+    def test_full_selection(self, fig1_problem):
+        genome = np.ones(fig1_problem.n_vars, dtype=bool)
+        cost, damage = fig1_problem.evaluate_one(genome)
+        assert cost == pytest.approx(fig1_problem.max_cost)
+        assert damage == pytest.approx(fig1_problem.floor_damage)
+
+    def test_fig1_floor_is_zero_with_all_hardenable(self, fig1_problem):
+        assert fig1_problem.floor_damage == pytest.approx(0.0)
+
+    def test_batch_matches_single(self, fig1_problem):
+        rng = np.random.default_rng(0)
+        genomes = rng.random((7, fig1_problem.n_vars)) < 0.5
+        batch = fig1_problem.evaluate(genomes)
+        for row, genome in zip(batch, genomes):
+            assert tuple(row) == pytest.approx(
+                fig1_problem.evaluate_one(genome)
+            )
+
+    def test_chunked_evaluation_consistent(self, fig1_problem):
+        rng = np.random.default_rng(1)
+        genomes = rng.random((11, fig1_problem.n_vars)) < 0.5
+        full = fig1_problem.evaluate(genomes)
+        original = HardeningProblem._CHUNK_FLOATS
+        try:
+            HardeningProblem._CHUNK_FLOATS = fig1_problem.n_vars * 2
+            chunked = fig1_problem.evaluate(genomes)
+        finally:
+            HardeningProblem._CHUNK_FLOATS = original
+        assert np.allclose(full, chunked)
+
+    def test_wrong_shape_rejected(self, fig1_problem):
+        with pytest.raises(OptimizationError):
+            fig1_problem.evaluate(np.zeros((2, 3), dtype=bool))
+
+    def test_damage_monotone_in_selection(self, fig1_problem):
+        genome = np.zeros(fig1_problem.n_vars, dtype=bool)
+        _, previous = fig1_problem.evaluate_one(genome)
+        for index in range(fig1_problem.n_vars):
+            genome[index] = True
+            _, current = fig1_problem.evaluate_one(genome)
+            assert current <= previous + 1e-9
+            previous = current
+
+
+class TestGenomeNaming:
+    def test_roundtrip(self, fig1_problem):
+        names = [fig1_problem.candidates[0], fig1_problem.candidates[-1]]
+        genome = fig1_problem.genome_of(names)
+        assert set(fig1_problem.selected_names(genome)) == set(names)
+
+    def test_unknown_candidate_rejected(self, fig1_problem):
+        with pytest.raises(OptimizationError):
+            fig1_problem.genome_of(["ghost"])

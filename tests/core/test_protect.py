@@ -1,0 +1,144 @@
+"""Unit tests for the critical-instrument protection extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_damage
+from repro.core import (
+    SelectiveHardening,
+    critical_threat_sites,
+    protect_critical_instruments,
+)
+from repro.core.problem import HardeningProblem
+from repro.spec import CriticalitySpec, UniformCost
+
+
+@pytest.fixture
+def fig1_setup(fig1_network):
+    spec = CriticalitySpec(
+        {
+            "i1": (100.0, 100.0),
+            "i2": (1.0, 1.0),
+            "i3": (1.0, 1.0),
+            "i4": (1.0, 1.0),
+            "i5": (1.0, 1.0),
+        },
+        critical_observation=["i1"],
+        critical_control=["i1"],
+    )
+    report = analyze_damage(fig1_network, spec)
+    problem = HardeningProblem(fig1_network, report, UniformCost())
+    return fig1_network, spec, problem
+
+
+class TestThreatSites:
+    def test_threats_include_own_segment_and_ancestor_muxes(
+        self, fig1_setup
+    ):
+        network, spec, _ = fig1_setup
+        threats = critical_threat_sites(network, spec)
+        # i1 lives on segment 'a' behind m1 -> m0 -> m2
+        assert {"a", "m1", "m0", "m2"} <= threats
+
+    def test_sibling_branch_not_a_threat(self, fig1_setup):
+        network, spec, _ = fig1_setup
+        threats = critical_threat_sites(network, spec)
+        assert "d" not in threats
+        assert "g" not in threats
+
+    def test_downstream_spine_is_a_threat(self, fig1_setup):
+        """c2 sits between m1 and m0 on i1's read-out path: its break cuts
+        i1's observability."""
+        network, spec, _ = fig1_setup
+        threats = critical_threat_sites(network, spec)
+        assert "c2" in threats
+
+    def test_no_criticals_no_threats(self, fig1_network):
+        spec = CriticalitySpec(
+            {name: (1.0, 1.0) for name in fig1_network.instrument_names()}
+        )
+        assert critical_threat_sites(fig1_network, spec) == set()
+
+
+class TestProtection:
+    def test_protected_solution_verifies(self, fig1_setup):
+        network, spec, problem = fig1_setup
+        solution, uncoverable = protect_critical_instruments(problem, spec)
+        assert not uncoverable
+        ok, offending = solution.verify_critical(spec)
+        assert ok, offending
+
+    def test_base_solution_extended_not_replaced(self, fig1_setup):
+        network, spec, problem = fig1_setup
+        base = np.zeros(problem.n_vars, dtype=bool)
+        base[problem.candidates.index("g")] = True
+        solution, _ = protect_critical_instruments(
+            problem, spec, base_genome=base
+        )
+        assert "g" in solution.hardened
+
+    def test_every_added_spot_is_necessary(self, fig1_setup):
+        """Dropping any added candidate re-exposes a critical."""
+        network, spec, problem = fig1_setup
+        solution, _ = protect_critical_instruments(problem, spec)
+        for position in np.flatnonzero(solution.genome):
+            reduced = solution.genome.copy()
+            reduced[position] = False
+            weakened = solution.problem
+            from repro.core.result import HardeningSolution
+
+            candidate = HardeningSolution(weakened, reduced)
+            ok, _ = candidate.verify_critical(spec)
+            assert not ok
+
+    def test_control_only_mode_reports_uncoverable(self, fig1_network):
+        spec = CriticalitySpec(
+            {
+                "i1": (100.0, 100.0),
+                "i4": (1.0, 1.0),
+            },
+            critical_observation=["i1"],
+        )
+        report = analyze_damage(fig1_network, spec)
+        problem = HardeningProblem(
+            fig1_network, report, UniformCost(), hardenable="control"
+        )
+        _, uncoverable = protect_critical_instruments(problem, spec)
+        # i1's own segment 'a' (and the spine segment c2) are threats no
+        # control unit covers
+        assert "a" in uncoverable
+
+    def test_integration_with_ea_front(self, fig1_network):
+        synthesis = SelectiveHardening(fig1_network, seed=4)
+        result = synthesis.optimize(generations=40, population_size=24)
+        base = result.min_damage_solution(0.3)
+        solution, uncoverable = protect_critical_instruments(
+            synthesis.problem, synthesis.spec, base_genome=base.genome
+        )
+        assert not uncoverable
+        ok, _ = solution.verify_critical(synthesis.spec)
+        assert ok
+        assert solution.cost >= base.cost
+
+
+class TestProtectionProperties:
+    def test_protection_sound_on_random_networks(self):
+        from hypothesis import given, settings, strategies as st
+
+        # inline property loop (explicit seeds keep runtime bounded)
+        from repro.bench.generators import random_network
+        from repro.rsn.ast import elaborate
+        from repro.spec import spec_for_network
+
+        for seed in range(12):
+            network = elaborate(
+                random_network(seed=seed, max_depth=2, max_items=3)
+            )
+            spec = spec_for_network(network, seed=seed)
+            synthesis = SelectiveHardening(network, spec=spec, seed=seed)
+            solution, uncoverable = protect_critical_instruments(
+                synthesis.problem, spec
+            )
+            assert not uncoverable
+            ok, offending = solution.verify_critical(spec)
+            assert ok, (seed, offending)

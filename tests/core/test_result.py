@@ -1,0 +1,106 @@
+"""Unit tests for HardeningResult / HardeningSolution."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_damage
+from repro.core.problem import HardeningProblem
+from repro.core.result import HardeningResult, HardeningSolution
+from repro.spec import UniformCost, spec_for_network
+
+
+@pytest.fixture
+def setup(fig1_network):
+    spec = spec_for_network(fig1_network, seed=1)
+    report = analyze_damage(fig1_network, spec)
+    problem = HardeningProblem(fig1_network, report, UniformCost())
+    genomes = np.zeros((3, problem.n_vars), dtype=bool)
+    genomes[1, :2] = True
+    genomes[2, :] = True
+    result = HardeningResult(problem, genomes, problem.evaluate(genomes))
+    return problem, result, spec
+
+
+class TestHardeningSolution:
+    def test_fields(self, setup):
+        problem, result, _ = setup
+        genome = np.zeros(problem.n_vars, dtype=bool)
+        genome[0] = True
+        solution = HardeningSolution(problem, genome, label="demo")
+        assert solution.n_hardened == 1
+        assert solution.cost == 1.0
+        assert solution.hardened == [problem.candidates[0]]
+        assert "demo" in repr(solution)
+
+    def test_fractions(self, setup):
+        problem, _, _ = setup
+        genome = np.ones(problem.n_vars, dtype=bool)
+        solution = HardeningSolution(problem, genome)
+        assert solution.cost_fraction == pytest.approx(1.0)
+        assert solution.damage_fraction == pytest.approx(
+            problem.floor_damage / problem.max_damage
+        )
+
+    def test_hardened_units_filters_segments(self, setup):
+        problem, _, _ = setup
+        genome = np.ones(problem.n_vars, dtype=bool)
+        solution = HardeningSolution(problem, genome)
+        unit_names = set(problem.network.unit_names())
+        assert set(solution.hardened_units()) == unit_names
+        assert len(solution.hardened) > len(solution.hardened_units())
+
+
+class TestExtractions:
+    def test_min_cost_picks_cheapest_feasible(self, setup):
+        problem, result, _ = setup
+        # full hardening reaches zero damage; the 2-spot genome may not
+        solution = result.min_cost_solution(damage_fraction=0.0001)
+        assert solution is not None
+        assert solution.n_hardened == problem.n_vars
+
+    def test_min_cost_none_when_unreachable(self, setup):
+        problem, result, _ = setup
+        impossible = -1.0  # no point has negative damage
+        assert result.min_cost_solution(damage_fraction=impossible) is None
+
+    def test_min_damage_respects_budget(self, setup):
+        problem, result, _ = setup
+        fraction = 2.5 / problem.n_vars
+        solution = result.min_damage_solution(cost_fraction=fraction)
+        assert solution is not None
+        assert solution.cost <= fraction * problem.max_cost
+
+    def test_min_damage_none_on_empty_budget(self, setup):
+        problem, result, _ = setup
+        # the zero genome has cost 0, so a tiny budget still admits it
+        solution = result.min_damage_solution(cost_fraction=0.0)
+        assert solution is not None
+        assert solution.n_hardened == 0
+
+    def test_front_deduped_and_sorted(self, setup):
+        _, result, _ = setup
+        _, objs = result.front()
+        assert (np.diff(objs[:, 0]) > 0).all()
+
+
+class TestSerialization:
+    def test_solution_to_dict_roundtrips_json(self, setup):
+        import json
+
+        problem, result, _ = setup
+        genome = np.zeros(problem.n_vars, dtype=bool)
+        genome[:3] = True
+        solution = HardeningSolution(problem, genome, label="x")
+        data = json.loads(json.dumps(solution.to_dict()))
+        assert data["label"] == "x"
+        assert len(data["hardened"]) == 3
+        assert data["cost"] == 3.0
+
+    def test_result_to_dict(self, setup):
+        import json
+
+        problem, result, _ = setup
+        data = json.loads(json.dumps(result.to_dict()))
+        assert data["max_cost"] == problem.max_cost
+        assert len(data["front"]) >= 1
+        assert data["min_cost_solution"] is not None

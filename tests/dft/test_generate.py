@@ -1,0 +1,81 @@
+"""Unit tests for structural test generation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generators import random_network
+from repro.dft import (
+    access_sweep_sequence,
+    full_test_sequence,
+    port_exercise_sequence,
+    untestable_ports,
+)
+from repro.rsn.ast import elaborate
+
+
+class TestPortExercise:
+    def test_fault_free_passes(self, fig1_network):
+        sequence = port_exercise_sequence(fig1_network)
+        assert sequence.run() == []
+
+    def test_every_port_noted(self, fig1_network):
+        sequence = port_exercise_sequence(fig1_network)
+        notes = {pattern.note for pattern in sequence}
+        for mux in fig1_network.muxes():
+            for port in range(mux.fanin):
+                assert f"port {mux.name}:{port}" in notes
+
+    def test_chain_without_muxes_is_empty(self, chain_network):
+        sequence = port_exercise_sequence(chain_network)
+        assert len(sequence) == 0
+
+    def test_sib_bypass_and_hosted_exercised(self, sib_network):
+        sequence = port_exercise_sequence(sib_network)
+        covered = sequence.covered_segments()
+        assert {"in1", "in2", "pre"} <= covered
+
+
+class TestAccessSweep:
+    def test_covers_all_data_segments(self, fig1_network):
+        sequence = access_sweep_sequence(fig1_network)
+        expected = {seg.name for seg in fig1_network.data_segments()}
+        assert expected <= sequence.covered_segments()
+
+    def test_fault_free_passes(self, nested_sib_network):
+        sequence = access_sweep_sequence(nested_sib_network)
+        assert sequence.run() == []
+
+    def test_subset_selection(self, chain_network):
+        # recording verifies everything on the active path, so neighbours
+        # of the requested segment ride along — by design
+        sequence = access_sweep_sequence(chain_network, segments=["s2"])
+        assert "s2" in sequence.covered_segments()
+        assert len(sequence) == 2  # one write, one read-back
+
+
+class TestFullSuite:
+    def test_covers_everything(self, fig1_network):
+        sequence = full_test_sequence(fig1_network)
+        data = {seg.name for seg in fig1_network.data_segments()}
+        assert data <= sequence.covered_segments()
+        assert sequence.run() == []
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=3_000))
+    def test_random_networks_fault_free_pass(self, seed):
+        network = elaborate(
+            random_network(seed=seed, max_depth=2, max_items=3)
+        )
+        sequence = full_test_sequence(network)
+        assert sequence.run() == []
+        data = {seg.name for seg in network.data_segments()}
+        assert data <= sequence.covered_segments()
+
+
+class TestUntestablePorts:
+    def test_none_on_dedicated_selects(self, fig1_network):
+        assert untestable_ports(fig1_network) == []
+
+    def test_none_on_shared_cell_parallel(self, shared_cell_network):
+        # both muxes want the same value simultaneously on any path, so
+        # each port remains individually reachable
+        assert untestable_ports(shared_cell_network) == []

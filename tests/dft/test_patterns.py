@@ -1,0 +1,77 @@
+"""Unit tests for scan test patterns and sequences."""
+
+import pytest
+
+from repro.analysis.faults import MuxStuck, SegmentBreak
+from repro.dft import PatternSequence, ScanPattern
+from repro.sim import ScanSimulator
+
+
+class TestScanPattern:
+    def test_clean_application_no_mismatch(self, chain_network):
+        simulator = ScanSimulator(chain_network)
+        write = ScanPattern(writes={"s2": [1, 0, 1]})
+        assert write.apply(simulator) == []
+        read = ScanPattern(expects={"s2": [1, 0, 1]})
+        assert read.apply(simulator, index=1) == []
+
+    def test_wrong_expectation_mismatches(self, chain_network):
+        simulator = ScanSimulator(chain_network)
+        pattern = ScanPattern(expects={"s2": [1, 1, 1]})
+        assert pattern.apply(simulator, index=4) == [(4, "s2")]
+
+    def test_write_off_path_counts_as_mismatch(self, sib_network):
+        simulator = ScanSimulator(sib_network)  # SIB closed: in1 off path
+        pattern = ScanPattern(writes={"in1": [0, 0]})
+        assert (0, "in1") in pattern.apply(simulator)
+
+    def test_expect_off_path_counts_as_mismatch(self, sib_network):
+        simulator = ScanSimulator(sib_network)
+        pattern = ScanPattern(expects={"in1": [0, 0]})
+        assert (0, "in1") in pattern.apply(simulator)
+
+    def test_unknown_bits_mismatch(self, chain_network):
+        simulator = ScanSimulator(
+            chain_network, faults=[SegmentBreak("s1")]
+        )
+        # shift once so the X from s1 reaches s2
+        simulator.scan_cycle({})
+        pattern = ScanPattern(expects={"s2": [0, 0, 0]})
+        simulator2 = ScanSimulator(
+            chain_network, faults=[SegmentBreak("s2")]
+        )
+        assert pattern.apply(simulator2) == [(0, "s2")]
+
+
+class TestPatternSequence:
+    def test_fault_free_run_passes(self, fig1_network):
+        from repro.dft import full_test_sequence
+
+        sequence = full_test_sequence(fig1_network)
+        assert sequence.run() == []
+
+    def test_syndrome_nonempty_under_fault(self, fig1_network):
+        from repro.dft import full_test_sequence
+
+        sequence = full_test_sequence(fig1_network)
+        syndrome = sequence.run(faults=[MuxStuck("m0", 1)])
+        assert syndrome
+
+    def test_covered_segments(self, chain_network):
+        sequence = PatternSequence(
+            chain_network,
+            [ScanPattern(expects={"s1": [0, 0]})],
+        )
+        assert sequence.covered_segments() == {"s1"}
+
+    def test_shift_bits_positive(self, fig1_network):
+        from repro.dft import port_exercise_sequence
+
+        sequence = port_exercise_sequence(fig1_network)
+        assert sequence.shift_bits() > 0
+
+    def test_len_and_iter(self, chain_network):
+        patterns = [ScanPattern(), ScanPattern()]
+        sequence = PatternSequence(chain_network, patterns)
+        assert len(sequence) == 2
+        assert list(sequence) == patterns

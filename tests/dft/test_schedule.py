@@ -1,0 +1,108 @@
+"""Unit tests for merged access scheduling."""
+
+import pytest
+
+from repro.dft import AccessRequest, merge_schedule
+from repro.errors import SimulationError
+
+
+def requests_for(network, *specs):
+    result = []
+    for name, op, *bits in specs:
+        result.append(
+            AccessRequest(
+                name, op, bits[0] if bits else None
+            )
+        )
+    return result
+
+
+class TestAccessRequest:
+    def test_write_needs_bits(self):
+        with pytest.raises(SimulationError):
+            AccessRequest("x", "write")
+
+    def test_bad_operation(self):
+        with pytest.raises(SimulationError):
+            AccessRequest("x", "poke")
+
+
+class TestMergeSchedule:
+    def test_reads_return_register_contents(self, chain_network):
+        result = merge_schedule(
+            chain_network,
+            requests_for(chain_network, ("a", "read"), ("b", "read")),
+        )
+        assert result.reads["a"] == [0, 0]
+        assert result.reads["b"] == [0, 0, 0]
+
+    def test_chain_accesses_merge_into_one_group(self, chain_network):
+        result = merge_schedule(
+            chain_network,
+            requests_for(
+                chain_network, ("a", "read"), ("b", "read"), ("c", "read")
+            ),
+        )
+        assert len(result.groups) == 1
+        assert result.savings > 0
+
+    def test_writes_land(self, fig1_network):
+        result = merge_schedule(
+            fig1_network,
+            [
+                AccessRequest("i1", "write", [1, 0]),
+                AccessRequest("i3", "write", [1, 1]),
+            ],
+        )
+        assert len(result.groups) == 1  # both on the m1-port0 path
+
+    def test_conflicting_branches_split_groups(self, fig1_network):
+        # i1 (m1 port 0) and i2 (m1 port 1) can never share a path
+        result = merge_schedule(
+            fig1_network,
+            [
+                AccessRequest("i1", "write", [1, 0]),
+                AccessRequest("i2", "write", [0, 1, 0]),
+            ],
+        )
+        assert len(result.groups) == 2
+
+    def test_mixed_read_write_group(self, sib_network):
+        result = merge_schedule(
+            sib_network,
+            [
+                AccessRequest("first", "write", [1, 0]),
+                AccessRequest("second", "read"),
+                AccessRequest("outside", "read"),
+            ],
+        )
+        assert len(result.groups) == 1
+        assert result.reads["second"] == [0, 0, 0]
+        assert result.reads["outside"] == [0, 0]
+
+    def test_savings_nonnegative_and_bounded(self, fig1_network):
+        names = fig1_network.instrument_names()
+        result = merge_schedule(
+            fig1_network,
+            [AccessRequest(name, "read") for name in names],
+        )
+        assert 0.0 <= result.savings < 1.0
+        assert result.csu_operations <= 2 * len(names)
+
+    def test_merged_matches_sequential_reads(self, fig1_network):
+        """Reading after writes via the merged scheduler returns exactly
+        what per-access retargeting would."""
+        from repro.sim import Retargeter, ScanSimulator
+
+        merged_sim = ScanSimulator(fig1_network)
+        merge_schedule(
+            fig1_network,
+            [AccessRequest("i4", "write", [1, 0, 1, 1])],
+            simulator=merged_sim,
+        )
+        result = merge_schedule(
+            fig1_network,
+            [AccessRequest("i4", "read")],
+            simulator=merged_sim,
+        )
+        assert result.reads["i4"] == [1, 0, 1, 1]

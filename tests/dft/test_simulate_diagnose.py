@@ -1,0 +1,124 @@
+"""Unit tests for fault simulation, coverage and diagnosis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.faults import (
+    ControlCellBreak,
+    MuxStuck,
+    SegmentBreak,
+    iter_all_faults,
+)
+from repro.bench.generators import fig1_example, random_network
+from repro.dft import (
+    FaultDictionary,
+    fault_coverage,
+    fault_syndrome,
+    full_test_sequence,
+)
+from repro.rsn.ast import elaborate
+
+
+@pytest.fixture(scope="module")
+def fig1_suite():
+    network = fig1_example()
+    return network, full_test_sequence(network)
+
+
+class TestFaultSyndrome:
+    def test_detected_stuck_fault(self, fig1_suite):
+        _, sequence = fig1_suite
+        detected, syndrome = fault_syndrome(sequence, MuxStuck("m0", 1))
+        assert detected and syndrome
+
+    def test_detected_break(self, fig1_suite):
+        _, sequence = fig1_suite
+        detected, syndrome = fault_syndrome(sequence, SegmentBreak("c2"))
+        assert detected and syndrome
+
+    def test_cell_break_worst_case_rule(self, fig1_suite):
+        _, sequence = fig1_suite
+        detected, _ = fault_syndrome(sequence, ControlCellBreak("m0.sel"))
+        assert detected
+
+
+class TestCoverage:
+    def test_full_coverage_on_fig1(self, fig1_suite):
+        _, sequence = fig1_suite
+        report = fault_coverage(sequence)
+        assert report.coverage == 1.0
+        assert not report.undetected
+
+    def test_subset_of_faults(self, fig1_suite):
+        _, sequence = fig1_suite
+        faults = [MuxStuck("m0", 0), MuxStuck("m0", 1)]
+        report = fault_coverage(sequence, faults=faults)
+        assert report.total == 2
+
+    def test_empty_sequence_detects_nothing(self, fig1_suite):
+        from repro.dft import PatternSequence
+
+        network, _ = fig1_suite
+        report = fault_coverage(PatternSequence(network, []))
+        assert report.coverage == 0.0
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1_500))
+    def test_high_coverage_on_random_networks(self, seed):
+        network = elaborate(
+            random_network(seed=seed, max_depth=2, max_items=2)
+        )
+        sequence = full_test_sequence(network)
+        report = fault_coverage(sequence)
+        assert report.coverage >= 0.9, report.undetected
+
+
+class TestDiagnosis:
+    def test_exact_diagnosis_of_injected_fault(self, fig1_suite):
+        _, sequence = fig1_suite
+        dictionary = FaultDictionary(sequence)
+        truth = MuxStuck("m2", 0)
+        observed = sequence.run(faults=[truth])
+        (best, score), *_ = dictionary.diagnose(observed)
+        assert score == 1.0
+        assert best == truth or observed == sorted(
+            dictionary.syndromes[best]
+        )
+
+    def test_perfect_resolution_on_fig1(self, fig1_suite):
+        _, sequence = fig1_suite
+        dictionary = FaultDictionary(sequence)
+        assert dictionary.resolution() == 1.0
+        assert dictionary.ambiguity_groups() == []
+
+    def test_passing_observation_matches_undetected(self, fig1_suite):
+        _, sequence = fig1_suite
+        dictionary = FaultDictionary(
+            sequence, faults=[MuxStuck("m0", 0), MuxStuck("m0", 1)]
+        )
+        ranked = dictionary.diagnose([])
+        # both faults are detected, so an empty syndrome matches neither
+        assert all(score < 1.0 for _, score in ranked)
+
+    def test_top_parameter(self, fig1_suite):
+        _, sequence = fig1_suite
+        dictionary = FaultDictionary(sequence)
+        observed = sequence.run(faults=[SegmentBreak("g")])
+        assert len(dictionary.diagnose(observed, top=3)) == 3
+
+    def test_dictionary_covers_all_modeled_faults(self, fig1_suite):
+        network, sequence = fig1_suite
+        dictionary = FaultDictionary(sequence)
+        assert len(dictionary.syndromes) == len(
+            list(iter_all_faults(network))
+        )
+
+
+class TestDictionaryFromCoverage:
+    def test_reuses_syndromes(self, fig1_suite):
+        from repro.dft import fault_coverage
+
+        _, sequence = fig1_suite
+        report = fault_coverage(sequence)
+        dictionary = FaultDictionary.from_coverage(sequence, report)
+        assert dictionary.syndromes == report.syndromes

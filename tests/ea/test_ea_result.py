@@ -1,0 +1,59 @@
+"""Unit tests for the EAResult container."""
+
+import numpy as np
+
+from repro.ea.result import EAResult
+
+
+def make_result(objectives, reference=(10.0, 10.0)):
+    objectives = np.asarray(objectives, dtype=float)
+    genomes = np.zeros((len(objectives), 4), dtype=bool)
+    for index in range(len(objectives)):
+        genomes[index, : index % 5] = True
+    return EAResult(
+        algorithm="test",
+        genomes=genomes,
+        objectives=objectives,
+        history=[{"generation": 1, "hypervolume": 1.0}],
+        generations=1,
+        n_evaluations=len(objectives),
+        seed=0,
+        reference=reference,
+    )
+
+
+class TestFront:
+    def test_front_drops_dominated(self):
+        result = make_result([[1, 3], [2, 2], [3, 3]])
+        _, front = result.front()
+        assert len(front) == 2
+
+    def test_front_drops_duplicates(self):
+        result = make_result([[1, 2], [1, 2]])
+        _, front = result.front()
+        assert len(front) == 1
+
+    def test_front_sorted_by_first_objective(self):
+        result = make_result([[3, 1], [1, 3], [2, 2]])
+        _, front = result.front()
+        assert list(front[:, 0]) == sorted(front[:, 0])
+
+
+class TestMetrics:
+    def test_hypervolume_against_reference(self):
+        result = make_result([[5, 5]])
+        assert result.hypervolume() == 25.0
+
+    def test_hypervolume_without_reference_is_zero(self):
+        result = make_result([[1, 1]], reference=None)
+        assert result.hypervolume() == 0.0
+
+    def test_best_for_objective(self):
+        result = make_result([[1, 9], [9, 1]])
+        _, best0 = result.best_for_objective(0)
+        _, best1 = result.best_for_objective(1)
+        assert best0[0] == 1.0
+        assert best1[1] == 1.0
+
+    def test_repr_mentions_algorithm(self):
+        assert "test" in repr(make_result([[1, 1]]))

@@ -1,0 +1,137 @@
+"""Unit tests for the NSGA-II implementation."""
+
+import numpy as np
+import pytest
+
+from repro.ea import NSGA2, SPEA2, domination_matrix, hypervolume_2d
+from repro.ea.nsga2 import _crowded_better, _elitist_selection
+from repro.errors import OptimizationError
+
+
+def linear_problem(n_vars=30, seed=0):
+    rng = np.random.default_rng(seed)
+    weights = rng.integers(1, 10, n_vars).astype(float)
+    values = rng.integers(1, 10, n_vars).astype(float)
+
+    class Linear:
+        def __init__(self):
+            self.n_vars = n_vars
+            self.n_objectives = 2
+
+        def evaluate(self, genomes):
+            g = np.asarray(genomes, dtype=float)
+            return np.stack([g @ weights, (1 - g) @ values], axis=1)
+
+    return Linear()
+
+
+class TestCrowdedComparison:
+    def test_rank_wins(self):
+        ranks = np.array([0, 1])
+        crowding = np.array([0.0, 10.0])
+        assert _crowded_better(ranks, crowding, np.array([0]), np.array([1]))[0]
+
+    def test_crowding_breaks_ties(self):
+        ranks = np.array([0, 0])
+        crowding = np.array([5.0, 1.0])
+        assert _crowded_better(ranks, crowding, np.array([0]), np.array([1]))[0]
+        assert not _crowded_better(
+            ranks, crowding, np.array([1]), np.array([0])
+        )[0]
+
+
+class TestElitistSelection:
+    def test_whole_front_fits(self):
+        objs = np.array([[0.0, 1.0], [1.0, 0.0], [2.0, 2.0]])
+        keep = _elitist_selection(objs, 2)
+        assert sorted(keep) == [0, 1]
+
+    def test_crowding_truncation(self):
+        objs = np.array(
+            [[0.0, 4.0], [1.9, 2.0], [2.0, 1.9], [4.0, 0.0]]
+        )
+        keep = _elitist_selection(objs, 3)
+        assert 0 in keep and 3 in keep  # extremes survive
+
+    def test_selection_size(self):
+        rng = np.random.default_rng(0)
+        objs = rng.random((25, 2))
+        assert len(_elitist_selection(objs, 10)) == 10
+
+
+class TestNSGA2Runs:
+    def test_deterministic_under_seed(self):
+        problem = linear_problem()
+        first = NSGA2(problem, population_size=20, seed=4).run(15)
+        second = NSGA2(problem, population_size=20, seed=4).run(15)
+        assert np.array_equal(first.objectives, second.objectives)
+
+    def test_result_is_first_front(self):
+        result = NSGA2(linear_problem(), population_size=24, seed=1).run(25)
+        assert not domination_matrix(result.objectives).any()
+
+    def test_hypervolume_improves(self):
+        result = NSGA2(linear_problem(), population_size=30, seed=2).run(60)
+        hv = [entry["hypervolume"] for entry in result.history]
+        assert hv[-1] >= hv[0]
+
+    def test_comparable_quality_to_spea2(self):
+        """Both optimizers should reach fronts of the same order of
+        hypervolume on an easy linear problem."""
+        problem = linear_problem(seed=3)
+        reference = (200.0, 200.0)
+        spea = SPEA2(problem, population_size=30, seed=0).run(60)
+        nsga = NSGA2(problem, population_size=30, seed=0).run(60)
+        hv_spea = hypervolume_2d(spea.objectives, reference)
+        hv_nsga = hypervolume_2d(nsga.objectives, reference)
+        assert hv_nsga > 0.7 * hv_spea
+        assert hv_spea > 0.7 * hv_nsga
+
+    def test_early_stop(self):
+        result = NSGA2(linear_problem(), population_size=20, seed=0).run(
+            100, early_stop=lambda history: len(history) >= 3
+        )
+        assert result.generations == 3
+
+    def test_bad_population_rejected(self):
+        with pytest.raises(OptimizationError):
+            NSGA2(linear_problem(), population_size=0)
+
+
+class TestTermination:
+    def test_hypervolume_stall(self):
+        from repro.ea import HypervolumeStall
+
+        stall = HypervolumeStall(patience=3, rel_tol=1e-3)
+        flat = [{"hypervolume": 100.0} for _ in range(10)]
+        assert stall(flat)
+        growing = [{"hypervolume": float(k + 1) * 50} for k in range(10)]
+        assert not stall(growing)
+
+    def test_hypervolume_stall_needs_history(self):
+        from repro.ea import HypervolumeStall
+
+        stall = HypervolumeStall(patience=5)
+        assert not stall([{"hypervolume": 1.0}])
+
+    def test_target_objective(self):
+        from repro.ea import TargetObjective
+
+        stop = TargetObjective(objective=1, target=10.0)
+        assert stop([{"best_obj1": 9.0}])
+        assert not stop([{"best_obj1": 11.0}])
+
+    def test_target_objective_missing_key(self):
+        from repro.ea import TargetObjective
+        from repro.errors import OptimizationError
+
+        stop = TargetObjective(objective=7, target=1.0)
+        with pytest.raises(OptimizationError):
+            stop([{"best_obj1": 0.0}])
+
+    def test_bad_patience_rejected(self):
+        from repro.ea import HypervolumeStall
+        from repro.errors import OptimizationError
+
+        with pytest.raises(OptimizationError):
+            HypervolumeStall(patience=0)

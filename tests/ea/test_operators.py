@@ -1,0 +1,176 @@
+"""Unit and property tests for the variation operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ea import (
+    binary_tournament,
+    bit_mutation,
+    init_population,
+    one_point_crossover,
+)
+from repro.errors import OptimizationError
+
+
+class TestInitPopulation:
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        pop = init_population(rng, 20, 15)
+        assert pop.shape == (20, 15)
+        assert pop.dtype == bool
+
+    def test_diverse_covers_density_range(self):
+        rng = np.random.default_rng(1)
+        pop = init_population(rng, 200, 50, style="diverse")
+        densities = pop.mean(axis=1)
+        assert densities.min() < 0.2
+        assert densities.max() > 0.8
+
+    def test_uniform_density_near_half(self):
+        rng = np.random.default_rng(2)
+        pop = init_population(rng, 200, 50, style="uniform")
+        assert 0.4 < pop.mean() < 0.6
+
+    def test_unknown_style_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(OptimizationError):
+            init_population(rng, 10, 5, style="magic")
+
+    def test_tiny_population_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(OptimizationError):
+            init_population(rng, 1, 5)
+
+
+class TestCrossover:
+    def test_offspring_bits_come_from_parents(self):
+        rng = np.random.default_rng(3)
+        parents = np.zeros((2, 10), dtype=bool)
+        parents[1] = True
+        children = one_point_crossover(rng, parents, p_crossover=1.0)
+        # each child must be a prefix of one parent + suffix of the other
+        combined = children[0] | children[1]
+        assert combined.all()
+        assert not (children[0] & children[1]).any()
+
+    def test_no_crossover_at_zero_probability(self):
+        rng = np.random.default_rng(4)
+        parents = np.zeros((4, 8), dtype=bool)
+        parents[::2] = True
+        children = one_point_crossover(rng, parents, p_crossover=0.0)
+        assert (children == parents).all()
+
+    def test_bit_conservation(self):
+        """One-point crossover conserves the multiset of bits per column
+        within each pair."""
+        rng = np.random.default_rng(5)
+        parents = rng.random((6, 12)) < 0.5
+        children = one_point_crossover(rng, parents, p_crossover=1.0)
+        for pair in range(0, 6, 2):
+            parent_sum = parents[pair].astype(int) + parents[pair + 1]
+            child_sum = children[pair].astype(int) + children[pair + 1]
+            assert (parent_sum == child_sum).all()
+
+    def test_odd_parent_count_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(OptimizationError):
+            one_point_crossover(
+                rng, np.zeros((3, 5), dtype=bool), p_crossover=1.0
+            )
+
+    def test_single_gene_genomes_pass_through(self):
+        rng = np.random.default_rng(0)
+        parents = np.array([[True], [False]])
+        children = one_point_crossover(rng, parents, p_crossover=1.0)
+        assert (children == parents).all()
+
+
+class TestMutation:
+    def test_zero_probability_identity(self):
+        rng = np.random.default_rng(6)
+        genomes = rng.random((5, 20)) < 0.5
+        assert (bit_mutation(rng, genomes, 0.0) == genomes).all()
+
+    def test_probability_one_flips_everything(self):
+        rng = np.random.default_rng(7)
+        genomes = np.zeros((3, 9), dtype=bool)
+        assert bit_mutation(rng, genomes, 1.0).all()
+
+    def test_original_untouched(self):
+        rng = np.random.default_rng(8)
+        genomes = np.zeros((2, 5), dtype=bool)
+        bit_mutation(rng, genomes, 1.0)
+        assert not genomes.any()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_flip_rate_statistic(self, seed):
+        rng = np.random.default_rng(seed)
+        genomes = np.zeros((50, 100), dtype=bool)
+        mutated = bit_mutation(rng, genomes, 0.05)
+        rate = mutated.mean()
+        assert 0.01 < rate < 0.12
+
+
+class TestTournament:
+    def test_lower_fitness_preferred(self):
+        rng = np.random.default_rng(9)
+        fitness = np.array([0.0, 100.0])
+        winners = binary_tournament(rng, fitness, 200)
+        # index 0 must win every mixed pairing: > half the draws overall
+        assert (winners == 0).mean() > 0.6
+
+    def test_count_respected(self):
+        rng = np.random.default_rng(10)
+        winners = binary_tournament(rng, np.array([1.0, 2.0, 3.0]), 17)
+        assert len(winners) == 17
+
+    def test_indices_in_range(self):
+        rng = np.random.default_rng(11)
+        winners = binary_tournament(rng, np.arange(5, dtype=float), 50)
+        assert winners.min() >= 0 and winners.max() < 5
+
+
+class TestLargeGenomeMutation:
+    def test_index_sampling_branch_statistics(self):
+        """Above the block threshold, mutation switches to index sampling;
+        the effective flip rate must stay close to p."""
+        import repro.ea.operators as ops
+
+        rng = np.random.default_rng(0)
+        genomes = np.zeros((4, 3_000_000), dtype=bool)
+        original = ops._BLOCK_CELLS
+        try:
+            ops._BLOCK_CELLS = 1_000_000
+            mutated = ops.bit_mutation(rng, genomes, 0.01)
+        finally:
+            ops._BLOCK_CELLS = original
+        rate = mutated.mean()
+        assert 0.008 < rate < 0.012
+        assert not genomes.any()  # input untouched
+
+    def test_index_sampling_zero_probability(self):
+        import repro.ea.operators as ops
+
+        rng = np.random.default_rng(1)
+        genomes = np.ones((2, 3_000_000), dtype=bool)
+        original = ops._BLOCK_CELLS
+        try:
+            ops._BLOCK_CELLS = 1_000_000
+            mutated = ops.bit_mutation(rng, genomes, 0.0)
+        finally:
+            ops._BLOCK_CELLS = original
+        assert mutated.all()
+
+    def test_blockwise_init_distribution(self):
+        import repro.ea.operators as ops
+
+        rng = np.random.default_rng(2)
+        original = ops._BLOCK_CELLS
+        try:
+            ops._BLOCK_CELLS = 10_000
+            population = ops.init_population(rng, 50, 2_000, style="uniform")
+        finally:
+            ops._BLOCK_CELLS = original
+        assert 0.45 < population.mean() < 0.55

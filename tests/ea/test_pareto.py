@@ -1,0 +1,148 @@
+"""Unit and property tests for Pareto utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ea import (
+    crowding_distance,
+    dedupe_front,
+    dominates,
+    domination_matrix,
+    fast_non_dominated_sort,
+    hypervolume_2d,
+    non_dominated_mask,
+    normalize,
+    pareto_front,
+)
+
+objective_arrays = hnp.arrays(
+    dtype=float,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=2, max_value=3),
+    ),
+    elements=st.floats(min_value=0, max_value=100, allow_nan=False),
+)
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates(np.array([1, 1]), np.array([2, 2]))
+
+    def test_partial_improvement_dominates(self):
+        assert dominates(np.array([1, 2]), np.array([1, 3]))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates(np.array([1, 2]), np.array([1, 2]))
+
+    def test_tradeoff_no_domination(self):
+        assert not dominates(np.array([1, 3]), np.array([2, 2]))
+        assert not dominates(np.array([2, 2]), np.array([1, 3]))
+
+
+class TestFronts:
+    def test_simple_front(self):
+        objs = np.array([[1, 3], [2, 2], [3, 1], [3, 3]])
+        front = pareto_front(objs)
+        assert list(front) == [0, 1, 2]
+
+    def test_duplicates_deduped(self):
+        objs = np.array([[1, 2], [1, 2], [0, 5]])
+        assert len(dedupe_front(objs)) == 2
+
+    def test_non_dominated_mask(self):
+        objs = np.array([[0, 0], [1, 1]])
+        assert list(non_dominated_mask(objs)) == [True, False]
+
+    def test_fast_sort_layers(self):
+        objs = np.array([[0, 0], [1, 1], [2, 2]])
+        fronts = fast_non_dominated_sort(objs)
+        assert [list(front) for front in fronts] == [[0], [1], [2]]
+
+    def test_fast_sort_partitions_population(self):
+        rng = np.random.default_rng(0)
+        objs = rng.random((40, 2))
+        fronts = fast_non_dominated_sort(objs)
+        indices = sorted(int(i) for front in fronts for i in front)
+        assert indices == list(range(40))
+
+    @settings(max_examples=40, deadline=None)
+    @given(objs=objective_arrays)
+    def test_first_front_mutually_nondominated(self, objs):
+        front = fast_non_dominated_sort(objs)[0]
+        matrix = domination_matrix(objs[front])
+        assert not matrix.any()
+
+    @settings(max_examples=40, deadline=None)
+    @given(objs=objective_arrays)
+    def test_front_members_not_dominated_by_anyone(self, objs):
+        for index in pareto_front(objs):
+            for other in objs:
+                assert not dominates(other, objs[index]) or np.array_equal(
+                    other, objs[index]
+                )
+
+
+class TestCrowding:
+    def test_extremes_infinite(self):
+        objs = np.array([[0, 4], [1, 3], [2, 2], [4, 0]])
+        crowd = crowding_distance(objs)
+        assert np.isinf(crowd[0])
+        assert np.isinf(crowd[-1])
+        assert np.isfinite(crowd[1:3]).all()
+
+    def test_small_fronts_all_infinite(self):
+        assert np.isinf(crowding_distance(np.array([[1, 2]]))).all()
+        assert np.isinf(crowding_distance(np.array([[1, 2], [2, 1]]))).all()
+
+    def test_degenerate_objective_span(self):
+        objs = np.array([[1, 1], [1, 1], [1, 1]])
+        crowd = crowding_distance(objs)
+        assert np.isinf(crowd[0])
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume_2d(np.array([[1, 1]]), (3, 3)) == 4.0
+
+    def test_two_point_staircase(self):
+        objs = np.array([[1, 2], [2, 1]])
+        # (3-1)*(3-2) + (3-2)*(2-1) = 2 + 1 = 3
+        assert hypervolume_2d(objs, (3, 3)) == 3.0
+
+    def test_points_beyond_reference_ignored(self):
+        objs = np.array([[5, 5], [1, 1]])
+        assert hypervolume_2d(objs, (3, 3)) == 4.0
+
+    def test_dominated_points_do_not_add(self):
+        objs = np.array([[1, 1], [2, 2]])
+        assert hypervolume_2d(objs, (3, 3)) == 4.0
+
+    def test_wrong_shape_rejected(self):
+        from repro.errors import OptimizationError
+
+        with pytest.raises(OptimizationError):
+            hypervolume_2d(np.array([1.0, 2.0]), (3, 3))
+
+    @settings(max_examples=30, deadline=None)
+    @given(objs=objective_arrays.filter(lambda a: a.shape[1] == 2))
+    def test_hypervolume_monotone_in_points(self, objs):
+        reference = (101.0, 101.0)
+        partial = hypervolume_2d(objs[: max(1, len(objs) // 2)], reference)
+        full = hypervolume_2d(objs, reference)
+        assert full >= partial - 1e-9
+
+
+class TestNormalize:
+    def test_unit_range(self):
+        objs = np.array([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+        norm = normalize(objs)
+        assert norm.min() == 0.0
+        assert norm.max() == 1.0
+
+    def test_degenerate_column(self):
+        objs = np.array([[1.0, 5.0], [1.0, 6.0]])
+        norm = normalize(objs)
+        assert (norm[:, 0] == 0).all()

@@ -1,0 +1,58 @@
+"""Unit tests for dominator / post-dominator relations."""
+
+from repro.graph import (
+    dominates,
+    immediate_dominators,
+    immediate_post_dominators,
+    post_dominates,
+)
+
+
+class TestDominators:
+    def test_scan_in_dominates_everything(self, fig1_network):
+        for name in fig1_network.node_names():
+            assert dominates(fig1_network, fig1_network.scan_in, name)
+
+    def test_scan_out_post_dominates_everything(self, fig1_network):
+        for name in fig1_network.node_names():
+            assert post_dominates(fig1_network, fig1_network.scan_out, name)
+
+    def test_paper_fact_m0_dominates_c2(self, fig1_network):
+        """Sec. III: all paths through c2 traverse m0 — in graph terms m0
+        post-dominates c2 (c2's data must pass m0 to reach scan-out)."""
+        assert post_dominates(fig1_network, "m0", "c2")
+
+    def test_paper_fact_m2_dominates_m1(self, fig1_network):
+        assert post_dominates(fig1_network, "m2", "m1")
+        assert post_dominates(fig1_network, "m0", "m1")
+
+    def test_branch_does_not_dominate_sibling(self, fig1_network):
+        assert not dominates(fig1_network, "a", "b")
+        assert not post_dominates(fig1_network, "a", "b")
+        assert not post_dominates(fig1_network, "m1", "d")
+
+    def test_self_domination(self, fig1_network):
+        assert dominates(fig1_network, "c2", "c2")
+        assert post_dominates(fig1_network, "c2", "c2")
+
+    def test_chain_dominators_are_linear(self, chain_network):
+        idom = immediate_dominators(chain_network)
+        assert idom["s2"] == "s1"
+        assert idom["s3"] == "s2"
+
+    def test_chain_post_dominators_are_linear(self, chain_network):
+        ipdom = immediate_post_dominators(chain_network)
+        assert ipdom["s1"] == "s2"
+        assert ipdom["s2"] == "s3"
+
+    def test_immediate_post_dominator_of_fanout_is_closing_mux(
+        self, sib_network
+    ):
+        ipdom = immediate_post_dominators(sib_network)
+        fanouts = [
+            name
+            for name in sib_network.node_names()
+            if len(sib_network.successors(name)) > 1
+        ]
+        assert len(fanouts) == 1
+        assert ipdom[fanouts[0]] == "sib0.mux"

@@ -1,0 +1,92 @@
+"""Unit tests for stems, reconvergence gates and stem regions."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generators import random_network
+from repro.graph import (
+    closing_reconvergence,
+    fanout_stems,
+    reconvergence_gates,
+    stem_region,
+)
+from repro.graph.reconvergence import closing_reconvergence_fast
+from repro.rsn.ast import elaborate
+
+
+class TestFanoutStems:
+    def test_chain_has_no_stems(self, chain_network):
+        assert fanout_stems(chain_network) == []
+
+    def test_fig1_has_three_stems(self, fig1_network):
+        assert len(fanout_stems(fig1_network)) == 3
+
+    def test_stems_have_multiple_successors(self, fig1_network):
+        for stem in fanout_stems(fig1_network):
+            assert len(fig1_network.successors(stem)) > 1
+
+
+class TestReconvergenceGates:
+    def test_innermost_stem_reconverges_at_m1(self, fig1_network):
+        stems = fanout_stems(fig1_network)
+        gates = {stem: reconvergence_gates(fig1_network, stem) for stem in stems}
+        # exactly one stem has m1 as its (only) gate
+        m1_stems = [s for s, g in gates.items() if g == ["m1"]]
+        assert len(m1_stems) == 1
+
+    def test_gates_are_muxes(self, fig1_network):
+        from repro.rsn.primitives import NodeKind
+
+        for stem in fanout_stems(fig1_network):
+            for gate in reconvergence_gates(fig1_network, stem):
+                assert fig1_network.node(gate).kind is NodeKind.MUX
+
+    def test_non_stem_has_no_gates(self, fig1_network):
+        assert reconvergence_gates(fig1_network, "c2") == []
+
+
+class TestClosingReconvergence:
+    def test_sib_stem_closes_at_its_mux(self, sib_network):
+        stem = fanout_stems(sib_network)[0]
+        assert closing_reconvergence(sib_network, stem) == "sib0.mux"
+
+    def test_single_gate_is_closing(self, fig1_network):
+        for stem in fanout_stems(fig1_network):
+            gates = reconvergence_gates(fig1_network, stem)
+            closing = closing_reconvergence(fig1_network, stem)
+            assert closing in gates
+
+    def test_chain_segment_has_none(self, chain_network):
+        assert closing_reconvergence(chain_network, "s1") is None
+
+    def test_fast_variant_agrees(self, fig1_network):
+        for stem in fanout_stems(fig1_network):
+            assert closing_reconvergence_fast(
+                fig1_network, stem
+            ) == closing_reconvergence(fig1_network, stem)
+
+
+class TestStemRegion:
+    def test_region_contains_both_branches(self, sib_network):
+        stem = fanout_stems(sib_network)[0]
+        region = stem_region(sib_network, stem)
+        assert {"in1", "in2", "sib0.mux"} <= region
+        assert "pre" not in region
+
+    def test_region_of_non_stem_is_empty(self, chain_network):
+        assert stem_region(chain_network, "s2") == set()
+
+    def test_region_excludes_stem_itself(self, fig1_network):
+        for stem in fanout_stems(fig1_network):
+            assert stem not in stem_region(fig1_network, stem)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_fast_and_flow_closing_agree_on_sp_networks(seed):
+    """On SP networks, the post-dominator shortcut equals the flow-based
+    closing reconvergence for every fan-out stem."""
+    network = elaborate(random_network(seed=seed, max_depth=2, max_items=3))
+    for stem in fanout_stems(network):
+        assert closing_reconvergence_fast(
+            network, stem
+        ) == closing_reconvergence(network, stem)

@@ -1,0 +1,138 @@
+"""Unit tests for the hierarchical AST and its elaboration."""
+
+import pytest
+
+from repro.errors import BuilderError
+from repro.rsn.ast import (
+    ControlCellDecl,
+    MuxDecl,
+    NetworkDecl,
+    SegmentDecl,
+    SibDecl,
+    elaborate,
+)
+from repro.rsn.primitives import NodeKind
+
+
+def simple_decl():
+    return NetworkDecl(
+        "simple",
+        [
+            SegmentDecl("s1", length=2, instrument="i1"),
+            SibDecl("sib", [SegmentDecl("s2", length=3, instrument="i2")]),
+            ControlCellDecl("sel"),
+            MuxDecl(
+                "m",
+                [[SegmentDecl("s3", length=1, instrument="i3")], []],
+                control="sel",
+            ),
+        ],
+    )
+
+
+class TestDeclValidation:
+    def test_sib_requires_children(self):
+        with pytest.raises(BuilderError):
+            SibDecl("empty", [])
+
+    def test_mux_requires_two_branches(self):
+        with pytest.raises(BuilderError):
+            MuxDecl("m", [[SegmentDecl("s")]])
+
+    def test_mux_requires_some_content(self):
+        with pytest.raises(BuilderError):
+            MuxDecl("m", [[], []])
+
+    def test_equality_is_structural(self):
+        assert simple_decl() == simple_decl()
+        other = simple_decl()
+        other.items[0].length = 99
+        assert simple_decl() != other
+
+
+class TestWalkAndCounts:
+    def test_walk_is_scan_order(self):
+        names = [
+            item.name for item in simple_decl().walk()
+        ]
+        assert names == ["s1", "sib", "s2", "sel", "m", "s3"]
+
+    def test_counts(self):
+        assert simple_decl().counts() == (3, 2)
+
+    def test_counts_of_nested_mux_branches(self):
+        decl = NetworkDecl(
+            "deep",
+            [
+                MuxDecl(
+                    "m1",
+                    [
+                        [SibDecl("s", [SegmentDecl("a")])],
+                        [SegmentDecl("b")],
+                    ],
+                )
+            ],
+        )
+        assert decl.counts() == (2, 2)
+
+
+class TestElaboration:
+    def test_node_census(self):
+        net = elaborate(simple_decl())
+        kinds = {}
+        for node in net.nodes():
+            kinds[node.kind] = kinds.get(node.kind, 0) + 1
+        assert kinds[NodeKind.SEGMENT] == 5  # s1 s2 s3 + sib.bit + sel
+        assert kinds[NodeKind.MUX] == 2
+        assert kinds[NodeKind.FANOUT] == 2
+
+    def test_scan_path_connectivity(self):
+        net = elaborate(simple_decl())
+        net.validate()
+
+    def test_sib_unit_registered(self):
+        net = elaborate(simple_decl())
+        unit = net.unit("sib")
+        assert unit.is_sib
+        assert unit.cells == ("sib.bit",)
+        assert unit.muxes == ("sib.mux",)
+
+    def test_shared_cell_unit_registered(self):
+        net = elaborate(simple_decl())
+        unit = net.unit("unit.sel")
+        assert unit.muxes == ("m",)
+        assert unit.cells == ("sel",)
+
+    def test_empty_network_elaborates(self):
+        net = elaborate(NetworkDecl("empty", []))
+        assert net.successors(net.scan_in) == (net.scan_out,)
+
+    def test_skip_validation_flag(self):
+        decl = NetworkDecl(
+            "bad",
+            [MuxDecl("m", [[SegmentDecl("a")], []], control="ghost")],
+        )
+        net = elaborate(decl, validate=False)
+        assert "m" in net
+        with pytest.raises(Exception):
+            net.validate()
+
+    def test_mux_port_order_matches_branch_order(self):
+        decl = NetworkDecl(
+            "ports",
+            [
+                MuxDecl(
+                    "m",
+                    [
+                        [SegmentDecl("b0")],
+                        [],
+                        [SegmentDecl("b2")],
+                    ],
+                )
+            ],
+        )
+        net = elaborate(decl)
+        preds = net.predecessors("m")
+        assert preds[0] == "b0"
+        assert net.node(preds[1]).kind is NodeKind.FANOUT
+        assert preds[2] == "b2"

@@ -1,0 +1,197 @@
+"""Unit tests for the fluent hierarchical builder."""
+
+import pytest
+
+from repro.errors import BuilderError, ValidationError
+from repro.rsn import RsnBuilder, sib_bit_name, sib_mux_name
+from repro.rsn.ast import MuxDecl, SegmentDecl, SibDecl
+from repro.rsn.primitives import NodeKind, SegmentRole
+
+
+class TestSegments:
+    def test_explicit_names_and_instruments(self):
+        builder = RsnBuilder()
+        decl = builder.segment("s", length=4, instrument="temp")
+        assert decl == SegmentDecl("s", length=4, instrument="temp")
+
+    def test_auto_names_are_unique(self):
+        builder = RsnBuilder()
+        first = builder.segment()
+        second = builder.segment()
+        assert first.name != second.name
+
+    def test_instrument_true_autoderives_name(self):
+        builder = RsnBuilder()
+        decl = builder.segment("core", instrument=True)
+        assert decl.instrument == "i_core"
+
+    def test_duplicate_name_rejected(self):
+        builder = RsnBuilder()
+        builder.segment("s")
+        with pytest.raises(BuilderError):
+            builder.segment("s")
+
+    def test_duplicate_across_kinds_rejected(self):
+        builder = RsnBuilder()
+        builder.segment("x")
+        with pytest.raises(BuilderError):
+            builder.control_cell("x")
+
+
+class TestSib:
+    def test_sib_collects_children(self):
+        builder = RsnBuilder()
+        with builder.sib("s0"):
+            builder.segment("inner")
+        ast = builder.ast()
+        assert isinstance(ast.items[0], SibDecl)
+        assert ast.items[0].children[0].name == "inner"
+
+    def test_empty_sib_rejected(self):
+        builder = RsnBuilder()
+        with pytest.raises(BuilderError):
+            with builder.sib("s0"):
+                pass
+
+    def test_nested_sibs(self):
+        builder = RsnBuilder()
+        with builder.sib("outer"):
+            with builder.sib("inner"):
+                builder.segment("deep")
+        net = builder.build()
+        assert sib_mux_name("outer") in net
+        assert sib_bit_name("inner") in net
+
+    def test_elaborated_sib_structure(self):
+        builder = RsnBuilder()
+        with builder.sib("s0"):
+            builder.segment("inner")
+        net = builder.build()
+        bit = net.node(sib_bit_name("s0"))
+        mux = net.node(sib_mux_name("s0"))
+        assert bit.role is SegmentRole.SIB
+        assert mux.control_cell == bit.name
+        assert mux.sib_of == "s0"
+        # port 0 is the bypass (a fanout), port 1 the hosted chain tail
+        preds = net.predecessors(mux.name)
+        assert net.node(preds[0]).kind is NodeKind.FANOUT
+        assert preds[1] == "inner"
+
+
+class TestMux:
+    def test_branches_in_declaration_order(self):
+        builder = RsnBuilder()
+        with builder.mux("m") as mux:
+            with mux.branch():
+                builder.segment("first")
+            with mux.branch():
+                builder.segment("second")
+        net = builder.build()
+        assert net.predecessors("m") == ("first", "second")
+
+    def test_bypass_branch_allowed(self):
+        builder = RsnBuilder()
+        with builder.mux("m") as mux:
+            with mux.branch():
+                builder.segment("only")
+            with mux.branch():
+                pass
+        net = builder.build()
+        preds = net.predecessors("m")
+        assert preds[0] == "only"
+        assert net.node(preds[1]).kind is NodeKind.FANOUT
+
+    def test_single_branch_rejected(self):
+        builder = RsnBuilder()
+        with pytest.raises(BuilderError):
+            with builder.mux("m") as mux:
+                with mux.branch():
+                    builder.segment("only")
+
+    def test_all_bypass_branches_rejected(self):
+        builder = RsnBuilder()
+        with pytest.raises(BuilderError):
+            with builder.mux("m") as mux:
+                with mux.branch():
+                    pass
+                with mux.branch():
+                    pass
+
+    def test_dedicated_select_cell_elaborated(self):
+        builder = RsnBuilder()
+        with builder.mux("m") as mux:
+            with mux.branch():
+                builder.segment("a")
+            with mux.branch():
+                builder.segment("b")
+        net = builder.build()
+        assert net.node("m").control_cell == "m.sel"
+        assert net.node("m.sel").is_control
+
+    def test_three_branch_mux_gets_two_bit_select(self):
+        builder = RsnBuilder()
+        with builder.mux("m") as mux:
+            for name in ("a", "b", "c"):
+                with mux.branch():
+                    builder.segment(name)
+        net = builder.build()
+        assert net.node("m.sel").length == 2
+
+    def test_shared_control_cell(self):
+        builder = RsnBuilder()
+        builder.control_cell("sel")
+        for mux_name in ("m1", "m2"):
+            with builder.mux(mux_name, control="sel") as mux:
+                with mux.branch():
+                    builder.segment(f"{mux_name}_a")
+                with mux.branch():
+                    pass
+        net = builder.build()
+        unit = net.unit("unit.sel")
+        assert set(unit.muxes) == {"m1", "m2"}
+
+    def test_unknown_control_cell_fails_validation(self):
+        builder = RsnBuilder()
+        with builder.mux("m", control="ghost") as mux:
+            with mux.branch():
+                builder.segment("a")
+            with mux.branch():
+                pass
+        with pytest.raises(Exception):
+            builder.build()
+
+
+class TestBuild:
+    def test_counts_match_declarations(self):
+        builder = RsnBuilder()
+        builder.segment("s1")
+        with builder.sib("sib"):
+            builder.segment("s2")
+        with builder.mux("m") as mux:
+            with mux.branch():
+                builder.segment("s3")
+            with mux.branch():
+                pass
+        net = builder.build()
+        assert net.counts() == (3, 2)
+
+    def test_build_validates_by_default(self):
+        builder = RsnBuilder()
+        builder.segment("s")
+        net = builder.build()
+        net.validate()  # must not raise
+
+    def test_ast_roundtrip_counts(self):
+        builder = RsnBuilder("x")
+        builder.segment("s1", instrument=True)
+        with builder.sib("sib"):
+            builder.segment("s2")
+        assert builder.ast().counts() == (2, 1)
+
+    def test_unbalanced_scopes_detected(self):
+        builder = RsnBuilder()
+        ctx = builder.sib("s")
+        ctx.__enter__()
+        builder.segment("inner")
+        with pytest.raises(BuilderError):
+            builder.ast()

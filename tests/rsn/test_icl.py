@@ -1,0 +1,144 @@
+"""Unit and property tests for the textual network format."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generators import random_network
+from repro.errors import IclFormatError
+from repro.rsn import icl
+from repro.rsn.ast import (
+    ControlCellDecl,
+    MuxDecl,
+    NetworkDecl,
+    SegmentDecl,
+    SibDecl,
+)
+
+EXAMPLE = """\
+network demo
+  segment temp0 length=8 instrument=temp_sensor
+  sib core_sib
+    segment bist length=16 instrument=mbist
+  control cfg0 length=1
+  mux m0 control=cfg0
+    branch
+      segment dbg length=4 instrument=debug
+    branch
+"""
+
+
+class TestLoads:
+    def test_example_parses(self):
+        decl = icl.loads(EXAMPLE)
+        assert decl.name == "demo"
+        assert decl.counts() == (3, 2)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\nnetwork x\n  segment s  # trailing\n"
+        decl = icl.loads(text)
+        assert decl.items == [SegmentDecl("s", length=1)]
+
+    def test_defaults(self):
+        decl = icl.loads("network x\n  segment s\n")
+        assert decl.items[0].length == 1
+        assert decl.items[0].instrument is None
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(IclFormatError):
+            icl.loads("")
+
+    def test_missing_network_header_rejected(self):
+        with pytest.raises(IclFormatError):
+            icl.loads("segment s\n")
+
+    def test_bad_indentation_rejected(self):
+        with pytest.raises(IclFormatError) as excinfo:
+            icl.loads("network x\n   segment s\n")
+        assert excinfo.value.line == 2
+
+    def test_tabs_rejected(self):
+        with pytest.raises(IclFormatError):
+            icl.loads("network x\n\tsegment s\n")
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(IclFormatError):
+            icl.loads("network x\n  gizmo g\n")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(IclFormatError):
+            icl.loads("network x\n  segment s width=3\n")
+
+    def test_non_integer_length_rejected(self):
+        with pytest.raises(IclFormatError):
+            icl.loads("network x\n  segment s length=wide\n")
+
+    def test_duplicate_option_rejected(self):
+        with pytest.raises(IclFormatError):
+            icl.loads("network x\n  segment s length=1 length=2\n")
+
+    def test_empty_sib_rejected(self):
+        with pytest.raises(IclFormatError):
+            icl.loads("network x\n  sib s\n  segment t\n")
+
+    def test_single_branch_mux_rejected(self):
+        text = "network x\n  mux m\n    branch\n      segment s\n"
+        with pytest.raises(IclFormatError):
+            icl.loads(text)
+
+    def test_branch_with_name_rejected(self):
+        text = (
+            "network x\n  mux m\n    branch b\n      segment s\n"
+            "    branch\n"
+        )
+        with pytest.raises(IclFormatError):
+            icl.loads(text)
+
+    def test_nameless_segment_rejected(self):
+        with pytest.raises(IclFormatError):
+            icl.loads("network x\n  segment\n")
+
+    def test_over_indentation_rejected(self):
+        with pytest.raises(IclFormatError):
+            icl.loads("network x\n    segment s\n")
+
+
+class TestDumps:
+    def test_example_roundtrip(self):
+        decl = icl.loads(EXAMPLE)
+        assert icl.loads(icl.dumps(decl)) == decl
+
+    def test_dump_format_is_stable(self):
+        decl = icl.loads(EXAMPLE)
+        assert icl.dumps(decl) == icl.dumps(icl.loads(icl.dumps(decl)))
+
+    def test_nested_structures(self):
+        decl = NetworkDecl(
+            "nested",
+            [
+                SibDecl(
+                    "outer",
+                    [
+                        MuxDecl(
+                            "m",
+                            [[SegmentDecl("a")], []],
+                        ),
+                        ControlCellDecl("c", length=2),
+                    ],
+                )
+            ],
+        )
+        assert icl.loads(icl.dumps(decl)) == decl
+
+    def test_file_roundtrip(self, tmp_path):
+        decl = icl.loads(EXAMPLE)
+        path = tmp_path / "net.rsn"
+        icl.dump(decl, path)
+        assert icl.load(path) == decl
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_random_networks_roundtrip(seed):
+    """dumps/loads is the identity on arbitrary generated descriptions."""
+    decl = random_network(seed=seed)
+    assert icl.loads(icl.dumps(decl)) == decl

@@ -1,0 +1,212 @@
+"""Unit tests for the RSN graph container and its validation."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateNameError,
+    UnknownNodeError,
+    ValidationError,
+)
+from repro.rsn.network import RsnNetwork
+from repro.rsn.primitives import ControlUnit, NodeKind, SegmentRole
+
+
+def minimal_network():
+    net = RsnNetwork("minimal")
+    net.add_scan_in()
+    net.add_scan_out()
+    net.add_segment("s", length=2, instrument="i")
+    net.add_edge("scan_in", "s")
+    net.add_edge("s", "scan_out")
+    return net
+
+
+def mux_network():
+    net = RsnNetwork("muxed")
+    net.add_scan_in()
+    net.add_scan_out()
+    net.add_segment("sel", role=SegmentRole.CONTROL)
+    net.add_fanout("f")
+    net.add_segment("a", instrument="ia")
+    net.add_segment("b", instrument="ib")
+    net.add_mux("m", fanin=2, control_cell="sel")
+    net.add_edge("scan_in", "sel")
+    net.add_edge("sel", "f")
+    net.add_edge("f", "a")
+    net.add_edge("f", "b")
+    net.add_edge("a", "m")
+    net.add_edge("b", "m")
+    net.add_edge("m", "scan_out")
+    return net
+
+
+class TestConstruction:
+    def test_minimal_network_validates(self):
+        minimal_network().validate()
+
+    def test_mux_network_validates(self):
+        mux_network().validate()
+
+    def test_duplicate_node_name_rejected(self):
+        net = RsnNetwork()
+        net.add_segment("s")
+        with pytest.raises(DuplicateNameError):
+            net.add_segment("s")
+
+    def test_duplicate_instrument_rejected(self):
+        net = RsnNetwork()
+        net.add_segment("s1", instrument="i")
+        with pytest.raises(DuplicateNameError):
+            net.add_segment("s2", instrument="i")
+
+    def test_second_scan_in_rejected(self):
+        net = RsnNetwork()
+        net.add_scan_in()
+        with pytest.raises(DuplicateNameError):
+            net.add_scan_in("another")
+
+    def test_edge_to_unknown_node_rejected(self):
+        net = RsnNetwork()
+        net.add_segment("s")
+        with pytest.raises(UnknownNodeError):
+            net.add_edge("s", "ghost")
+
+    def test_contains_and_len(self):
+        net = minimal_network()
+        assert "s" in net
+        assert "ghost" not in net
+        assert len(net) == 3
+
+
+class TestQueries:
+    def test_counts_exclude_control_segments(self):
+        net = mux_network()
+        assert net.counts() == (2, 1)
+
+    def test_total_bits(self):
+        net = mux_network()
+        assert net.total_bits() == 3  # sel + a + b, one bit each
+
+    def test_mux_port(self):
+        net = mux_network()
+        assert net.mux_port("m", "a") == 0
+        assert net.mux_port("m", "b") == 1
+
+    def test_mux_port_unknown_source(self):
+        net = mux_network()
+        with pytest.raises(UnknownNodeError):
+            net.mux_port("m", "sel")
+
+    def test_instrument_lookup(self):
+        net = minimal_network()
+        assert net.instrument("i").segment == "s"
+        with pytest.raises(UnknownNodeError):
+            net.instrument("nope")
+
+    def test_segment_role_iterators(self):
+        net = mux_network()
+        assert {s.name for s in net.data_segments()} == {"a", "b"}
+        assert {s.name for s in net.control_segments()} == {"sel"}
+
+    def test_topological_order_respects_edges(self):
+        net = mux_network()
+        order = net.topological_order()
+        assert order.index("scan_in") < order.index("sel")
+        assert order.index("a") < order.index("m")
+        assert order.index("m") < order.index("scan_out")
+
+    def test_edges_iterates_multiplicity(self):
+        net = mux_network()
+        assert len(list(net.edges())) == 7
+
+
+class TestUnits:
+    def test_register_and_lookup(self):
+        net = mux_network()
+        unit = ControlUnit("u", muxes=["m"], cells=["sel"])
+        net.register_unit(unit)
+        assert net.unit("u") is unit
+        assert net.unit_of("m") is unit
+        assert net.unit_of("sel") is unit
+        assert net.unit_of("a") is None
+
+    def test_duplicate_unit_rejected(self):
+        net = mux_network()
+        net.register_unit(ControlUnit("u", muxes=["m"], cells=[]))
+        with pytest.raises(DuplicateNameError):
+            net.register_unit(ControlUnit("u", muxes=["m"], cells=[]))
+
+    def test_unit_with_unknown_member_rejected(self):
+        net = mux_network()
+        with pytest.raises(UnknownNodeError):
+            net.register_unit(ControlUnit("u", muxes=["ghost"], cells=[]))
+
+
+class TestValidation:
+    def test_missing_ports_reported(self):
+        net = RsnNetwork()
+        with pytest.raises(ValidationError) as excinfo:
+            net.validate()
+        assert any("scan-in" in p for p in excinfo.value.problems)
+
+    def test_dangling_segment_reported(self):
+        net = minimal_network()
+        net.add_segment("dangling")
+        with pytest.raises(ValidationError):
+            net.validate()
+
+    def test_cycle_detected(self):
+        net = RsnNetwork()
+        net.add_scan_in()
+        net.add_scan_out()
+        net.add_segment("s1")
+        net.add_segment("s2")
+        net.add_edge("scan_in", "s1")
+        # s1 <-> s2 cycle
+        net.add_edge("s1", "s2")
+        net.add_edge("s2", "s1")
+        net.add_edge("s2", "scan_out")
+        with pytest.raises(ValidationError):
+            net.validate()
+
+    def test_mux_fanin_mismatch_reported(self):
+        net = RsnNetwork()
+        net.add_scan_in()
+        net.add_scan_out()
+        net.add_mux("m", fanin=3)
+        net.add_segment("a")
+        net.add_segment("b")
+        net.add_fanout("f")
+        net.add_edge("scan_in", "f")
+        net.add_edge("f", "a")
+        net.add_edge("f", "b")
+        net.add_edge("a", "m")
+        net.add_edge("b", "m")
+        net.add_edge("m", "scan_out")
+        with pytest.raises(ValidationError) as excinfo:
+            net.validate()
+        assert any("fanin" in p for p in excinfo.value.problems)
+
+    def test_mux_bad_control_cell_reported(self):
+        net = mux_network()
+        net.node("m").control_cell = "a"  # a data segment
+        with pytest.raises(ValidationError) as excinfo:
+            net.validate()
+        assert any("control cell" in p for p in excinfo.value.problems)
+
+    def test_unreachable_from_scan_in_reported(self):
+        net = minimal_network()
+        net.add_segment("orphan")
+        net.add_edge("orphan", "scan_out")
+        with pytest.raises(ValidationError) as excinfo:
+            net.validate()
+        assert any("unreachable" in p for p in excinfo.value.problems)
+
+
+class TestExport:
+    def test_to_networkx_preserves_structure(self):
+        nx_graph = mux_network().to_networkx()
+        assert nx_graph.number_of_nodes() == 7
+        assert nx_graph.number_of_edges() == 7
+        assert nx_graph.nodes["a"]["instrument"] == "ia"
+        assert nx_graph.nodes["m"]["kind"] == "mux"

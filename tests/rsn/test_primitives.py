@@ -1,0 +1,117 @@
+"""Unit tests for the scan primitive value objects."""
+
+import pytest
+
+from repro.rsn.primitives import (
+    ControlUnit,
+    Fanout,
+    Instrument,
+    NodeKind,
+    ScanMux,
+    ScanPort,
+    ScanSegment,
+    SegmentRole,
+)
+
+
+class TestScanSegment:
+    def test_defaults(self):
+        seg = ScanSegment("s")
+        assert seg.length == 1
+        assert seg.instrument is None
+        assert seg.role is SegmentRole.DATA
+        assert seg.kind is NodeKind.SEGMENT
+
+    def test_data_segment_with_instrument(self):
+        seg = ScanSegment("s", length=8, instrument="temp")
+        assert seg.hosts_instrument
+        assert not seg.is_control
+
+    def test_control_roles_are_control(self):
+        assert ScanSegment("c", role=SegmentRole.CONTROL).is_control
+        assert ScanSegment("c", role=SegmentRole.SIB).is_control
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            ScanSegment("s", length=0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            ScanSegment("s", length=-3)
+
+    def test_control_cell_cannot_host_instrument(self):
+        with pytest.raises(ValueError):
+            ScanSegment("c", instrument="x", role=SegmentRole.CONTROL)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ScanSegment("")
+
+
+class TestScanMux:
+    def test_defaults(self):
+        mux = ScanMux("m")
+        assert mux.fanin == 2
+        assert mux.kind is NodeKind.MUX
+        assert not mux.is_sib_mux
+
+    def test_stuck_values_enumerate_ports(self):
+        assert ScanMux("m", fanin=3).stuck_values() == (0, 1, 2)
+
+    def test_fanin_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            ScanMux("m", fanin=1)
+
+    def test_sib_mux_flag(self):
+        mux = ScanMux("m", sib_of="sib1")
+        assert mux.is_sib_mux
+        assert mux.sib_of == "sib1"
+
+    def test_sib_port_constants(self):
+        assert ScanMux.SIB_BYPASS_PORT == 0
+        assert ScanMux.SIB_HOSTED_PORT == 1
+
+
+class TestScanPort:
+    def test_scan_in(self):
+        port = ScanPort("si", NodeKind.SCAN_IN)
+        assert port.kind is NodeKind.SCAN_IN
+
+    def test_scan_out(self):
+        port = ScanPort("so", NodeKind.SCAN_OUT)
+        assert port.kind is NodeKind.SCAN_OUT
+
+    def test_other_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            ScanPort("x", NodeKind.SEGMENT)
+
+
+class TestFanout:
+    def test_kind(self):
+        assert Fanout("f").kind is NodeKind.FANOUT
+
+
+class TestInstrument:
+    def test_fields(self):
+        inst = Instrument("temp", "seg1", description="thermal sensor")
+        assert inst.name == "temp"
+        assert inst.segment == "seg1"
+        assert inst.description == "thermal sensor"
+
+
+class TestControlUnit:
+    def test_members_cells_first(self):
+        unit = ControlUnit("u", muxes=["m"], cells=["c"])
+        assert unit.members == ("c", "m")
+
+    def test_sib_flag(self):
+        unit = ControlUnit("s", muxes=["m"], cells=["b"], is_sib=True)
+        assert unit.is_sib
+
+    def test_unit_without_mux_rejected(self):
+        with pytest.raises(ValueError):
+            ControlUnit("u", muxes=[], cells=["c"])
+
+    def test_multi_mux_unit(self):
+        unit = ControlUnit("u", muxes=["m1", "m2"], cells=["c"])
+        assert unit.muxes == ("m1", "m2")

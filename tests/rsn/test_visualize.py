@@ -1,0 +1,53 @@
+"""Unit tests for DOT export."""
+
+from repro.rsn import network_to_dot, tree_to_dot
+from repro.sp import decompose
+
+
+class TestNetworkDot:
+    def test_contains_all_nodes(self, fig1_network):
+        source = network_to_dot(fig1_network)
+        for name in fig1_network.node_names():
+            if fig1_network.node(name).kind.value != "fanout":
+                assert name in source
+        assert source.startswith("digraph")
+        assert source.rstrip().endswith("}")
+
+    def test_mux_edges_carry_port_labels(self, fig1_network):
+        source = network_to_dot(fig1_network)
+        assert 'label="0"' in source
+        assert 'label="1"' in source
+
+    def test_highlight_units(self, fig1_network):
+        source = network_to_dot(fig1_network, highlight=["unit.m0.sel"])
+        assert "fillcolor" in source
+
+    def test_instrument_annotation(self, fig1_network):
+        assert "(i1)" in network_to_dot(fig1_network)
+
+
+class TestTreeDot:
+    def test_series_parallel_markers(self, fig1_network):
+        source = tree_to_dot(decompose(fig1_network))
+        assert 'label="S"' in source
+        assert 'label="P"' in source
+        assert '"m0"' in source
+
+    def test_node_cap(self, fig1_network):
+        source = tree_to_dot(decompose(fig1_network), max_nodes=3)
+        assert '"..."' in source
+
+
+class TestCliDot:
+    def test_dot_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "net.dot"
+        assert main(["dot", "TreeFlat", "--output", str(out)]) == 0
+        assert out.read_text().startswith("digraph")
+
+    def test_dot_tree_to_stdout(self, capsys):
+        from repro.cli import main
+
+        assert main(["dot", "TreeFlat", "--tree"]) == 0
+        assert "digraph decomposition" in capsys.readouterr().out

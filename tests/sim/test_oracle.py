@@ -1,0 +1,115 @@
+"""Unit tests for the structural and strict accessibility oracles."""
+
+import pytest
+
+from repro.analysis.faults import ControlCellBreak, MuxStuck, SegmentBreak
+from repro.errors import SimulationError
+from repro.sim import strict_access, structural_access
+
+
+class TestStructuralAccess:
+    def test_fault_free_all_accessible(self, fig1_network):
+        access = structural_access(fig1_network)
+        everything = set(fig1_network.instrument_names())
+        assert access.observable == everything
+        assert access.settable == everything
+
+    def test_fig4_stuck(self, fig1_network):
+        access = structural_access(fig1_network, faults=[MuxStuck("m0", 1)])
+        assert access.observable == {"i4", "i5"}
+        assert access.settable == {"i4", "i5"}
+
+    def test_break_asymmetric(self, fig1_network):
+        access = structural_access(fig1_network, faults=[SegmentBreak("c2")])
+        assert access.observable == {"i4", "i5"}
+        assert access.settable == {"i1", "i2", "i4", "i5"}
+
+    def test_cell_break_uses_assumed_ports(self, fig1_network):
+        pinned_bad = structural_access(
+            fig1_network,
+            faults=[ControlCellBreak("m0.sel")],
+            assumed_ports={"m0": 1},
+        )
+        pinned_good = structural_access(
+            fig1_network,
+            faults=[ControlCellBreak("m0.sel")],
+            assumed_ports={"m0": 0},
+        )
+        assert "i1" not in pinned_bad.observable
+        # pinned at port 0 the m0 branch stays selected, but the broken
+        # cell still breaks the chain inside the branch
+        assert "i4" not in pinned_good.observable
+
+    def test_config_explosion_guarded(self):
+        from repro.rsn import RsnBuilder
+
+        builder = RsnBuilder("wide")
+        for index in range(8):
+            with builder.mux(f"m{index}") as mux:
+                with mux.branch():
+                    builder.segment(f"s{index}", instrument=True)
+                with mux.branch():
+                    pass
+        network = builder.build()
+        with pytest.raises(SimulationError):
+            structural_access(network, max_configs=100)
+
+    def test_multiple_faults_compose(self, fig1_network):
+        access = structural_access(
+            fig1_network,
+            faults=[MuxStuck("m0", 1), SegmentBreak("g")],
+        )
+        assert access.observable == {"i4"}
+        # g itself is broken, so i5 is neither settable nor observable
+        assert access.settable == {"i4"}
+
+
+class TestStrictAccess:
+    def test_fault_free_matches_structural(self, fig1_network):
+        strict = strict_access(fig1_network)
+        structural = structural_access(fig1_network)
+        assert strict.observable == structural.observable
+        assert strict.settable == structural.settable
+
+    def test_stuck_mux_matches_structural(self, fig1_network):
+        fault = [MuxStuck("m0", 1)]
+        strict = strict_access(fig1_network, faults=fault)
+        structural = structural_access(fig1_network, faults=fault)
+        assert strict.observable == structural.observable
+        assert strict.settable == structural.settable
+
+    def test_strict_is_never_more_permissive(self, sib_network):
+        """The sequential oracle can only lose accesses relative to the
+        optimistic structural one."""
+        for faults, assumed in (
+            ([SegmentBreak("in1")], None),
+            ([MuxStuck("sib0.mux", 0)], None),
+            ([ControlCellBreak("sib0.bit")], {"sib0.mux": 1}),
+        ):
+            strict = strict_access(
+                sib_network, faults=faults, assumed_ports=assumed
+            )
+            structural = structural_access(
+                sib_network, faults=faults, assumed_ports=assumed
+            )
+            assert strict.observable <= structural.observable
+            assert strict.settable <= structural.settable
+
+    def test_strict_detects_control_cutoff(self, nested_sib_network):
+        """The showcase difference (second-order effect the static model
+        ignores by design): the outer SIB bit is broken but pinned
+        *asserted*, so structurally the deep instruments stay observable —
+        yet the inner SIB bit can no longer be written through the break,
+        so no real CSU sequence ever opens the inner sub-network."""
+        faults = [ControlCellBreak("outer.bit")]
+        assumed = {"outer.mux": 1}
+        structural = structural_access(
+            nested_sib_network, faults=faults, assumed_ports=assumed
+        )
+        strict = strict_access(
+            nested_sib_network, faults=faults, assumed_ports=assumed
+        )
+        assert "i_deep1" in structural.observable
+        assert "i_deep1" not in strict.observable
+        assert strict.observable < structural.observable
+        assert strict.settable <= structural.settable

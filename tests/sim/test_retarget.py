@@ -1,0 +1,115 @@
+"""Unit tests for pattern retargeting on the simulator."""
+
+import pytest
+
+from repro.analysis.faults import ControlCellBreak, MuxStuck, SegmentBreak
+from repro.errors import RetargetingError
+from repro.sim import Retargeter, ScanSimulator
+
+
+def retargeter(network, faults=(), assumed_ports=None):
+    return Retargeter(
+        ScanSimulator(network, faults=faults, assumed_ports=assumed_ports)
+    )
+
+
+class TestPlanning:
+    def test_plan_passes_through_target(self, fig1_network):
+        plan = retargeter(fig1_network).plan_path("d")
+        assert plan[0] == "scan_in"
+        assert plan[-1] == "scan_out"
+        assert "d" in plan
+
+    def test_required_selects_for_deep_target(self, fig1_network):
+        rt = retargeter(fig1_network)
+        plan = rt.plan_path("bseg" if "bseg" in fig1_network else "b")
+        selects = rt.required_selects(plan)
+        assert selects["m1"] == 1  # b is on port 1 of m1
+        assert selects["m0"] == 0
+        assert selects["m2"] == 0
+
+    def test_plan_avoids_broken_segments(self, fig1_network):
+        rt = retargeter(fig1_network, faults=[SegmentBreak("c2")])
+        # c2 is broken: no path through the m0 port-0 branch; i4 still fine
+        plan = rt.plan_path("d")
+        assert "c2" not in plan
+        with pytest.raises(RetargetingError):
+            rt.plan_path("a")
+
+    def test_plan_respects_stuck_mux(self, fig1_network):
+        rt = retargeter(fig1_network, faults=[MuxStuck("m0", 1)])
+        with pytest.raises(RetargetingError):
+            rt.plan_path("a")
+        plan = rt.plan_path("d")
+        assert "d" in plan
+
+    def test_required_selects_conflict_with_stuck(self, fig1_network):
+        rt = retargeter(fig1_network)
+        plan = rt.plan_path("a")
+        rt.simulator.stuck["m0"] = 1  # force a conflict after planning
+        with pytest.raises(RetargetingError):
+            rt.required_selects(plan)
+
+
+class TestAccessExecution:
+    def test_write_read_roundtrip(self, fig1_network):
+        rt = retargeter(fig1_network)
+        rt.write_instrument("i2", [1, 0, 1])
+        assert rt.read_instrument("i2") == [1, 0, 1]
+
+    def test_sib_opens_in_one_cycle(self, sib_network):
+        rt = retargeter(sib_network)
+        cycles = rt.bring_onto_path("in1")
+        assert cycles == 1
+
+    def test_nested_sibs_open_level_by_level(self, nested_sib_network):
+        rt = retargeter(nested_sib_network)
+        cycles = rt.bring_onto_path("deep1")
+        assert cycles == 2  # one CSU per SIB level
+
+    def test_target_already_on_path_is_free(self, chain_network):
+        rt = retargeter(chain_network)
+        assert rt.bring_onto_path("s2") == 0
+
+    def test_write_verifies_payload(self, fig1_network):
+        rt = retargeter(fig1_network)
+        cycles = rt.write_instrument("i4", [1, 1, 0, 1])
+        assert cycles >= 1
+        assert rt.simulator.register("d") == (1, 1, 0, 1)
+
+    def test_write_through_upstream_break_fails(self, chain_network):
+        rt = retargeter(chain_network, faults=[SegmentBreak("s1")])
+        with pytest.raises(RetargetingError):
+            rt.write_instrument("b", [1, 0, 1])
+
+    def test_read_through_downstream_break_fails(self, chain_network):
+        rt = retargeter(chain_network, faults=[SegmentBreak("s3")])
+        with pytest.raises(RetargetingError):
+            rt.read_instrument("a")
+
+    def test_read_upstream_of_target_break_ok(self, chain_network):
+        # break in s1 (upstream): s3 remains observable
+        rt = retargeter(chain_network, faults=[SegmentBreak("s1")])
+        assert rt.read_instrument("c") == [0]
+
+    def test_stuck_asserted_sib_still_reaches_hosted(self, sib_network):
+        rt = retargeter(sib_network, faults=[MuxStuck("sib0.mux", 1)])
+        rt.write_instrument("first", [1, 0])
+        assert rt.read_instrument("first") == [1, 0]
+
+    def test_stuck_deasserted_sib_blocks_hosted(self, sib_network):
+        rt = retargeter(sib_network, faults=[MuxStuck("sib0.mux", 0)])
+        with pytest.raises(RetargetingError):
+            rt.bring_onto_path("in1")
+
+    def test_broken_sib_bit_blocks_strictly(self, sib_network):
+        """Strict sequential semantics: a broken SIB bit cuts off the
+        hosted chain even if an optimistic analysis would pin the mux
+        asserted."""
+        rt = retargeter(
+            sib_network,
+            faults=[ControlCellBreak("sib0.bit")],
+            assumed_ports={"sib0.mux": 0},
+        )
+        with pytest.raises(RetargetingError):
+            rt.read_instrument("first")

@@ -1,0 +1,177 @@
+"""Unit tests for the capture-shift-update scan simulator."""
+
+import pytest
+
+from repro.analysis.faults import ControlCellBreak, MuxStuck, SegmentBreak
+from repro.errors import SimulationError
+from repro.sim import ScanSimulator
+
+
+class TestActivePath:
+    def test_default_path_takes_port_zero(self, fig1_network):
+        sim = ScanSimulator(fig1_network)
+        path = sim.active_path()
+        assert path[0] == "scan_in"
+        assert path[-1] == "scan_out"
+        # every mux resets to port 0 -> the innermost branch a is active
+        assert "a" in path
+        assert "d" not in path
+
+    def test_path_follows_updated_selects(self, fig1_network):
+        sim = ScanSimulator(fig1_network)
+        sim.poke("m0.sel", [1])
+        sim.update()
+        assert "d" in sim.active_path()
+        assert "a" not in sim.active_path()
+
+    def test_update_only_affects_cells_on_path(self, fig1_network):
+        sim = ScanSimulator(fig1_network)
+        # m2 select flips the path away from the m0 subtree
+        sim.poke("m2.sel", [1])
+        sim.update()
+        assert "g" in sim.active_path()
+        # m0.sel no longer on path: poking its shift register and updating
+        # must not change its update value
+        sim.poke("m0.sel", [1])
+        sim.update()
+        assert sim.select_of("m0") == 0
+
+    def test_sib_default_bypassed(self, sib_network):
+        sim = ScanSimulator(sib_network)
+        path = sim.active_path()
+        assert "in1" not in path
+        assert "sib0.bit" in path
+
+    def test_sib_opens_with_bit(self, sib_network):
+        sim = ScanSimulator(sib_network)
+        sim.poke("sib0.bit", [1])
+        sim.update()
+        assert "in1" in sim.active_path()
+
+    def test_path_length(self, sib_network):
+        sim = ScanSimulator(sib_network)
+        closed = sim.path_length()  # pre(2) + bit(1)
+        sim.poke("sib0.bit", [1])
+        sim.update()
+        assert closed == 3
+        assert sim.path_length() == 3 + 2 + 3  # + in1 + in2
+
+
+class TestShift:
+    def test_shift_through_chain(self, chain_network):
+        sim = ScanSimulator(chain_network)
+        total = sim.path_length()
+        pattern = [1, 1, 0, 1, 0, 0]
+        assert len(pattern) == total
+        out = sim.shift(pattern)
+        assert out == [0] * total  # initial zeros come out
+        # FIFO: the pattern re-emerges in its original order
+        out = sim.shift([0] * total)
+        assert out == pattern
+
+    def test_shift_preserves_length(self, fig1_network):
+        sim = ScanSimulator(fig1_network)
+        assert len(sim.shift([1, 0, 1])) == 3
+
+    def test_registers_after_shift(self, chain_network):
+        sim = ScanSimulator(chain_network)
+        sim.shift([1, 1, 1, 1, 1, 1])
+        assert sim.register("s1") == (1, 1)
+        assert sim.register("s2") == (1, 1, 1)
+
+
+class TestScanCycle:
+    def test_write_lands_in_target(self, chain_network):
+        sim = ScanSimulator(chain_network)
+        sim.scan_cycle({"s2": [1, 0, 1]})
+        assert sim.register("s2") == (1, 0, 1)
+
+    def test_unnamed_segments_keep_contents(self, chain_network):
+        sim = ScanSimulator(chain_network)
+        sim.poke("s1", [1, 1])
+        sim.scan_cycle({"s3": [1]})
+        assert sim.register("s1") == (1, 1)
+
+    def test_returns_previous_contents(self, chain_network):
+        sim = ScanSimulator(chain_network)
+        sim.poke("s2", [1, 0, 1])
+        observed = sim.scan_cycle()
+        assert observed["s2"] == [1, 0, 1]
+
+    def test_write_off_path_rejected(self, sib_network):
+        sim = ScanSimulator(sib_network)
+        with pytest.raises(SimulationError):
+            sim.scan_cycle({"in1": [0, 0]})
+
+    def test_wrong_width_rejected(self, chain_network):
+        sim = ScanSimulator(chain_network)
+        with pytest.raises(SimulationError):
+            sim.scan_cycle({"s2": [1]})
+
+    def test_cycle_updates_configuration(self, sib_network):
+        sim = ScanSimulator(sib_network)
+        sim.scan_cycle({"sib0.bit": [1]})
+        assert "in1" in sim.active_path()
+
+
+class TestCapture:
+    def test_capture_loads_instrument_response(self, chain_network):
+        sim = ScanSimulator(chain_network)
+        sim.capture({"b": [1, 1, 0]})
+        assert sim.register("s2") == (1, 1, 0)
+
+    def test_capture_wrong_width_rejected(self, chain_network):
+        sim = ScanSimulator(chain_network)
+        with pytest.raises(SimulationError):
+            sim.capture({"b": [1]})
+
+    def test_capture_off_path_rejected(self, sib_network):
+        sim = ScanSimulator(sib_network)
+        with pytest.raises(SimulationError):
+            sim.capture({"first": [0, 0]})
+
+
+class TestFaultInjection:
+    def test_broken_segment_emits_unknown(self, chain_network):
+        sim = ScanSimulator(chain_network, faults=[SegmentBreak("s2")])
+        out = sim.shift([1] * 6)
+        # everything behind the break comes out as None eventually
+        assert None in out
+        assert sim.register("s2") == (None, None, None)
+
+    def test_downstream_of_break_initially_intact(self, chain_network):
+        sim = ScanSimulator(chain_network, faults=[SegmentBreak("s1")])
+        out = sim.shift([1])
+        # the first bit out is s3's old content, unaffected yet
+        assert out == [0]
+
+    def test_stuck_mux_ignores_cell(self, fig1_network):
+        sim = ScanSimulator(fig1_network, faults=[MuxStuck("m0", 1)])
+        assert sim.select_of("m0") == 1
+        sim.poke("m0.sel", [0])
+        sim.update()
+        assert sim.select_of("m0") == 1
+        assert "d" in sim.active_path()
+
+    def test_cell_break_pins_muxes(self, fig1_network):
+        sim = ScanSimulator(
+            fig1_network,
+            faults=[ControlCellBreak("m0.sel")],
+            assumed_ports={"m0": 1},
+        )
+        assert sim.select_of("m0") == 1
+        assert sim.register("m0.sel") == (None,)
+
+    def test_unknown_fault_type_rejected(self, fig1_network):
+        with pytest.raises(SimulationError):
+            ScanSimulator(fig1_network, faults=[object()])
+
+    def test_poke_on_broken_segment_ignored(self, chain_network):
+        sim = ScanSimulator(chain_network, faults=[SegmentBreak("s2")])
+        sim.poke("s2", [1, 1, 1])
+        assert sim.register("s2") == (None, None, None)
+
+    def test_update_through_break_yields_unknown_select(self, fig1_network):
+        sim = ScanSimulator(fig1_network, faults=[SegmentBreak("m2.sel")])
+        # m2.sel broken: its select defaults to port 0
+        assert sim.select_of("m2") == 0

@@ -1,0 +1,136 @@
+"""Property-based tests of the SP decomposition on random RSNs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generators import random_network
+from repro.graph import fanout_stems
+from repro.graph.reconvergence import closing_reconvergence_fast
+from repro.rsn.ast import elaborate
+from repro.rsn.primitives import NodeKind
+from repro.sp import SPKind, decompose
+
+seeds = st.integers(min_value=0, max_value=100_000)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds)
+def test_every_generated_network_is_series_parallel(seed):
+    network = elaborate(random_network(seed=seed))
+    tree = decompose(network)
+    assert tree.root is not None
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds)
+def test_leaves_bijective_with_primitives(seed):
+    network = elaborate(random_network(seed=seed))
+    tree = decompose(network)
+    leaf_names = [leaf.primitive for leaf in tree.primitive_leaves()]
+    primitive_names = {
+        node.name
+        for node in network.nodes()
+        if node.kind in (NodeKind.SEGMENT, NodeKind.MUX)
+    }
+    assert len(leaf_names) == len(set(leaf_names))
+    assert set(leaf_names) == primitive_names
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds)
+def test_serial_order_extends_topological_order(seed):
+    """If u precedes v on every path (u dominates v's reachability), the
+    leaf order must agree; we check the weaker, easily-computed fact that
+    graph edges between primitives never point right-to-left in leaf
+    order unless the endpoints are parallel siblings."""
+    network = elaborate(random_network(seed=seed))
+    tree = decompose(network)
+    tree.annotate_ranges()
+    position = {
+        leaf.primitive: tree.leaf_index(leaf)
+        for leaf in tree.primitive_leaves()
+    }
+    topo = network.topological_order()
+    topo_pos = {name: k for k, name in enumerate(topo)}
+    # primitives only
+    for name, pos in position.items():
+        for succ in network.successors(name):
+            if succ in position:
+                assert topo_pos[name] < topo_pos[succ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds)
+def test_every_mux_leaf_has_full_port_coverage(seed):
+    network = elaborate(random_network(seed=seed))
+    tree = decompose(network)
+    for mux in network.muxes():
+        leaf = tree.leaf(mux.name)
+        assert leaf.mux_branches is not None
+        covered = set()
+        for ports, _ in leaf.mux_branches:
+            assert not (covered & ports), "port appears in two branches"
+            covered |= ports
+        assert covered == set(range(mux.fanin))
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds)
+def test_subtree_ranges_partition_at_parallel_nodes(seed):
+    network = elaborate(random_network(seed=seed))
+    tree = decompose(network)
+    tree.annotate_ranges()
+    for node in tree.root.post_order():
+        if node.kind is SPKind.PARALLEL:
+            assert node.left.hi + 1 == node.right.lo
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_parent_mux_equals_graph_closing_reconvergence(seed):
+    """The tree-derived parent of a primitive inside a branch equals the
+    closing reconvergence of the branch's fan-out stem (the graph-level
+    definition of Sec. III)."""
+    network = elaborate(random_network(seed=seed, max_depth=2, max_items=3))
+    tree = decompose(network)
+    closing_of_stem = {
+        stem: closing_reconvergence_fast(network, stem)
+        for stem in fanout_stems(network)
+    }
+    closings = {gate for gate in closing_of_stem.values() if gate}
+    for leaf in tree.primitive_leaves():
+        parent = tree.parent_mux(leaf)
+        if parent is not None:
+            assert parent.primitive in closings
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_mux_branch_subtrees_cover_stem_region(seed):
+    """The union of a mux's branch subtrees equals its stem region minus
+    the mux itself (graph-level cross-check)."""
+    network = elaborate(random_network(seed=seed, max_depth=2, max_items=3))
+    tree = decompose(network)
+    from repro.graph import stem_region
+
+    post = {}
+    for stem in fanout_stems(network):
+        gate = closing_reconvergence_fast(network, stem)
+        if gate:
+            post[gate] = stem_region(network, stem)
+    for mux in network.muxes():
+        if mux.name not in post:
+            continue
+        leaf = tree.leaf(mux.name)
+        branch_primitives = set()
+        for _, subtree in leaf.mux_branches:
+            branch_primitives.update(
+                inner.primitive
+                for inner in subtree.in_order_leaves()
+                if inner.kind is SPKind.LEAF
+            )
+        region_primitives = {
+            name
+            for name in post[mux.name]
+            if network.node(name).kind in (NodeKind.SEGMENT, NodeKind.MUX)
+        } - {mux.name}
+        assert branch_primitives == region_primitives

@@ -1,0 +1,152 @@
+"""Unit tests for series-parallel recognition and reduction."""
+
+import pytest
+
+from repro.errors import NotSeriesParallelError
+from repro.rsn import RsnBuilder
+from repro.rsn.network import RsnNetwork
+from repro.rsn.primitives import SegmentRole
+from repro.sp import SPKind, decompose, is_series_parallel
+
+
+class TestChains:
+    def test_single_segment(self):
+        builder = RsnBuilder("one")
+        builder.segment("s")
+        tree = decompose(builder.build())
+        assert tree.root.kind is SPKind.LEAF
+        assert tree.root.primitive == "s"
+
+    def test_chain_is_left_to_right_series(self, chain_network):
+        tree = decompose(chain_network)
+        order = [leaf.primitive for leaf in tree.primitive_leaves()]
+        assert order == ["s1", "s2", "s3"]
+
+    def test_empty_network_reduces_to_wire(self):
+        net = RsnNetwork("empty")
+        net.add_scan_in()
+        net.add_scan_out()
+        net.add_edge(net.scan_in, net.scan_out)
+        tree = decompose(net)
+        assert tree.root.kind is SPKind.WIRE
+
+
+class TestSibStructures:
+    def test_sib_produces_parallel(self, sib_network):
+        tree = decompose(sib_network)
+        kinds = {node.kind for node in tree.root.post_order()}
+        assert SPKind.PARALLEL in kinds
+
+    def test_sib_mux_branches_recorded(self, sib_network):
+        tree = decompose(sib_network)
+        mux = tree.leaf("sib0.mux")
+        assert mux.mux_branches is not None
+        ports = sorted(
+            min(port_set) for port_set, _ in mux.mux_branches
+        )
+        assert ports == [0, 1]
+
+    def test_sib_bypass_branch_is_wire(self, sib_network):
+        tree = decompose(sib_network)
+        mux = tree.leaf("sib0.mux")
+        by_port = {min(ports): sub for ports, sub in mux.mux_branches}
+        assert by_port[0].kind is SPKind.WIRE
+
+    def test_hosted_branch_contains_segments(self, sib_network):
+        tree = decompose(sib_network)
+        mux = tree.leaf("sib0.mux")
+        by_port = {min(ports): sub for ports, sub in mux.mux_branches}
+        hosted = {
+            leaf.primitive
+            for leaf in by_port[1].in_order_leaves()
+            if leaf.kind is SPKind.LEAF
+        }
+        assert hosted == {"in1", "in2"}
+
+    def test_nested_sibs_nest_in_tree(self, nested_sib_network):
+        tree = decompose(nested_sib_network)
+        outer = tree.leaf("outer.mux")
+        by_port = {min(p): s for p, s in outer.mux_branches}
+        hosted = {
+            leaf.primitive
+            for leaf in by_port[1].in_order_leaves()
+            if leaf.kind is SPKind.LEAF
+        }
+        assert "inner.mux" in hosted
+        assert "deep1" in hosted
+
+
+class TestMuxStructures:
+    def test_three_branch_mux(self, mux3_network):
+        tree = decompose(mux3_network)
+        mux = tree.leaf("m")
+        assert len(mux.mux_branches) == 3
+        ports = sorted(min(p) for p, _ in mux.mux_branches)
+        assert ports == [0, 1, 2]
+
+    def test_leaf_set_equals_primitive_set(self, fig1_network):
+        tree = decompose(fig1_network)
+        leaf_names = {leaf.primitive for leaf in tree.primitive_leaves()}
+        expected = {
+            node.name
+            for node in fig1_network.nodes()
+            if node.kind.value in ("segment", "mux")
+        }
+        assert leaf_names == expected
+
+    def test_each_primitive_appears_once(self, fig1_network):
+        tree = decompose(fig1_network)
+        names = [leaf.primitive for leaf in tree.primitive_leaves()]
+        assert len(names) == len(set(names))
+
+    def test_fig1_serial_order(self, fig1_network):
+        tree = decompose(fig1_network)
+        order = [leaf.primitive for leaf in tree.primitive_leaves()]
+        # the mux closing a region comes right after its branches
+        assert order.index("m1") > order.index("a")
+        assert order.index("m1") > order.index("b")
+        assert order.index("m0") > order.index("c2")
+        assert order.index("m0") > order.index("d")
+        assert order[-1] == "m2"
+
+
+class TestNonSeriesParallel:
+    def _bridge_network(self):
+        """A Wheatstone-bridge-like RSN: branch crossing prevents SP
+        reduction."""
+        net = RsnNetwork("bridge")
+        net.add_scan_in()
+        net.add_scan_out()
+        net.add_segment("sel1", role=SegmentRole.CONTROL)
+        net.add_fanout("f1")
+        net.add_segment("a")
+        net.add_segment("b")
+        net.add_fanout("fa")
+        net.add_mux("m1", fanin=2, control_cell="sel1")
+        net.add_mux("m2", fanin=2, control_cell="sel1")
+        net.add_segment("tail")
+        net.add_edge("scan_in", "sel1")
+        net.add_edge("sel1", "f1")
+        net.add_edge("f1", "a")
+        net.add_edge("f1", "b")
+        net.add_edge("a", "fa")
+        net.add_edge("fa", "m1")  # m1 port 0
+        net.add_edge("b", "m1")  # m1 port 1
+        net.add_edge("m1", "m2")  # m2 port 0  (cross edge)
+        net.add_edge("fa", "m2")  # m2 port 1
+        net.add_edge("m2", "tail")
+        net.add_edge("tail", "scan_out")
+        return net
+
+    def test_bridge_detected(self):
+        net = self._bridge_network()
+        net.validate()
+        assert not is_series_parallel(net)
+
+    def test_bridge_raises_with_diagnostics(self):
+        with pytest.raises(NotSeriesParallelError) as excinfo:
+            decompose(self._bridge_network())
+        assert excinfo.value.blocked_edges
+
+    def test_sp_predicate_true_on_sp(self, fig1_network):
+        assert is_series_parallel(fig1_network)

@@ -1,0 +1,165 @@
+"""Unit tests for decomposition-tree structure and queries."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sp import SPKind, SPNode, decompose
+
+
+class TestSPNodeConstructors:
+    def test_series_absorbs_wires(self):
+        leaf = SPNode.leaf("x")
+        assert SPNode.series(SPNode.wire(), leaf) is leaf
+        assert SPNode.series(leaf, SPNode.wire()) is leaf
+
+    def test_series_of_leaves(self):
+        node = SPNode.series(SPNode.leaf("a"), SPNode.leaf("b"))
+        assert node.kind is SPKind.SERIES
+        assert node.left.primitive == "a"
+
+    def test_parallel_keeps_wires(self):
+        node = SPNode.parallel(SPNode.wire(), SPNode.leaf("a"))
+        assert node.kind is SPKind.PARALLEL
+        assert node.left.kind is SPKind.WIRE
+
+    def test_leaf_properties(self):
+        leaf = SPNode.leaf("x")
+        assert leaf.is_leaf and not leaf.is_inner
+        assert leaf.children() == ()
+
+
+class TestTraversals:
+    def test_post_order_children_first(self):
+        tree = SPNode.series(
+            SPNode.leaf("a"),
+            SPNode.parallel(SPNode.leaf("b"), SPNode.leaf("c")),
+        )
+        kinds = [node.kind for node in tree.post_order()]
+        assert kinds == [
+            SPKind.LEAF,
+            SPKind.LEAF,
+            SPKind.LEAF,
+            SPKind.PARALLEL,
+            SPKind.SERIES,
+        ]
+
+    def test_in_order_leaves_left_to_right(self):
+        tree = SPNode.series(
+            SPNode.leaf("a"),
+            SPNode.parallel(SPNode.leaf("b"), SPNode.leaf("c")),
+        )
+        assert [leaf.primitive for leaf in tree.in_order_leaves()] == [
+            "a",
+            "b",
+            "c",
+        ]
+
+    def test_traversals_are_iterative_on_deep_chains(self):
+        # 5000-deep series chain would overflow a recursive traversal
+        node = SPNode.leaf("l0")
+        for index in range(1, 5000):
+            node = SPNode.series(node, SPNode.leaf(f"l{index}"))
+        assert sum(1 for _ in node.post_order()) == 2 * 5000 - 1
+
+    def test_format_renders(self):
+        tree = SPNode.series(SPNode.leaf("a"), SPNode.leaf("b"))
+        text = tree.format()
+        assert "S" in text and "a" in text and "b" in text
+
+
+class TestSPTreeQueries:
+    def test_leaf_lookup(self, fig1_network):
+        tree = decompose(fig1_network)
+        assert tree.leaf("c2").primitive == "c2"
+        assert tree.has_leaf("c2")
+        assert not tree.has_leaf("ghost")
+        with pytest.raises(ReproError):
+            tree.leaf("ghost")
+
+    def test_leaf_index_is_serial_position(self, fig1_network):
+        tree = decompose(fig1_network)
+        indices = [tree.leaf_index(leaf) for leaf in tree.leaves]
+        assert indices == sorted(indices)
+
+    def test_parent_pointers(self, fig1_network):
+        tree = decompose(fig1_network)
+        assert tree.root.parent is None
+        for node in tree.root.pre_order():
+            for child in node.children():
+                assert child.parent is node
+
+    def test_branch_root_of_trunk_is_root(self, chain_network):
+        tree = decompose(chain_network)
+        for leaf in tree.primitive_leaves():
+            assert tree.branch_root(leaf) is tree.root
+
+    def test_branch_root_inside_sib(self, sib_network):
+        tree = decompose(sib_network)
+        in1 = tree.leaf("in1")
+        branch = tree.branch_root(in1)
+        assert branch.parent is not None
+        assert branch.parent.kind is SPKind.PARALLEL
+
+    def test_parent_mux_matches_paper(self, fig1_network):
+        """m0 is the parent of c2 and of m1 (Sec. III)."""
+        tree = decompose(fig1_network)
+        assert tree.parent_mux(tree.leaf("c2")).primitive == "m0"
+        assert tree.parent_mux(tree.leaf("m1")).primitive == "m0"
+        assert tree.parent_mux(tree.leaf("a")).primitive == "m1"
+        assert tree.parent_mux(tree.leaf("d")).primitive == "m0"
+        assert tree.parent_mux(tree.leaf("g")).primitive == "m2"
+        # m2 is on the trunk
+        assert tree.parent_mux(tree.leaf("m2")) is None
+
+    def test_annotate_ranges(self, fig1_network):
+        tree = decompose(fig1_network)
+        tree.annotate_ranges()
+        assert tree.root.lo == 0
+        assert tree.root.hi == len(tree.leaves) - 1
+        for node in tree.root.post_order():
+            if node.is_inner:
+                assert node.lo == node.left.lo
+                assert node.hi == node.right.hi
+                assert node.left.hi + 1 == node.right.lo
+
+    def test_annotate_ranges_idempotent(self, fig1_network):
+        tree = decompose(fig1_network)
+        tree.annotate_ranges()
+        lo_hi = [(n.lo, n.hi) for n in tree.root.post_order()]
+        tree.annotate_ranges()
+        assert lo_hi == [(n.lo, n.hi) for n in tree.root.post_order()]
+
+    def test_branch_range_is_contiguous(self, nested_sib_network):
+        tree = decompose(nested_sib_network)
+        tree.annotate_ranges()
+        for leaf in tree.primitive_leaves():
+            lo, hi = tree.branch_range(leaf)
+            assert lo <= tree.leaf_index(leaf) <= hi
+
+    def test_size(self, chain_network):
+        tree = decompose(chain_network)
+        assert tree.size() == 5  # 3 leaves + 2 series nodes
+
+
+class TestLeafMultiplicityApi:
+    def test_leaves_of_on_physical_tree(self, fig1_network):
+        from repro.sp import decompose
+
+        tree = decompose(fig1_network)
+        assert not tree.is_virtualized
+        assert tree.leaves_of("c2") == [tree.leaf("c2")]
+        assert tree.canonical_name("c2") == "c2"
+
+    def test_leaves_of_unknown_raises(self, fig1_network):
+        from repro.errors import ReproError
+        from repro.sp import decompose
+
+        tree = decompose(fig1_network)
+        with pytest.raises(ReproError):
+            tree.leaves_of("ghost")
+
+    def test_format_depth_cap(self, fig1_network):
+        from repro.sp import decompose
+
+        tree = decompose(fig1_network)
+        assert "..." in tree.root.format(max_depth=1)

@@ -1,0 +1,66 @@
+"""Unit tests for virtual duplication of decomposition subtrees."""
+
+from repro.sp import SPKind, SPNode
+from repro.sp.virtualize import copy_tree, virtual_name
+
+
+def sample_tree():
+    inner = SPNode.parallel(SPNode.leaf("x"), SPNode.wire())
+    mux = SPNode.leaf("m")
+    mux.mux_branches = [
+        (frozenset({0}), inner.left),
+        (frozenset({1}), inner.right),
+    ]
+    return SPNode.series(SPNode.series(SPNode.leaf("a"), inner), mux)
+
+
+class TestCopyTree:
+    def test_structure_preserved(self):
+        original = sample_tree()
+        clone, aliases, _ = copy_tree(original, 0, {})
+        original_kinds = [node.kind for node in original.post_order()]
+        clone_kinds = [node.kind for node in clone.post_order()]
+        assert original_kinds == clone_kinds
+
+    def test_all_leaves_renamed_and_aliased(self):
+        original = sample_tree()
+        clone, aliases, counter = copy_tree(original, 0, {})
+        clone_names = [
+            leaf.primitive
+            for leaf in clone.in_order_leaves()
+            if leaf.kind is SPKind.LEAF
+        ]
+        assert len(clone_names) == 3
+        assert all(name in aliases for name in clone_names)
+        assert set(aliases.values()) == {"a", "x", "m"}
+        assert counter == 3
+
+    def test_no_node_sharing(self):
+        original = sample_tree()
+        clone, _, _ = copy_tree(original, 0, {})
+        original_ids = {id(node) for node in original.post_order()}
+        clone_ids = {id(node) for node in clone.post_order()}
+        assert not original_ids & clone_ids
+
+    def test_mux_branches_remapped_into_copy(self):
+        original = sample_tree()
+        clone, _, _ = copy_tree(original, 0, {})
+        clone_nodes = {id(node) for node in clone.post_order()}
+        for node in clone.post_order():
+            if node.kind is SPKind.LEAF and node.mux_branches is not None:
+                for _, subtree in node.mux_branches:
+                    assert id(subtree) in clone_nodes
+
+    def test_copy_of_copy_resolves_to_physical(self):
+        original = sample_tree()
+        first, aliases1, counter = copy_tree(original, 0, {})
+        second, aliases2, _ = copy_tree(first, counter, aliases1)
+        assert set(aliases2.values()) <= {"a", "x", "m"}
+
+    def test_virtual_name_format(self):
+        assert virtual_name("seg1", 7) == "seg1~v7"
+
+    def test_counter_continues(self):
+        original = sample_tree()
+        _, _, counter = copy_tree(original, 10, {})
+        assert counter == 13

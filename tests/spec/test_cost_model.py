@@ -1,0 +1,94 @@
+"""Unit tests for the hardening cost models."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.spec import (
+    GateCountCost,
+    PerBitCost,
+    UniformCost,
+    cost_vector,
+    max_cost,
+)
+
+
+class TestUniformCost:
+    def test_constant_per_unit(self, sib_network):
+        model = UniformCost(2.5)
+        for unit in sib_network.units():
+            assert model.unit_cost(sib_network, unit) == 2.5
+
+    def test_constant_per_segment(self, sib_network):
+        assert UniformCost().segment_cost(sib_network, "in1") == 1.0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(SpecificationError):
+            UniformCost(0)
+
+
+class TestGateCountCost:
+    def test_sib_unit_cost(self, sib_network):
+        model = GateCountCost(ff_factor=2, mux_factor=2, voter=1)
+        unit = sib_network.unit("sib0")
+        # bit: 2*1 + 1 = 3 ; mux: 2*2 + 1 = 5
+        assert model.unit_cost(sib_network, unit) == 8.0
+
+    def test_wider_mux_costs_more(self, mux3_network):
+        model = GateCountCost()
+        unit = mux3_network.unit("unit.m.sel")
+        # 2-bit select cell: 2*2+1 = 5; 3-input mux: 2*3+1 = 7
+        assert model.unit_cost(mux3_network, unit) == 12.0
+
+    def test_segment_cost_scales_with_length(self, sib_network):
+        model = GateCountCost()
+        assert model.segment_cost(sib_network, "in2") > model.segment_cost(
+            sib_network, "in1"
+        )
+
+    def test_bad_factors_rejected(self):
+        with pytest.raises(SpecificationError):
+            GateCountCost(ff_factor=0)
+
+
+class TestPerBitCost:
+    def test_unit_cost_counts_cell_bits(self, sib_network):
+        model = PerBitCost(per_bit=3)
+        unit = sib_network.unit("sib0")
+        assert model.unit_cost(sib_network, unit) == 3.0  # one-bit SIB cell
+
+    def test_mux_surcharge(self, sib_network):
+        model = PerBitCost(per_bit=1, per_mux=4)
+        unit = sib_network.unit("sib0")
+        assert model.unit_cost(sib_network, unit) == 5.0
+
+    def test_segment_cost(self, sib_network):
+        model = PerBitCost(per_bit=2)
+        assert model.segment_cost(sib_network, "in2") == 6.0  # 3 bits
+
+    def test_bad_per_bit_rejected(self):
+        with pytest.raises(SpecificationError):
+            PerBitCost(per_bit=0)
+
+
+class TestVectorHelpers:
+    def test_cost_vector_alignment(self, fig1_network):
+        units = list(fig1_network.units())
+        model = GateCountCost()
+        vector = cost_vector(fig1_network, units, model)
+        assert len(vector) == len(units)
+        for value, unit in zip(vector, units):
+            assert value == model.unit_cost(fig1_network, unit)
+
+    def test_max_cost_is_vector_sum(self, fig1_network):
+        units = list(fig1_network.units())
+        model = GateCountCost()
+        assert max_cost(fig1_network, units, model) == pytest.approx(
+            cost_vector(fig1_network, units, model).sum()
+        )
+
+    def test_all_costs_positive(self, fig1_network):
+        for model in (UniformCost(), GateCountCost(), PerBitCost()):
+            vector = cost_vector(
+                fig1_network, list(fig1_network.units()), model
+            )
+            assert (vector > 0).all()

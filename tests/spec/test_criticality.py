@@ -1,0 +1,136 @@
+"""Unit and property tests for the criticality specification."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SpecificationError
+from repro.spec import CriticalitySpec, random_spec, uniform_spec
+
+
+class TestCriticalitySpec:
+    def test_lookup(self):
+        spec = CriticalitySpec({"a": (3, 7)})
+        assert spec.do("a") == 3.0
+        assert spec.ds("a") == 7.0
+        assert spec.weight("a") == (3.0, 7.0)
+
+    def test_unknown_instrument_is_zero_weight(self):
+        spec = CriticalitySpec({})
+        assert spec.weight("ghost") == (0.0, 0.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(SpecificationError):
+            CriticalitySpec({"a": (-1, 0)})
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(SpecificationError):
+            CriticalitySpec({"a": 5})
+
+    def test_totals(self):
+        spec = CriticalitySpec({"a": (1, 2), "b": (3, 4)})
+        assert spec.total_do() == 4.0
+        assert spec.total_ds() == 6.0
+
+    def test_critical_sets_inferred_by_dominance(self):
+        spec = CriticalitySpec(
+            {"crit": (100, 1), "u1": (30, 5), "u2": (20, 5)}
+        )
+        assert spec.critical_for_observation() == ["crit"]
+        # the two 5-weights do not dominate each other
+        assert spec.critical_for_control() == []
+
+    def test_critical_sets_explicit_declaration_wins(self):
+        spec = CriticalitySpec(
+            {"a": (1, 1), "b": (1, 1)},
+            critical_observation=["a"],
+            critical_control=["b"],
+        )
+        assert spec.critical_for_observation() == ["a"]
+        assert spec.critical_for_control() == ["b"]
+
+    def test_critical_declaration_of_unknown_rejected(self):
+        with pytest.raises(SpecificationError):
+            CriticalitySpec({"a": (1, 1)}, critical_observation=["ghost"])
+
+    def test_check_against_network(self, fig1_network):
+        CriticalitySpec({"i1": (1, 1)}).check_against(fig1_network)
+        with pytest.raises(SpecificationError):
+            CriticalitySpec({"ghost": (1, 1)}).check_against(fig1_network)
+
+    def test_json_roundtrip(self):
+        spec = CriticalitySpec({"a": (1.5, 2.0), "b": (0, 9)})
+        assert CriticalitySpec.from_json(spec.to_json()) == spec
+
+    def test_dict_roundtrip(self):
+        spec = CriticalitySpec({"a": (1, 2)})
+        assert CriticalitySpec.from_dict(spec.to_dict()) == spec
+
+
+class TestUniformSpec:
+    def test_every_instrument_weighted(self):
+        spec = uniform_spec(["a", "b"], do=2, ds=3)
+        assert spec.weight("a") == (2.0, 3.0)
+        assert spec.weight("b") == (2.0, 3.0)
+
+
+class TestRandomSpec:
+    def test_deterministic_in_seed(self):
+        names = [f"i{k}" for k in range(50)]
+        assert random_spec(names, seed=5) == random_spec(names, seed=5)
+        assert random_spec(names, seed=5) != random_spec(names, seed=6)
+
+    def test_paper_fractions(self):
+        names = [f"i{k}" for k in range(200)]
+        spec = random_spec(names, seed=1)
+        non_zero_do = sum(1 for n in names if spec.do(n) > 0)
+        non_zero_ds = sum(1 for n in names if spec.ds(n) > 0)
+        # 70% weighted; criticals may add a few on top
+        assert 140 <= non_zero_do <= 160
+        assert 140 <= non_zero_ds <= 160
+
+    def test_critical_count_close_to_ten_percent(self):
+        names = [f"i{k}" for k in range(200)]
+        spec = random_spec(names, seed=2)
+        assert 15 <= len(spec.critical_for_observation()) <= 25
+        assert 15 <= len(spec.critical_for_control()) <= 25
+
+    def test_critical_weight_dominates_uncritical_sum(self):
+        """Sec. IV-A: an important instrument outweighs all uncritical
+        ones together."""
+        names = [f"i{k}" for k in range(100)]
+        spec = random_spec(names, seed=3)
+        criticals = set(spec.critical_for_observation())
+        assert criticals
+        uncritical_sum = sum(
+            spec.do(n) for n in names if n not in criticals
+        )
+        for name in criticals:
+            assert spec.do(name) >= uncritical_sum - spec.do(name) or (
+                spec.do(name) >= uncritical_sum * 0.5
+            )
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(SpecificationError):
+            random_spec(["a"], frac_weighted_obs=1.5)
+
+    def test_bad_weight_range_rejected(self):
+        with pytest.raises(SpecificationError):
+            random_spec(["a"], weight_range=(0, 10))
+        with pytest.raises(SpecificationError):
+            random_spec(["a"], weight_range=(5, 3))
+
+    def test_empty_instrument_list(self):
+        spec = random_spec([], seed=0)
+        assert len(spec) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        count=st.integers(min_value=1, max_value=120),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_weights_always_nonnegative(self, count, seed):
+        names = [f"i{k}" for k in range(count)]
+        spec = random_spec(names, seed=seed)
+        for name in names:
+            do_w, ds_w = spec.weight(name)
+            assert do_w >= 0 and ds_w >= 0

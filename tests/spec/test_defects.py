@@ -1,0 +1,91 @@
+"""Unit tests for defect-probability models (expected damage)."""
+
+import pytest
+
+from repro.analysis import analyze_damage
+from repro.errors import SpecificationError
+from repro.spec import (
+    AreaDefects,
+    UniformDefects,
+    defect_weights,
+    expected_damage_report,
+    spec_for_network,
+)
+
+
+@pytest.fixture
+def report(fig1_network):
+    spec = spec_for_network(fig1_network, seed=2)
+    return analyze_damage(fig1_network, spec)
+
+
+class TestDefectWeights:
+    def test_uniform_is_all_ones(self, fig1_network):
+        weights = defect_weights(fig1_network, UniformDefects())
+        assert all(value == 1.0 for value in weights.values())
+
+    def test_area_scales_with_length(self, fig1_network):
+        weights = defect_weights(
+            fig1_network, AreaDefects(), normalize=False
+        )
+        assert weights["d"] == 4.0  # 4-bit segment
+        assert weights["a"] == 2.0
+        assert weights["m0"] == 1.0  # 2 inputs * 0.5
+
+    def test_normalization_mean_one(self, fig1_network):
+        weights = defect_weights(fig1_network, AreaDefects())
+        mean = sum(weights.values()) / len(weights)
+        assert mean == pytest.approx(1.0)
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(SpecificationError):
+            AreaDefects(bit_area=0)
+
+
+class TestExpectedDamage:
+    def test_uniform_model_is_identity(self, report):
+        expected = expected_damage_report(report, UniformDefects())
+        assert expected.total == pytest.approx(report.total)
+        for name, damage in report.primitive_damage.items():
+            assert expected.primitive_damage[name] == pytest.approx(damage)
+
+    def test_area_model_reweights(self, report):
+        expected = expected_damage_report(report, AreaDefects())
+        assert expected.total != pytest.approx(report.total)
+        # normalized weights keep the totals on the same order
+        assert 0.1 * report.total < expected.total < 10 * report.total
+
+    def test_unit_damage_consistent_with_members(self, report):
+        expected = expected_damage_report(report, AreaDefects())
+        for unit in report.network.units():
+            assert expected.unit_damage[unit.name] == pytest.approx(
+                sum(
+                    expected.primitive_damage[member]
+                    for member in unit.members
+                )
+            )
+
+    def test_hardening_consumes_expected_report(self, fig1_network, report):
+        from repro.core.problem import HardeningProblem
+        from repro.spec import UniformCost
+
+        expected = expected_damage_report(report, AreaDefects())
+        problem = HardeningProblem(
+            fig1_network, expected, UniformCost()
+        )
+        assert problem.max_damage == pytest.approx(expected.total)
+
+    def test_wide_registers_dominate_expected_ranking(self, fig1_network):
+        """Under the area model, a long segment's break gains importance
+        relative to an equally damaging short one."""
+        spec = spec_for_network(fig1_network, seed=2)
+        base = analyze_damage(fig1_network, spec)
+        expected = expected_damage_report(base, AreaDefects())
+        # segment d (4 bits) gains relative to segment a (2 bits)
+        gain_d = expected.primitive_damage["d"] / max(
+            base.primitive_damage["d"], 1e-9
+        )
+        gain_a = expected.primitive_damage["a"] / max(
+            base.primitive_damage["a"], 1e-9
+        )
+        assert gain_d > gain_a

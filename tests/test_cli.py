@@ -1,0 +1,139 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDesigns:
+    def test_lists_registry(self, capsys):
+        assert main(["designs"]) == 0
+        out = capsys.readouterr().out
+        assert "TreeFlat" in out
+        assert "MBIST_5_100_100" in out
+
+
+class TestExample:
+    def test_walkthrough(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "stuck-at-1 fault of m0" in out
+        assert "['i1', 'i2', 'i3']" in out
+
+
+class TestAnalyze:
+    def test_registry_design(self, capsys):
+        assert main(["analyze", "TreeFlat"]) == 0
+        out = capsys.readouterr().out
+        assert "total damage" in out
+        assert "24 / 24" in out
+
+    def test_network_file(self, tmp_path, capsys):
+        path = tmp_path / "net.rsn"
+        path.write_text(
+            "network filetest\n"
+            "  segment s length=4 instrument=temp\n"
+            "  sib s0\n"
+            "    segment t length=2 instrument=core\n"
+        )
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "filetest" in out
+
+
+class TestHarden:
+    def test_harden_small_design(self, capsys):
+        assert main(
+            ["harden", "TreeFlat", "--generations", "30"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "min damage @ cost<=10%" in out
+
+    def test_harden_with_spots(self, capsys):
+        assert main(
+            [
+                "harden",
+                "TreeFlat",
+                "--generations",
+                "30",
+                "--show-spots",
+                "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "harden " in out
+
+
+class TestTable1:
+    def test_single_design_json(self, tmp_path, capsys):
+        json_path = tmp_path / "rows.json"
+        code = main(
+            [
+                "table1",
+                "--designs",
+                "TreeFlat",
+                "--scale-generations",
+                "0.1",
+                "--compare",
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        rows = json.loads(json_path.read_text())
+        assert rows[0]["design"] == "TreeFlat"
+        out = capsys.readouterr().out
+        assert "cost%@dmg<=10% paper" in out
+
+    def test_unknown_design_rejected(self, capsys):
+        assert main(["table1", "--designs", "Ghost"]) == 2
+        assert "unknown designs" in capsys.readouterr().err
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+
+
+class TestStats:
+    def test_stats_command(self, capsys):
+        assert main(["stats", "TreeBalanced"]) == 0
+        out = capsys.readouterr().out
+        assert "kill_concentration" in out
+        assert "hierarchy_depth" in out
+
+
+class TestExport:
+    def test_export_roundtrip(self, tmp_path, capsys):
+        from repro.bench import get_design
+        from repro.rsn import icl
+
+        out = tmp_path / "tree_flat.rsn"
+        assert main(["export", "TreeFlat", str(out)]) == 0
+        assert icl.load(out) == get_design("TreeFlat").generate()
+
+
+class TestHardenVariants:
+    def test_nsga2_algorithm(self, capsys):
+        assert main(
+            [
+                "harden",
+                "TreeFlat",
+                "--generations",
+                "20",
+                "--algorithm",
+                "nsga2",
+            ]
+        ) == 0
+        assert "front" in capsys.readouterr().out
+
+    def test_analyze_top_parameter(self, capsys):
+        assert main(["analyze", "TreeFlat", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        # exactly three unit lines under the header
+        lines = out.splitlines()
+        header = lines.index("most critical hardening units:")
+        assert len(lines) - header - 1 == 3

@@ -1,0 +1,61 @@
+"""Smoke tests: the shipped examples run to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_quickstart_runs():
+    result = run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "criticality analysis" in result.stdout
+    assert "SPEA-2 front" in result.stdout
+    assert "simulator cross-check" in result.stdout
+
+
+def test_tradeoff_exploration_runs(tmp_path):
+    out_csv = tmp_path / "points.csv"
+    result = run_example("tradeoff_exploration.py", "TreeFlat", str(out_csv))
+    assert result.returncode == 0, result.stderr
+    assert out_csv.exists()
+    header = out_csv.read_text().splitlines()[0]
+    assert header == "source,cost,damage"
+
+
+def test_tradeoff_rejects_unknown_design(tmp_path):
+    result = run_example("tradeoff_exploration.py", "NoSuchDesign")
+    assert result.returncode != 0
+    assert "unknown design" in result.stderr
+
+
+def test_runtime_avfs_runs():
+    result = run_example("runtime_avfs_hardening.py")
+    assert result.returncode == 0, result.stderr
+    assert "SYSTEM SAFE" in result.stdout
+
+
+@pytest.mark.slow
+def test_post_silicon_validation_runs():
+    result = run_example("post_silicon_validation.py", timeout=900)
+    assert result.returncode == 0, result.stderr
+    assert "validation read-out under the defect" in result.stdout
+
+
+def test_batch_access_runs():
+    result = run_example("batch_access.py", "TreeFlat")
+    assert result.returncode == 0, result.stderr
+    assert "data integrity" in result.stdout
+    assert "saved" in result.stdout

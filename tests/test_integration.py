@@ -1,0 +1,146 @@
+"""End-to-end integration tests tying all subsystems together."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze_damage
+from repro.analysis.faults import MuxStuck
+from repro.bench import build_design, get_design
+from repro.bench.generators import random_network
+from repro.core import SelectiveHardening
+from repro.rsn import icl
+from repro.rsn.ast import elaborate
+from repro.sim import Retargeter, ScanSimulator, structural_access
+from repro.sp import decompose
+from repro.spec import spec_for_network
+
+
+class TestFullPipelineOnBenchmark:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        network = build_design("TreeUnbalanced")
+        synthesis = SelectiveHardening(network, seed=0)
+        result = synthesis.optimize(generations=120, population_size=60)
+        return network, synthesis, result
+
+    def test_counts_match_registry(self, outcome):
+        network, _, _ = outcome
+        info = get_design("TreeUnbalanced")
+        assert network.counts() == (info.n_segments, info.n_muxes)
+
+    def test_hardening_reduces_damage_cheaply(self, outcome):
+        _, synthesis, result = outcome
+        solution = result.min_cost_solution(0.10)
+        assert solution is not None
+        # the headline shape: a strict fraction of the full-hardening
+        # cost removes 90 % of the damage (how small depends on how
+        # concentrated the network's damage profile is)
+        assert solution.cost_fraction < 0.7
+
+    def test_min_damage_within_budget(self, outcome):
+        _, synthesis, result = outcome
+        solution = result.min_damage_solution(0.10)
+        assert solution is not None
+        assert solution.damage_fraction < 1.0
+
+    def test_hardened_spots_cover_top_critical_units(self, outcome):
+        _, synthesis, result = outcome
+        solution = result.min_cost_solution(0.10)
+        top_units = [
+            name for name, _ in synthesis.report.most_critical_units(3)
+        ]
+        assert set(top_units) <= set(solution.hardened)
+
+    def test_front_dominates_random_selections(self, outcome):
+        _, synthesis, result = outcome
+        from repro.core.baselines import random_selection
+        from repro.ea import dominates
+
+        problem = synthesis.problem
+        _, front = result.front()
+        for seed in range(5):
+            genome = random_selection(
+                problem, 0.3 * problem.max_cost, seed=seed
+            )
+            point = problem.evaluate(genome[None, :])[0]
+            assert any(
+                dominates(front_point, point) or tuple(front_point) == tuple(point)
+                for front_point in front
+            )
+
+
+class TestAnalysisMatchesSimulationOnBenchmark:
+    def test_soc_style_mux_faults(self):
+        """Oracle-vs-analysis on an SoC-style network small enough for the
+        exponential configuration enumeration (2^8 configs per fault)."""
+        from repro.bench.generators import soc_mux_network
+        from repro.rsn.ast import elaborate as build
+
+        network = build(soc_mux_network(18, 8, seed=4))
+        tree = decompose(network)
+        from repro.analysis.effects import mux_stuck_effect
+
+        instruments = set(network.instrument_names())
+        for mux in (m.name for m in network.muxes()):
+            for port in (0, 1):
+                effect = mux_stuck_effect(tree, mux, port)
+                unobs, unset = effect.lost_instruments(network)
+                access = structural_access(
+                    network,
+                    faults=[MuxStuck(mux, port)],
+                )
+                assert instruments - access.observable == unobs
+                assert instruments - access.settable == unset
+
+
+class TestRetargetingOnBenchmark:
+    def test_every_treeflat_instrument_reachable(self):
+        network = build_design("TreeFlat")
+        simulator = ScanSimulator(network)
+        retargeter = Retargeter(simulator)
+        for instrument in network.instrument_names()[:8]:
+            segment = network.instrument(instrument).segment
+            width = network.node(segment).length
+            pattern = [k % 2 for k in range(width)]
+            retargeter.write_instrument(instrument, pattern)
+            assert retargeter.read_instrument(instrument) == pattern
+
+
+class TestPersistenceRoundtrip:
+    def test_generated_design_survives_icl(self, tmp_path):
+        decl = get_design("TreeBalanced").generate()
+        path = tmp_path / "tree_balanced.rsn"
+        icl.dump(decl, path)
+        reloaded = icl.load(path)
+        assert reloaded == decl
+        network = elaborate(reloaded)
+        spec = spec_for_network(network, seed=0)
+        direct_spec = spec_for_network(
+            elaborate(decl), seed=0
+        )
+        assert spec == direct_spec
+        report_a = analyze_damage(network, spec)
+        report_b = analyze_damage(elaborate(decl), spec)
+        assert report_a.total == pytest.approx(report_b.total)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2_000))
+def test_random_network_full_stack(seed):
+    """Generate -> persist -> analyze -> optimize -> extract, end to end."""
+    decl = random_network(seed=seed, max_depth=2, max_items=3)
+    network = elaborate(icl.loads(icl.dumps(decl)))
+    synthesis = SelectiveHardening(network, seed=seed)
+    result = synthesis.optimize(generations=15, population_size=12)
+    assert len(result.objectives) >= 1
+    exact = synthesis.exact_front()
+    # EA points never dominate the *non-dominated* supported points (the
+    # raw prefix list may end with zero-damage candidates whose prefixes
+    # are themselves dominated)
+    from repro.ea import dominates
+
+    _, supported_front = exact.front()
+    for point in result.objectives:
+        for supported in supported_front:
+            assert not dominates(point, supported)
