@@ -1,8 +1,13 @@
 # Convenience targets for the RSN reproduction repo.
+#
+# Every python-running target exports PYTHONPATH=src so the targets work
+# on a clean checkout without an editable install (the same invocation CI
+# and ROADMAP's tier-1 verify use).
 
 PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench table1 sweeps examples clean
+.PHONY: install test test-fast bench baseline lint table1 sweeps examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +20,12 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+baseline:
+	$(PYTHON) benchmarks/bench_analysis_scaling.py --output results/BENCH_criticality.json
+
+lint:
+	ruff check src tests benchmarks examples
 
 table1:
 	$(PYTHON) -m repro.cli table1 --compare

@@ -61,6 +61,7 @@ def test_table1_row(benchmark, design_name, generation_scale):
             "greedy_min_damage": row.greedy_min_damage_damage,
             "paper_generations": info.paper.generations,
             "paper_runtime": info.paper.runtime,
+            "analysis_stats": row.analysis_stats,
         }
     )
 
@@ -95,5 +96,6 @@ def test_table1_row_mbist(benchmark, design_name, generation_scale):
                 row.min_damage_cost,
                 row.min_damage_damage,
             ],
+            "analysis_stats": row.analysis_stats,
         }
     )

@@ -21,6 +21,14 @@ from .effects import (
     settability_tree,
 )
 from .degradation import DegradationReport, degrade, worst_surviving_faults
+from .engine import (
+    ANALYSIS_VERSION,
+    CriticalityEngine,
+    EngineStats,
+    analysis_fingerprint,
+    analyze_damage_cached,
+    default_cache_dir,
+)
 from .graph_analysis import (
     GraphDamageAnalysis,
     analyze_damage_graph,
@@ -40,10 +48,16 @@ from .faults import (
 )
 
 __all__ = [
+    "ANALYSIS_VERSION",
     "AccessibilityReport",
     "ControlCellBreak",
+    "CriticalityEngine",
     "DamageReport",
     "DegradationReport",
+    "EngineStats",
+    "analysis_fingerprint",
+    "analyze_damage_cached",
+    "default_cache_dir",
     "ExplicitDamageAnalysis",
     "FastDamageAnalysis",
     "Fault",

@@ -317,6 +317,24 @@ class FastDamageAnalysis(_AnalysisBase):
         self._branch_hi = np.zeros(count, dtype=np.int64)
         self._fill_branch_ranges()
         self._stuck_cache: Dict[str, Dict[int, float]] = {}
+        # Memoization shared across faults: the same range sums, dead
+        # intervals and per-cell stuck assignments recur for every fault
+        # of a mux (and for every mux under a cell), so each is computed
+        # once.  ``memo_counters`` feeds the engine's --stats output.
+        self._range_do_memo: Dict[Tuple[int, int], float] = {}
+        self._range_ds_memo: Dict[Tuple[int, int], float] = {}
+        self._dead_memo: Dict[Tuple[str, int], List[Tuple[int, int]]] = {}
+        self._cell_ports_memo: Dict[str, Dict[str, int]] = {}
+        self.memo_counters: Dict[str, int] = {
+            "range_hits": 0,
+            "range_misses": 0,
+            "stuck_hits": 0,
+            "stuck_misses": 0,
+            "dead_hits": 0,
+            "dead_misses": 0,
+            "cell_ports_hits": 0,
+            "cell_ports_misses": 0,
+        }
 
     def _fill_branch_ranges(self) -> None:
         root = self.tree.root
@@ -338,12 +356,26 @@ class FastDamageAnalysis(_AnalysisBase):
     def _range_do(self, lo: int, hi: int) -> float:
         if lo > hi:
             return 0.0
-        return float(self._prefix_do[hi + 1] - self._prefix_do[lo])
+        value = self._range_do_memo.get((lo, hi))
+        if value is None:
+            self.memo_counters["range_misses"] += 1
+            value = float(self._prefix_do[hi + 1] - self._prefix_do[lo])
+            self._range_do_memo[(lo, hi)] = value
+        else:
+            self.memo_counters["range_hits"] += 1
+        return value
 
     def _range_ds(self, lo: int, hi: int) -> float:
         if lo > hi:
             return 0.0
-        return float(self._prefix_ds[hi + 1] - self._prefix_ds[lo])
+        value = self._range_ds_memo.get((lo, hi))
+        if value is None:
+            self.memo_counters["range_misses"] += 1
+            value = float(self._prefix_ds[hi + 1] - self._prefix_ds[lo])
+            self._range_ds_memo[(lo, hi)] = value
+        else:
+            self.memo_counters["range_hits"] += 1
+        return value
 
     def _range_both(self, lo: int, hi: int) -> float:
         return self._range_do(lo, hi) + self._range_ds(lo, hi)
@@ -361,7 +393,9 @@ class FastDamageAnalysis(_AnalysisBase):
     def _stuck_damages(self, mux: str) -> Dict[int, float]:
         cached = self._stuck_cache.get(mux)
         if cached is not None:
+            self.memo_counters["stuck_hits"] += 1
             return cached
+        self.memo_counters["stuck_misses"] += 1
         leaf = self.tree.leaf(mux)
         if leaf.mux_branches is None:
             raise ReproError(f"{mux!r} is not a mux leaf in the tree")
@@ -394,14 +428,26 @@ class FastDamageAnalysis(_AnalysisBase):
         return extra
 
     def _dead_intervals(self, mux: str, port: int) -> List[Tuple[int, int]]:
+        cached = self._dead_memo.get((mux, port))
+        if cached is not None:
+            self.memo_counters["dead_hits"] += 1
+            return cached
+        self.memo_counters["dead_misses"] += 1
         leaf = self.tree.leaf(mux)
-        return [
+        intervals = [
             (subtree.lo, subtree.hi)
             for ports, subtree in leaf.mux_branches
             if port not in ports and subtree.lo <= subtree.hi
         ]
+        self._dead_memo[(mux, port)] = intervals
+        return intervals
 
     def cell_stuck_ports(self, cell: str) -> Dict[str, int]:
+        cached = self._cell_ports_memo.get(cell)
+        if cached is not None:
+            self.memo_counters["cell_ports_hits"] += 1
+            return cached
+        self.memo_counters["cell_ports_misses"] += 1
         leaf = self.tree.leaf(cell)
         index = self.tree.leaf_index(leaf)
         lo = int(self._branch_lo[index])
@@ -420,6 +466,7 @@ class FastDamageAnalysis(_AnalysisBase):
                     best_marginal = marginal
                     best_port = port
             ports[mux] = best_port
+        self._cell_ports_memo[cell] = ports
         return ports
 
     def _cell_break_damage(self, cell: str) -> float:

@@ -1,0 +1,553 @@
+"""Parallel, cached criticality engine — the service-grade analysis path.
+
+:class:`CriticalityEngine` wraps the per-fault damage evaluation of
+:mod:`repro.analysis.damage` into a reusable substrate:
+
+* **parallel fan-out** — the per-primitive damage evaluations are
+  independent, so they are chunked and dispatched over a
+  ``ProcessPoolExecutor``; on ``fork`` platforms the workers inherit the
+  fully-preprocessed analysis (prefix sums, branch ranges) by
+  copy-on-write, elsewhere each worker rebuilds it once from a pickled
+  ``(network, spec)`` payload.  Results are reassembled in submission
+  order, so the report is bit-identical to the serial path.  Any pool
+  failure degrades gracefully to the serial evaluation.
+* **persistent result cache** — a completed report is stored on disk
+  keyed by a content fingerprint of (network structure, specification,
+  method, policy, damage sites, :data:`ANALYSIS_VERSION`), so repeated
+  ``cli analyze`` / ``cli table1`` runs and EA re-evaluations of the same
+  problem skip the analysis entirely.  Any change to the network or spec
+  changes the fingerprint and invalidates the entry; changes to the
+  analysis algorithms must bump :data:`ANALYSIS_VERSION`.
+* **instrumentation** — an :class:`EngineStats` record (faults/s, cache
+  outcome, memoization counters, worker utilization) for ``--stats``
+  output and benchmark capture.
+
+The in-memory memoization of range queries and dead intervals lives in
+:class:`repro.analysis.damage.FastDamageAnalysis` itself; the engine only
+surfaces its counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from ..rsn.network import RsnNetwork
+from ..rsn.primitives import NodeKind, SegmentRole
+from ..sp.tree import SPTree
+from .damage import DamageReport, ExplicitDamageAnalysis, FastDamageAnalysis
+
+#: Bump whenever the damage semantics change, so stale disk-cache entries
+#: can never be served for a new algorithm version.
+ANALYSIS_VERSION = "1"
+
+_METHODS = ("fast", "explicit", "graph")
+_SITES = ("all", "control", "mux")
+
+# Patchable factory so tests can simulate an unavailable pool.
+_EXECUTOR_FACTORY = ProcessPoolExecutor
+
+# Fork-path hand-off: set in the parent right before the pool is created so
+# forked workers inherit the preprocessed analysis without any pickling.
+_WORKER_ANALYSIS = None
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-rsn``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-rsn")
+
+
+# ---------------------------------------------------------------------------
+# content fingerprint
+# ---------------------------------------------------------------------------
+def network_fingerprint_payload(network: RsnNetwork) -> Dict:
+    """A canonical, JSON-stable description of the network structure.
+
+    Node and edge order are part of the structure (mux ports are defined
+    by predecessor order), so insertion order is preserved verbatim.
+    """
+    nodes: List[Dict] = []
+    for node in network.nodes():
+        entry: Dict = {"name": node.name, "kind": node.kind.value}
+        if node.kind is NodeKind.SEGMENT:
+            entry["length"] = node.length
+            entry["role"] = node.role.value
+            entry["instrument"] = node.instrument
+        elif node.kind is NodeKind.MUX:
+            entry["fanin"] = node.fanin
+            entry["control_cell"] = node.control_cell
+            entry["sib_of"] = node.sib_of
+        nodes.append(entry)
+    return {
+        "name": network.name,
+        "nodes": nodes,
+        "edges": [[src, dst] for src, dst in network.edges()],
+        "units": [
+            {"name": unit.name, "members": list(unit.members)}
+            for unit in network.units()
+        ],
+    }
+
+
+def analysis_fingerprint(
+    network: RsnNetwork,
+    spec,
+    method: str = "fast",
+    policy: str = "max",
+    sites: str = "all",
+) -> str:
+    """SHA-256 over everything the report depends on (the cache key)."""
+    payload = {
+        "version": ANALYSIS_VERSION,
+        "method": method,
+        "policy": policy,
+        "sites": sites,
+        "network": network_fingerprint_payload(network),
+        "spec": spec.to_dict(),
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# stats
+# ---------------------------------------------------------------------------
+@dataclass
+class EngineStats:
+    """Timing and counter instrumentation of one ``report()`` call."""
+
+    network: str = ""
+    method: str = "fast"
+    policy: str = "max"
+    sites: str = "all"
+    primitives_evaluated: int = 0
+    faults_evaluated: int = 0
+    elapsed_seconds: float = 0.0
+    faults_per_second: float = 0.0
+    #: 0 = serial; otherwise the worker-pool size actually used.
+    workers: int = 0
+    distinct_workers: int = 0
+    chunks: int = 0
+    worker_busy_seconds: float = 0.0
+    #: busy-time fraction of the pool during the parallel section.
+    worker_utilization: float = 0.0
+    #: "hit" | "miss" | "disabled"
+    cache: str = "disabled"
+    cache_key: Optional[str] = None
+    parallel_fallback: Optional[str] = None
+    memo: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def memo_hit_rate(self) -> float:
+        hits = sum(v for k, v in self.memo.items() if k.endswith("hits"))
+        misses = sum(
+            v for k, v in self.memo.items() if k.endswith("misses")
+        )
+        return hits / (hits + misses) if hits + misses else 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "network": self.network,
+            "method": self.method,
+            "policy": self.policy,
+            "sites": self.sites,
+            "primitives_evaluated": self.primitives_evaluated,
+            "faults_evaluated": self.faults_evaluated,
+            "elapsed_seconds": self.elapsed_seconds,
+            "faults_per_second": self.faults_per_second,
+            "workers": self.workers,
+            "distinct_workers": self.distinct_workers,
+            "chunks": self.chunks,
+            "worker_busy_seconds": self.worker_busy_seconds,
+            "worker_utilization": self.worker_utilization,
+            "cache": self.cache,
+            "cache_key": self.cache_key,
+            "parallel_fallback": self.parallel_fallback,
+            "memo": dict(self.memo),
+            "memo_hit_rate": self.memo_hit_rate,
+        }
+
+    def format(self) -> str:
+        """Human-readable block for the CLI's ``--stats`` flag."""
+        lines = [
+            f"engine stats     : {self.network} "
+            f"[{self.method}/{self.policy}/{self.sites}]",
+            f"  elapsed        : {self.elapsed_seconds:.3f}s",
+            f"  faults         : {self.faults_evaluated:,} "
+            f"({self.faults_per_second:,.0f} faults/s)",
+        ]
+        if self.cache == "hit":
+            lines.append("  result cache   : hit (analysis skipped)")
+        elif self.cache == "miss":
+            lines.append("  result cache   : miss (stored for next run)")
+        else:
+            lines.append("  result cache   : disabled")
+        if self.cache_key:
+            lines.append(f"  cache key      : {self.cache_key[:16]}…")
+        if self.workers:
+            lines.append(
+                f"  workers        : {self.workers} "
+                f"({self.chunks} chunks, "
+                f"{self.worker_utilization:.0%} utilization)"
+            )
+        else:
+            lines.append("  workers        : serial")
+        if self.parallel_fallback:
+            lines.append(f"  pool fallback  : {self.parallel_fallback}")
+        if self.memo:
+            lines.append(
+                f"  memo hit rate  : {self.memo_hit_rate:.1%} "
+                f"({sum(self.memo.values()):,} lookups)"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# worker-side helpers (module-level so they pickle by reference)
+# ---------------------------------------------------------------------------
+def _make_analysis(network, spec, tree, method, policy):
+    if method == "fast":
+        return FastDamageAnalysis(network, spec, tree=tree, policy=policy)
+    if method == "explicit":
+        return ExplicitDamageAnalysis(
+            network, spec, tree=tree, policy=policy
+        )
+    if method == "graph":
+        from .graph_analysis import GraphDamageAnalysis
+
+        return GraphDamageAnalysis(network, spec, policy=policy)
+    raise ReproError(f"unknown analysis method {method!r}")
+
+
+def _worker_init(payload: Optional[bytes] = None) -> None:
+    """Initializer for spawned workers: rebuild the analysis once.
+
+    On fork platforms ``payload`` is None and the analysis was inherited
+    from the parent via :data:`_WORKER_ANALYSIS`.
+    """
+    global _WORKER_ANALYSIS
+    if payload is not None:
+        network, spec, method, policy = pickle.loads(payload)
+        _WORKER_ANALYSIS = _make_analysis(
+            network, spec, None, method, policy
+        )
+
+
+def _worker_chunk(names: List[str]) -> Tuple[int, float, List[float]]:
+    started = time.perf_counter()
+    analysis = _WORKER_ANALYSIS
+    damages = [analysis.primitive_damage(name) for name in names]
+    return os.getpid(), time.perf_counter() - started, damages
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+class CriticalityEngine:
+    """Parallel + cached front-end over the damage analyses.
+
+    Parameters
+    ----------
+    jobs:
+        ``None``/``0``/``1`` — serial; ``"auto"`` — one worker per CPU;
+        ``n >= 2`` — a pool of ``n`` workers.
+    cache_dir:
+        Directory of the persistent result cache; ``None`` disables it.
+    min_parallel_primitives:
+        Networks below this size always run serially (pool start-up would
+        dominate).
+    """
+
+    def __init__(
+        self,
+        network: RsnNetwork,
+        spec,
+        tree: Optional[SPTree] = None,
+        method: str = "fast",
+        policy: str = "max",
+        jobs=None,
+        chunk_size: int = 1024,
+        cache_dir: Optional[str] = None,
+        min_parallel_primitives: int = 64,
+    ):
+        if method not in _METHODS:
+            raise ReproError(
+                f"method must be one of {_METHODS}, got {method!r}"
+            )
+        self.network = network
+        self.spec = spec
+        self.tree = tree
+        self.method = method
+        self.policy = policy
+        self.jobs = self._normalize_jobs(jobs)
+        self.chunk_size = max(1, int(chunk_size))
+        self.cache_dir = cache_dir
+        self.min_parallel_primitives = min_parallel_primitives
+        self.stats: Optional[EngineStats] = None
+        self._analysis = None
+
+    @staticmethod
+    def _normalize_jobs(jobs) -> int:
+        if jobs in (None, 0, 1):
+            return 0
+        if jobs == "auto":
+            return os.cpu_count() or 1
+        jobs = int(jobs)
+        if jobs < 0:
+            raise ReproError(f"jobs must be >= 0, got {jobs}")
+        return jobs
+
+    # -- public API ------------------------------------------------------
+    def report(self, sites: str = "all") -> DamageReport:
+        """Compute (or load) the :class:`DamageReport` for ``sites``.
+
+        ``self.stats`` holds the :class:`EngineStats` of this call
+        afterwards.
+        """
+        if sites not in _SITES:
+            raise ReproError(f"unknown damage-site filter {sites!r}")
+        started = time.perf_counter()
+        stats = EngineStats(
+            network=self.network.name,
+            method=self.method,
+            policy=self.policy,
+            sites=sites,
+        )
+        self.stats = stats
+
+        key = None
+        if self.cache_dir:
+            key = analysis_fingerprint(
+                self.network, self.spec, self.method, self.policy, sites
+            )
+            stats.cache_key = key
+            report = self._load_cached(key)
+            if report is not None:
+                stats.cache = "hit"
+                stats.elapsed_seconds = time.perf_counter() - started
+                return report
+            stats.cache = "miss"
+
+        evaluated, skipped = self._partition_primitives(sites)
+        stats.primitives_evaluated = len(evaluated)
+        stats.faults_evaluated = self._count_faults(evaluated)
+
+        damages = None
+        if (
+            self.jobs >= 2
+            and len(evaluated) >= self.min_parallel_primitives
+        ):
+            try:
+                damages = self._parallel_damages(evaluated, stats)
+            except Exception as exc:  # degrade, never fail the analysis
+                stats.parallel_fallback = f"{type(exc).__name__}: {exc}"
+                damages = None
+        elif self.jobs >= 2:
+            stats.parallel_fallback = (
+                f"network too small ({len(evaluated)} primitives < "
+                f"{self.min_parallel_primitives})"
+            )
+        if damages is None:
+            damages = self._serial_damages(evaluated)
+
+        primitive_damage: Dict[str, float] = {}
+        by_name = dict(zip(evaluated, damages))
+        for node in self.network.nodes():
+            if node.name in by_name:
+                primitive_damage[node.name] = by_name[node.name]
+            elif node.name in skipped:
+                primitive_damage[node.name] = 0.0
+        unit_damage = {
+            unit.name: sum(
+                primitive_damage[member] for member in unit.members
+            )
+            for unit in self.network.units()
+        }
+        report = DamageReport(
+            self.network, self.policy, primitive_damage, unit_damage
+        )
+        if key is not None:
+            self._store_cached(key, report)
+
+        analysis = self._analysis
+        if analysis is not None and hasattr(analysis, "memo_counters"):
+            stats.memo = dict(analysis.memo_counters)
+        stats.elapsed_seconds = time.perf_counter() - started
+        if stats.elapsed_seconds > 0:
+            stats.faults_per_second = (
+                stats.faults_evaluated / stats.elapsed_seconds
+            )
+        return report
+
+    # -- partitioning ----------------------------------------------------
+    def _partition_primitives(self, sites: str):
+        """Split primitives into (evaluated, zero-filled) per the site
+        filter, mirroring ``_AnalysisBase.report`` exactly."""
+        evaluated: List[str] = []
+        skipped: List[str] = []
+        for node in self.network.nodes():
+            if node.kind is NodeKind.MUX:
+                evaluated.append(node.name)
+            elif node.kind is NodeKind.SEGMENT:
+                skip = sites == "mux" or (
+                    sites == "control" and node.role is SegmentRole.DATA
+                )
+                (skipped if skip else evaluated).append(node.name)
+        return evaluated, set(skipped)
+
+    def _count_faults(self, names: List[str]) -> int:
+        count = 0
+        for name in names:
+            node = self.network.node(name)
+            if node.kind is NodeKind.MUX:
+                count += len(node.stuck_values())
+            else:
+                count += 1
+        return count
+
+    # -- evaluation paths ------------------------------------------------
+    def _build_analysis(self):
+        if self._analysis is None:
+            self._analysis = _make_analysis(
+                self.network, self.spec, self.tree, self.method, self.policy
+            )
+        return self._analysis
+
+    def _serial_damages(self, names: List[str]) -> List[float]:
+        analysis = self._build_analysis()
+        return [analysis.primitive_damage(name) for name in names]
+
+    def _parallel_damages(
+        self, names: List[str], stats: EngineStats
+    ) -> List[float]:
+        global _WORKER_ANALYSIS
+        jobs = self.jobs
+        chunk = min(
+            self.chunk_size, max(1, -(-len(names) // (jobs * 4)))
+        )
+        chunks = [
+            names[i : i + chunk] for i in range(0, len(names), chunk)
+        ]
+
+        fork_available = (
+            "fork" in multiprocessing.get_all_start_methods()
+        )
+        if fork_available:
+            context = multiprocessing.get_context("fork")
+            initargs = ()
+            # Workers inherit the preprocessed analysis copy-on-write.
+            _WORKER_ANALYSIS = self._build_analysis()
+        else:  # pragma: no cover - non-fork platforms
+            context = multiprocessing.get_context("spawn")
+            initargs = (
+                pickle.dumps(
+                    (self.network, self.spec, self.method, self.policy)
+                ),
+            )
+        parallel_started = time.perf_counter()
+        try:
+            with _EXECUTOR_FACTORY(
+                max_workers=jobs,
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=initargs,
+            ) as pool:
+                results = list(pool.map(_worker_chunk, chunks))
+        finally:
+            _WORKER_ANALYSIS = None
+        parallel_wall = time.perf_counter() - parallel_started
+
+        damages: List[float] = []
+        busy: Dict[int, float] = {}
+        for pid, worker_elapsed, chunk_damages in results:
+            damages.extend(chunk_damages)
+            busy[pid] = busy.get(pid, 0.0) + worker_elapsed
+        stats.workers = jobs
+        stats.distinct_workers = len(busy)
+        stats.chunks = len(chunks)
+        stats.worker_busy_seconds = sum(busy.values())
+        if parallel_wall > 0:
+            stats.worker_utilization = min(
+                1.0, stats.worker_busy_seconds / (jobs * parallel_wall)
+            )
+        return damages
+
+    # -- disk cache ------------------------------------------------------
+    def _cache_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def _load_cached(self, key: str) -> Optional[DamageReport]:
+        try:
+            with open(self._cache_path(key), encoding="utf-8") as handle:
+                payload = json.load(handle)
+            primitive_damage = {
+                str(name): float(value)
+                for name, value in payload["primitive_damage"].items()
+            }
+            unit_damage = {
+                str(name): float(value)
+                for name, value in payload["unit_damage"].items()
+            }
+        except (OSError, ValueError, KeyError, TypeError):
+            return None  # absent or corrupt: recompute
+        return DamageReport(
+            self.network, self.policy, primitive_damage, unit_damage
+        )
+
+    def _store_cached(self, key: str, report: DamageReport) -> None:
+        payload = {
+            "fingerprint": key,
+            "analysis_version": ANALYSIS_VERSION,
+            "network": self.network.name,
+            "method": self.method,
+            "policy": self.policy,
+            "primitive_damage": report.primitive_damage,
+            "unit_damage": report.unit_damage,
+        }
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self.cache_dir, suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, self._cache_path(key))
+        except OSError:
+            pass  # a read-only cache dir must not fail the analysis
+
+
+def analyze_damage_cached(
+    network: RsnNetwork,
+    spec,
+    tree: Optional[SPTree] = None,
+    method: str = "fast",
+    policy: str = "max",
+    sites: str = "all",
+    jobs=None,
+    cache_dir: Optional[str] = None,
+) -> Tuple[DamageReport, EngineStats]:
+    """One-shot convenience wrapper: build an engine, return
+    ``(report, stats)``."""
+    engine = CriticalityEngine(
+        network,
+        spec,
+        tree=tree,
+        method=method,
+        policy=policy,
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+    report = engine.report(sites=sites)
+    return report, engine.stats

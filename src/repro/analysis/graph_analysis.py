@@ -24,7 +24,7 @@ value with the worst marginal damage (union of the single-fault effects).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Mapping, Set, Tuple
+from typing import Dict, Mapping, Set, Tuple
 
 from ..errors import ReproError
 from ..rsn.network import RsnNetwork

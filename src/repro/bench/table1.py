@@ -49,6 +49,7 @@ class Table1Row:
         self.greedy_min_damage_damage: Optional[float] = None
         self.runtime_seconds = 0.0
         self.front_size = 0
+        self.analysis_stats: Optional[Dict] = None
 
     @property
     def name(self) -> str:
@@ -70,6 +71,7 @@ class Table1Row:
             ],
             "runtime_seconds": self.runtime_seconds,
             "front_size": self.front_size,
+            "analysis_stats": self.analysis_stats,
             "paper": {
                 "max_cost": self.design.paper.max_cost,
                 "max_damage": self.design.paper.max_damage,
@@ -100,6 +102,8 @@ def run_design(
     with_greedy: bool = True,
     hardenable: str = "all",
     damage_sites: str = "all",
+    jobs=None,
+    cache_dir: Optional[str] = None,
 ) -> Table1Row:
     """Run the full Table-I pipeline for one design."""
     design = get_design(name)
@@ -115,6 +119,8 @@ def run_design(
         seed=seed,
         hardenable=hardenable,
         damage_sites=damage_sites,
+        jobs=jobs,
+        cache_dir=cache_dir,
     )
     row.max_cost = synthesis.max_cost
     row.max_damage = synthesis.max_damage
@@ -155,6 +161,8 @@ def run_design(
             row.greedy_min_damage_damage = greedy_min_damage.damage
 
     row.runtime_seconds = time.perf_counter() - started
+    if synthesis.analysis_stats is not None:
+        row.analysis_stats = synthesis.analysis_stats.as_dict()
     return row
 
 

@@ -17,7 +17,7 @@ import sys
 from typing import List, Optional
 
 from . import __version__
-from .analysis import analyze_damage
+from .analysis import CriticalityEngine, analyze_damage, default_cache_dir
 from .bench import (
     DESIGNS,
     build_design,
@@ -71,6 +71,50 @@ def _add_table1(subparsers) -> None:
         "--compare", action="store_true",
         help="print the paper-vs-measured comparison table",
     )
+    _add_engine_options(parser)
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {value}"
+        )
+    return value
+
+
+def _add_engine_options(parser) -> None:
+    """Shared criticality-engine flags (parallelism, cache, stats)."""
+    parser.add_argument(
+        "--jobs",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="analysis worker processes (0/1 = serial, default serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="analysis result-cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro-rsn)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent analysis result cache",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine statistics (faults/s, cache and memo hit "
+        "rates, worker utilization)",
+    )
+
+
+def _engine_cache_dir(args) -> Optional[str]:
+    if args.no_cache:
+        return None
+    return args.cache_dir if args.cache_dir else default_cache_dir()
 
 
 def _cmd_table1(args) -> int:
@@ -88,9 +132,23 @@ def _cmd_table1(args) -> int:
         verbose=True,
         hardenable=args.hardenable,
         damage_sites=args.damage_sites,
+        jobs=args.jobs,
+        cache_dir=_engine_cache_dir(args),
     )
     print()
     print(format_table(rows))
+    if args.stats:
+        print()
+        for row in rows:
+            stats = row.analysis_stats
+            if not stats:
+                continue
+            print(
+                f"{row.name:16s} analysis {stats['elapsed_seconds']:.3f}s, "
+                f"{stats['faults_per_second']:,.0f} faults/s, "
+                f"cache {stats['cache']}, "
+                f"memo {stats['memo_hit_rate']:.1%}"
+            )
     if args.compare:
         print()
         print(format_comparison(rows))
@@ -121,7 +179,15 @@ def _load_network(path: str):
 def _cmd_analyze(args) -> int:
     network = _load_network(args.network)
     spec = spec_for_network(network, seed=args.seed)
-    report = analyze_damage(network, spec)
+    engine = CriticalityEngine(
+        network,
+        spec,
+        method=args.method,
+        policy=args.policy,
+        jobs=args.jobs,
+        cache_dir=_engine_cache_dir(args),
+    )
+    report = engine.report(sites=args.sites)
     n_seg, n_mux = network.counts()
     print(f"network          : {network.name}")
     print(f"segments / muxes : {n_seg:,} / {n_mux:,}")
@@ -132,6 +198,9 @@ def _cmd_analyze(args) -> int:
     print("most critical hardening units:")
     for name, damage in report.most_critical_units(args.top):
         print(f"  {name:24s} {damage:>14,.0f}")
+    if args.stats:
+        print()
+        print(engine.stats.format())
     return 0
 
 
@@ -254,6 +323,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     analyze.add_argument("--seed", type=int, default=0)
     analyze.add_argument("--top", type=int, default=10)
+    analyze.add_argument(
+        "--method", choices=["fast", "explicit", "graph"], default="fast"
+    )
+    analyze.add_argument(
+        "--policy", choices=["max", "sum", "mean"], default="max"
+    )
+    analyze.add_argument(
+        "--sites", choices=["all", "control", "mux"], default="all",
+        help="which primitives' faults Eq. 2 sums over",
+    )
+    _add_engine_options(analyze)
 
     harden = subparsers.add_parser(
         "harden", help="selective-hardening synthesis of a network"

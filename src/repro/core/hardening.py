@@ -24,7 +24,8 @@ from typing import Optional
 
 import numpy as np
 
-from ..analysis.damage import DamageReport, analyze_damage
+from ..analysis.damage import DamageReport
+from ..analysis.engine import CriticalityEngine, EngineStats
 from ..ea.nsga2 import NSGA2
 from ..ea.spea2 import SPEA2
 from ..errors import NotSeriesParallelError, OptimizationError
@@ -58,6 +59,8 @@ class SelectiveHardening:
         hardenable: str = "all",
         damage_sites: str = "all",
         seed: int = 0,
+        jobs=None,
+        cache_dir: Optional[str] = None,
     ):
         self.network = network
         self.spec = spec if spec is not None else spec_for_network(
@@ -77,6 +80,9 @@ class SelectiveHardening:
         self.hardenable = hardenable
         self.damage_sites = damage_sites
         self.seed = seed
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.analysis_stats: Optional[EngineStats] = None
         self._report: Optional[DamageReport] = None
         self._problem: Optional[HardeningProblem] = None
 
@@ -86,14 +92,17 @@ class SelectiveHardening:
         """The criticality analysis (computed once, reused everywhere)."""
         if self._report is None:
             method = "fast" if self.tree is not None else "graph"
-            self._report = analyze_damage(
+            engine = CriticalityEngine(
                 self.network,
                 self.spec,
                 tree=self.tree,
                 method=method,
                 policy=self.policy,
-                sites=self.damage_sites,
+                jobs=self.jobs,
+                cache_dir=self.cache_dir,
             )
+            self._report = engine.report(sites=self.damage_sites)
+            self.analysis_stats = engine.stats
         return self._report
 
     @property

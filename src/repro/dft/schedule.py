@@ -17,7 +17,7 @@ one-access-per-operation baseline.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import RetargetingError, SimulationError
 from ..rsn.network import RsnNetwork

@@ -23,8 +23,6 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 from ..analysis.faults import (
     ControlCellBreak,
     Fault,
-    MuxStuck,
-    SegmentBreak,
     iter_all_faults,
 )
 from ..rsn.network import RsnNetwork

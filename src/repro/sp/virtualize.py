@@ -19,7 +19,7 @@ implementation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from .tree import SPKind, SPNode
 

@@ -11,14 +11,13 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis import analyze_damage
-from repro.analysis.damage import ExplicitDamageAnalysis, FastDamageAnalysis
+from repro.analysis.damage import FastDamageAnalysis
 from repro.analysis.effects import (
     control_cell_break_effect,
     mux_stuck_effect,
     segment_break_effect,
 )
 from repro.analysis.faults import (
-    ControlCellBreak,
     MuxStuck,
     SegmentBreak,
     faults_of_primitive,

@@ -1,0 +1,275 @@
+"""The parallel + cached criticality engine.
+
+Contracts under test:
+
+* the engine (serial and parallel) is bit-identical to
+  :func:`repro.analysis.analyze_damage` for every method / site filter;
+* the disk cache round-trips reports and is invalidated by any change to
+  the network, the spec, the policy/sites/method or the analysis version;
+* an unavailable worker pool degrades gracefully to the serial path;
+* the stats instrumentation reports what actually happened.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import analyze_damage
+from repro.analysis import engine as engine_mod
+from repro.analysis.engine import (
+    CriticalityEngine,
+    analysis_fingerprint,
+    analyze_damage_cached,
+    default_cache_dir,
+)
+from repro.bench import build_design
+from repro.errors import ReproError
+from repro.spec import spec_for_network
+
+PARITY_DESIGNS = ["TreeFlat", "q12710", "MBIST_1_5_5"]
+
+
+def _setup(design, seed=0):
+    network = build_design(design)
+    spec = spec_for_network(network, seed=seed)
+    return network, spec
+
+
+# ---------------------------------------------------------------------------
+# serial / parallel parity
+# ---------------------------------------------------------------------------
+class TestParity:
+    @pytest.mark.parametrize("design", PARITY_DESIGNS)
+    def test_serial_engine_matches_reference(self, design):
+        network, spec = _setup(design)
+        reference = analyze_damage(network, spec)
+        report = CriticalityEngine(network, spec).report()
+        assert report.primitive_damage == reference.primitive_damage
+        assert report.unit_damage == reference.unit_damage
+        assert report.total == reference.total
+
+    @pytest.mark.parametrize("design", PARITY_DESIGNS)
+    def test_parallel_engine_bit_identical(self, design):
+        network, spec = _setup(design)
+        serial = CriticalityEngine(network, spec).report()
+        engine = CriticalityEngine(
+            network, spec, jobs=2, min_parallel_primitives=1
+        )
+        parallel = engine.report()
+        assert engine.stats.workers == 2
+        assert engine.stats.parallel_fallback is None
+        assert parallel.primitive_damage == serial.primitive_damage
+        assert parallel.unit_damage == serial.unit_damage
+
+    @pytest.mark.parametrize("sites", ["all", "control", "mux"])
+    def test_site_filters_match_reference(self, sites):
+        network, spec = _setup("q12710")
+        reference = analyze_damage(network, spec, sites=sites)
+        engine = CriticalityEngine(
+            network, spec, jobs=2, min_parallel_primitives=1
+        )
+        assert (
+            engine.report(sites=sites).primitive_damage
+            == reference.primitive_damage
+        )
+
+    @pytest.mark.parametrize("method", ["fast", "explicit", "graph"])
+    def test_methods_match_reference(self, method):
+        network, spec = _setup("TreeFlat")
+        reference = analyze_damage(network, spec, method=method)
+        report = CriticalityEngine(network, spec, method=method).report()
+        assert report.primitive_damage == reference.primitive_damage
+
+    def test_unknown_method_rejected(self):
+        network, spec = _setup("TreeFlat")
+        with pytest.raises(ReproError):
+            CriticalityEngine(network, spec, method="bogus")
+
+    def test_convenience_wrapper(self):
+        network, spec = _setup("TreeFlat")
+        report, stats = analyze_damage_cached(network, spec)
+        assert report.total == analyze_damage(network, spec).total
+        assert stats.cache == "disabled"
+
+
+# ---------------------------------------------------------------------------
+# persistent cache
+# ---------------------------------------------------------------------------
+class TestDiskCache:
+    def test_roundtrip_hit(self, tmp_path):
+        network, spec = _setup("TreeFlat")
+        first = CriticalityEngine(network, spec, cache_dir=str(tmp_path))
+        report = first.report()
+        assert first.stats.cache == "miss"
+        second = CriticalityEngine(network, spec, cache_dir=str(tmp_path))
+        cached = second.report()
+        assert second.stats.cache == "hit"
+        assert cached.primitive_damage == report.primitive_damage
+        assert cached.unit_damage == report.unit_damage
+        assert cached.total == report.total
+
+    def test_spec_change_invalidates(self, tmp_path):
+        network = build_design("TreeFlat")
+        spec0 = spec_for_network(network, seed=0)
+        spec1 = spec_for_network(network, seed=1)
+        CriticalityEngine(network, spec0, cache_dir=str(tmp_path)).report()
+        engine = CriticalityEngine(
+            network, spec1, cache_dir=str(tmp_path)
+        )
+        report = engine.report()
+        assert engine.stats.cache == "miss"
+        assert report.total == analyze_damage(network, spec1).total
+
+    def test_network_change_invalidates(self, tmp_path):
+        network, spec = _setup("TreeFlat")
+        key_before = analysis_fingerprint(network, spec)
+        CriticalityEngine(network, spec, cache_dir=str(tmp_path)).report()
+        # grow the network: a new data segment on the main scan path
+        other = build_design("TreeBalanced")
+        other_spec = spec_for_network(other, seed=0)
+        assert analysis_fingerprint(other, other_spec) != key_before
+        engine = CriticalityEngine(
+            other, other_spec, cache_dir=str(tmp_path)
+        )
+        engine.report()
+        assert engine.stats.cache == "miss"
+
+    def test_parameters_partition_the_cache(self):
+        network, spec = _setup("TreeFlat")
+        base = analysis_fingerprint(network, spec)
+        assert analysis_fingerprint(network, spec, policy="sum") != base
+        assert analysis_fingerprint(network, spec, sites="mux") != base
+        assert analysis_fingerprint(network, spec, method="graph") != base
+        # deterministic: rebuilding the same design reproduces the key
+        network2, spec2 = _setup("TreeFlat")
+        assert analysis_fingerprint(network2, spec2) == base
+
+    def test_version_bump_invalidates(self, tmp_path, monkeypatch):
+        network, spec = _setup("TreeFlat")
+        CriticalityEngine(network, spec, cache_dir=str(tmp_path)).report()
+        monkeypatch.setattr(engine_mod, "ANALYSIS_VERSION", "999-test")
+        engine = CriticalityEngine(network, spec, cache_dir=str(tmp_path))
+        engine.report()
+        assert engine.stats.cache == "miss"
+
+    def test_corrupt_entry_recomputed(self, tmp_path):
+        network, spec = _setup("TreeFlat")
+        first = CriticalityEngine(network, spec, cache_dir=str(tmp_path))
+        expected = first.report()
+        key = first.stats.cache_key
+        path = tmp_path / f"{key}.json"
+        path.write_text("{not json")
+        engine = CriticalityEngine(network, spec, cache_dir=str(tmp_path))
+        report = engine.report()
+        assert engine.stats.cache == "miss"
+        assert report.primitive_damage == expected.primitive_damage
+        # and the corrupt entry was repaired
+        assert json.loads(path.read_text())["fingerprint"] == key
+
+    def test_unwritable_cache_dir_does_not_fail(self, tmp_path):
+        network, spec = _setup("TreeFlat")
+        blocked = tmp_path / "file-not-dir"
+        blocked.write_text("")
+        engine = CriticalityEngine(
+            network, spec, cache_dir=str(blocked / "sub")
+        )
+        report = engine.report()
+        assert report.total == analyze_damage(network, spec).total
+
+    def test_default_cache_dir_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/custom-rsn-cache")
+        assert default_cache_dir() == "/tmp/custom-rsn-cache"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert default_cache_dir().endswith(
+            os.path.join(".cache", "repro-rsn")
+        )
+
+
+# ---------------------------------------------------------------------------
+# graceful degradation
+# ---------------------------------------------------------------------------
+class TestDegradation:
+    def test_pool_unavailable_falls_back_to_serial(self, monkeypatch):
+        network, spec = _setup("q12710")
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no process pool on this host")
+
+        monkeypatch.setattr(engine_mod, "_EXECUTOR_FACTORY", broken_pool)
+        engine = CriticalityEngine(
+            network, spec, jobs=4, min_parallel_primitives=1
+        )
+        report = engine.report()
+        assert engine.stats.parallel_fallback is not None
+        assert "no process pool" in engine.stats.parallel_fallback
+        assert engine.stats.workers == 0
+        assert (
+            report.primitive_damage
+            == analyze_damage(network, spec).primitive_damage
+        )
+
+    def test_small_network_skips_the_pool(self):
+        network, spec = _setup("TreeFlat")
+        engine = CriticalityEngine(
+            network, spec, jobs=2, min_parallel_primitives=10_000
+        )
+        report = engine.report()
+        assert engine.stats.workers == 0
+        assert "too small" in engine.stats.parallel_fallback
+        assert report.total == analyze_damage(network, spec).total
+
+    def test_serial_jobs_values(self):
+        network, spec = _setup("TreeFlat")
+        for jobs in (None, 0, 1):
+            engine = CriticalityEngine(network, spec, jobs=jobs)
+            engine.report()
+            assert engine.stats.workers == 0
+
+    def test_negative_jobs_rejected(self):
+        network, spec = _setup("TreeFlat")
+        with pytest.raises(ReproError):
+            CriticalityEngine(network, spec, jobs=-2)
+
+
+# ---------------------------------------------------------------------------
+# instrumentation
+# ---------------------------------------------------------------------------
+class TestStats:
+    def test_serial_stats_record_work(self):
+        network, spec = _setup("q12710")
+        engine = CriticalityEngine(network, spec)
+        engine.report()
+        stats = engine.stats
+        assert stats.primitives_evaluated > 0
+        # every mux contributes one fault per port, segments one each
+        assert stats.faults_evaluated > stats.primitives_evaluated
+        assert stats.elapsed_seconds > 0
+        assert stats.faults_per_second > 0
+        assert stats.cache == "disabled"
+        # the memoization layer saw repeated range/dead-interval queries
+        assert stats.memo["range_misses"] > 0
+        assert stats.memo_hit_rate > 0
+        assert "faults/s" in stats.format()
+
+    def test_parallel_stats_record_pool(self):
+        network, spec = _setup("MBIST_1_5_5")
+        engine = CriticalityEngine(
+            network, spec, jobs=2, min_parallel_primitives=1
+        )
+        engine.report()
+        stats = engine.stats
+        assert stats.workers == 2
+        assert stats.chunks >= 2
+        assert stats.distinct_workers >= 1
+        assert 0.0 <= stats.worker_utilization <= 1.0
+        assert "workers" in stats.format()
+
+    def test_stats_as_dict_is_json_safe(self):
+        network, spec = _setup("TreeFlat")
+        engine = CriticalityEngine(network, spec)
+        engine.report()
+        payload = json.dumps(engine.stats.as_dict())
+        assert "faults_per_second" in payload

@@ -14,7 +14,7 @@ from repro.rsn.ast import elaborate
 from repro.rsn.network import RsnNetwork
 from repro.rsn.primitives import ControlUnit, SegmentRole
 from repro.sim import structural_access
-from repro.spec import random_spec, spec_for_network, uniform_spec
+from repro.spec import random_spec, uniform_spec
 
 
 def bridge_network():

@@ -123,8 +123,6 @@ class TestProtection:
 
 class TestProtectionProperties:
     def test_protection_sound_on_random_networks(self):
-        from hypothesis import given, settings, strategies as st
-
         # inline property loop (explicit seeds keep runtime bounded)
         from repro.bench.generators import random_network
         from repro.rsn.ast import elaborate

@@ -1,7 +1,5 @@
 """Unit tests for scan test patterns and sequences."""
 
-import pytest
-
 from repro.analysis.faults import MuxStuck, SegmentBreak
 from repro.dft import PatternSequence, ScanPattern
 from repro.sim import ScanSimulator

@@ -92,7 +92,7 @@ class TestMergeSchedule:
     def test_merged_matches_sequential_reads(self, fig1_network):
         """Reading after writes via the merged scheduler returns exactly
         what per-access retargeting would."""
-        from repro.sim import Retargeter, ScanSimulator
+        from repro.sim import ScanSimulator
 
         merged_sim = ScanSimulator(fig1_network)
         merge_schedule(

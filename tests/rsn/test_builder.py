@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.errors import BuilderError, ValidationError
+from repro.errors import BuilderError
 from repro.rsn import RsnBuilder, sib_bit_name, sib_mux_name
-from repro.rsn.ast import MuxDecl, SegmentDecl, SibDecl
+from repro.rsn.ast import SegmentDecl, SibDecl
 from repro.rsn.primitives import NodeKind, SegmentRole
 
 

@@ -8,7 +8,7 @@ from repro.errors import (
     ValidationError,
 )
 from repro.rsn.network import RsnNetwork
-from repro.rsn.primitives import ControlUnit, NodeKind, SegmentRole
+from repro.rsn.primitives import ControlUnit, SegmentRole
 
 
 def minimal_network():

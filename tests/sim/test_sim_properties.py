@@ -3,7 +3,6 @@
 from hypothesis import given, settings, strategies as st
 
 from repro.bench.generators import random_network
-from repro.errors import RetargetingError
 from repro.rsn.ast import elaborate
 from repro.sim import Retargeter, ScanSimulator
 

@@ -131,9 +131,63 @@ class TestHardenVariants:
         assert "front" in capsys.readouterr().out
 
     def test_analyze_top_parameter(self, capsys):
-        assert main(["analyze", "TreeFlat", "--top", "3"]) == 0
+        assert main(["analyze", "TreeFlat", "--top", "3", "--no-cache"]) == 0
         out = capsys.readouterr().out
         # exactly three unit lines under the header
         lines = out.splitlines()
         header = lines.index("most critical hardening units:")
         assert len(lines) - header - 1 == 3
+
+
+class TestEngineCli:
+    def test_analyze_stats_block(self, capsys):
+        assert main(["analyze", "TreeFlat", "--no-cache", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "engine stats" in out
+        assert "faults/s" in out
+        assert "result cache   : disabled" in out
+
+    def test_analyze_cache_hit_on_second_run(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["analyze", "TreeFlat", "--stats"]) == 0
+        first = capsys.readouterr().out
+        assert "result cache   : miss" in first
+        assert main(["analyze", "TreeFlat", "--stats"]) == 0
+        second = capsys.readouterr().out
+        assert "result cache   : hit" in second
+        # the cached report prints the same numbers
+        assert (
+            first.split("engine stats")[0]
+            == second.split("engine stats")[0]
+        )
+
+    def test_analyze_parallel_jobs(self, capsys):
+        assert main(
+            ["analyze", "q12710", "--no-cache", "--jobs", "2", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "workers        : 2" in out
+
+    def test_analyze_explicit_method(self, capsys):
+        assert main(
+            ["analyze", "TreeFlat", "--no-cache", "--method", "explicit"]
+        ) == 0
+        assert "total damage" in capsys.readouterr().out
+
+    def test_table1_stats_line(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(
+            [
+                "table1",
+                "--designs",
+                "TreeFlat",
+                "--scale-generations",
+                "0.05",
+                "--stats",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "analysis" in out
+        assert "cache miss" in out

@@ -1,6 +1,5 @@
 """End-to-end integration tests tying all subsystems together."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
