@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench baseline lint table1 sweeps examples clean
+.PHONY: install test test-fast bench bench-ir baseline lint table1 sweeps examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,6 +23,9 @@ bench:
 
 baseline:
 	$(PYTHON) benchmarks/bench_analysis_scaling.py --output results/BENCH_criticality.json
+
+bench-ir:
+	$(PYTHON) benchmarks/bench_analysis_scaling.py --ir --output results/BENCH_ir.json
 
 lint:
 	ruff check src tests benchmarks examples

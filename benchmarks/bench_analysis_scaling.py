@@ -19,15 +19,22 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import pickle
 import platform
+import random
 import sys
 import time
 
 import pytest
 
 from repro.analysis import CriticalityEngine, analyze_damage
+from repro.analysis.faults import faults_of_primitive
+from repro.analysis.graph_analysis import GraphDamageAnalysis
 from repro.bench.generators import mbist_network
+from repro.ir import compile_network
 from repro.rsn.ast import elaborate
+from repro.rsn.primitives import NodeKind
+from repro.sim.simulator import ScanSimulator
 from repro.sp import decompose
 from repro.spec import spec_for_network
 
@@ -220,6 +227,154 @@ def write_baseline(output: str, quick: bool = False) -> dict:
     return payload
 
 
+# ---------------------------------------------------------------------------
+# dict-vs-IR baseline writer (results/BENCH_ir.json)
+# ---------------------------------------------------------------------------
+def _sample_faults(network, count, seed=1234):
+    """A deterministic sample of faults across all primitives."""
+    faults = []
+    for node in network.nodes():
+        if node.kind in (NodeKind.SEGMENT, NodeKind.MUX):
+            faults.extend(faults_of_primitive(network, node.name))
+    rng = random.Random(seed)
+    if len(faults) <= count:
+        return faults
+    return rng.sample(faults, count)
+
+
+def _time_graph_backend(network, spec, faults, backend):
+    """Construction + per-fault damage over ``faults``; returns
+    (seconds, damages)."""
+    started = time.perf_counter()
+    analysis = GraphDamageAnalysis(network, spec, backend=backend)
+    damages = [analysis.damage_of_fault(fault) for fault in faults]
+    return time.perf_counter() - started, damages
+
+
+def _time_path_walks(network, backend, walks):
+    simulator = ScanSimulator(network, path_backend=backend)
+    # Open every SIB / select port 1 everywhere: at reset the active path
+    # bypasses the whole hierarchy, which would time an empty walk.
+    for cell in simulator.update_values:
+        simulator.update_values[cell] = 1
+    started = time.perf_counter()
+    path = None
+    for _ in range(walks):
+        path = simulator.active_path()
+    return time.perf_counter() - started, path
+
+
+def write_ir_baseline(
+    output: str, quick: bool = False, faults_per_design: int = 30
+) -> dict:
+    """Identical workloads through the dict and compiled-IR backends.
+
+    Per design size: ``faults_per_design`` sampled single-fault damage
+    queries through :class:`GraphDamageAnalysis` (4 BFS each — the
+    representative hot path) and repeated simulator active-path walks.
+    The dict results double as a parity check: any divergence fails the
+    run instead of silently benchmarking different answers.
+    """
+    sizes = SIZES[:-1] if quick else SIZES
+    walks = 200
+    designs = []
+    for n_segments, n_muxes in sizes:
+        network = elaborate(mbist_network(n_segments, n_muxes, seed=0))
+        spec = spec_for_network(network, seed=0)
+
+        started = time.perf_counter()
+        compiled = compile_network(network)
+        compile_seconds = time.perf_counter() - started
+
+        faults = _sample_faults(network, faults_per_design)
+        dict_seconds, dict_damages = _time_graph_backend(
+            network, spec, faults, "dict"
+        )
+        ir_seconds, ir_damages = _time_graph_backend(
+            network, spec, faults, "ir"
+        )
+        if ir_damages != dict_damages:
+            raise SystemExit(
+                f"dict-vs-IR damage mismatch on mbist_{n_segments}"
+            )
+
+        sim_dict_seconds, dict_path = _time_path_walks(
+            network, "dict", walks
+        )
+        sim_ir_seconds, ir_path = _time_path_walks(network, "ir", walks)
+        if ir_path != dict_path:
+            raise SystemExit(
+                f"dict-vs-IR active-path mismatch on mbist_{n_segments}"
+            )
+
+        entry = {
+            "design": f"mbist_{n_segments}_{n_muxes}",
+            "n_segments": n_segments,
+            "n_muxes": n_muxes,
+            "nodes": compiled.n_nodes,
+            "edges": compiled.n_edges,
+            "compile_seconds": compile_seconds,
+            "pickle_bytes": {
+                "network": len(pickle.dumps(network)),
+                "ir": len(pickle.dumps(compiled)),
+            },
+            "graph_analysis": {
+                "faults_sampled": len(faults),
+                "dict_seconds": dict_seconds,
+                "ir_seconds": ir_seconds,
+                "speedup": (
+                    dict_seconds / ir_seconds if ir_seconds > 0 else 0.0
+                ),
+            },
+            "simulator": {
+                "walks": walks,
+                "dict_seconds": sim_dict_seconds,
+                "ir_seconds": sim_ir_seconds,
+                "speedup": (
+                    sim_dict_seconds / sim_ir_seconds
+                    if sim_ir_seconds > 0
+                    else 0.0
+                ),
+            },
+            "parity": True,
+        }
+        designs.append(entry)
+        print(
+            f"{entry['design']:18s} "
+            f"analysis dict {dict_seconds:.3f}s / ir {ir_seconds:.3f}s "
+            f"({entry['graph_analysis']['speedup']:.2f}x), "
+            f"paths dict {sim_dict_seconds:.3f}s / "
+            f"ir {sim_ir_seconds:.3f}s "
+            f"({entry['simulator']['speedup']:.2f}x)",
+            flush=True,
+        )
+
+    payload = {
+        "benchmark": "compiled-ir-vs-dict",
+        "created": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "host": {
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "designs": designs,
+        "notes": (
+            "Identical sampled-fault damage workloads and active-path "
+            "walks through the string-keyed dict backends and the "
+            "compiled array-backed IR backends; results are verified "
+            "bit-identical before timing is recorded.  compile_seconds "
+            "is the one-off lowering cost amortized across every "
+            "consumer via repro.ir.intern."
+        ),
+    }
+    os.makedirs(os.path.dirname(output) or ".", exist_ok=True)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {output}")
+    return payload
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="write the criticality-engine perf baseline"
@@ -231,8 +386,18 @@ def main(argv=None) -> int:
         "--quick", action="store_true",
         help="skip the largest design (CI sanity pass)",
     )
+    parser.add_argument(
+        "--ir", action="store_true",
+        help="write the dict-vs-IR comparison baseline instead",
+    )
     args = parser.parse_args(argv)
-    write_baseline(args.output, quick=args.quick)
+    if args.ir:
+        output = args.output
+        if output == parser.get_default("output"):
+            output = "results/BENCH_ir.json"
+        write_ir_baseline(output, quick=args.quick)
+    else:
+        write_baseline(args.output, quick=args.quick)
     return 0
 
 

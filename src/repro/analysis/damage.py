@@ -32,8 +32,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ReproError
+from ..ir import MUX as IR_MUX
+from ..ir import ROLE_DATA as IR_ROLE_DATA
+from ..ir import SEGMENT as IR_SEGMENT
+from ..ir import intern
 from ..rsn.network import RsnNetwork
-from ..rsn.primitives import NodeKind, SegmentRole
 from ..sp.reduce import decompose
 from ..sp.tree import SPKind, SPNode, SPTree
 from .effects import (
@@ -133,6 +136,9 @@ class _AnalysisBase:
                 f"policy must be one of {_POLICIES}, got {policy!r}"
             )
         self.network = network
+        #: The compiled execution substrate; shared by every analysis of
+        #: the same network object (see :func:`repro.ir.intern`).
+        self.ir = intern(network)
         self.spec = spec
         if tree is False:  # tree-free analysis (graph reachability)
             self.tree = None
@@ -140,11 +146,12 @@ class _AnalysisBase:
             self.tree = tree if tree is not None else decompose(network)
         self.policy = policy
         self._cell_to_muxes: Dict[str, List[str]] = {}
-        for mux in network.muxes():
-            if mux.control_cell is not None:
-                self._cell_to_muxes.setdefault(mux.control_cell, []).append(
-                    mux.name
-                )
+        ir = self.ir
+        for mux_id in range(ir.n_nodes):
+            if ir.kinds[mux_id] == IR_MUX and ir.control_cell[mux_id] >= 0:
+                self._cell_to_muxes.setdefault(
+                    ir.names[ir.control_cell[mux_id]], []
+                ).append(ir.names[mux_id])
 
     def muxes_of_cell(self, cell: str) -> List[str]:
         """Muxes whose address port ``cell`` drives (precomputed)."""
@@ -152,15 +159,17 @@ class _AnalysisBase:
 
     # -- per-primitive damage -------------------------------------------
     def primitive_damage(self, name: str) -> float:
-        node = self.network.node(name)
-        if node.kind is NodeKind.SEGMENT:
-            if node.role is SegmentRole.DATA:
+        ir = self.ir
+        node_id = ir.id_of(name)
+        kind = ir.kinds[node_id]
+        if kind == IR_SEGMENT:
+            if ir.roles[node_id] == IR_ROLE_DATA:
                 return self.damage_of_fault(SegmentBreak(name))
             return self.damage_of_fault(ControlCellBreak(name))
-        if node.kind is NodeKind.MUX:
+        if kind == IR_MUX:
             values = [
                 self.damage_of_fault(MuxStuck(name, port))
-                for port in node.stuck_values()
+                for port in ir.stuck_values(node_id)
             ]
             return _aggregate(self.policy, values)
         return 0.0
@@ -181,20 +190,23 @@ class _AnalysisBase:
         if sites not in ("all", "control", "mux"):
             raise ReproError(f"unknown damage-site filter {sites!r}")
         primitive_damage: Dict[str, float] = {}
-        for node in self.network.nodes():
-            if node.kind is NodeKind.MUX:
-                primitive_damage[node.name] = self.primitive_damage(node.name)
-            elif node.kind is NodeKind.SEGMENT:
+        ir = self.ir
+        for node_id, name in enumerate(ir.names):
+            kind = ir.kinds[node_id]
+            if kind == IR_MUX:
+                primitive_damage[name] = self.primitive_damage(name)
+            elif kind == IR_SEGMENT:
                 skip = (
                     sites == "mux"
-                    or (sites == "control" and node.role is SegmentRole.DATA)
+                    or (
+                        sites == "control"
+                        and ir.roles[node_id] == IR_ROLE_DATA
+                    )
                 )
                 if skip:
-                    primitive_damage[node.name] = 0.0
+                    primitive_damage[name] = 0.0
                 else:
-                    primitive_damage[node.name] = self.primitive_damage(
-                        node.name
-                    )
+                    primitive_damage[name] = self.primitive_damage(name)
         unit_damage = {
             unit.name: sum(
                 primitive_damage[member] for member in unit.members
@@ -221,10 +233,9 @@ class _AnalysisBase:
     def worst_stuck_port(self, mux: str) -> int:
         """The stuck value of ``mux`` with the highest standalone damage
         (lowest port wins ties)."""
-        node = self.network.node(mux)
         best_port = 0
         best_damage = -1.0
-        for port in node.stuck_values():
+        for port in self.ir.stuck_values(self.ir.id_of(mux)):
             damage = self.damage_of_fault(MuxStuck(mux, port))
             if damage > best_damage:
                 best_damage = damage
@@ -263,10 +274,9 @@ class ExplicitDamageAnalysis(_AnalysisBase):
         base = break_effect.damage(self._do_of, self._ds_of)
         ports: Dict[str, int] = {}
         for mux in self.muxes_of_cell(cell):
-            node = self.network.node(mux)
             best_port = 0
             best_marginal = -1.0
-            for port in node.stuck_values():
+            for port in self.ir.stuck_values(self.ir.id_of(mux)):
                 stuck = mux_stuck_effect(self.tree, mux, port)
                 marginal = (
                     break_effect.union(stuck).damage(self._do_of, self._ds_of)
@@ -303,12 +313,14 @@ class FastDamageAnalysis(_AnalysisBase):
         count = len(leaves)
         do_w = np.zeros(count)
         ds_w = np.zeros(count)
+        ir = self.ir
         for index, leaf in enumerate(leaves):
             if leaf.kind is not SPKind.LEAF:
                 continue
-            node = network.node(leaf.primitive)
-            if node.kind is NodeKind.SEGMENT and node.instrument is not None:
-                do_w[index], ds_w[index] = spec.weight(node.instrument)
+            node_id = ir.id_of(leaf.primitive)
+            instrument = ir.instrument_of[node_id]
+            if ir.kinds[node_id] == IR_SEGMENT and instrument is not None:
+                do_w[index], ds_w[index] = spec.weight(instrument)
         self._do = do_w
         self._ds = ds_w
         self._prefix_do = np.concatenate(([0.0], np.cumsum(do_w)))
@@ -316,15 +328,17 @@ class FastDamageAnalysis(_AnalysisBase):
         self._branch_lo = np.zeros(count, dtype=np.int64)
         self._branch_hi = np.zeros(count, dtype=np.int64)
         self._fill_branch_ranges()
-        self._stuck_cache: Dict[str, Dict[int, float]] = {}
+        self._stuck_cache: Dict[int, Dict[int, float]] = {}
         # Memoization shared across faults: the same range sums, dead
         # intervals and per-cell stuck assignments recur for every fault
         # of a mux (and for every mux under a cell), so each is computed
-        # once.  ``memo_counters`` feeds the engine's --stats output.
+        # once.  All keys are compiled-IR node ids (cheaper to hash than
+        # the name strings the pre-IR implementation keyed on).
+        # ``memo_counters`` feeds the engine's --stats output.
         self._range_do_memo: Dict[Tuple[int, int], float] = {}
         self._range_ds_memo: Dict[Tuple[int, int], float] = {}
-        self._dead_memo: Dict[Tuple[str, int], List[Tuple[int, int]]] = {}
-        self._cell_ports_memo: Dict[str, Dict[str, int]] = {}
+        self._dead_memo: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        self._cell_ports_memo: Dict[int, Dict[str, int]] = {}
         self.memo_counters: Dict[str, int] = {
             "range_hits": 0,
             "range_misses": 0,
@@ -391,7 +405,8 @@ class FastDamageAnalysis(_AnalysisBase):
         )
 
     def _stuck_damages(self, mux: str) -> Dict[int, float]:
-        cached = self._stuck_cache.get(mux)
+        mux_id = self.ir.id_of(mux)
+        cached = self._stuck_cache.get(mux_id)
         if cached is not None:
             self.memo_counters["stuck_hits"] += 1
             return cached
@@ -410,7 +425,7 @@ class FastDamageAnalysis(_AnalysisBase):
             port: total - weights[entry]
             for port, entry in port_to_entry.items()
         }
-        self._stuck_cache[mux] = damages
+        self._stuck_cache[mux_id] = damages
         return damages
 
     def _marginal_extra(
@@ -428,7 +443,8 @@ class FastDamageAnalysis(_AnalysisBase):
         return extra
 
     def _dead_intervals(self, mux: str, port: int) -> List[Tuple[int, int]]:
-        cached = self._dead_memo.get((mux, port))
+        key = (self.ir.id_of(mux), port)
+        cached = self._dead_memo.get(key)
         if cached is not None:
             self.memo_counters["dead_hits"] += 1
             return cached
@@ -439,11 +455,12 @@ class FastDamageAnalysis(_AnalysisBase):
             for ports, subtree in leaf.mux_branches
             if port not in ports and subtree.lo <= subtree.hi
         ]
-        self._dead_memo[(mux, port)] = intervals
+        self._dead_memo[key] = intervals
         return intervals
 
     def cell_stuck_ports(self, cell: str) -> Dict[str, int]:
-        cached = self._cell_ports_memo.get(cell)
+        cell_id = self.ir.id_of(cell)
+        cached = self._cell_ports_memo.get(cell_id)
         if cached is not None:
             self.memo_counters["cell_ports_hits"] += 1
             return cached
@@ -454,10 +471,9 @@ class FastDamageAnalysis(_AnalysisBase):
         hi = int(self._branch_hi[index])
         ports: Dict[str, int] = {}
         for mux in self.muxes_of_cell(cell):
-            node = self.network.node(mux)
             best_port = 0
             best_marginal = -1.0
-            for port in node.stuck_values():
+            for port in self.ir.stuck_values(self.ir.id_of(mux)):
                 marginal = sum(
                     self._marginal_extra(dead_lo, dead_hi, index, lo, hi)
                     for dead_lo, dead_hi in self._dead_intervals(mux, port)
@@ -466,7 +482,7 @@ class FastDamageAnalysis(_AnalysisBase):
                     best_marginal = marginal
                     best_port = port
             ports[mux] = best_port
-        self._cell_ports_memo[cell] = ports
+        self._cell_ports_memo[cell_id] = ports
         return ports
 
     def _cell_break_damage(self, cell: str) -> float:

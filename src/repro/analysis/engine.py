@@ -8,12 +8,14 @@
   ``ProcessPoolExecutor``; on ``fork`` platforms the workers inherit the
   fully-preprocessed analysis (prefix sums, branch ranges) by
   copy-on-write, elsewhere each worker rebuilds it once from a pickled
-  ``(network, spec)`` payload.  Results are reassembled in submission
+  ``(compiled IR, spec)`` payload (:mod:`repro.ir` — far cheaper on the
+  wire than the dict graph).  Results are reassembled in submission
   order, so the report is bit-identical to the serial path.  Any pool
   failure degrades gracefully to the serial evaluation.
 * **persistent result cache** — a completed report is stored on disk
-  keyed by a content fingerprint of (network structure, specification,
-  method, policy, damage sites, :data:`ANALYSIS_VERSION`), so repeated
+  keyed by a content fingerprint of (compiled-IR fingerprint,
+  specification, method, policy, damage sites,
+  :data:`ANALYSIS_VERSION`), so repeated
   ``cli analyze`` / ``cli table1`` runs and EA re-evaluations of the same
   problem skip the analysis entirely.  Any change to the network or spec
   changes the fingerprint and invalidates the entry; changes to the
@@ -41,14 +43,20 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ReproError
+from ..ir import MUX as IR_MUX
+from ..ir import ROLE_DATA as IR_ROLE_DATA
+from ..ir import SEGMENT as IR_SEGMENT
+from ..ir import CompiledNetwork, fingerprint_payload, intern
 from ..rsn.network import RsnNetwork
-from ..rsn.primitives import NodeKind, SegmentRole
 from ..sp.tree import SPTree
 from .damage import DamageReport, ExplicitDamageAnalysis, FastDamageAnalysis
 
 #: Bump whenever the damage semantics change, so stale disk-cache entries
-#: can never be served for a new algorithm version.
-ANALYSIS_VERSION = "1"
+#: can never be served for a new algorithm version.  "2": analyses execute
+#: on the compiled IR and the cache key is derived from its fingerprint
+#: (which, unlike the pre-IR key, captures predecessor/port order), so no
+#: pre-IR entry can ever be returned.
+ANALYSIS_VERSION = "2"
 
 _METHODS = ("fast", "explicit", "graph")
 _SITES = ("all", "control", "mux")
@@ -75,30 +83,11 @@ def default_cache_dir() -> str:
 def network_fingerprint_payload(network: RsnNetwork) -> Dict:
     """A canonical, JSON-stable description of the network structure.
 
-    Node and edge order are part of the structure (mux ports are defined
-    by predecessor order), so insertion order is preserved verbatim.
+    Delegates to :func:`repro.ir.fingerprint_payload`, the IR's canonical
+    form: node insertion order and per-node predecessor order (mux ports)
+    are part of the structure and serialized verbatim.
     """
-    nodes: List[Dict] = []
-    for node in network.nodes():
-        entry: Dict = {"name": node.name, "kind": node.kind.value}
-        if node.kind is NodeKind.SEGMENT:
-            entry["length"] = node.length
-            entry["role"] = node.role.value
-            entry["instrument"] = node.instrument
-        elif node.kind is NodeKind.MUX:
-            entry["fanin"] = node.fanin
-            entry["control_cell"] = node.control_cell
-            entry["sib_of"] = node.sib_of
-        nodes.append(entry)
-    return {
-        "name": network.name,
-        "nodes": nodes,
-        "edges": [[src, dst] for src, dst in network.edges()],
-        "units": [
-            {"name": unit.name, "members": list(unit.members)}
-            for unit in network.units()
-        ],
-    }
+    return fingerprint_payload(network)
 
 
 def analysis_fingerprint(
@@ -108,13 +97,19 @@ def analysis_fingerprint(
     policy: str = "max",
     sites: str = "all",
 ) -> str:
-    """SHA-256 over everything the report depends on (the cache key)."""
+    """SHA-256 over everything the report depends on (the cache key).
+
+    The network contribution is the compiled IR's content fingerprint,
+    which folds in :data:`repro.ir.IR_VERSION` — a change to either the
+    analysis semantics (:data:`ANALYSIS_VERSION`) or the IR layout
+    invalidates every older cache entry.
+    """
     payload = {
         "version": ANALYSIS_VERSION,
         "method": method,
         "policy": policy,
         "sites": sites,
-        "network": network_fingerprint_payload(network),
+        "ir": intern(network).fingerprint,
         "spec": spec.to_dict(),
     }
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -231,17 +226,28 @@ def _make_analysis(network, spec, tree, method, policy):
     raise ReproError(f"unknown analysis method {method!r}")
 
 
+def _spawn_payload(
+    ir: CompiledNetwork, spec, method: str, policy: str
+) -> bytes:
+    """The bytes shipped to spawn-mode workers: the compact, array-backed
+    IR instead of the dict graph (cheaper to pickle, one copy per worker
+    instead of one per batch)."""
+    return pickle.dumps((ir, spec, method, policy))
+
+
 def _worker_init(payload: Optional[bytes] = None) -> None:
     """Initializer for spawned workers: rebuild the analysis once.
 
     On fork platforms ``payload`` is None and the analysis was inherited
-    from the parent via :data:`_WORKER_ANALYSIS`.
+    from the parent via :data:`_WORKER_ANALYSIS`.  Otherwise the payload
+    carries the compiled IR, from which the worker re-derives the dict
+    view (and, for the tree methods, the decomposition) exactly once.
     """
     global _WORKER_ANALYSIS
     if payload is not None:
-        network, spec, method, policy = pickle.loads(payload)
+        ir, spec, method, policy = pickle.loads(payload)
         _WORKER_ANALYSIS = _make_analysis(
-            network, spec, None, method, policy
+            ir.to_network(), spec, None, method, policy
         )
 
 
@@ -395,24 +401,28 @@ class CriticalityEngine:
     def _partition_primitives(self, sites: str):
         """Split primitives into (evaluated, zero-filled) per the site
         filter, mirroring ``_AnalysisBase.report`` exactly."""
+        ir = intern(self.network)
         evaluated: List[str] = []
         skipped: List[str] = []
-        for node in self.network.nodes():
-            if node.kind is NodeKind.MUX:
-                evaluated.append(node.name)
-            elif node.kind is NodeKind.SEGMENT:
+        for node_id, name in enumerate(ir.names):
+            kind = ir.kinds[node_id]
+            if kind == IR_MUX:
+                evaluated.append(name)
+            elif kind == IR_SEGMENT:
                 skip = sites == "mux" or (
-                    sites == "control" and node.role is SegmentRole.DATA
+                    sites == "control"
+                    and ir.roles[node_id] == IR_ROLE_DATA
                 )
-                (skipped if skip else evaluated).append(node.name)
+                (skipped if skip else evaluated).append(name)
         return evaluated, set(skipped)
 
     def _count_faults(self, names: List[str]) -> int:
+        ir = intern(self.network)
         count = 0
         for name in names:
-            node = self.network.node(name)
-            if node.kind is NodeKind.MUX:
-                count += len(node.stuck_values())
+            node_id = ir.id_of(name)
+            if ir.kinds[node_id] == IR_MUX:
+                count += ir.fanin[node_id]
             else:
                 count += 1
         return count
@@ -452,8 +462,8 @@ class CriticalityEngine:
         else:  # pragma: no cover - non-fork platforms
             context = multiprocessing.get_context("spawn")
             initargs = (
-                pickle.dumps(
-                    (self.network, self.spec, self.method, self.policy)
+                _spawn_payload(
+                    intern(self.network), self.spec, self.method, self.policy
                 ),
             )
         parallel_started = time.perf_counter()

@@ -19,28 +19,49 @@ resolved optimistically.
 A broken control cell uses the same rule as the tree analyses: the cell
 breaks like a segment, and every mux it drives is pinned to the stuck
 value with the worst marginal damage (union of the single-fault effects).
+
+The hot path runs on the compiled IR (:func:`repro.ir.intern`): integer
+node ids, CSR adjacency rows and per-slot entry-port tables instead of
+name-dict lookups.  ``backend="dict"`` selects the original string-keyed
+traversal, kept as the reference implementation for the dict-vs-IR parity
+property tests and the CI smoke diff.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Mapping, Set, Tuple
+from typing import Dict, List, Mapping, Set, Tuple
 
 from ..errors import ReproError
+from ..ir import MUX as IR_MUX
+from ..ir import SEGMENT as IR_SEGMENT
 from ..rsn.network import RsnNetwork
 from ..rsn.primitives import NodeKind
 from .damage import DamageReport, _AnalysisBase
 from .effects import FaultEffect
 from .faults import ControlCellBreak, Fault, MuxStuck, SegmentBreak
 
+_BACKENDS = ("ir", "dict")
+
 
 class GraphDamageAnalysis(_AnalysisBase):
     """Tree-free reference analysis for arbitrary RSN graphs."""
 
-    def __init__(self, network: RsnNetwork, spec, policy: str = "max"):
+    def __init__(
+        self,
+        network: RsnNetwork,
+        spec,
+        policy: str = "max",
+        backend: str = "ir",
+    ):
         super().__init__(
             network, spec, tree=False, policy=policy
         )
+        if backend not in _BACKENDS:
+            raise ReproError(
+                f"backend must be one of {_BACKENDS}, got {backend!r}"
+            )
+        self.backend = backend
         self._do_of: Dict[str, float] = {}
         self._ds_of: Dict[str, float] = {}
         for segment in network.segments():
@@ -48,20 +69,126 @@ class GraphDamageAnalysis(_AnalysisBase):
                 do_w, ds_w = spec.weight(segment.instrument)
                 self._do_of[segment.name] = do_w
                 self._ds_of[segment.name] = ds_w
-        # port of each (src, mux) edge occurrence
-        self._entry_ports: Dict[Tuple[str, str], Set[int]] = {}
-        for mux in network.muxes():
-            for port, pred in enumerate(network.predecessors(mux.name)):
-                self._entry_ports.setdefault(
-                    (pred, mux.name), set()
-                ).add(port)
-        self._primitives = [
-            node.name
-            for node in network.nodes()
-            if node.kind in (NodeKind.SEGMENT, NodeKind.MUX)
-        ]
+        # Id-aligned weight vectors (plain lists: the summation loops are
+        # Python-level, where list indexing beats numpy scalar boxing).
+        do_vec, ds_vec = self.ir.weight_vectors(spec)
+        self._do_by_id: List[float] = do_vec.tolist()
+        self._ds_by_id: List[float] = ds_vec.tolist()
+        self._primitive_ids = self.ir.primitive_ids()
+        if backend == "dict":
+            # port of each (src, mux) edge occurrence, name-keyed
+            self._entry_ports: Dict[Tuple[str, str], Set[int]] = {}
+            for mux in network.muxes():
+                for port, pred in enumerate(
+                    network.predecessors(mux.name)
+                ):
+                    self._entry_ports.setdefault(
+                        (pred, mux.name), set()
+                    ).add(port)
 
-    # -- reachability ---------------------------------------------------
+    # -- reachability over the compiled IR ------------------------------
+    def _forward_seen(
+        self, broken: Set[int], forced: Mapping[int, int]
+    ) -> bytearray:
+        """Per-id flags: reachable from scan-in via fault-clean,
+        selectable paths."""
+        ir = self.ir
+        kinds = ir.kinds
+        indptr = ir.succ_indptr
+        indices = ir.succ_indices
+        ports = ir.succ_ports
+        fanin = ir.fanin
+        seen = bytearray(ir.n_nodes)
+        start = ir.scan_in
+        seen[start] = 1
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            if kinds[current] == IR_SEGMENT and current in broken:
+                continue  # data cannot propagate through the break
+            for slot in range(indptr[current], indptr[current + 1]):
+                successor = indices[slot]
+                if seen[successor]:
+                    continue
+                if kinds[successor] == IR_MUX and forced:
+                    pinned = forced.get(successor)
+                    if (
+                        pinned is not None
+                        and ports[slot] != pinned % fanin[successor]
+                    ):
+                        continue
+                seen[successor] = 1
+                frontier.append(successor)
+        return seen
+
+    def _backward_seen(
+        self, broken: Set[int], forced: Mapping[int, int]
+    ) -> bytearray:
+        """Per-id flags: can propagate data to scan-out."""
+        ir = self.ir
+        kinds = ir.kinds
+        indptr = ir.pred_indptr
+        indices = ir.pred_indices
+        fanin = ir.fanin
+        seen = bytearray(ir.n_nodes)
+        start = ir.scan_out
+        seen[start] = 1
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            if kinds[current] == IR_SEGMENT and current in broken:
+                continue
+            lo = indptr[current]
+            hi = indptr[current + 1]
+            if kinds[current] == IR_MUX:
+                pinned = forced.get(current)
+                if pinned is not None:
+                    # a pinned mux only propagates its stuck port
+                    slot = lo + pinned % fanin[current]
+                    lo, hi = slot, slot + 1
+            for slot in range(lo, hi):
+                predecessor = indices[slot]
+                if not seen[predecessor]:
+                    seen[predecessor] = 1
+                    frontier.append(predecessor)
+        return seen
+
+    def _single_sets(
+        self, broken: Set[int], forced: Mapping[int, int]
+    ) -> Tuple[Set[int], Set[int]]:
+        """(unobservable ids, unsettable ids) of one pinned/broken state.
+
+        A primitive is *settable* when a break-clean, stuck-respecting
+        path arrives from the scan-in AND some stuck-respecting path (data
+        may be corrupted beyond the primitive — irrelevant for setting)
+        continues to the scan-out, i.e. the primitive lies on an active
+        path with a clean prefix.  *Observable* is the mirror image."""
+        if self.backend == "dict":
+            return self._single_sets_dict(broken, forced)
+        empty: Set[int] = set()
+        forward_clean = self._forward_seen(broken, forced)
+        backward_clean = self._backward_seen(broken, forced)
+        forward_any = self._forward_seen(empty, forced)
+        backward_any = self._backward_seen(empty, forced)
+        unsettable: Set[int] = set()
+        unobservable: Set[int] = set()
+        for node_id in self._primitive_ids:
+            alive = node_id not in broken
+            if not (
+                alive
+                and forward_clean[node_id]
+                and backward_any[node_id]
+            ):
+                unsettable.add(node_id)
+            if not (
+                alive
+                and backward_clean[node_id]
+                and forward_any[node_id]
+            ):
+                unobservable.add(node_id)
+        return unobservable, unsettable
+
+    # -- reference dict backend (string-keyed BFS, pre-IR semantics) -----
     def _forward_reach(
         self, broken: Set[str], forced: Mapping[str, int]
     ) -> Set[str]:
@@ -73,7 +200,7 @@ class GraphDamageAnalysis(_AnalysisBase):
             current = frontier.popleft()
             node = network.node(current)
             if node.kind is NodeKind.SEGMENT and current in broken:
-                continue  # data cannot propagate through the break
+                continue
             for successor in network.successors(current):
                 if successor in seen:
                     continue
@@ -118,71 +245,99 @@ class GraphDamageAnalysis(_AnalysisBase):
                     frontier.append(predecessor)
         return seen
 
-    def _single_effect(
-        self, fault, broken: Set[str], forced: Mapping[str, int]
-    ) -> FaultEffect:
-        """A primitive is *settable* when a break-clean, stuck-respecting
-        path arrives from the scan-in AND some stuck-respecting path (data
-        may be corrupted beyond the primitive — irrelevant for setting)
-        continues to the scan-out, i.e. the primitive lies on an active
-        path with a clean prefix.  *Observable* is the mirror image."""
+    def _single_sets_dict(
+        self, broken: Set[int], forced: Mapping[int, int]
+    ) -> Tuple[Set[int], Set[int]]:
+        """The original name-keyed traversal, lifted to id results."""
+        ir = self.ir
+        broken_names = {ir.names[i] for i in broken}
+        forced_names = {ir.names[i]: port for i, port in forced.items()}
         empty: Set[str] = set()
-        forward_clean = self._forward_reach(broken, forced)
-        backward_clean = self._backward_reach(broken, forced)
-        forward_any = self._forward_reach(empty, forced)
-        backward_any = self._backward_reach(empty, forced)
-        unsettable: Set[str] = set()
-        unobservable: Set[str] = set()
-        for name in self._primitives:
-            alive = name not in broken
+        forward_clean = self._forward_reach(broken_names, forced_names)
+        backward_clean = self._backward_reach(broken_names, forced_names)
+        forward_any = self._forward_reach(empty, forced_names)
+        backward_any = self._backward_reach(empty, forced_names)
+        unsettable: Set[int] = set()
+        unobservable: Set[int] = set()
+        for node_id in self._primitive_ids:
+            name = ir.names[node_id]
+            alive = name not in broken_names
             if not (
                 alive
                 and name in forward_clean
                 and name in backward_any
             ):
-                unsettable.add(name)
+                unsettable.add(node_id)
             if not (
                 alive
                 and name in backward_clean
                 and name in forward_any
             ):
-                unobservable.add(name)
-        return FaultEffect(fault, unobservable, unsettable)
+                unobservable.add(node_id)
+        return unobservable, unsettable
 
-    # -- fault effects ----------------------------------------------------
-    def effect_of_fault(self, fault: Fault) -> FaultEffect:
+    # -- fault lowering and damage ----------------------------------------
+    def _damage_of_sets(
+        self, unobservable: Set[int], unsettable: Set[int]
+    ) -> float:
+        do_w = self._do_by_id
+        ds_w = self._ds_by_id
+        return (
+            sum(do_w[i] for i in unobservable)
+            + sum(ds_w[i] for i in unsettable)
+        )
+
+    def _fault_sets(self, fault: Fault) -> Tuple[Set[int], Set[int]]:
+        ir = self.ir
         if isinstance(fault, SegmentBreak):
-            return self._single_effect(fault, {fault.segment}, {})
+            return self._single_sets({ir.id_of(fault.segment)}, {})
         if isinstance(fault, MuxStuck):
-            return self._single_effect(fault, set(), {fault.mux: fault.port})
+            return self._single_sets(
+                set(), {ir.id_of(fault.mux): fault.port}
+            )
         if isinstance(fault, ControlCellBreak):
-            effect = self._single_effect(fault, {fault.cell}, {})
+            unobs, unset = self._single_sets(
+                {ir.id_of(fault.cell)}, {}
+            )
             for mux, port in self.cell_stuck_ports(fault.cell).items():
-                effect = effect.union(
-                    self._single_effect(fault, set(), {mux: port})
+                more_unobs, more_unset = self._single_sets(
+                    set(), {ir.id_of(mux): port}
                 )
-            effect.fault = fault
-            return effect
+                unobs |= more_unobs
+                unset |= more_unset
+            return unobs, unset
         raise ReproError(f"unknown fault {fault!r}")
 
+    def effect_of_fault(self, fault: Fault) -> FaultEffect:
+        unobs, unset = self._fault_sets(fault)
+        names = self.ir.names
+        return FaultEffect(
+            fault,
+            {names[i] for i in unobs},
+            {names[i] for i in unset},
+        )
+
     def damage_of_fault(self, fault: Fault) -> float:
-        return self.effect_of_fault(fault).damage(self._do_of, self._ds_of)
+        return self._damage_of_sets(*self._fault_sets(fault))
 
     def cell_stuck_ports(self, cell: str) -> Dict[str, int]:
-        break_effect = self._single_effect(
-            ControlCellBreak(cell), {cell}, {}
-        )
-        base = break_effect.damage(self._do_of, self._ds_of)
+        ir = self.ir
+        cell_id = ir.id_of(cell)
+        break_unobs, break_unset = self._single_sets({cell_id}, {})
+        base = self._damage_of_sets(break_unobs, break_unset)
         ports: Dict[str, int] = {}
         for mux in self.muxes_of_cell(cell):
-            node = self.network.node(mux)
+            mux_id = ir.id_of(mux)
             best_port = 0
             best_marginal = -1.0
-            for port in node.stuck_values():
-                stuck = self._single_effect(None, set(), {mux: port})
+            for port in ir.stuck_values(mux_id):
+                stuck_unobs, stuck_unset = self._single_sets(
+                    set(), {mux_id: port}
+                )
                 marginal = (
-                    break_effect.union(stuck).damage(
-                        self._do_of, self._ds_of
+                    self._damage_of_sets(
+                        break_unobs | stuck_unobs,
+                        break_unset | stuck_unset,
                     )
                     - base
                 )
@@ -201,20 +356,27 @@ class GraphDamageAnalysis(_AnalysisBase):
         pass: breaks accumulate, stuck selects pin, and a broken control
         cell pins its muxes at the worst marginal single-fault ports.
         """
-        broken: Set[str] = set()
-        forced: Dict[str, int] = {}
+        ir = self.ir
+        broken: Set[int] = set()
+        forced: Dict[int, int] = {}
         for fault in faults:
             if isinstance(fault, SegmentBreak):
-                broken.add(fault.segment)
+                broken.add(ir.id_of(fault.segment))
             elif isinstance(fault, MuxStuck):
-                forced[fault.mux] = fault.port
+                forced[ir.id_of(fault.mux)] = fault.port
             elif isinstance(fault, ControlCellBreak):
-                broken.add(fault.cell)
+                broken.add(ir.id_of(fault.cell))
                 for mux, port in self.cell_stuck_ports(fault.cell).items():
-                    forced.setdefault(mux, port)
+                    forced.setdefault(ir.id_of(mux), port)
             else:
                 raise ReproError(f"unknown fault {fault!r}")
-        return self._single_effect(tuple(faults), broken, forced)
+        unobs, unset = self._single_sets(broken, forced)
+        names = ir.names
+        return FaultEffect(
+            tuple(faults),
+            {names[i] for i in unobs},
+            {names[i] for i in unset},
+        )
 
     def damage_of_faults(self, faults) -> float:
         """Eq. 1 damage of a simultaneous fault multiset."""

@@ -8,41 +8,125 @@ segment c2 traverse the multiplexer m0, then m0 dominates c2"), and the
 test-suite cross-checks the tree-derived parent relation against these
 graph-level facts.
 
-Built on :func:`networkx.immediate_dominators` (simple-graph based; the
-multigraph's parallel edges are irrelevant for domination).
+Implemented with the Cooper–Harvey–Kennedy iterative algorithm directly
+on the compiled IR (:func:`repro.ir.intern`): the CSR adjacency rows and
+the precomputed topological order — a valid reverse post-order for a DAG
+— replace the ad-hoc networkx ``DiGraph`` rebuild the pre-IR version did
+per call.  Parallel edges of the multigraph are irrelevant for
+domination and simply processed twice.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
-import networkx as nx
-
+from ..ir import CompiledNetwork, intern
 from ..rsn.network import RsnNetwork
 
 
-def _simple_digraph(network: RsnNetwork, reverse: bool = False):
-    graph = nx.DiGraph()
-    graph.add_nodes_from(network.node_names())
-    for src, dst in network.edges():
-        if reverse:
-            graph.add_edge(dst, src)
-        else:
-            graph.add_edge(src, dst)
-    return graph
+def _reachable(
+    compiled: CompiledNetwork, root: int, indptr, indices
+) -> bytearray:
+    seen = bytearray(compiled.n_nodes)
+    seen[root] = 1
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        for slot in range(indptr[node], indptr[node + 1]):
+            nxt = indices[slot]
+            if not seen[nxt]:
+                seen[nxt] = 1
+                frontier.append(nxt)
+    return seen
+
+
+def _immediate_dominators_ids(
+    compiled: CompiledNetwork, root: int, reverse: bool
+) -> Dict[int, int]:
+    """Cooper–Harvey–Kennedy over the CSR arrays.
+
+    ``reverse=True`` computes dominators of the edge-reversed graph
+    rooted at ``root`` (i.e. post-dominators of the forward graph).
+    """
+    if reverse:
+        walk_indptr = compiled.pred_indptr  # traversal direction
+        walk_indices = compiled.pred_indices
+        back_indptr = compiled.succ_indptr  # "predecessors" for idom
+        back_indices = compiled.succ_indices
+        order: List[int] = list(reversed(compiled.topo))
+    else:
+        walk_indptr = compiled.succ_indptr
+        walk_indices = compiled.succ_indices
+        back_indptr = compiled.pred_indptr
+        back_indices = compiled.pred_indices
+        order = list(compiled.topo)
+
+    reachable = _reachable(compiled, root, walk_indptr, walk_indices)
+    sequence = [v for v in order if reachable[v]]
+    rpo_number = [-1] * compiled.n_nodes
+    for position, vertex in enumerate(sequence):
+        rpo_number[vertex] = position
+
+    idom = [-1] * compiled.n_nodes
+    idom[root] = root
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while rpo_number[a] > rpo_number[b]:
+                a = idom[a]
+            while rpo_number[b] > rpo_number[a]:
+                b = idom[b]
+        return a
+
+    # On a DAG one pass in topological order converges; the loop guard
+    # keeps the algorithm correct for any RPO.
+    changed = True
+    while changed:
+        changed = False
+        for vertex in sequence:
+            if vertex == root:
+                continue
+            new_idom = -1
+            for slot in range(
+                back_indptr[vertex], back_indptr[vertex + 1]
+            ):
+                other = back_indices[slot]
+                if idom[other] == -1:
+                    continue
+                new_idom = (
+                    other
+                    if new_idom == -1
+                    else intersect(new_idom, other)
+                )
+            if new_idom != -1 and idom[vertex] != new_idom:
+                idom[vertex] = new_idom
+                changed = True
+    return {v: idom[v] for v in sequence}
 
 
 def immediate_dominators(network: RsnNetwork) -> Dict[str, str]:
-    """Immediate dominator of every vertex, rooted at the scan-in port."""
-    graph = _simple_digraph(network)
-    return dict(nx.immediate_dominators(graph, network.scan_in))
+    """Immediate dominator of every vertex, rooted at the scan-in port.
+
+    Only vertices reachable from the scan-in appear; the root maps to
+    itself (the same contract as ``networkx.immediate_dominators``).
+    """
+    compiled = intern(network)
+    ids = _immediate_dominators_ids(
+        compiled, compiled.id_of(network.scan_in), reverse=False
+    )
+    names = compiled.names
+    return {names[v]: names[dom] for v, dom in ids.items()}
 
 
 def immediate_post_dominators(network: RsnNetwork) -> Dict[str, str]:
     """Immediate post-dominator of every vertex (dominators of the
     reversed graph rooted at the scan-out port)."""
-    graph = _simple_digraph(network, reverse=True)
-    return dict(nx.immediate_dominators(graph, network.scan_out))
+    compiled = intern(network)
+    ids = _immediate_dominators_ids(
+        compiled, compiled.id_of(network.scan_out), reverse=True
+    )
+    names = compiled.names
+    return {names[v]: names[dom] for v, dom in ids.items()}
 
 
 def _in_dom_chain(tree: Dict[str, str], a: str, b: str) -> bool:

@@ -21,9 +21,25 @@ from typing import List, Optional, Set
 
 import networkx as nx
 
+from ..ir import MUX as IR_MUX
+from ..ir import CompiledNetwork, intern
 from ..rsn.network import RsnNetwork
-from ..rsn.primitives import NodeKind
 from .dominators import immediate_post_dominators
+
+
+def _simple_digraph(compiled: CompiledNetwork) -> "nx.DiGraph":
+    """Simple directed graph over the compiled IR's CSR rows (parallel
+    edges collapse; they never change reachability or disjoint paths
+    beyond the first duplicate)."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(compiled.names)
+    names = compiled.names
+    indptr = compiled.succ_indptr
+    indices = compiled.succ_indices
+    for node_id in range(compiled.n_nodes):
+        for slot in range(indptr[node_id], indptr[node_id + 1]):
+            graph.add_edge(names[node_id], names[indices[slot]])
+    return graph
 
 
 def fanout_stems(network: RsnNetwork) -> List[str]:
@@ -31,10 +47,12 @@ def fanout_stems(network: RsnNetwork) -> List[str]:
 
     In a well-formed RSN these are exactly the explicit fan-out vertices.
     """
+    compiled = intern(network)
+    indptr = compiled.succ_indptr
     stems = [
-        name
-        for name in network.node_names()
-        if len(network.successors(name)) > 1
+        compiled.names[node_id]
+        for node_id in range(compiled.n_nodes)
+        if indptr[node_id + 1] - indptr[node_id] > 1
     ]
     return sorted(stems)
 
@@ -46,23 +64,23 @@ def reconvergence_gates(network: RsnNetwork, stem: str) -> List[str]:
     validation on small to medium networks, not for the inner loop of the
     scalable criticality analysis (which never needs it).
     """
-    graph = nx.DiGraph()
-    graph.add_nodes_from(network.node_names())
-    graph.add_edges_from(set(network.edges()))
+    compiled = intern(network)
+    graph = _simple_digraph(compiled)
     gates = []
-    for node in network.nodes():
-        if node.kind is not NodeKind.MUX or node.name == stem:
+    for node_id in range(compiled.n_nodes):
+        name = compiled.names[node_id]
+        if compiled.kinds[node_id] != IR_MUX or name == stem:
             continue
-        if not nx.has_path(graph, stem, node.name):
+        if not nx.has_path(graph, stem, name):
             continue
         try:
             paths = list(
-                nx.node_disjoint_paths(graph, stem, node.name, cutoff=2)
+                nx.node_disjoint_paths(graph, stem, name, cutoff=2)
             )
         except nx.NetworkXNoPath:  # pragma: no cover - has_path guards this
             continue
         if len(paths) >= 2:
-            gates.append(node.name)
+            gates.append(name)
     return sorted(gates)
 
 
@@ -76,9 +94,7 @@ def closing_reconvergence(network: RsnNetwork, stem: str) -> Optional[str]:
     gates = reconvergence_gates(network, stem)
     if not gates:
         return None
-    graph = nx.DiGraph()
-    graph.add_nodes_from(network.node_names())
-    graph.add_edges_from(set(network.edges()))
+    graph = _simple_digraph(intern(network))
     closing = [
         gate
         for gate in gates
@@ -104,9 +120,7 @@ def stem_region(network: RsnNetwork, stem: str) -> Set[str]:
     closing = closing_reconvergence(network, stem)
     if closing is None:
         return set()
-    graph = nx.DiGraph()
-    graph.add_nodes_from(network.node_names())
-    graph.add_edges_from(set(network.edges()))
+    graph = _simple_digraph(intern(network))
     from_stem = nx.descendants(graph, stem)
     to_closing = nx.ancestors(graph, closing) | {closing}
     return (from_stem & to_closing) | ({closing} & from_stem)
@@ -123,7 +137,7 @@ def closing_reconvergence_fast(network: RsnNetwork, stem: str) -> Optional[str]:
     gate = ipdom.get(stem)
     if gate is None or gate == stem:
         return None
-    node = network.node(gate)
-    if node.kind is NodeKind.MUX:
+    compiled = intern(network)
+    if compiled.kinds[compiled.id_of(gate)] == IR_MUX:
         return gate
     return None

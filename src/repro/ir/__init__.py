@@ -1,0 +1,35 @@
+"""Compiled, array-backed network IR — the single execution substrate."""
+
+from .compiled import (
+    FANOUT,
+    IR_VERSION,
+    MUX,
+    NO_ROLE,
+    ROLE_CONTROL,
+    ROLE_DATA,
+    ROLE_SIB,
+    SCAN_IN,
+    SCAN_OUT,
+    SEGMENT,
+    CompiledNetwork,
+    compile_network,
+    fingerprint_payload,
+    intern,
+)
+
+__all__ = [
+    "CompiledNetwork",
+    "FANOUT",
+    "IR_VERSION",
+    "MUX",
+    "NO_ROLE",
+    "ROLE_CONTROL",
+    "ROLE_DATA",
+    "ROLE_SIB",
+    "SCAN_IN",
+    "SCAN_OUT",
+    "SEGMENT",
+    "compile_network",
+    "fingerprint_payload",
+    "intern",
+]

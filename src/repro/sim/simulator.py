@@ -27,24 +27,42 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
+from ..ir import MUX as IR_MUX
+from ..ir import intern
 from ..rsn.network import RsnNetwork
 from ..rsn.primitives import NodeKind, ScanSegment
 from ..analysis.faults import ControlCellBreak, Fault, MuxStuck, SegmentBreak
 
 Bit = Optional[int]  # 0, 1 or None (unknown / X)
 
+_PATH_BACKENDS = ("ir", "dict")
+
 
 class ScanSimulator:
-    """Executable model of one RSN instance with optional injected faults."""
+    """Executable model of one RSN instance with optional injected faults.
+
+    ``path_backend`` selects how the active scan path is derived:
+    ``"ir"`` (default) walks the compiled IR's CSR predecessor rows;
+    ``"dict"`` is the original name-dict walk, kept as the reference for
+    the dict-vs-IR parity property tests.
+    """
 
     def __init__(
         self,
         network: RsnNetwork,
         faults: Iterable[Fault] = (),
         assumed_ports: Optional[Mapping[str, int]] = None,
+        path_backend: str = "ir",
     ):
         network.validate()
+        if path_backend not in _PATH_BACKENDS:
+            raise SimulationError(
+                f"path_backend must be one of {_PATH_BACKENDS}, "
+                f"got {path_backend!r}"
+            )
         self.network = network
+        self._ir = intern(network)
+        self._path_backend = path_backend
         self.broken: set = set()
         self.stuck: Dict[str, int] = {}
         assumed = dict(assumed_ports or {})
@@ -93,12 +111,53 @@ class ScanSimulator:
             return 0
         return value % node.fanin
 
+    def _select_by_id(self, mux_id: int) -> int:
+        """The propagated input port of a mux, by compiled-IR node id."""
+        ir = self._ir
+        stuck = self.stuck.get(ir.names[mux_id])
+        if stuck is not None:
+            return stuck % ir.fanin[mux_id]
+        cell_id = ir.control_cell[mux_id]
+        if cell_id < 0:
+            return 0
+        value = self.update_values.get(ir.names[cell_id])
+        if value is None:
+            return 0
+        return value % ir.fanin[mux_id]
+
     def active_path(self) -> List[str]:
         """Node names of the active scan path, scan-in first.
 
         Derived by walking backwards from the scan-out: the active chain is
         unique because every multiplexer propagates exactly one input.
         """
+        if self._path_backend == "dict":
+            return self._active_path_dict()
+        ir = self._ir
+        kinds = ir.kinds
+        pred_indptr = ir.pred_indptr
+        pred_indices = ir.pred_indices
+        current = ir.scan_out
+        path_ids = [current]
+        seen = bytearray(ir.n_nodes)
+        seen[current] = 1
+        while current != ir.scan_in:
+            slot = pred_indptr[current]
+            if kinds[current] == IR_MUX:
+                slot += self._select_by_id(current)
+            current = pred_indices[slot]
+            if seen[current]:
+                raise SimulationError(
+                    f"active path loops through {ir.names[current]!r}"
+                )
+            seen[current] = 1
+            path_ids.append(current)
+        path_ids.reverse()
+        names = ir.names
+        return [names[i] for i in path_ids]
+
+    def _active_path_dict(self) -> List[str]:
+        """Reference implementation over the name-dict graph (pre-IR)."""
         path = [self.network.scan_out]
         current = self.network.scan_out
         seen = {current}

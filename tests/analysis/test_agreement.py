@@ -5,7 +5,13 @@ fault-accessibility semantics must agree.
 2. ``ExplicitDamageAnalysis`` — literal per-fault effect sets;
 3. ``structural_access``      — configuration-enumerating scan-path oracle
    (no decomposition tree involved at all).
+
+Plus the dict-vs-IR parity block: the compiled-IR backends of the graph
+analysis and the simulator must be *bit-identical* to the string-keyed
+reference backends, on series-parallel and non-series-parallel networks.
 """
+
+import random
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -22,10 +28,13 @@ from repro.analysis.faults import (
     SegmentBreak,
     faults_of_primitive,
 )
+from repro.analysis.graph_analysis import GraphDamageAnalysis
 from repro.bench.generators import random_network
 from repro.rsn.ast import elaborate
-from repro.rsn.primitives import NodeKind
+from repro.rsn.network import RsnNetwork
+from repro.rsn.primitives import ControlUnit, NodeKind, SegmentRole
 from repro.sim import structural_access
+from repro.sim.simulator import ScanSimulator
 from repro.sp import decompose
 from repro.spec import random_spec
 
@@ -36,6 +45,49 @@ def _build(seed):
     network = elaborate(random_network(seed=seed, max_depth=2, max_items=3))
     spec = random_spec(network.instrument_names(), seed=seed)
     return network, spec
+
+
+def _build_bridge(seed):
+    """A seeded non-series-parallel network: the Wheatstone-bridge core
+    with randomized segment lengths and a randomized tail chain."""
+    rng = random.Random(seed)
+    net = RsnNetwork(f"bridge{seed}")
+    net.add_scan_in()
+    net.add_scan_out()
+    net.add_segment(
+        "sel1", length=rng.randint(1, 2), role=SegmentRole.CONTROL
+    )
+    net.add_fanout("f1")
+    net.add_segment("a", length=rng.randint(1, 4), instrument="ia")
+    net.add_segment("b", length=rng.randint(1, 4), instrument="ib")
+    net.add_fanout("fa")
+    net.add_mux("m1", fanin=2, control_cell="sel1")
+    net.add_mux("m2", fanin=2, control_cell="sel1")
+    for edge in [
+        ("scan_in", "sel1"), ("sel1", "f1"), ("f1", "a"), ("f1", "b"),
+        ("a", "fa"), ("fa", "m1"), ("b", "m1"), ("m1", "m2"), ("fa", "m2"),
+    ]:
+        net.add_edge(*edge)
+    tail_count = rng.randint(1, 3)
+    previous = "m2"
+    for index in range(tail_count):
+        name = f"tail{index}"
+        net.add_segment(
+            name, length=rng.randint(1, 3), instrument=f"it{index}"
+        )
+        net.add_edge(previous, name)
+        previous = name
+    net.add_edge(previous, "scan_out")
+    net.register_unit(
+        ControlUnit("unit.sel1", muxes=["m1", "m2"], cells=["sel1"])
+    )
+    net.validate()
+    spec = random_spec(net.instrument_names(), seed=seed)
+    return net, spec
+
+
+def _build_any(seed, bridge):
+    return _build_bridge(seed) if bridge else _build(seed)
 
 
 @settings(max_examples=50, deadline=None)
@@ -106,3 +158,71 @@ def test_fault_free_network_fully_accessible(seed):
     everything = set(network.instrument_names())
     assert access.observable == everything
     assert access.settable == everything
+
+
+# ---------------------------------------------------------------------------
+# dict-vs-IR parity: the compiled-IR hot paths against the string-keyed
+# reference backends they replaced
+# ---------------------------------------------------------------------------
+def _all_faults(network):
+    faults = []
+    for node in network.nodes():
+        if node.kind in (NodeKind.SEGMENT, NodeKind.MUX):
+            faults.extend(faults_of_primitive(network, node.name))
+    return faults
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, bridge=st.booleans())
+def test_graph_ir_backend_bit_identical_to_dict(seed, bridge):
+    """Damage reports of the IR-backed graph analysis equal the dict
+    reference exactly (not approximately) on SP and non-SP networks."""
+    network, spec = _build_any(seed, bridge)
+    ir_report = GraphDamageAnalysis(network, spec, backend="ir").report()
+    dict_report = GraphDamageAnalysis(
+        network, spec, backend="dict"
+    ).report()
+    assert ir_report.primitive_damage == dict_report.primitive_damage
+    assert ir_report.unit_damage == dict_report.unit_damage
+    assert ir_report.total == dict_report.total
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, bridge=st.booleans())
+def test_graph_ir_effect_sets_equal_dict(seed, bridge):
+    network, spec = _build_any(seed, bridge)
+    via_ir = GraphDamageAnalysis(network, spec, backend="ir")
+    via_dict = GraphDamageAnalysis(network, spec, backend="dict")
+    for fault in _all_faults(network):
+        effect_ir = via_ir.effect_of_fault(fault)
+        effect_dict = via_dict.effect_of_fault(fault)
+        assert effect_ir.unobservable == effect_dict.unobservable, fault
+        assert effect_ir.unsettable == effect_dict.unsettable, fault
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, bridge=st.booleans())
+def test_simulator_ir_path_backend_matches_dict(seed, bridge):
+    """Active paths and scan-out bit streams agree between the IR walk
+    and the name-dict walk, fault-free and under every single fault."""
+    network, _ = _build_any(seed, bridge)
+    rng = random.Random(seed)
+    fault_sets = [[]]
+    all_faults = _all_faults(network)
+    if all_faults:
+        fault_sets.append([all_faults[seed % len(all_faults)]])
+    for faults in fault_sets:
+        sim_ir = ScanSimulator(network, faults=faults, path_backend="ir")
+        sim_dict = ScanSimulator(
+            network, faults=faults, path_backend="dict"
+        )
+        assert sim_ir.active_path() == sim_dict.active_path()
+        for _ in range(3):
+            bits = [
+                rng.randint(0, 1)
+                for _ in range(sim_dict.path_length() + 2)
+            ]
+            assert sim_ir.shift(list(bits)) == sim_dict.shift(list(bits))
+            sim_ir.update()
+            sim_dict.update()
+            assert sim_ir.active_path() == sim_dict.active_path()

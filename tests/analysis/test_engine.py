@@ -189,6 +189,52 @@ class TestDiskCache:
 
 
 # ---------------------------------------------------------------------------
+# spawn-mode worker payload
+# ---------------------------------------------------------------------------
+class TestSpawnPayload:
+    """The spawn fallback ships the compiled IR, not the dict network,
+    and workers rebuilt from it reproduce the serial damages exactly."""
+
+    def test_payload_carries_compiled_ir(self):
+        import pickle
+
+        from repro.ir import CompiledNetwork, intern
+        from repro.rsn.network import RsnNetwork
+
+        network, spec = _setup("q12710")
+        payload = engine_mod._spawn_payload(
+            intern(network), spec, "fast", "max"
+        )
+        ir, spec_out, method, policy = pickle.loads(payload)
+        assert isinstance(ir, CompiledNetwork)
+        assert not isinstance(ir, RsnNetwork)
+        assert ir.fingerprint == intern(network).fingerprint
+        assert (method, policy) == ("fast", "max")
+        assert spec_out.to_dict() == spec.to_dict()
+        # the IR payload is the smaller wire format
+        dict_payload = pickle.dumps((network, spec, "fast", "max"))
+        assert len(payload) < len(dict_payload)
+
+    @pytest.mark.parametrize("method", ["fast", "explicit", "graph"])
+    def test_spawn_worker_reproduces_serial_damages(self, method):
+        from repro.ir import intern
+
+        network, spec = _setup("TreeFlat")
+        serial = CriticalityEngine(network, spec, method=method).report()
+        payload = engine_mod._spawn_payload(
+            intern(network), spec, method, "max"
+        )
+        previous = engine_mod._WORKER_ANALYSIS
+        try:
+            engine_mod._worker_init(payload)
+            names = list(serial.primitive_damage)
+            _, _, damages = engine_mod._worker_chunk(names)
+        finally:
+            engine_mod._WORKER_ANALYSIS = previous
+        assert dict(zip(names, damages)) == serial.primitive_damage
+
+
+# ---------------------------------------------------------------------------
 # graceful degradation
 # ---------------------------------------------------------------------------
 class TestDegradation:
