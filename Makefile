@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench bench-ir baseline lint table1 sweeps examples clean
+.PHONY: install test test-fast bench bench-ir bench-batch baseline lint table1 sweeps examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -26,6 +26,9 @@ baseline:
 
 bench-ir:
 	$(PYTHON) benchmarks/bench_analysis_scaling.py --ir --output results/BENCH_ir.json
+
+bench-batch:
+	$(PYTHON) benchmarks/bench_analysis_scaling.py --batch --output results/BENCH_batch.json
 
 lint:
 	ruff check src tests benchmarks examples

@@ -5,6 +5,7 @@ from .accessibility import (
     accessibility_under_single_faults,
     verify_critical_instruments,
 )
+from .batch import BatchFaultAnalysis
 from .damage import (
     DamageReport,
     ExplicitDamageAnalysis,
@@ -50,6 +51,7 @@ from .faults import (
 __all__ = [
     "ANALYSIS_VERSION",
     "AccessibilityReport",
+    "BatchFaultAnalysis",
     "ControlCellBreak",
     "CriticalityEngine",
     "DamageReport",

@@ -1,0 +1,623 @@
+"""Bit-parallel batched fault analysis: 64 fault lanes per machine word.
+
+The exact criticality analysis (Eq. 1) needs the damage of *every* scan
+primitive, i.e. one observability/settability analysis per fault.  The
+per-fault graph backend (:class:`repro.analysis.GraphDamageAnalysis`)
+spends four Python-level BFS walks on each — O(|faults| * |E|) with
+interpreter overhead on every edge.  This module applies classic bitset
+dataflow instead: many independent fault instances are packed into the
+bits of ``uint64`` words ("lanes"), and reachability for *all* of them is
+computed in a handful of vectorized sweeps over the compiled IR.
+
+Problem encoding
+----------------
+Each lane is one *fault state* — a set of broken segments plus a map of
+muxes pinned to a stuck port.  Two mask families encode a whole batch:
+
+* ``prop``  — shape ``(n_nodes, W)`` ``uint64``; bit ``f`` of row ``v``
+  is 0 iff node ``v`` is broken in lane ``f``.  A broken segment can
+  still be *reached* (the defect is observed at the break), but data
+  never propagates through it, so ``prop`` gates a node's *outgoing*
+  contribution in both sweep directions.
+* ``alive`` — shape ``(n_pred_slots, W)``; one row per predecessor-CSR
+  slot, i.e. per (mux, input-port) edge occurrence.  Bit ``f`` is 0 iff
+  the lane pins that mux to a different port
+  (:meth:`repro.ir.CompiledNetwork.mux_dead_slots`).  The same mask
+  serves both directions: a deselected port neither admits data into the
+  mux (forward) nor propagates the mux's demand for data backwards —
+  ``succ_pred_slots`` maps successor-CSR slots onto it.
+
+Sweeps and the fixpoint argument
+--------------------------------
+Reachability is the least fixpoint of the monotone system
+
+    reach[v]  |=  reach[u] & prop[u] & alive[(u, v)]        (forward)
+
+over all edges (mirrored through predecessors for the backward
+direction, seeded all-ones at the scan-in / scan-out).  The compiled IR
+is a validated DAG with a precomputed topological order, and every
+right-hand side of the system only mentions nodes strictly earlier in
+that order — so a single sweep in topo order (reverse-topo for the
+backward system) computes the fixpoint exactly: when node ``v`` is
+processed, every ``reach[u]`` it reads is already final, and no later
+update can ever change it again.  A second sweep would change nothing;
+:meth:`BatchFaultAnalysis.forward_pass` exposes change tracking so the
+test-suite asserts exactly that instead of paying for a verification
+sweep at runtime.  (On a cyclic graph the sweep *would* have to iterate
+until a pass reports no change, but ``compile_network`` rejects cycles
+outright.)
+
+The sweep itself is scheduled once per network, fault-independent: the
+DAG is split into maximal *linear runs* (chains where each node has a
+single predecessor and its predecessor a single successor — the common
+case in scan networks, which are mostly long serial chains) plus the
+remaining *merge nodes* (muxes, fanout joins).  A run of length k
+becomes one ``np.bitwise_and.accumulate`` over its gathered gate rows; a
+merge node becomes one gather + ``bitwise_or`` reduction over its
+predecessor slots.  The Python-level loop is therefore over *branch
+points*, not nodes or edges.
+
+Damage
+------
+A primitive is settable in lane ``f`` when it is not broken, forward-
+reachable through fault-clean edges, and backward-reachable through any
+stuck-respecting path; observable is the mirror image (exactly
+:meth:`GraphDamageAnalysis._single_sets`).  Per-lane damage is then a
+weighted popcount: unpack the per-primitive accessibility bits and take
+a (blocked) dot product with the id-aligned weight vectors.  With the
+paper's integer damage weights every sum is exact in float64, so the
+batch results are bit-identical to the scalar backends (property-tested
+in ``tests/analysis/test_batch.py``).
+
+A :class:`ControlCellBreak` is the *union* of its component effect sets
+(the cell's own break plus one worst-marginal stuck state per controlled
+mux, evaluated independently — Sec. IV-B.3); unions do not compose as a
+single reachability lane, so a composite fault occupies one lane per
+component and its accessibility bits are AND-ed at damage time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..ir import MUX as IR_MUX
+from ..ir import ROLE_DATA as IR_ROLE_DATA
+from ..ir import SEGMENT as IR_SEGMENT
+from ..ir import LANE_BITS, intern, lane_words
+from ..rsn.network import RsnNetwork
+from .faults import ControlCellBreak, Fault, MuxStuck, SegmentBreak
+
+_FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Weighted-popcount row block: bounds the float64 temporary of the
+#: damage dot product to ``_ROW_BLOCK * 64 * chunk_lanes`` bytes.
+_ROW_BLOCK = 2048
+
+# Lane bit positions are defined on the uint8 view of the word matrix
+# (byte lane >> 3, bit lane & 7), so packing and unpacking agree with
+# np.unpackbits(..., bitorder="little") on any host endianness; the
+# uint64 sweeps themselves are bit-position agnostic.
+def _clear_bit(view8: np.ndarray, row: int, lane: int) -> None:
+    view8[row, lane >> 3] &= np.uint8(0xFF ^ (1 << (lane & 7)))
+
+
+#: One fault state: (sorted broken node ids, sorted (mux id, wrapped
+#: pinned port) items).  Hashable, so equal states share a lane.
+_State = Tuple[Tuple[int, ...], Tuple[Tuple[int, int], ...]]
+
+
+class BatchFaultAnalysis:
+    """Lane-packed damage analysis over one network's compiled IR.
+
+    Matches :class:`GraphDamageAnalysis` fault-for-fault (same optimistic
+    select-independence, same broken-control-cell rule) and is its
+    ``backend="bitset"`` engine.
+    """
+
+    def __init__(
+        self,
+        network: RsnNetwork,
+        spec,
+        policy: str = "max",
+        chunk_lanes: int = 64,
+    ):
+        self.network = network
+        self.ir = intern(network)
+        self.spec = spec
+        self.policy = policy
+        self.chunk_lanes = max(1, int(chunk_lanes))
+        ir = self.ir
+        self._n = ir.n_nodes
+        self._kinds = ir.kinds
+        self._pred_indptr = np.frombuffer(ir.pred_indptr, dtype=np.int32)
+        self._pred_indices = np.frombuffer(
+            ir.pred_indices, dtype=np.int32
+        )
+        self._n_slots = len(ir.pred_indices)
+        self._primitive_ids = ir.primitive_ids()
+        do_vec, ds_vec = ir.weight_vectors(spec)
+        weighted = np.flatnonzero((do_vec != 0.0) | (ds_vec != 0.0))
+        self._weighted_ids = weighted
+        self._do_w = do_vec[weighted]
+        self._ds_w = ds_vec[weighted]
+        self._total_do = float(self._do_w.sum())
+        self._total_ds = float(self._ds_w.sum())
+        self._cell_to_muxes: Dict[int, List[int]] = {}
+        for mux_id in range(self._n):
+            cell = ir.control_cell[mux_id]
+            if ir.kinds[mux_id] == IR_MUX and cell >= 0:
+                self._cell_to_muxes.setdefault(cell, []).append(mux_id)
+        self._cell_ports_memo: Dict[int, Dict[str, int]] = {}
+        self._build_schedule()
+        #: Instrumentation surfaced through ``EngineStats``: lanes packed,
+        #: chunks solved, vectorized sweeps executed.
+        self.counters: Dict[str, int] = {
+            "lanes": 0,
+            "chunks": 0,
+            "sweeps": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # fault-independent sweep schedule
+    # ------------------------------------------------------------------
+    def _build_schedule(self) -> None:
+        ir = self.ir
+        n = self._n
+        succ_indptr = np.frombuffer(ir.succ_indptr, dtype=np.int32)
+        succ_indices = np.frombuffer(ir.succ_indices, dtype=np.int32)
+        pred_indptr = self._pred_indptr
+        n_succ = np.diff(succ_indptr)
+        n_pred = np.diff(pred_indptr)
+        pslot_of_sslot = ir.succ_pred_slots()
+
+        # chain edge u -> v: u's sole successor, v's sole predecessor.
+        run_next = np.full(n, -1, dtype=np.int64)
+        single_succ = np.flatnonzero(n_succ == 1)
+        targets = succ_indices[succ_indptr[single_succ]]
+        chain = n_pred[targets] == 1
+        run_next[single_succ[chain]] = targets[chain]
+        is_chain_target = np.zeros(n, dtype=bool)
+        is_chain_target[run_next[run_next >= 0]] = True
+
+        # Forward steps, in topo order of run heads.  Each step:
+        #   (head, head_srcs, head_slots, run_nodes, run_srcs, run_slots)
+        # head reduction over its predecessor slots, then one AND-
+        # accumulate down the head's linear run (possibly empty).
+        fwd: List[Tuple] = []
+        for head in ir.topo:
+            if is_chain_target[head]:
+                continue  # materialized inside its run's step
+            lo, hi = pred_indptr[head], pred_indptr[head + 1]
+            head_slots = np.arange(lo, hi, dtype=np.int64)
+            head_srcs = self._pred_indices[lo:hi].astype(np.int64)
+            nodes: List[int] = []
+            srcs: List[int] = []
+            slots: List[int] = []
+            prev, node = head, run_next[head]
+            while node >= 0:
+                nodes.append(node)
+                srcs.append(prev)
+                slots.append(int(pred_indptr[node]))
+                prev, node = node, run_next[node]
+            fwd.append(
+                (
+                    int(head),
+                    head_srcs,
+                    head_slots,
+                    np.asarray(nodes, dtype=np.int64),
+                    np.asarray(srcs, dtype=np.int64),
+                    np.asarray(slots, dtype=np.int64),
+                )
+            )
+        self._fwd_schedule = fwd
+
+        # Backward steps mirror the runs: the tail reduces over its
+        # successor edges (through the shared per-pred-slot alive mask),
+        # then one AND-accumulate climbs the run back to its head.
+        topo_pos = np.empty(n, dtype=np.int64)
+        topo_pos[np.asarray(ir.topo, dtype=np.int64)] = np.arange(n)
+        bwd: List[Tuple] = []
+        for step in fwd:
+            head, _, _, nodes, srcs, slots = step
+            tail = int(nodes[-1]) if len(nodes) else head
+            lo, hi = succ_indptr[tail], succ_indptr[tail + 1]
+            tail_dsts = succ_indices[lo:hi].astype(np.int64)
+            tail_pslots = pslot_of_sslot[lo:hi]
+            bwd.append(
+                (
+                    topo_pos[tail],
+                    tail,
+                    tail_dsts,
+                    tail_pslots,
+                    srcs[::-1].copy(),   # nodes computed: n_{k-1} .. head
+                    nodes[::-1].copy(),  # their successors: tail .. n_1
+                    slots[::-1].copy(),  # pred slot of each such edge
+                )
+            )
+        bwd.sort(key=lambda entry: -entry[0])
+        self._bwd_schedule = [entry[1:] for entry in bwd]
+
+    # ------------------------------------------------------------------
+    # sweeps
+    # ------------------------------------------------------------------
+    def forward_pass(
+        self,
+        reach: np.ndarray,
+        prop: Optional[np.ndarray],
+        alive: np.ndarray,
+        track: bool = False,
+    ) -> bool:
+        """One forward sweep in topo order; returns whether any row
+        changed (only computed when ``track`` — the fixpoint check the
+        tests run, which a DAG sweep never needs at runtime)."""
+        changed = False
+        for head, srcs, slots, run_nodes, run_srcs, run_slots in (
+            self._fwd_schedule
+        ):
+            if len(slots):
+                contrib = reach[srcs] & alive[slots]
+                if prop is not None:
+                    contrib &= prop[srcs]
+                value = np.bitwise_or.reduce(contrib, axis=0)
+                value |= reach[head]
+                if track and not np.array_equal(value, reach[head]):
+                    changed = True
+                reach[head] = value
+            if len(run_nodes):
+                gate = alive[run_slots].copy()
+                if prop is not None:
+                    gate &= prop[run_srcs]
+                np.bitwise_and.accumulate(gate, axis=0, out=gate)
+                gate &= reach[head]
+                gate |= reach[run_nodes]
+                if track and not np.array_equal(gate, reach[run_nodes]):
+                    changed = True
+                reach[run_nodes] = gate
+        self.counters["sweeps"] += 1
+        return changed
+
+    def backward_pass(
+        self,
+        reach: np.ndarray,
+        prop: Optional[np.ndarray],
+        alive: np.ndarray,
+        track: bool = False,
+    ) -> bool:
+        """One backward sweep in reverse topo order (see
+        :meth:`forward_pass`)."""
+        changed = False
+        for tail, dsts, pslots, run_nodes, run_dsts, run_pslots in (
+            self._bwd_schedule
+        ):
+            if len(pslots):
+                contrib = reach[dsts] & alive[pslots]
+                if prop is not None:
+                    contrib &= prop[dsts]
+                value = np.bitwise_or.reduce(contrib, axis=0)
+                value |= reach[tail]
+                if track and not np.array_equal(value, reach[tail]):
+                    changed = True
+                reach[tail] = value
+            if len(run_nodes):
+                gate = alive[run_pslots].copy()
+                if prop is not None:
+                    gate &= prop[run_dsts]
+                np.bitwise_and.accumulate(gate, axis=0, out=gate)
+                gate &= reach[tail]
+                gate |= reach[run_nodes]
+                if track and not np.array_equal(gate, reach[run_nodes]):
+                    changed = True
+                reach[run_nodes] = gate
+        self.counters["sweeps"] += 1
+        return changed
+
+    def _reach(self, direction, prop, alive, words: int) -> np.ndarray:
+        reach = np.zeros((self._n, words), dtype=np.uint64)
+        if direction == "forward":
+            reach[self.ir.scan_in] = _FULL_WORD
+            self.forward_pass(reach, prop, alive)
+        else:
+            reach[self.ir.scan_out] = _FULL_WORD
+            self.backward_pass(reach, prop, alive)
+        return reach
+
+    # ------------------------------------------------------------------
+    # mask construction and chunk solving
+    # ------------------------------------------------------------------
+    def _masks(self, states: Sequence[_State]):
+        words = lane_words(len(states))
+        alive = np.full(
+            (self._n_slots, words), _FULL_WORD, dtype=np.uint64
+        )
+        alive8 = alive.view(np.uint8)
+        prop = None
+        prop8 = None
+        ir = self.ir
+        for lane, (broken, forced) in enumerate(states):
+            if broken and prop is None:
+                prop = np.full(
+                    (self._n, words), _FULL_WORD, dtype=np.uint64
+                )
+                prop8 = prop.view(np.uint8)
+            for node_id in broken:
+                _clear_bit(prop8, node_id, lane)
+            for mux_id, port in forced:
+                for slot in ir.mux_dead_slots(mux_id, port):
+                    _clear_bit(alive8, slot, lane)
+        return prop, alive, words
+
+    def _solve(self, states: Sequence[_State]):
+        """Accessibility of every node under every state.
+
+        Returns ``(not_broken, settable, observable)`` word matrices of
+        shape ``(n_nodes, lane_words(len(states)))``.
+        """
+        prop, alive, words = self._masks(states)
+        fwd_any = self._reach("forward", None, alive, words)
+        bwd_any = self._reach("backward", None, alive, words)
+        if prop is None:  # no lane breaks anything: clean == any
+            fwd_clean, bwd_clean = fwd_any, bwd_any
+        else:
+            fwd_clean = self._reach("forward", prop, alive, words)
+            bwd_clean = self._reach("backward", prop, alive, words)
+        settable = fwd_clean & bwd_any
+        observable = bwd_clean & fwd_any
+        if prop is not None:
+            settable &= prop
+            observable &= prop
+        self.counters["lanes"] += len(states)
+        self.counters["chunks"] += 1
+        return prop, settable, observable
+
+    @staticmethod
+    def _unpack(words: np.ndarray, lanes: int) -> np.ndarray:
+        """Rows of 0/1 bytes, one column per lane."""
+        flat = np.ascontiguousarray(words).view(np.uint8)
+        return np.unpackbits(flat, axis=1, bitorder="little")[:, :lanes]
+
+    def _weighted_lane_sums(self, bits: np.ndarray, weights) -> np.ndarray:
+        """``weights @ bits`` in float64, blocked so the uint8 -> float64
+        cast never materializes the whole matrix."""
+        out = np.zeros(bits.shape[1])
+        for lo in range(0, bits.shape[0], _ROW_BLOCK):
+            block = bits[lo : lo + _ROW_BLOCK]
+            out += weights[lo : lo + _ROW_BLOCK] @ block.astype(np.float64)
+        return out
+
+    def _lane_damages(self, states: Sequence[_State]):
+        """Per-lane damage plus the unpacked accessibility bits of the
+        weighted primitives (for composite-fault recombination)."""
+        prop, settable, observable = self._solve(states)
+        lanes = len(states)
+        w_ids = self._weighted_ids
+        set_bits = self._unpack(settable[w_ids], lanes)
+        obs_bits = self._unpack(observable[w_ids], lanes)
+        damages = (
+            (self._total_do - self._weighted_lane_sums(obs_bits, self._do_w))
+            + (self._total_ds - self._weighted_lane_sums(set_bits, self._ds_w))
+        )
+        return damages, obs_bits, set_bits
+
+    def _composite_damage(
+        self, obs_bits: np.ndarray, set_bits: np.ndarray, lanes: List[int]
+    ) -> float:
+        """Damage of the union of several component effect sets: a
+        primitive stays accessible only if every component leaves it so."""
+        obs = obs_bits[:, lanes].min(axis=1)
+        settable = set_bits[:, lanes].min(axis=1)
+        return float(
+            (self._total_do - self._do_w @ obs.astype(np.float64))
+            + (self._total_ds - self._ds_w @ settable.astype(np.float64))
+        )
+
+    # ------------------------------------------------------------------
+    # fault lowering
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _state(
+        broken: Sequence[int], forced: Mapping[int, int]
+    ) -> _State:
+        return (
+            tuple(sorted(broken)),
+            tuple(sorted(forced.items())),
+        )
+
+    def _components(self, fault: Fault) -> List[_State]:
+        """The lanes a single fault occupies (several for a broken
+        control cell: union-of-effects semantics, see module docstring)."""
+        ir = self.ir
+        if isinstance(fault, SegmentBreak):
+            return [self._state((ir.id_of(fault.segment),), {})]
+        if isinstance(fault, MuxStuck):
+            mux_id = ir.id_of(fault.mux)
+            return [
+                self._state((), {mux_id: fault.port % ir.fanin[mux_id]})
+            ]
+        if isinstance(fault, ControlCellBreak):
+            cell_id = ir.id_of(fault.cell)
+            components = [self._state((cell_id,), {})]
+            for mux, port in self.cell_stuck_ports(fault.cell).items():
+                mux_id = ir.id_of(mux)
+                components.append(
+                    self._state((), {mux_id: port % ir.fanin[mux_id]})
+                )
+            return components
+        raise ReproError(f"unknown fault {fault!r}")
+
+    def _multiset_state(self, faults: Sequence[Fault]) -> _State:
+        """One lane for a *simultaneous* fault multiset, mirroring
+        :meth:`GraphDamageAnalysis.effect_of_faults` exactly (breaks
+        accumulate, stuck selects pin, broken cells pin their muxes at
+        the worst marginal ports without overriding explicit pins)."""
+        ir = self.ir
+        broken: Set[int] = set()
+        forced: Dict[int, int] = {}
+        for fault in faults:
+            if isinstance(fault, SegmentBreak):
+                broken.add(ir.id_of(fault.segment))
+            elif isinstance(fault, MuxStuck):
+                mux_id = ir.id_of(fault.mux)
+                forced[mux_id] = fault.port % ir.fanin[mux_id]
+            elif isinstance(fault, ControlCellBreak):
+                broken.add(ir.id_of(fault.cell))
+                for mux, port in self.cell_stuck_ports(fault.cell).items():
+                    mux_id = ir.id_of(mux)
+                    forced.setdefault(mux_id, port % ir.fanin[mux_id])
+            else:
+                raise ReproError(f"unknown fault {fault!r}")
+        return self._state(broken, forced)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def state_sets(
+        self, broken: Set[int], forced: Mapping[int, int]
+    ) -> Tuple[Set[int], Set[int]]:
+        """(unobservable ids, unsettable ids) of one broken/pinned state
+        — the kernel-backed replacement for the scalar 4-BFS
+        ``_single_sets`` query."""
+        ir = self.ir
+        wrapped = {
+            mux_id: port % ir.fanin[mux_id]
+            for mux_id, port in forced.items()
+        }
+        _, settable, observable = self._solve(
+            [self._state(tuple(broken), wrapped)]
+        )
+        set_col = self._unpack(settable, 1)[:, 0]
+        obs_col = self._unpack(observable, 1)[:, 0]
+        unobservable = {
+            node_id for node_id in self._primitive_ids if not obs_col[node_id]
+        }
+        unsettable = {
+            node_id for node_id in self._primitive_ids if not set_col[node_id]
+        }
+        return unobservable, unsettable
+
+    def damage_vector(self, faults: Sequence[Fault]) -> np.ndarray:
+        """Eq. 1 damage of every fault in ``faults``, evaluated
+        independently, in one lane-packed pass (chunked to bound the
+        working set)."""
+        faults = list(faults)
+        damages = np.zeros(len(faults))
+        capacity = self.chunk_lanes * LANE_BITS
+        index = 0
+        while index < len(faults):
+            chunk_faults: List[Tuple[int, List[int]]] = []
+            lane_of: Dict[_State, int] = {}
+            states: List[_State] = []
+            while index < len(faults):
+                components = self._components(faults[index])
+                fresh = [c for c in components if c not in lane_of]
+                if states and len(states) + len(fresh) > capacity:
+                    break
+                for state in fresh:
+                    lane_of[state] = len(states)
+                    states.append(state)
+                chunk_faults.append(
+                    (index, [lane_of[c] for c in components])
+                )
+                index += 1
+            lane_damages, obs_bits, set_bits = self._lane_damages(states)
+            for fault_index, lanes in chunk_faults:
+                if len(lanes) == 1:
+                    damages[fault_index] = lane_damages[lanes[0]]
+                else:
+                    damages[fault_index] = self._composite_damage(
+                        obs_bits, set_bits, lanes
+                    )
+        return damages
+
+    def damage_of_fault_sets(
+        self, fault_sets: Sequence[Sequence[Fault]]
+    ) -> np.ndarray:
+        """Damage of many *simultaneous* fault multisets, one lane each
+        (the batched form of ``damage_of_faults`` — e.g. every Monte-
+        Carlo sample of ``expected_damage_under_rate`` in one pass)."""
+        states = [self._multiset_state(faults) for faults in fault_sets]
+        damages = np.zeros(len(states))
+        capacity = self.chunk_lanes * LANE_BITS
+        for lo in range(0, len(states), capacity):
+            chunk = states[lo : lo + capacity]
+            lane_damages, _, _ = self._lane_damages(chunk)
+            damages[lo : lo + len(chunk)] = lane_damages
+        return damages
+
+    def primitive_damages(self, names: Sequence[str]) -> List[float]:
+        """``d_j`` for each named primitive: the policy aggregate over
+        its concrete faults, all evaluated in one batch."""
+        from .damage import _aggregate
+
+        ir = self.ir
+        faults: List[Fault] = []
+        spans: List[Tuple[int, int]] = []
+        for name in names:
+            node_id = ir.id_of(name)
+            kind = self._kinds[node_id]
+            start = len(faults)
+            if kind == IR_MUX:
+                faults.extend(
+                    MuxStuck(name, port)
+                    for port in ir.stuck_values(node_id)
+                )
+            elif kind == IR_SEGMENT:
+                if ir.roles[node_id] == IR_ROLE_DATA:
+                    faults.append(SegmentBreak(name))
+                else:
+                    faults.append(ControlCellBreak(name))
+            spans.append((start, len(faults)))
+        damages = self.damage_vector(faults)
+        results: List[float] = []
+        for name, (start, stop) in zip(names, spans):
+            if stop == start:
+                results.append(0.0)
+            elif stop - start == 1:
+                results.append(float(damages[start]))
+            else:
+                results.append(
+                    _aggregate(
+                        self.policy,
+                        [float(d) for d in damages[start:stop]],
+                    )
+                )
+        return results
+
+    def cell_stuck_ports(self, cell: str) -> Dict[str, int]:
+        """Assumed stuck value per controlled mux when ``cell`` breaks:
+        worst *marginal* damage on top of the break, lowest port on ties
+        — the scalar rule of the other analyses, evaluated here from one
+        lane batch (break lane + one lane per candidate stuck value)."""
+        ir = self.ir
+        cell_id = ir.id_of(cell)
+        cached = self._cell_ports_memo.get(cell_id)
+        if cached is not None:
+            return dict(cached)
+        muxes = self._cell_to_muxes.get(cell_id, [])
+        states: List[_State] = [self._state((cell_id,), {})]
+        candidates: List[Tuple[int, int, int]] = []  # (mux, port, lane)
+        for mux_id in muxes:
+            for port in ir.stuck_values(mux_id):
+                candidates.append((mux_id, port, len(states)))
+                states.append(self._state((), {mux_id: port}))
+        lane_damages, obs_bits, set_bits = self._lane_damages(states)
+        base = float(lane_damages[0])
+        ports: Dict[str, int] = {}
+        for mux_id in muxes:
+            best_port = 0
+            best_marginal = -1.0
+            for candidate_mux, port, lane in candidates:
+                if candidate_mux != mux_id:
+                    continue
+                marginal = (
+                    self._composite_damage(obs_bits, set_bits, [0, lane])
+                    - base
+                )
+                if marginal > best_marginal:
+                    best_marginal = marginal
+                    best_port = port
+            ports[ir.names[mux_id]] = best_port
+        self._cell_ports_memo[cell_id] = ports
+        return dict(ports)

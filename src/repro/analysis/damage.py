@@ -547,13 +547,17 @@ def analyze_damage(
     method: str = "fast",
     policy: str = "max",
     sites: str = "all",
+    backend: str = "ir",
 ) -> DamageReport:
     """Run the criticality analysis and return its :class:`DamageReport`.
 
     ``method`` selects the implementation: ``"fast"`` (default, the O(N)
     hierarchical computation), ``"explicit"`` (per-fault reference on the
     tree) or ``"graph"`` (reachability-based; the only one that works on
-    non-series-parallel networks).
+    non-series-parallel networks).  ``backend`` selects the reachability
+    engine of the graph method (``"ir"``, ``"dict"`` or the lane-packed
+    ``"bitset"`` kernel) and must be left at its default for the tree
+    methods.
     """
     if method == "fast":
         analysis = FastDamageAnalysis(network, spec, tree=tree, policy=policy)
@@ -564,7 +568,13 @@ def analyze_damage(
     elif method == "graph":
         from .graph_analysis import GraphDamageAnalysis
 
-        analysis = GraphDamageAnalysis(network, spec, policy=policy)
+        analysis = GraphDamageAnalysis(
+            network, spec, policy=policy, backend=backend
+        )
     else:
         raise ReproError(f"unknown analysis method {method!r}")
+    if method != "graph" and backend != "ir":
+        raise ReproError(
+            f"backend={backend!r} only applies to method='graph'"
+        )
     return analysis.report(sites=sites)

@@ -46,20 +46,21 @@ from ..errors import ReproError
 from ..ir import MUX as IR_MUX
 from ..ir import ROLE_DATA as IR_ROLE_DATA
 from ..ir import SEGMENT as IR_SEGMENT
-from ..ir import CompiledNetwork, fingerprint_payload, intern
+from ..ir import LANE_BITS, CompiledNetwork, fingerprint_payload, intern
 from ..rsn.network import RsnNetwork
 from ..sp.tree import SPTree
 from .damage import DamageReport, ExplicitDamageAnalysis, FastDamageAnalysis
 
 #: Bump whenever the damage semantics change, so stale disk-cache entries
-#: can never be served for a new algorithm version.  "2": analyses execute
-#: on the compiled IR and the cache key is derived from its fingerprint
-#: (which, unlike the pre-IR key, captures predecessor/port order), so no
-#: pre-IR entry can ever be returned.
-ANALYSIS_VERSION = "2"
+#: can never be served for a new algorithm version.  "3": the reachability
+#: backend (``ir``/``dict``/``bitset``) joined the fingerprint payload, so
+#: no version-"2" key (which never named a backend) can collide with a new
+#: entry.
+ANALYSIS_VERSION = "3"
 
 _METHODS = ("fast", "explicit", "graph")
 _SITES = ("all", "control", "mux")
+_BACKENDS = ("ir", "dict", "bitset")
 
 # Patchable factory so tests can simulate an unavailable pool.
 _EXECUTOR_FACTORY = ProcessPoolExecutor
@@ -96,19 +97,25 @@ def analysis_fingerprint(
     method: str = "fast",
     policy: str = "max",
     sites: str = "all",
+    backend: str = "ir",
 ) -> str:
     """SHA-256 over everything the report depends on (the cache key).
 
     The network contribution is the compiled IR's content fingerprint,
     which folds in :data:`repro.ir.IR_VERSION` — a change to either the
     analysis semantics (:data:`ANALYSIS_VERSION`) or the IR layout
-    invalidates every older cache entry.
+    invalidates every older cache entry.  The reachability ``backend`` is
+    part of the key: the backends are property-tested to agree exactly,
+    but a cached report must still record which engine produced it so a
+    backend-specific regression can never be masked by a stale entry
+    computed by another one.
     """
     payload = {
         "version": ANALYSIS_VERSION,
         "method": method,
         "policy": policy,
         "sites": sites,
+        "backend": backend,
         "ir": intern(network).fingerprint,
         "spec": spec.to_dict(),
     }
@@ -127,6 +134,12 @@ class EngineStats:
     method: str = "fast"
     policy: str = "max"
     sites: str = "all"
+    #: Reachability backend of the graph method ("ir" for tree methods).
+    backend: str = "ir"
+    #: Fault lanes packed / lane chunks solved by the bitset kernel
+    #: (0 under the scalar backends).
+    lanes: int = 0
+    lane_chunks: int = 0
     primitives_evaluated: int = 0
     faults_evaluated: int = 0
     elapsed_seconds: float = 0.0
@@ -158,6 +171,9 @@ class EngineStats:
             "method": self.method,
             "policy": self.policy,
             "sites": self.sites,
+            "backend": self.backend,
+            "lanes": self.lanes,
+            "lane_chunks": self.lane_chunks,
             "primitives_evaluated": self.primitives_evaluated,
             "faults_evaluated": self.faults_evaluated,
             "elapsed_seconds": self.elapsed_seconds,
@@ -178,11 +194,18 @@ class EngineStats:
         """Human-readable block for the CLI's ``--stats`` flag."""
         lines = [
             f"engine stats     : {self.network} "
-            f"[{self.method}/{self.policy}/{self.sites}]",
+            f"[{self.method}/{self.policy}/{self.sites}"
+            + (f"/{self.backend}" if self.method == "graph" else "")
+            + "]",
             f"  elapsed        : {self.elapsed_seconds:.3f}s",
             f"  faults         : {self.faults_evaluated:,} "
             f"({self.faults_per_second:,.0f} faults/s)",
         ]
+        if self.lanes:
+            lines.append(
+                f"  fault lanes    : {self.lanes:,} "
+                f"({self.lane_chunks} lane chunks)"
+            )
         if self.cache == "hit":
             lines.append("  result cache   : hit (analysis skipped)")
         elif self.cache == "miss":
@@ -212,7 +235,9 @@ class EngineStats:
 # ---------------------------------------------------------------------------
 # worker-side helpers (module-level so they pickle by reference)
 # ---------------------------------------------------------------------------
-def _make_analysis(network, spec, tree, method, policy):
+def _make_analysis(
+    network, spec, tree, method, policy, backend="ir", chunk_lanes=64
+):
     if method == "fast":
         return FastDamageAnalysis(network, spec, tree=tree, policy=policy)
     if method == "explicit":
@@ -222,17 +247,28 @@ def _make_analysis(network, spec, tree, method, policy):
     if method == "graph":
         from .graph_analysis import GraphDamageAnalysis
 
-        return GraphDamageAnalysis(network, spec, policy=policy)
+        return GraphDamageAnalysis(
+            network,
+            spec,
+            policy=policy,
+            backend=backend,
+            chunk_lanes=chunk_lanes,
+        )
     raise ReproError(f"unknown analysis method {method!r}")
 
 
 def _spawn_payload(
-    ir: CompiledNetwork, spec, method: str, policy: str
+    ir: CompiledNetwork,
+    spec,
+    method: str,
+    policy: str,
+    backend: str = "ir",
+    chunk_lanes: int = 64,
 ) -> bytes:
     """The bytes shipped to spawn-mode workers: the compact, array-backed
     IR instead of the dict graph (cheaper to pickle, one copy per worker
     instead of one per batch)."""
-    return pickle.dumps((ir, spec, method, policy))
+    return pickle.dumps((ir, spec, method, policy, backend, chunk_lanes))
 
 
 def _worker_init(payload: Optional[bytes] = None) -> None:
@@ -245,17 +281,37 @@ def _worker_init(payload: Optional[bytes] = None) -> None:
     """
     global _WORKER_ANALYSIS
     if payload is not None:
-        ir, spec, method, policy = pickle.loads(payload)
+        ir, spec, method, policy, backend, chunk_lanes = pickle.loads(
+            payload
+        )
         _WORKER_ANALYSIS = _make_analysis(
-            ir.to_network(), spec, None, method, policy
+            ir.to_network(), spec, None, method, policy, backend, chunk_lanes
         )
 
 
-def _worker_chunk(names: List[str]) -> Tuple[int, float, List[float]]:
+def _batch_counters(analysis) -> Dict[str, int]:
+    return getattr(analysis, "batch_counters", None) or {}
+
+
+def _worker_chunk(
+    names: List[str],
+) -> Tuple[int, float, Dict[str, int], List[float]]:
+    """Evaluate one chunk of primitives; reports the bitset kernel's
+    counter deltas alongside the damages (fork-mode workers mutate their
+    copy-on-write analysis, so the parent never sees the counters
+    directly)."""
     started = time.perf_counter()
     analysis = _WORKER_ANALYSIS
-    damages = [analysis.primitive_damage(name) for name in names]
-    return os.getpid(), time.perf_counter() - started, damages
+    before = _batch_counters(analysis)
+    if hasattr(analysis, "primitive_damages"):
+        damages = analysis.primitive_damages(names)
+    else:
+        damages = [analysis.primitive_damage(name) for name in names]
+    counters = {
+        key: value - before.get(key, 0)
+        for key, value in _batch_counters(analysis).items()
+    }
+    return os.getpid(), time.perf_counter() - started, counters, damages
 
 
 # ---------------------------------------------------------------------------
@@ -274,6 +330,15 @@ class CriticalityEngine:
     min_parallel_primitives:
         Networks below this size always run serially (pool start-up would
         dominate).
+    backend:
+        Reachability backend of the graph method (``"ir"``, ``"dict"`` or
+        the lane-packed ``"bitset"`` kernel); must stay ``"ir"`` for the
+        tree methods.
+    chunk_lanes:
+        Bitset working-set bound: ``uint64`` words of fault lanes per
+        kernel chunk (64 words = 4096 faults).  Parallel tasks are sized
+        to one kernel chunk each, so a worker dispatch amortizes over
+        thousands of faults instead of one.
     """
 
     def __init__(
@@ -287,16 +352,28 @@ class CriticalityEngine:
         chunk_size: int = 1024,
         cache_dir: Optional[str] = None,
         min_parallel_primitives: int = 64,
+        backend: str = "ir",
+        chunk_lanes: int = 64,
     ):
         if method not in _METHODS:
             raise ReproError(
                 f"method must be one of {_METHODS}, got {method!r}"
+            )
+        if backend not in _BACKENDS:
+            raise ReproError(
+                f"backend must be one of {_BACKENDS}, got {backend!r}"
+            )
+        if method != "graph" and backend != "ir":
+            raise ReproError(
+                f"backend={backend!r} only applies to method='graph'"
             )
         self.network = network
         self.spec = spec
         self.tree = tree
         self.method = method
         self.policy = policy
+        self.backend = backend
+        self.chunk_lanes = max(1, int(chunk_lanes))
         self.jobs = self._normalize_jobs(jobs)
         self.chunk_size = max(1, int(chunk_size))
         self.cache_dir = cache_dir
@@ -330,13 +407,19 @@ class CriticalityEngine:
             method=self.method,
             policy=self.policy,
             sites=sites,
+            backend=self.backend,
         )
         self.stats = stats
 
         key = None
         if self.cache_dir:
             key = analysis_fingerprint(
-                self.network, self.spec, self.method, self.policy, sites
+                self.network,
+                self.spec,
+                self.method,
+                self.policy,
+                sites,
+                self.backend,
             )
             stats.cache_key = key
             report = self._load_cached(key)
@@ -366,7 +449,13 @@ class CriticalityEngine:
                 f"{self.min_parallel_primitives})"
             )
         if damages is None:
+            before = _batch_counters(self._build_analysis())
             damages = self._serial_damages(evaluated)
+            after = _batch_counters(self._analysis)
+            stats.lanes = after.get("lanes", 0) - before.get("lanes", 0)
+            stats.lane_chunks = after.get("chunks", 0) - before.get(
+                "chunks", 0
+            )
 
         primitive_damage: Dict[str, float] = {}
         by_name = dict(zip(evaluated, damages))
@@ -431,25 +520,71 @@ class CriticalityEngine:
     def _build_analysis(self):
         if self._analysis is None:
             self._analysis = _make_analysis(
-                self.network, self.spec, self.tree, self.method, self.policy
+                self.network,
+                self.spec,
+                self.tree,
+                self.method,
+                self.policy,
+                self.backend,
+                self.chunk_lanes,
             )
         return self._analysis
 
     def _serial_damages(self, names: List[str]) -> List[float]:
         analysis = self._build_analysis()
+        if hasattr(analysis, "primitive_damages"):
+            return analysis.primitive_damages(names)
         return [analysis.primitive_damage(name) for name in names]
+
+    def _partition_chunks(self, names: List[str]) -> List[List[str]]:
+        """Split the evaluated primitives into worker tasks.
+
+        Scalar backends: fixed-size name chunks (a task amortizes pool
+        dispatch over ~``chunk_size`` scalar queries).  Bitset backend:
+        tasks sized by accumulated *fault* count so each covers one
+        kernel chunk of ``chunk_lanes * 64`` lanes — a single vectorized
+        solve per dispatch — capped so the pool still gets at least ~one
+        task per worker.
+        """
+        jobs = self.jobs
+        if self.backend == "bitset":
+            ir = intern(self.network)
+            total = self._count_faults(names)
+            capacity = max(
+                LANE_BITS,
+                min(self.chunk_lanes * LANE_BITS, -(-total // jobs)),
+            )
+            chunks: List[List[str]] = []
+            current: List[str] = []
+            current_faults = 0
+            for name in names:
+                node_id = ir.id_of(name)
+                current.append(name)
+                current_faults += (
+                    ir.fanin[node_id]
+                    if ir.kinds[node_id] == IR_MUX
+                    else 1
+                )
+                if current_faults >= capacity:
+                    chunks.append(current)
+                    current = []
+                    current_faults = 0
+            if current:
+                chunks.append(current)
+            return chunks
+        chunk = min(
+            self.chunk_size, max(1, -(-len(names) // (jobs * 4)))
+        )
+        return [
+            names[i : i + chunk] for i in range(0, len(names), chunk)
+        ]
 
     def _parallel_damages(
         self, names: List[str], stats: EngineStats
     ) -> List[float]:
         global _WORKER_ANALYSIS
         jobs = self.jobs
-        chunk = min(
-            self.chunk_size, max(1, -(-len(names) // (jobs * 4)))
-        )
-        chunks = [
-            names[i : i + chunk] for i in range(0, len(names), chunk)
-        ]
+        chunks = self._partition_chunks(names)
 
         fork_available = (
             "fork" in multiprocessing.get_all_start_methods()
@@ -463,7 +598,12 @@ class CriticalityEngine:
             context = multiprocessing.get_context("spawn")
             initargs = (
                 _spawn_payload(
-                    intern(self.network), self.spec, self.method, self.policy
+                    intern(self.network),
+                    self.spec,
+                    self.method,
+                    self.policy,
+                    self.backend,
+                    self.chunk_lanes,
                 ),
             )
         parallel_started = time.perf_counter()
@@ -481,9 +621,11 @@ class CriticalityEngine:
 
         damages: List[float] = []
         busy: Dict[int, float] = {}
-        for pid, worker_elapsed, chunk_damages in results:
+        for pid, worker_elapsed, counters, chunk_damages in results:
             damages.extend(chunk_damages)
             busy[pid] = busy.get(pid, 0.0) + worker_elapsed
+            stats.lanes += counters.get("lanes", 0)
+            stats.lane_chunks += counters.get("chunks", 0)
         stats.workers = jobs
         stats.distinct_workers = len(busy)
         stats.chunks = len(chunks)
@@ -547,6 +689,8 @@ def analyze_damage_cached(
     sites: str = "all",
     jobs=None,
     cache_dir: Optional[str] = None,
+    backend: str = "ir",
+    chunk_lanes: int = 64,
 ) -> Tuple[DamageReport, EngineStats]:
     """One-shot convenience wrapper: build an engine, return
     ``(report, stats)``."""
@@ -558,6 +702,8 @@ def analyze_damage_cached(
         policy=policy,
         jobs=jobs,
         cache_dir=cache_dir,
+        backend=backend,
+        chunk_lanes=chunk_lanes,
     )
     report = engine.report(sites=sites)
     return report, engine.stats

@@ -104,6 +104,8 @@ def run_design(
     damage_sites: str = "all",
     jobs=None,
     cache_dir: Optional[str] = None,
+    backend: str = "ir",
+    chunk_lanes: int = 64,
 ) -> Table1Row:
     """Run the full Table-I pipeline for one design."""
     design = get_design(name)
@@ -121,6 +123,8 @@ def run_design(
         damage_sites=damage_sites,
         jobs=jobs,
         cache_dir=cache_dir,
+        backend=backend,
+        chunk_lanes=chunk_lanes,
     )
     row.max_cost = synthesis.max_cost
     row.max_damage = synthesis.max_damage

@@ -83,6 +83,15 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
 def _add_engine_options(parser) -> None:
     """Shared criticality-engine flags (parallelism, cache, stats)."""
     parser.add_argument(
@@ -91,6 +100,22 @@ def _add_engine_options(parser) -> None:
         default=None,
         metavar="N",
         help="analysis worker processes (0/1 = serial, default serial)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["ir", "dict", "bitset"],
+        default="ir",
+        help="reachability backend of the graph analysis: per-fault BFS "
+        "over the compiled IR (default), the string-keyed reference, or "
+        "the lane-packed bitset kernel (64 faults per sweep)",
+    )
+    parser.add_argument(
+        "--chunk-lanes",
+        type=_positive_int,
+        default=64,
+        metavar="W",
+        help="bitset backend: uint64 words of fault lanes per kernel "
+        "chunk (default 64 = 4096 faults)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -134,6 +159,8 @@ def _cmd_table1(args) -> int:
         damage_sites=args.damage_sites,
         jobs=args.jobs,
         cache_dir=_engine_cache_dir(args),
+        backend=args.backend,
+        chunk_lanes=args.chunk_lanes,
     )
     print()
     print(format_table(rows))
@@ -143,11 +170,17 @@ def _cmd_table1(args) -> int:
             stats = row.analysis_stats
             if not stats:
                 continue
+            lanes = (
+                f", {stats['lanes']:,} lanes "
+                f"({stats['lane_chunks']} chunks)"
+                if stats.get("lanes")
+                else ""
+            )
             print(
                 f"{row.name:16s} analysis {stats['elapsed_seconds']:.3f}s, "
                 f"{stats['faults_per_second']:,.0f} faults/s, "
                 f"cache {stats['cache']}, "
-                f"memo {stats['memo_hit_rate']:.1%}"
+                f"memo {stats['memo_hit_rate']:.1%}{lanes}"
             )
     if args.compare:
         print()
@@ -179,13 +212,18 @@ def _load_network(path: str):
 def _cmd_analyze(args) -> int:
     network = _load_network(args.network)
     spec = spec_for_network(network, seed=args.seed)
+    method = args.method
+    if method is None:
+        method = "fast" if args.backend == "ir" else "graph"
     engine = CriticalityEngine(
         network,
         spec,
-        method=args.method,
+        method=method,
         policy=args.policy,
         jobs=args.jobs,
         cache_dir=_engine_cache_dir(args),
+        backend=args.backend,
+        chunk_lanes=args.chunk_lanes,
     )
     report = engine.report(sites=args.sites)
     n_seg, n_mux = network.counts()
@@ -324,7 +362,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     analyze.add_argument("--seed", type=int, default=0)
     analyze.add_argument("--top", type=int, default=10)
     analyze.add_argument(
-        "--method", choices=["fast", "explicit", "graph"], default="fast"
+        "--method",
+        choices=["fast", "explicit", "graph"],
+        default=None,
+        help="analysis implementation (default: fast; graph when a "
+        "non-default --backend is selected)",
     )
     analyze.add_argument(
         "--policy", choices=["max", "sum", "mean"], default="max"

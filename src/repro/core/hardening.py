@@ -61,6 +61,8 @@ class SelectiveHardening:
         seed: int = 0,
         jobs=None,
         cache_dir: Optional[str] = None,
+        backend: str = "ir",
+        chunk_lanes: int = 64,
     ):
         self.network = network
         self.spec = spec if spec is not None else spec_for_network(
@@ -82,6 +84,8 @@ class SelectiveHardening:
         self.seed = seed
         self.jobs = jobs
         self.cache_dir = cache_dir
+        self.backend = backend
+        self.chunk_lanes = chunk_lanes
         self.analysis_stats: Optional[EngineStats] = None
         self._report: Optional[DamageReport] = None
         self._problem: Optional[HardeningProblem] = None
@@ -91,7 +95,13 @@ class SelectiveHardening:
     def report(self) -> DamageReport:
         """The criticality analysis (computed once, reused everywhere)."""
         if self._report is None:
-            method = "fast" if self.tree is not None else "graph"
+            # A non-default backend selects the graph analysis even on
+            # SP networks (the tree method has no backend notion).
+            method = (
+                "fast"
+                if self.tree is not None and self.backend == "ir"
+                else "graph"
+            )
             engine = CriticalityEngine(
                 self.network,
                 self.spec,
@@ -100,6 +110,8 @@ class SelectiveHardening:
                 policy=self.policy,
                 jobs=self.jobs,
                 cache_dir=self.cache_dir,
+                backend=self.backend,
+                chunk_lanes=self.chunk_lanes,
             )
             self._report = engine.report(sites=self.damage_sites)
             self.analysis_stats = engine.stats

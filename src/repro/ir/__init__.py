@@ -3,6 +3,7 @@
 from .compiled import (
     FANOUT,
     IR_VERSION,
+    LANE_BITS,
     MUX,
     NO_ROLE,
     ROLE_CONTROL,
@@ -15,12 +16,14 @@ from .compiled import (
     compile_network,
     fingerprint_payload,
     intern,
+    lane_words,
 )
 
 __all__ = [
     "CompiledNetwork",
     "FANOUT",
     "IR_VERSION",
+    "LANE_BITS",
     "MUX",
     "NO_ROLE",
     "ROLE_CONTROL",
@@ -32,4 +35,5 @@ __all__ = [
     "compile_network",
     "fingerprint_payload",
     "intern",
+    "lane_words",
 ]

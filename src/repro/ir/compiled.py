@@ -56,6 +56,16 @@ from ..rsn.primitives import ControlUnit, NodeKind, SegmentRole
 #: can never be served.
 IR_VERSION = "1"
 
+#: Fault lanes per machine word in the bit-parallel batch analysis
+#: (:mod:`repro.analysis.batch`): one ``uint64`` holds 64 independent
+#: fault instances.
+LANE_BITS = 64
+
+
+def lane_words(count: int) -> int:
+    """Words needed to hold ``count`` fault lanes (``ceil(count / 64)``)."""
+    return -(-count // LANE_BITS)
+
 # Stable kind codes (part of the fingerprint — never renumber).
 SCAN_IN, SCAN_OUT, SEGMENT, MUX, FANOUT = range(5)
 _KIND_CODE = {
@@ -224,6 +234,38 @@ class CompiledNetwork:
     def stuck_values(self, mux_id: int) -> range:
         """Stuck-at-id fault values of a mux (== ``range(fanin)``)."""
         return range(self.fanin[mux_id])
+
+    # -- lane helpers (bit-parallel batch analysis) ----------------------
+    def mux_dead_slots(self, mux_id: int, port: int) -> List[int]:
+        """Predecessor-CSR slots of ``mux_id`` killed when it is stuck at
+        ``port``: every input slot except the (wrapped) pinned one.
+
+        These are the positions whose lane bits the batch analysis clears
+        in its per-edge *alive mask* — data can neither enter nor leave a
+        mux through a deselected port.
+        """
+        lo = self.pred_indptr[mux_id]
+        pinned = port % self.fanin[mux_id]
+        return [
+            lo + q for q in range(self.fanin[mux_id]) if q != pinned
+        ]
+
+    def succ_pred_slots(self) -> np.ndarray:
+        """For each successor-CSR slot, the matching predecessor-CSR slot.
+
+        Edge occurrence ``succ_indices[s]`` entered through port
+        ``succ_ports[s]`` occupies position ``pred_indptr[dst] +
+        succ_ports[s]`` in the destination's predecessor row.  Backward
+        sweeps use this to share one per-predecessor-slot alive mask with
+        the forward direction.  O(E); callers cache the result.
+        """
+        pred_indptr = np.frombuffer(self.pred_indptr, dtype=np.int32)
+        succ_indices = np.frombuffer(self.succ_indices, dtype=np.int32)
+        succ_ports = np.frombuffer(self.succ_ports, dtype=np.int32)
+        return (
+            pred_indptr[succ_indices].astype(np.int64)
+            + succ_ports.astype(np.int64)
+        )
 
     def primitive_ids(self) -> List[int]:
         """Ids of all scan primitives (segments and muxes), in id order."""

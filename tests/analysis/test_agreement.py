@@ -14,7 +14,7 @@ reference backends, on series-parallel and non-series-parallel networks.
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.analysis import analyze_damage
 from repro.analysis.damage import FastDamageAnalysis
@@ -30,6 +30,7 @@ from repro.analysis.faults import (
 )
 from repro.analysis.graph_analysis import GraphDamageAnalysis
 from repro.bench.generators import random_network
+from repro.errors import SimulationError
 from repro.rsn.ast import elaborate
 from repro.rsn.network import RsnNetwork
 from repro.rsn.primitives import ControlUnit, NodeKind, SegmentRole
@@ -154,7 +155,13 @@ def test_fault_free_network_fully_accessible(seed):
     """Paper Sec. VI: 'in the defect-free case, all the instruments are
     accessible'."""
     network, _ = _build(seed)
-    access = structural_access(network)
+    try:
+        access = structural_access(network)
+    except SimulationError:
+        # The enumeration oracle caps at 2^16 configurations; discard
+        # the rare generator draws whose free muxes exceed that — the
+        # non-enumerating analyses cover them in the other properties.
+        assume(False)
     everything = set(network.instrument_names())
     assert access.observable == everything
     assert access.settable == everything

@@ -205,11 +205,14 @@ class TestSpawnPayload:
         payload = engine_mod._spawn_payload(
             intern(network), spec, "fast", "max"
         )
-        ir, spec_out, method, policy = pickle.loads(payload)
+        ir, spec_out, method, policy, backend, chunk_lanes = (
+            pickle.loads(payload)
+        )
         assert isinstance(ir, CompiledNetwork)
         assert not isinstance(ir, RsnNetwork)
         assert ir.fingerprint == intern(network).fingerprint
         assert (method, policy) == ("fast", "max")
+        assert (backend, chunk_lanes) == ("ir", 64)
         assert spec_out.to_dict() == spec.to_dict()
         # the IR payload is the smaller wire format
         dict_payload = pickle.dumps((network, spec, "fast", "max"))
@@ -228,7 +231,7 @@ class TestSpawnPayload:
         try:
             engine_mod._worker_init(payload)
             names = list(serial.primitive_damage)
-            _, _, damages = engine_mod._worker_chunk(names)
+            _, _, _, damages = engine_mod._worker_chunk(names)
         finally:
             engine_mod._WORKER_ANALYSIS = previous
         assert dict(zip(names, damages)) == serial.primitive_damage
