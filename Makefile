@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench bench-ir bench-batch baseline lint table1 sweeps examples clean
+.PHONY: install test test-fast bench bench-ir bench-batch baseline lint table1 sweeps examples serve-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -46,6 +46,9 @@ examples:
 	$(PYTHON) examples/fault_diagnosis.py
 	$(PYTHON) examples/batch_access.py
 	$(PYTHON) examples/post_silicon_validation.py
+
+serve-smoke:
+	$(PYTHON) examples/service_smoke.py
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks

@@ -42,6 +42,8 @@ from .faults import (
     MuxStuck,
     SegmentBreak,
     controlled_muxes,
+    fault_from_dict,
+    fault_to_dict,
     faults_of_primitive,
     iter_all_faults,
     sib_stuck_asserted,
@@ -57,35 +59,37 @@ __all__ = [
     "DamageReport",
     "DegradationReport",
     "EngineStats",
-    "analysis_fingerprint",
-    "analyze_damage_cached",
-    "default_cache_dir",
     "ExplicitDamageAnalysis",
     "FastDamageAnalysis",
     "Fault",
-    "GraphDamageAnalysis",
     "FaultEffect",
+    "GraphDamageAnalysis",
     "MuxStuck",
     "SegmentBreak",
     "accessibility_under_single_faults",
+    "analysis_fingerprint",
     "analyze_damage",
+    "analyze_damage_cached",
     "analyze_damage_graph",
     "control_cell_break_effect",
     "controlled_muxes",
+    "default_cache_dir",
     "degrade",
     "effect_of_fault",
     "expected_damage_under_rate",
+    "fault_from_dict",
+    "fault_to_dict",
     "faults_of_primitive",
-    "iter_all_faults",
-    "mux_stuck_effect",
-    "segment_break_effect",
     "hierarchy_depth",
+    "iter_all_faults",
     "kill_sizes",
+    "mux_stuck_effect",
     "network_statistics",
     "observability_tree",
+    "segment_break_effect",
     "settability_tree",
-    "worst_surviving_faults",
     "sib_stuck_asserted",
     "sib_stuck_deasserted",
     "verify_critical_instruments",
+    "worst_surviving_faults",
 ]

@@ -154,6 +154,8 @@ class EngineStats:
     #: "hit" | "miss" | "disabled"
     cache: str = "disabled"
     cache_key: Optional[str] = None
+    #: Entries evicted by the size-capped LRU pruning of this store.
+    cache_evictions: int = 0
     parallel_fallback: Optional[str] = None
     memo: Dict[str, int] = field(default_factory=dict)
 
@@ -185,6 +187,7 @@ class EngineStats:
             "worker_utilization": self.worker_utilization,
             "cache": self.cache,
             "cache_key": self.cache_key,
+            "cache_evictions": self.cache_evictions,
             "parallel_fallback": self.parallel_fallback,
             "memo": dict(self.memo),
             "memo_hit_rate": self.memo_hit_rate,
@@ -214,6 +217,10 @@ class EngineStats:
             lines.append("  result cache   : disabled")
         if self.cache_key:
             lines.append(f"  cache key      : {self.cache_key[:16]}…")
+        if self.cache_evictions:
+            lines.append(
+                f"  cache evicted  : {self.cache_evictions} entries (LRU)"
+            )
         if self.workers:
             lines.append(
                 f"  workers        : {self.workers} "
@@ -339,6 +346,12 @@ class CriticalityEngine:
         kernel chunk (64 words = 4096 faults).  Parallel tasks are sized
         to one kernel chunk each, so a worker dispatch amortizes over
         thousands of faults instead of one.
+    max_cache_mb:
+        Size cap of the disk result cache in megabytes; ``None`` leaves
+        it unbounded.  After every store the cache directory is pruned
+        back under the cap in LRU order (oldest mtime first — cache hits
+        refresh an entry's mtime), and the number of evicted entries is
+        reported in :attr:`EngineStats.cache_evictions`.
     """
 
     def __init__(
@@ -354,6 +367,7 @@ class CriticalityEngine:
         min_parallel_primitives: int = 64,
         backend: str = "ir",
         chunk_lanes: int = 64,
+        max_cache_mb: Optional[float] = None,
     ):
         if method not in _METHODS:
             raise ReproError(
@@ -377,6 +391,11 @@ class CriticalityEngine:
         self.jobs = self._normalize_jobs(jobs)
         self.chunk_size = max(1, int(chunk_size))
         self.cache_dir = cache_dir
+        if max_cache_mb is not None and max_cache_mb <= 0:
+            raise ReproError(
+                f"max_cache_mb must be positive, got {max_cache_mb}"
+            )
+        self.max_cache_mb = max_cache_mb
         self.min_parallel_primitives = min_parallel_primitives
         self.stats: Optional[EngineStats] = None
         self._analysis = None
@@ -474,7 +493,7 @@ class CriticalityEngine:
             self.network, self.policy, primitive_damage, unit_damage
         )
         if key is not None:
-            self._store_cached(key, report)
+            stats.cache_evictions = self._store_cached(key, report)
 
         analysis = self._analysis
         if analysis is not None and hasattr(analysis, "memo_counters"):
@@ -654,11 +673,18 @@ class CriticalityEngine:
             }
         except (OSError, ValueError, KeyError, TypeError):
             return None  # absent or corrupt: recompute
+        try:
+            # LRU touch: a hit refreshes the entry's mtime so the pruner
+            # evicts cold entries first.
+            os.utime(self._cache_path(key))
+        except OSError:
+            pass
         return DamageReport(
             self.network, self.policy, primitive_damage, unit_damage
         )
 
-    def _store_cached(self, key: str, report: DamageReport) -> None:
+    def _store_cached(self, key: str, report: DamageReport) -> int:
+        """Store the report; returns how many LRU entries were evicted."""
         payload = {
             "fingerprint": key,
             "analysis_version": ANALYSIS_VERSION,
@@ -677,7 +703,47 @@ class CriticalityEngine:
                 json.dump(payload, handle)
             os.replace(tmp_path, self._cache_path(key))
         except OSError:
-            pass  # a read-only cache dir must not fail the analysis
+            return 0  # a read-only cache dir must not fail the analysis
+        return self._prune_cache(keep=self._cache_path(key))
+
+    def _prune_cache(self, keep: Optional[str] = None) -> int:
+        """Evict LRU entries until the cache fits ``max_cache_mb``.
+
+        ``keep`` (the entry just stored) is never evicted, so a single
+        oversized report cannot thrash itself out of its own cache.
+        """
+        if self.max_cache_mb is None:
+            return 0
+        budget = self.max_cache_mb * 1024 * 1024
+        entries = []  # (mtime, size, path)
+        total = 0
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return 0
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue  # concurrently evicted by another engine
+            entries.append((info.st_mtime, info.st_size, path))
+            total += info.st_size
+        evicted = 0
+        for mtime, size, path in sorted(entries):
+            if total <= budget:
+                break
+            if path == keep:
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                continue  # lost the race; its size is gone either way
+            total -= size
+            evicted += 1
+        return evicted
 
 
 def analyze_damage_cached(
@@ -691,6 +757,7 @@ def analyze_damage_cached(
     cache_dir: Optional[str] = None,
     backend: str = "ir",
     chunk_lanes: int = 64,
+    max_cache_mb: Optional[float] = None,
 ) -> Tuple[DamageReport, EngineStats]:
     """One-shot convenience wrapper: build an engine, return
     ``(report, stats)``."""
@@ -704,6 +771,7 @@ def analyze_damage_cached(
         cache_dir=cache_dir,
         backend=backend,
         chunk_lanes=chunk_lanes,
+        max_cache_mb=max_cache_mb,
     )
     report = engine.report(sites=sites)
     return report, engine.stats

@@ -148,3 +148,35 @@ def iter_all_faults(network: RsnNetwork) -> Iterator[Fault]:
     for name in network.node_names():
         for fault in faults_of_primitive(network, name):
             yield fault
+
+
+# ----------------------------------------------------------------------
+# JSON form (the analysis service's wire format for fault queries)
+# ----------------------------------------------------------------------
+def fault_to_dict(fault: Fault) -> dict:
+    """A JSON-serializable description of one fault; exact inverse of
+    :func:`fault_from_dict`."""
+    if isinstance(fault, SegmentBreak):
+        return {"kind": "segment_break", "segment": fault.segment}
+    if isinstance(fault, MuxStuck):
+        return {"kind": "mux_stuck", "mux": fault.mux, "port": fault.port}
+    if isinstance(fault, ControlCellBreak):
+        return {"kind": "control_cell_break", "cell": fault.cell}
+    raise ReproError(f"unknown fault {fault!r}")
+
+
+def fault_from_dict(payload: dict) -> Fault:
+    """Parse the JSON form produced by :func:`fault_to_dict`."""
+    if not isinstance(payload, dict):
+        raise ReproError(f"fault must be an object, got {payload!r}")
+    kind = payload.get("kind")
+    try:
+        if kind == "segment_break":
+            return SegmentBreak(str(payload["segment"]))
+        if kind == "mux_stuck":
+            return MuxStuck(str(payload["mux"]), int(payload["port"]))
+        if kind == "control_cell_break":
+            return ControlCellBreak(str(payload["cell"]))
+    except KeyError as exc:
+        raise ReproError(f"fault JSON misses key {exc}") from None
+    raise ReproError(f"unknown fault kind {kind!r} in {payload!r}")

@@ -106,6 +106,7 @@ def run_design(
     cache_dir: Optional[str] = None,
     backend: str = "ir",
     chunk_lanes: int = 64,
+    max_cache_mb: Optional[float] = None,
 ) -> Table1Row:
     """Run the full Table-I pipeline for one design."""
     design = get_design(name)
@@ -125,6 +126,7 @@ def run_design(
         cache_dir=cache_dir,
         backend=backend,
         chunk_lanes=chunk_lanes,
+        max_cache_mb=max_cache_mb,
     )
     row.max_cost = synthesis.max_cost
     row.max_damage = synthesis.max_damage

@@ -6,7 +6,9 @@ Subcommands
 * ``table1``  — regenerate the paper's Table I (optionally scaled);
 * ``analyze`` — criticality analysis of a network file;
 * ``harden``  — full selective-hardening synthesis of a network file;
-* ``example`` — walk through the paper's Fig. 1-4 example.
+* ``example`` — walk through the paper's Fig. 1-4 example;
+* ``serve``   — run the batching analysis service (HTTP JSON API);
+* ``submit``  — upload a network to a running service and run a job.
 """
 
 from __future__ import annotations
@@ -92,6 +94,15 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {value}"
+        )
+    return value
+
+
 def _add_engine_options(parser) -> None:
     """Shared criticality-engine flags (parallelism, cache, stats)."""
     parser.add_argument(
@@ -129,6 +140,14 @@ def _add_engine_options(parser) -> None:
         help="disable the persistent analysis result cache",
     )
     parser.add_argument(
+        "--cache-max-mb",
+        type=_positive_float,
+        default=None,
+        metavar="MB",
+        help="cap the result cache at MB megabytes (LRU eviction after "
+        "each store; default: unbounded)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print engine statistics (faults/s, cache and memo hit "
@@ -161,6 +180,7 @@ def _cmd_table1(args) -> int:
         cache_dir=_engine_cache_dir(args),
         backend=args.backend,
         chunk_lanes=args.chunk_lanes,
+        max_cache_mb=args.cache_max_mb,
     )
     print()
     print(format_table(rows))
@@ -224,6 +244,7 @@ def _cmd_analyze(args) -> int:
         cache_dir=_engine_cache_dir(args),
         backend=args.backend,
         chunk_lanes=args.chunk_lanes,
+        max_cache_mb=args.cache_max_mb,
     )
     report = engine.report(sites=args.sites)
     n_seg, n_mux = network.counts()
@@ -314,6 +335,94 @@ def _cmd_stats(args) -> int:
             print(f"{key:20s} {value:,.3f}")
         else:
             print(f"{key:20s} {value:,}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        max_cache_mb=args.cache_max_mb,
+        workers=args.workers,
+        batch_window=args.batch_window_ms / 1000.0,
+        job_timeout=args.job_timeout,
+        engine_jobs=args.jobs,
+    )
+
+
+def _cmd_submit(args) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    if args.network in DESIGNS:
+        entry = client.upload_network(design=args.network)
+    else:
+        with open(args.network, encoding="utf-8") as handle:
+            entry = client.upload_network(icl=handle.read())
+    print(f"network          : {entry['name']}")
+    print(f"fingerprint      : {entry['fingerprint'][:16]}…")
+    print(f"segments / muxes : {entry['n_segments']:,} / "
+          f"{entry['n_muxes']:,}")
+
+    params = {"fingerprint": entry["fingerprint"], "seed": args.seed}
+    if args.kind == "analyze":
+        params.update(
+            method=args.method,
+            policy=args.policy,
+            sites=args.sites,
+            backend=args.backend,
+        )
+    elif args.kind == "harden":
+        params.update(generations=args.generations)
+    elif args.kind == "table1":
+        if args.network not in DESIGNS:
+            print(
+                "table1 jobs need a benchmark design name", file=sys.stderr
+            )
+            return 2
+        params = {
+            "design": args.network,
+            "seed": args.seed,
+            "scale_generations": args.scale_generations,
+        }
+    job = client.submit(kind=args.kind, **params)
+    print(f"job              : {job['id']} ({args.kind})")
+    record = client.wait(job["id"], timeout=args.timeout)
+    result = record["result"]
+    print(f"status           : {record['status']} "
+          f"({record['runtime_seconds']:.3f}s, "
+          f"{record['attempts']} attempt(s))")
+    if args.kind == "analyze":
+        report = result["report"]
+        stats = result["stats"]
+        print(f"total damage     : {report['total']:,.0f}")
+        print(f"  via units      : {report['hardenable']:,.0f}")
+        print(f"  unavoidable    : {report['unavoidable']:,.0f}")
+        print(f"result cache     : {stats['cache']}")
+        print("most critical hardening units:")
+        for name, damage in report["most_critical_units"][: args.top]:
+            print(f"  {name:24s} {damage:>14,.0f}")
+    elif args.kind == "harden":
+        print(f"max cost         : {result['max_cost']:,.0f}")
+        print(f"max damage       : {result['max_damage']:,.0f}")
+        print(f"front size       : {result['front_size']}")
+        for label in ("min_cost", "min_damage"):
+            solution = result[label]
+            if solution is None:
+                print(f"{label:16s} : infeasible on this front")
+            else:
+                print(
+                    f"{label:16s} : cost {solution['cost']:,.0f}, "
+                    f"damage {solution['damage']:,.0f} "
+                    f"({solution['n_hardened']} spots)"
+                )
+    else:
+        print(json.dumps(result, indent=2))
     return 0
 
 
@@ -418,6 +527,116 @@ def main(argv: Optional[List[str]] = None) -> int:
     dot.add_argument("--tree", action="store_true")
     dot.add_argument("--output", default=None)
 
+    serve = subparsers.add_parser(
+        "serve", help="run the batching analysis service (HTTP JSON API)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8471)
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help="job-queue worker threads (default 2)",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=_positive_float,
+        default=5.0,
+        metavar="MS",
+        help="fault-query coalescing window in milliseconds (default 5; "
+        "larger windows trade per-request latency for batch occupancy)",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="S",
+        help="default per-job timeout in seconds (default: none)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="analysis worker processes per job (0/1 = serial)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="analysis result-cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro-rsn)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent analysis result cache",
+    )
+    serve.add_argument(
+        "--cache-max-mb",
+        type=_positive_float,
+        default=None,
+        metavar="MB",
+        help="cap the result cache at MB megabytes (LRU eviction)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="upload a network to a running service and run one job",
+    )
+    submit.add_argument(
+        "network", help="a design name or a path to a network file"
+    )
+    submit.add_argument(
+        "--url",
+        default="http://127.0.0.1:8471",
+        help="service base URL (default http://127.0.0.1:8471)",
+    )
+    submit.add_argument(
+        "--kind",
+        choices=["analyze", "harden", "table1"],
+        default="analyze",
+    )
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--top", type=int, default=10)
+    submit.add_argument(
+        "--method",
+        choices=["fast", "explicit", "graph"],
+        default=None,
+        help="analyze: analysis implementation (default: fast)",
+    )
+    submit.add_argument(
+        "--policy", choices=["max", "sum", "mean"], default="max"
+    )
+    submit.add_argument(
+        "--sites", choices=["all", "control", "mux"], default="all"
+    )
+    submit.add_argument(
+        "--backend", choices=["ir", "dict", "bitset"], default="ir"
+    )
+    submit.add_argument(
+        "--generations",
+        type=_positive_int,
+        default=50,
+        help="harden: EA generation budget",
+    )
+    submit.add_argument(
+        "--scale-generations",
+        type=_positive_float,
+        default=1.0,
+        help="table1: generation-budget scaling",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=300.0,
+        metavar="S",
+        help="client-side wait budget in seconds (default 300)",
+    )
+
     args = parser.parse_args(argv)
     handlers = {
         "table1": _cmd_table1,
@@ -428,6 +647,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats": _cmd_stats,
         "export": _cmd_export,
         "dot": _cmd_dot,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }
     return handlers[args.command](args)
 

@@ -63,6 +63,7 @@ class SelectiveHardening:
         cache_dir: Optional[str] = None,
         backend: str = "ir",
         chunk_lanes: int = 64,
+        max_cache_mb: Optional[float] = None,
     ):
         self.network = network
         self.spec = spec if spec is not None else spec_for_network(
@@ -86,6 +87,7 @@ class SelectiveHardening:
         self.cache_dir = cache_dir
         self.backend = backend
         self.chunk_lanes = chunk_lanes
+        self.max_cache_mb = max_cache_mb
         self.analysis_stats: Optional[EngineStats] = None
         self._report: Optional[DamageReport] = None
         self._problem: Optional[HardeningProblem] = None
@@ -112,6 +114,7 @@ class SelectiveHardening:
                 cache_dir=self.cache_dir,
                 backend=self.backend,
                 chunk_lanes=self.chunk_lanes,
+                max_cache_mb=self.max_cache_mb,
             )
             self._report = engine.report(sites=self.damage_sites)
             self.analysis_stats = engine.stats

@@ -6,6 +6,8 @@ from .ast import (
     NetworkDecl,
     SegmentDecl,
     SibDecl,
+    decl_from_dict,
+    decl_to_dict,
     elaborate,
     sib_bit_name,
     sib_mux_name,
@@ -42,10 +44,12 @@ __all__ = [
     "SegmentDecl",
     "SegmentRole",
     "SibDecl",
+    "decl_from_dict",
+    "decl_to_dict",
     "elaborate",
     "iter_instrument_segments",
     "network_to_dot",
     "sib_bit_name",
-    "tree_to_dot",
     "sib_mux_name",
+    "tree_to_dot",
 ]

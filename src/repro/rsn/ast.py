@@ -300,3 +300,102 @@ def sib_mux_name(sib_name: str) -> str:
 def sib_bit_name(sib_name: str) -> str:
     """Graph name of the control bit elaborated for a SIB declaration."""
     return f"{sib_name}.bit"
+
+
+# ----------------------------------------------------------------------
+# JSON form (the service's "builder JSON" upload format)
+# ----------------------------------------------------------------------
+def decl_to_dict(decl: NetworkDecl) -> Dict:
+    """A JSON-serializable description of a network declaration.
+
+    Exact inverse of :func:`decl_from_dict` on every valid declaration —
+    the service's wire format for programmatic (builder-constructed)
+    uploads, equivalent in information to the textual ICL form.
+    """
+    return {"name": decl.name, "items": [_item_to_dict(i) for i in decl.items]}
+
+
+def _item_to_dict(item: Item) -> Dict:
+    if isinstance(item, SegmentDecl):
+        out: Dict = {
+            "kind": "segment", "name": item.name, "length": item.length,
+        }
+        if item.instrument is not None:
+            out["instrument"] = item.instrument
+        return out
+    if isinstance(item, ControlCellDecl):
+        return {"kind": "control", "name": item.name, "length": item.length}
+    if isinstance(item, SibDecl):
+        return {
+            "kind": "sib",
+            "name": item.name,
+            "children": [_item_to_dict(child) for child in item.children],
+        }
+    if isinstance(item, MuxDecl):
+        out = {
+            "kind": "mux",
+            "name": item.name,
+            "branches": [
+                [_item_to_dict(child) for child in branch]
+                for branch in item.branches
+            ],
+        }
+        if item.control is not None:
+            out["control"] = item.control
+        return out
+    raise BuilderError(f"unknown declaration item {item!r}")
+
+
+def decl_from_dict(payload: Dict) -> NetworkDecl:
+    """Parse the JSON form produced by :func:`decl_to_dict`."""
+    if not isinstance(payload, dict):
+        raise BuilderError(
+            f"network JSON must be an object, got {type(payload).__name__}"
+        )
+    try:
+        name = payload["name"]
+        items = payload["items"]
+    except KeyError as exc:
+        raise BuilderError(f"network JSON misses key {exc}") from None
+    if not isinstance(items, list):
+        raise BuilderError("network JSON 'items' must be a list")
+    return NetworkDecl(str(name), [_item_from_dict(i) for i in items])
+
+
+def _item_from_dict(payload: Dict) -> Item:
+    if not isinstance(payload, dict):
+        raise BuilderError(
+            f"declaration item must be an object, got {payload!r}"
+        )
+    kind = payload.get("kind")
+    name = payload.get("name")
+    if name is None:
+        raise BuilderError(f"declaration item misses 'name': {payload!r}")
+    name = str(name)
+    if kind == "segment":
+        return SegmentDecl(
+            name,
+            length=int(payload.get("length", 1)),
+            instrument=payload.get("instrument"),
+        )
+    if kind == "control":
+        return ControlCellDecl(name, length=int(payload.get("length", 1)))
+    if kind == "sib":
+        children = payload.get("children", [])
+        if not isinstance(children, list):
+            raise BuilderError(f"sib {name!r} 'children' must be a list")
+        return SibDecl(name, [_item_from_dict(c) for c in children])
+    if kind == "mux":
+        branches = payload.get("branches", [])
+        if not isinstance(branches, list) or any(
+            not isinstance(branch, list) for branch in branches
+        ):
+            raise BuilderError(
+                f"mux {name!r} 'branches' must be a list of lists"
+            )
+        return MuxDecl(
+            name,
+            [[_item_from_dict(c) for c in branch] for branch in branches],
+            control=payload.get("control"),
+        )
+    raise BuilderError(f"unknown declaration kind {kind!r} in {payload!r}")

@@ -1,0 +1,49 @@
+"""`repro.service` — the batching analysis server (registry, queue, batching).
+
+The long-lived counterpart of the one-shot CLI: networks are uploaded
+and interned once (:mod:`registry`), heavy analyses run as tracked jobs
+on a worker pool (:mod:`jobs`), concurrent fault queries are coalesced
+into shared bitset-kernel passes (:mod:`batching`), and everything is
+observable over Prometheus-format metrics (:mod:`metrics`).  The HTTP
+surface (:mod:`server`) and client (:mod:`client`) are stdlib-only.
+
+Start it with ``repro-rsn serve``; drive it with ``repro-rsn submit``,
+:class:`ServiceClient`, or plain ``curl``.
+"""
+
+from .batching import BatchCoalescer
+from .client import ServiceClient, ServiceClientError
+from .jobs import Job, JobQueue, JobStatus, TransientJobError
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .registry import NetworkRegistry, RegisteredNetwork, RegistryError
+from .server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    AnalysisService,
+    NotFoundError,
+    make_server,
+    serve,
+)
+
+__all__ = [
+    "AnalysisService",
+    "BatchCoalescer",
+    "Counter",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "Gauge",
+    "Histogram",
+    "Job",
+    "JobQueue",
+    "JobStatus",
+    "MetricsRegistry",
+    "NetworkRegistry",
+    "NotFoundError",
+    "RegisteredNetwork",
+    "RegistryError",
+    "ServiceClient",
+    "ServiceClientError",
+    "TransientJobError",
+    "make_server",
+    "serve",
+]

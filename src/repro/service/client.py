@@ -1,0 +1,189 @@
+"""Thin stdlib HTTP client for the analysis service.
+
+:class:`ServiceClient` wraps the JSON API of
+:mod:`repro.service.server` with typed convenience methods; it is what
+``repro-rsn submit`` and the CI smoke test drive.  Only ``urllib`` is
+used — the client has no dependencies beyond the library itself.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.faults import Fault, fault_to_dict
+from ..errors import ReproError
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(ReproError):
+    """An HTTP error response from the service (carries the status)."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        self.status = status
+        super().__init__(message)
+
+
+class ServiceClient:
+    """Talk to a running ``repro-rsn serve`` instance."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+        timeout: Optional[float] = None,
+    ):
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout if timeout else self.timeout
+            ) as response:
+                body = response.read()
+                content_type = response.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get(
+                    "error", ""
+                )
+            except Exception:
+                pass
+            raise ServiceClientError(
+                f"{method} {path} failed with HTTP {exc.code}"
+                + (f": {detail}" if detail else ""),
+                status=exc.code,
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceClientError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from None
+        if content_type.startswith("application/json"):
+            return json.loads(body.decode("utf-8"))
+        return body.decode("utf-8")
+
+    # -- networks --------------------------------------------------------
+    def upload_network(
+        self,
+        icl: Optional[str] = None,
+        network_json: Optional[Dict] = None,
+        design: Optional[str] = None,
+    ) -> Dict:
+        """Register a network; pass exactly one source form.  Returns the
+        registry entry (including its ``fingerprint``)."""
+        payload: Dict = {}
+        if icl is not None:
+            payload["icl"] = icl
+        if network_json is not None:
+            payload["network"] = network_json
+        if design is not None:
+            payload["design"] = design
+        return self._request("POST", "/networks", payload)
+
+    def networks(self) -> List[Dict]:
+        return self._request("GET", "/networks")["networks"]
+
+    # -- jobs ------------------------------------------------------------
+    def submit(self, kind: str = "analyze", **params) -> Dict:
+        """Submit a job; returns its record (``id``, ``status``, ...)."""
+        return self._request("POST", "/jobs", {"kind": kind, **params})
+
+    def job(self, job_id: str) -> Dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_interval: float = 0.05,
+    ) -> Dict:
+        """Poll until the job is terminal; raises on failure/timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["status"] in ("succeeded", "failed", "cancelled"):
+                if record["status"] != "succeeded":
+                    raise ServiceClientError(
+                        f"job {job_id} {record['status']}: "
+                        f"{record.get('error')}"
+                    )
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceClientError(
+                    f"job {job_id} still {record['status']} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll_interval)
+
+    def analyze(
+        self, fingerprint: str, timeout: float = 300.0, **params
+    ) -> Dict:
+        """Submit an analyze job and wait for its result payload."""
+        job = self.submit(kind="analyze", fingerprint=fingerprint, **params)
+        return self.wait(job["id"], timeout=timeout)
+
+    # -- coalesced fault queries ----------------------------------------
+    def damage(
+        self,
+        fingerprint: str,
+        faults: Sequence[Fault],
+        seed: int = 0,
+        policy: str = "max",
+        timeout: Optional[float] = None,
+    ) -> List[float]:
+        """Damage of each fault (coalesced server-side across clients)."""
+        payload = {
+            "fingerprint": fingerprint,
+            "seed": seed,
+            "policy": policy,
+            "faults": [fault_to_dict(fault) for fault in faults],
+        }
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self._request(
+            "POST", "/damage", payload, timeout=timeout
+        )["damages"]
+
+    # -- liveness --------------------------------------------------------
+    def healthz(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        return self._request("GET", "/metrics")
+
+    def wait_ready(self, timeout: float = 10.0) -> Dict:
+        """Poll ``/healthz`` until the server answers (startup helper)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except ServiceClientError as exc:
+                if time.monotonic() >= deadline:
+                    raise ServiceClientError(
+                        f"service at {self.base_url} not ready after "
+                        f"{timeout:.0f}s: {exc}"
+                    ) from None
+                time.sleep(0.1)

@@ -1,0 +1,382 @@
+"""Thread-backed job queue: submit / status / result / cancel.
+
+Analysis jobs (a full criticality report, a hardening synthesis, a
+Table-I row) run for seconds to minutes — far too long for a synchronous
+HTTP response.  The queue turns them into tracked :class:`Job` records:
+
+* **submit** returns immediately with a job id; a fixed pool of worker
+  threads drains the FIFO backlog;
+* **per-job timeout** — each attempt runs on a dedicated attempt thread
+  that is joined with the remaining deadline; an attempt that overruns is
+  abandoned (Python threads cannot be killed) and the job fails with
+  ``"timeout"``.  Abandoned attempt threads are daemonic, so a hung
+  attempt can never block process exit;
+* **bounded retries with backoff** — an attempt raising
+  :class:`TransientJobError` is retried up to ``max_retries`` times with
+  exponential backoff (transient means: worth retrying against the same
+  inputs — a lost worker pool, a briefly unwritable cache directory);
+  any other exception fails the job on the spot;
+* **cancellation** — a queued job is cancelled outright; a running job
+  gets a cooperative flag (:meth:`Job.cancelled`) that long-running
+  handlers are expected to poll;
+* **graceful shutdown** — :meth:`JobQueue.shutdown` stops intake and
+  either drains the backlog (default) or cancels it, then joins the
+  workers.
+
+The queue is deliberately generic (it runs callables), so the HTTP layer
+stays a thin translation and the queue is independently testable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from queue import Empty, Queue
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ReproError
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JobStatus",
+    "TransientJobError",
+]
+
+
+class TransientJobError(ReproError):
+    """An attempt failure that is worth retrying (with backoff)."""
+
+
+class JobStatus:
+    """The job lifecycle states (queued -> running -> terminal)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    TERMINAL = frozenset({SUCCEEDED, FAILED, CANCELLED})
+
+
+class Job:
+    """One tracked unit of work and its outcome."""
+
+    def __init__(
+        self,
+        fn: Callable[["Job"], object],
+        kind: str = "job",
+        params: Optional[Dict] = None,
+        timeout: Optional[float] = None,
+        max_retries: int = 0,
+    ):
+        self.id = uuid.uuid4().hex[:12]
+        self.fn = fn
+        self.kind = kind
+        self.params = dict(params or {})
+        self.timeout = timeout
+        self.max_retries = max(0, int(max_retries))
+        self.status = JobStatus.QUEUED
+        self.result: Optional[object] = None
+        self.error: Optional[str] = None
+        self.attempts = 0
+        self.created_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._cancel = threading.Event()
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- cooperative cancellation ---------------------------------------
+    def cancelled(self) -> bool:
+        """For job handlers: has cancellation been requested?"""
+        return self._cancel.is_set()
+
+    # -- completion ------------------------------------------------------
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._done.wait(timeout)
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    @property
+    def runtime_seconds(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        end = self.finished_at if self.finished_at is not None else time.time()
+        return end - self.started_at
+
+    def as_dict(self) -> Dict:
+        """The JSON the HTTP API returns for this job."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "params": self.params,
+            "status": self.status,
+            "attempts": self.attempts,
+            "error": self.error,
+            "result": self.result if self.done else None,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "runtime_seconds": self.runtime_seconds,
+        }
+
+    # -- state transitions (queue-internal) ------------------------------
+    def _finish(self, status: str, result=None, error=None) -> None:
+        with self._lock:
+            if self.status in JobStatus.TERMINAL:
+                return
+            self.status = status
+            self.result = result
+            self.error = error
+            self.finished_at = time.time()
+        self._done.set()
+
+
+class JobQueue:
+    """Fixed worker pool over a FIFO backlog of :class:`Job` records."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        default_timeout: Optional[float] = None,
+        default_max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        on_event: Optional[Callable[[Job, str], None]] = None,
+    ):
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        self.default_timeout = default_timeout
+        self.default_max_retries = max(0, int(default_max_retries))
+        self.retry_backoff = max(0.0, float(retry_backoff))
+        self._on_event = on_event
+        self._backlog: "Queue[Optional[Job]]" = Queue()
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._accepting = True
+        self._running = 0
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-job-worker-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- events ----------------------------------------------------------
+    def _emit(self, job: Job, event: str) -> None:
+        if self._on_event is not None:
+            try:
+                self._on_event(job, event)
+            except Exception:
+                pass  # metrics must never break job processing
+
+    # -- public API ------------------------------------------------------
+    def submit(
+        self,
+        fn: Callable[[Job], object],
+        kind: str = "job",
+        params: Optional[Dict] = None,
+        timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+    ) -> Job:
+        """Enqueue ``fn(job)``; returns the tracked :class:`Job`."""
+        with self._lock:
+            if not self._accepting:
+                raise ReproError("job queue is shut down")
+            job = Job(
+                fn,
+                kind=kind,
+                params=params,
+                timeout=(
+                    timeout if timeout is not None else self.default_timeout
+                ),
+                max_retries=(
+                    max_retries
+                    if max_retries is not None
+                    else self.default_max_retries
+                ),
+            )
+            self._jobs[job.id] = job
+        self._emit(job, "submitted")
+        self._backlog.put(job)
+        return job
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ReproError(f"unknown job {job_id!r}")
+        return job
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job: queued jobs die immediately, running jobs get
+        the cooperative flag (and are marked cancelled on completion)."""
+        job = self.get(job_id)
+        job._cancel.set()
+        if job.status == JobStatus.QUEUED:
+            job._finish(JobStatus.CANCELLED, error="cancelled before start")
+            self._emit(job, "cancelled")
+        return job
+
+    def depth(self) -> int:
+        """Queued-but-not-started jobs (the backlog)."""
+        return self._backlog.qsize()
+
+    def running(self) -> int:
+        with self._lock:
+            return self._running
+
+    def counts(self) -> Dict[str, int]:
+        """Job counts by status (for /healthz)."""
+        counts = {
+            status: 0
+            for status in (
+                JobStatus.QUEUED,
+                JobStatus.RUNNING,
+                JobStatus.SUCCEEDED,
+                JobStatus.FAILED,
+                JobStatus.CANCELLED,
+            )
+        }
+        for job in self.jobs():
+            counts[job.status] = counts.get(job.status, 0) + 1
+        return counts
+
+    def shutdown(
+        self, drain: bool = True, timeout: Optional[float] = None
+    ) -> None:
+        """Stop intake; drain (default) or cancel the backlog; join the
+        workers for up to ``timeout`` seconds."""
+        with self._lock:
+            if not self._accepting:
+                return
+            self._accepting = False
+        if not drain:
+            while True:
+                try:
+                    job = self._backlog.get_nowait()
+                except Empty:
+                    break
+                if job is not None:
+                    job._finish(
+                        JobStatus.CANCELLED, error="queue shut down"
+                    )
+                    self._emit(job, "cancelled")
+        for _ in self._workers:
+            self._backlog.put(None)  # one sentinel per worker
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        for worker in self._workers:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            worker.join(remaining)
+
+    # -- worker side -----------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._backlog.get()
+            if job is None:
+                return
+            if job.done:  # cancelled while queued
+                continue
+            with self._lock:
+                self._running += 1
+            try:
+                self._run_job(job)
+            finally:
+                with self._lock:
+                    self._running -= 1
+
+    def _run_job(self, job: Job) -> None:
+        with job._lock:
+            if job.status in JobStatus.TERMINAL:
+                return  # cancelled between the backlog check and here
+            job.status = JobStatus.RUNNING
+        job.started_at = time.time()
+        self._emit(job, "started")
+        deadline = (
+            time.monotonic() + job.timeout
+            if job.timeout is not None
+            else None
+        )
+        for attempt in itertools.count():
+            if job.cancelled():
+                job._finish(JobStatus.CANCELLED, error="cancelled")
+                self._emit(job, "cancelled")
+                return
+            job.attempts = attempt + 1
+            outcome: Dict[str, object] = {}
+
+            def _attempt(outcome=outcome):
+                try:
+                    outcome["result"] = job.fn(job)
+                except BaseException as exc:  # reported via the job record
+                    outcome["error"] = exc
+
+            thread = threading.Thread(
+                target=_attempt,
+                name=f"repro-job-{job.id}-attempt-{job.attempts}",
+                daemon=True,
+            )
+            thread.start()
+            remaining = (
+                max(0.0, deadline - time.monotonic())
+                if deadline is not None
+                else None
+            )
+            thread.join(remaining)
+            if thread.is_alive():
+                # Overran its budget: abandon the attempt thread.
+                job._finish(
+                    JobStatus.FAILED,
+                    error=f"timeout after {job.timeout:.3f}s "
+                    f"(attempt {job.attempts})",
+                )
+                self._emit(job, "failed")
+                return
+            error = outcome.get("error")
+            if error is None:
+                if job.cancelled():
+                    job._finish(JobStatus.CANCELLED, error="cancelled")
+                    self._emit(job, "cancelled")
+                else:
+                    job._finish(
+                        JobStatus.SUCCEEDED, result=outcome.get("result")
+                    )
+                    self._emit(job, "succeeded")
+                return
+            if (
+                isinstance(error, TransientJobError)
+                and attempt < job.max_retries
+                and not job.cancelled()
+            ):
+                self._emit(job, "retried")
+                backoff = self.retry_backoff * (2 ** attempt)
+                if deadline is not None:
+                    backoff = min(
+                        backoff, max(0.0, deadline - time.monotonic())
+                    )
+                time.sleep(backoff)
+                continue
+            job._finish(
+                JobStatus.FAILED,
+                error=f"{type(error).__name__}: {error}",
+            )
+            self._emit(job, "failed")
+            return

@@ -1,0 +1,609 @@
+"""`repro.service` HTTP server: the batching analysis daemon.
+
+:class:`AnalysisService` is the in-process facade tying the subsystem
+together — the network registry (upload/intern once), the job queue
+(long-running analyses), the micro-batching coalescer (concurrent fault
+queries share kernel sweeps) and the metrics registry.  The HTTP layer
+on top is a deliberately thin JSON translation over a stdlib
+``ThreadingHTTPServer`` (one thread per in-flight request, which is what
+lets `/healthz` and `/metrics` answer while a long job runs and what
+produces the concurrency the coalescer batches).
+
+API
+---
+=======  =================  ==============================================
+POST     /networks          upload (icl text / builder JSON / design name)
+GET      /networks          list registered networks
+POST     /jobs              submit a job (analyze / harden / table1 / sleep)
+GET      /jobs              list jobs
+GET      /jobs/<id>         job status + result
+DELETE   /jobs/<id>         cancel a job
+POST     /damage            synchronous coalesced fault-damage query
+GET      /healthz           liveness + versions + job counts
+GET      /metrics           Prometheus text exposition
+=======  =================  ==============================================
+
+Analyze jobs run through :class:`repro.analysis.CriticalityEngine` with
+the service's shared disk cache, so a repeated analyze of the same
+(network, spec, method) is a cache hit, not a recompute — observable in
+the job's ``result.stats.cache`` and the ``repro_engine_cache_total``
+counter.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from .. import __version__
+from ..analysis.engine import (
+    ANALYSIS_VERSION,
+    CriticalityEngine,
+    default_cache_dir,
+)
+from ..analysis.faults import fault_from_dict
+from ..errors import ReproError
+from .batching import BatchCoalescer
+from .jobs import Job, JobQueue
+from .metrics import MetricsRegistry
+from .registry import NetworkRegistry, RegistryError
+
+__all__ = [
+    "AnalysisService",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "NotFoundError",
+    "make_server",
+    "serve",
+]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8471
+
+_JOB_KINDS = ("analyze", "harden", "table1", "sleep")
+
+
+class NotFoundError(ReproError):
+    """A lookup of an unknown network or job (HTTP 404)."""
+
+
+def _report_payload(report) -> Dict:
+    """JSON form of a :class:`repro.analysis.DamageReport`."""
+    return {
+        "network": report.network.name,
+        "policy": report.policy,
+        "total": report.total,
+        "hardenable": report.hardenable,
+        "unavoidable": report.unavoidable,
+        "primitive_damage": report.primitive_damage,
+        "unit_damage": report.unit_damage,
+        "most_critical_units": report.most_critical_units(10),
+    }
+
+
+class AnalysisService:
+    """Registry + job queue + coalescer + metrics, behind one facade."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        no_cache: bool = False,
+        max_cache_mb: Optional[float] = None,
+        workers: int = 2,
+        batch_window: float = 0.005,
+        batch_max_faults: int = 4096,
+        job_timeout: Optional[float] = None,
+        job_retries: int = 2,
+        engine_jobs=None,
+    ):
+        self.cache_dir = (
+            None
+            if no_cache
+            else (cache_dir if cache_dir else default_cache_dir())
+        )
+        self.max_cache_mb = max_cache_mb
+        self.engine_jobs = engine_jobs
+        self.started_at = time.time()
+        self.registry = NetworkRegistry()
+        self.metrics = MetricsRegistry()
+        m = self.metrics
+        self._m_requests = m.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by method, route and status code.",
+            ("method", "path", "status"),
+        )
+        self._m_request_seconds = m.histogram(
+            "repro_http_request_seconds",
+            "Wall-clock latency of HTTP requests, by route.",
+            ("path",),
+        )
+        self._m_jobs = m.counter(
+            "repro_jobs_total",
+            "Job lifecycle events, by kind and event.",
+            ("kind", "event"),
+        )
+        self._m_job_seconds = m.histogram(
+            "repro_job_seconds",
+            "Job runtime from start to terminal state, by kind.",
+            ("kind",),
+        )
+        self._m_queue_depth = m.gauge(
+            "repro_job_queue_depth",
+            "Jobs queued and not yet started.",
+        )
+        self._m_networks = m.gauge(
+            "repro_networks_registered",
+            "Networks interned in the registry.",
+        )
+        self._m_batch_occupancy = m.histogram(
+            "repro_batch_occupancy",
+            "Coalesced requests per dispatched fault batch.",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+        )
+        self._m_batch_lanes = m.histogram(
+            "repro_batch_lanes",
+            "Fault lanes per dispatched batch.",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096),
+        )
+        self._m_batch_wait = m.histogram(
+            "repro_batch_wait_seconds",
+            "Age of a batch (first request to dispatch).",
+            buckets=(0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25),
+        )
+        self._m_engine_cache = m.counter(
+            "repro_engine_cache_total",
+            "Engine result-cache outcomes of analyze jobs.",
+            ("outcome",),
+        )
+        self.queue = JobQueue(
+            workers=workers,
+            default_timeout=job_timeout,
+            default_max_retries=job_retries,
+            on_event=self._job_event,
+        )
+        self.coalescer = BatchCoalescer(
+            window=batch_window,
+            max_faults=batch_max_faults,
+            on_batch=self._batch_event,
+        )
+
+    # -- metric hooks ----------------------------------------------------
+    def _job_event(self, job: Job, event: str) -> None:
+        self._m_jobs.inc(kind=job.kind, event=event)
+        self._m_queue_depth.set(self.queue.depth())
+        if event in ("succeeded", "failed", "cancelled"):
+            runtime = job.runtime_seconds
+            if runtime is not None:
+                self._m_job_seconds.observe(runtime, kind=job.kind)
+
+    def _batch_event(self, occupancy: int, lanes: int, age: float) -> None:
+        self._m_batch_occupancy.observe(occupancy)
+        self._m_batch_lanes.observe(lanes)
+        self._m_batch_wait.observe(age)
+
+    # -- operations ------------------------------------------------------
+    def upload(self, payload: Dict) -> Dict:
+        entry = self.registry.add(payload)
+        self._m_networks.set(len(self.registry))
+        return entry.describe()
+
+    def list_networks(self) -> Dict:
+        return {
+            "networks": [e.describe() for e in self.registry.entries()]
+        }
+
+    def submit_job(self, payload: Dict) -> Dict:
+        if not isinstance(payload, dict):
+            raise ReproError("job payload must be an object")
+        kind = payload.get("kind", "analyze")
+        if kind not in _JOB_KINDS:
+            raise ReproError(
+                f"unknown job kind {kind!r}; expected one of {_JOB_KINDS}"
+            )
+        runner, params = getattr(self, f"_prepare_{kind}")(payload)
+        job = self.queue.submit(
+            runner,
+            kind=kind,
+            params=params,
+            timeout=payload.get("timeout"),
+            max_retries=payload.get("max_retries"),
+        )
+        self._m_queue_depth.set(self.queue.depth())
+        return job.as_dict()
+
+    def job_info(self, job_id: str) -> Dict:
+        return self._get_job(job_id).as_dict()
+
+    def list_jobs(self) -> Dict:
+        return {"jobs": [job.as_dict() for job in self.queue.jobs()]}
+
+    def cancel_job(self, job_id: str) -> Dict:
+        self._get_job(job_id)  # 404 before cancel
+        return self.queue.cancel(job_id).as_dict()
+
+    def _get_job(self, job_id: str) -> Job:
+        try:
+            return self.queue.get(job_id)
+        except ReproError as exc:
+            raise NotFoundError(str(exc)) from None
+
+    def _get_entry(self, payload: Dict):
+        fingerprint = payload.get("fingerprint")
+        if not fingerprint:
+            raise ReproError("missing 'fingerprint'")
+        try:
+            return self.registry.get(str(fingerprint))
+        except RegistryError as exc:
+            raise NotFoundError(str(exc)) from None
+
+    # -- job kinds -------------------------------------------------------
+    def _prepare_analyze(self, payload: Dict) -> Tuple:
+        entry = self._get_entry(payload)
+        seed = int(payload.get("seed", 0))
+        backend = str(payload.get("backend", "ir"))
+        method = payload.get("method")
+        if method is None:
+            method = "fast" if backend == "ir" else "graph"
+        params = {
+            "fingerprint": entry.fingerprint,
+            "network": entry.name,
+            "seed": seed,
+            "method": str(method),
+            "policy": str(payload.get("policy", "max")),
+            "sites": str(payload.get("sites", "all")),
+            "backend": backend,
+            "chunk_lanes": int(payload.get("chunk_lanes", 64)),
+        }
+
+        def run(job: Job) -> Dict:
+            spec = self.registry.spec(entry.fingerprint, seed=seed)
+            engine = CriticalityEngine(
+                entry.network,
+                spec,
+                method=params["method"],
+                policy=params["policy"],
+                jobs=self.engine_jobs,
+                cache_dir=self.cache_dir,
+                backend=params["backend"],
+                chunk_lanes=params["chunk_lanes"],
+                max_cache_mb=self.max_cache_mb,
+            )
+            report = engine.report(sites=params["sites"])
+            stats = engine.stats.as_dict()
+            self._m_engine_cache.inc(outcome=stats["cache"])
+            return {"report": _report_payload(report), "stats": stats}
+
+        return run, params
+
+    def _prepare_harden(self, payload: Dict) -> Tuple:
+        from ..core.hardening import SelectiveHardening
+
+        entry = self._get_entry(payload)
+        seed = int(payload.get("seed", 0))
+        params = {
+            "fingerprint": entry.fingerprint,
+            "network": entry.name,
+            "seed": seed,
+            "generations": int(payload.get("generations", 50)),
+            "algorithm": str(payload.get("algorithm", "spea2")),
+        }
+
+        def run(job: Job) -> Dict:
+            spec = self.registry.spec(entry.fingerprint, seed=seed)
+            synthesis = SelectiveHardening(
+                entry.network,
+                spec=spec,
+                seed=seed,
+                jobs=self.engine_jobs,
+                cache_dir=self.cache_dir,
+                max_cache_mb=self.max_cache_mb,
+            )
+            result = synthesis.optimize(
+                generations=params["generations"],
+                algorithm=params["algorithm"],
+            )
+            out: Dict = {
+                "max_cost": synthesis.max_cost,
+                "max_damage": synthesis.max_damage,
+                "front_size": len(result.objectives),
+                "runtime_seconds": result.runtime_seconds,
+            }
+            for label, solution in (
+                ("min_cost", result.min_cost_solution(0.10)),
+                ("min_damage", result.min_damage_solution(0.10)),
+            ):
+                out[label] = (
+                    None
+                    if solution is None
+                    else {
+                        "cost": solution.cost,
+                        "damage": solution.damage,
+                        "n_hardened": solution.n_hardened,
+                        "hardened": list(solution.hardened),
+                    }
+                )
+            if synthesis.analysis_stats is not None:
+                stats = synthesis.analysis_stats.as_dict()
+                self._m_engine_cache.inc(outcome=stats["cache"])
+                out["stats"] = stats
+            return out
+
+        return run, params
+
+    def _prepare_table1(self, payload: Dict) -> Tuple:
+        from ..bench import DESIGNS, run_design
+
+        design = payload.get("design")
+        if design not in DESIGNS:
+            raise NotFoundError(f"unknown benchmark design {design!r}")
+        params = {
+            "design": str(design),
+            "scale_generations": float(
+                payload.get("scale_generations", 1.0)
+            ),
+            "seed": int(payload.get("seed", 0)),
+            "algorithm": str(payload.get("algorithm", "spea2")),
+        }
+
+        def run(job: Job) -> Dict:
+            row = run_design(
+                params["design"],
+                scale_generations=params["scale_generations"],
+                seed=params["seed"],
+                algorithm=params["algorithm"],
+                jobs=self.engine_jobs,
+                cache_dir=self.cache_dir,
+                max_cache_mb=self.max_cache_mb,
+            )
+            return row.as_dict()
+
+        return run, params
+
+    def _prepare_sleep(self, payload: Dict) -> Tuple:
+        """Diagnostics kind: hold a worker for ``seconds`` (used to probe
+        liveness under an in-flight long job, and to test cancellation);
+        cancels cooperatively at 50 ms granularity."""
+        seconds = float(payload.get("seconds", 1.0))
+        params = {"seconds": seconds}
+
+        def run(job: Job) -> Dict:
+            deadline = time.monotonic() + seconds
+            while time.monotonic() < deadline:
+                if job.cancelled():
+                    return {"slept": seconds - (deadline - time.monotonic())}
+                time.sleep(min(0.05, max(0.0, deadline - time.monotonic())))
+            return {"slept": seconds}
+
+        return run, params
+
+    # -- coalesced fault queries ----------------------------------------
+    def damage(self, payload: Dict) -> Dict:
+        """Synchronous, coalesced ``damage_vector`` query.
+
+        Concurrent calls targeting the same (fingerprint, seed, policy)
+        within the batching window share one kernel pass.
+        """
+        if not isinstance(payload, dict):
+            raise ReproError("damage payload must be an object")
+        entry = self._get_entry(payload)
+        seed = int(payload.get("seed", 0))
+        policy = str(payload.get("policy", "max"))
+        raw_faults = payload.get("faults")
+        if not isinstance(raw_faults, list):
+            raise ReproError("'faults' must be a list of fault objects")
+        faults = [fault_from_dict(f) for f in raw_faults]
+        batch = self.registry.batch_analysis(
+            entry.fingerprint, seed=seed, policy=policy
+        )
+        future = self.coalescer.submit(
+            (entry.fingerprint, seed, policy), batch.damage_vector, faults
+        )
+        timeout = float(payload.get("timeout", 60.0))
+        damages = future.result(timeout=timeout)
+        return {
+            "fingerprint": entry.fingerprint,
+            "seed": seed,
+            "policy": policy,
+            "damages": damages,
+        }
+
+    # -- liveness --------------------------------------------------------
+    def healthz(self) -> Dict:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "analysis_version": ANALYSIS_VERSION,
+            "uptime_seconds": time.time() - self.started_at,
+            "networks": len(self.registry),
+            "jobs": self.queue.counts(),
+            "queue_depth": self.queue.depth(),
+            "cache_dir": self.cache_dir,
+        }
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None):
+        """Graceful shutdown: stop intake, drain jobs, flush batches."""
+        self.queue.shutdown(drain=drain, timeout=timeout)
+        self.coalescer.close()
+
+
+# ---------------------------------------------------------------------------
+# HTTP layer
+# ---------------------------------------------------------------------------
+class _ServiceHandler(BaseHTTPRequestHandler):
+    server_version = f"repro-rsn/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # Quiet by default; the CLI flips this on with --verbose.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    @property
+    def service(self) -> AnalysisService:
+        return self.server.service
+
+    # -- plumbing --------------------------------------------------------
+    def _read_json(self) -> Dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        body = self.rfile.read(length)
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ReproError(f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ReproError("request body must be a JSON object")
+        return payload
+
+    def _send(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._send(status, body, "application/json")
+
+    def _route(self, method: str) -> None:
+        started = time.perf_counter()
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        route, status = path, 500
+        try:
+            route, status, payload = self._handle(method, path)
+            if isinstance(payload, str):
+                self._send(
+                    status,
+                    payload.encode("utf-8"),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            else:
+                self._send_json(status, payload)
+        except NotFoundError as exc:
+            status = 404
+            self._send_json(status, {"error": str(exc)})
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            status = 400
+            self._send_json(status, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            status = 500
+            self._send_json(
+                status, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        finally:
+            service = self.service
+            service._m_requests.inc(
+                method=method, path=route, status=str(status)
+            )
+            service._m_request_seconds.observe(
+                time.perf_counter() - started, path=route
+            )
+
+    def _handle(self, method: str, path: str) -> Tuple[str, int, object]:
+        """Returns (normalized route, status, payload)."""
+        service = self.service
+        if method == "GET" and path == "/healthz":
+            return path, 200, service.healthz()
+        if method == "GET" and path == "/metrics":
+            return path, 200, service.metrics.render()
+        if path == "/networks":
+            if method == "GET":
+                return path, 200, service.list_networks()
+            if method == "POST":
+                return path, 201, service.upload(self._read_json())
+        if path == "/jobs":
+            if method == "GET":
+                return path, 200, service.list_jobs()
+            if method == "POST":
+                return path, 202, service.submit_job(self._read_json())
+        if path.startswith("/jobs/"):
+            job_id = path[len("/jobs/") :]
+            route = "/jobs/{id}"
+            if "/" not in job_id:
+                if method == "GET":
+                    return route, 200, service.job_info(job_id)
+                if method == "DELETE":
+                    return route, 200, service.cancel_job(job_id)
+        if method == "POST" and path == "/damage":
+            return path, 200, service.damage(self._read_json())
+        raise NotFoundError(f"no route {method} {path}")
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        self._route("GET")
+
+    def do_POST(self):  # noqa: N802
+        self._route("POST")
+
+    def do_DELETE(self):  # noqa: N802
+        self._route("DELETE")
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying its :class:`AnalysisService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # The coalescer feeds on concurrent bursts; the stdlib default listen
+    # backlog of 5 would reset connections under exactly that load.
+    request_queue_size = 256
+
+    def __init__(self, address, service: AnalysisService, verbose=False):
+        super().__init__(address, _ServiceHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def make_server(
+    service: AnalysisService,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    verbose: bool = False,
+) -> ServiceServer:
+    """Bind a server for ``service`` (port 0 picks an ephemeral port)."""
+    return ServiceServer((host, port), service, verbose=verbose)
+
+
+def serve(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    verbose: bool = False,
+    install_signal_handlers: bool = True,
+    ready_message: bool = True,
+    **service_kwargs,
+) -> int:
+    """Run the daemon until SIGINT/SIGTERM; drains jobs on the way out."""
+    service = AnalysisService(**service_kwargs)
+    server = make_server(service, host, port, verbose=verbose)
+    stop = threading.Event()
+
+    def _shutdown(signum, frame):
+        stop.set()
+        # shutdown() blocks until serve_forever returns - do it off-thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    if install_signal_handlers:
+        signal.signal(signal.SIGINT, _shutdown)
+        signal.signal(signal.SIGTERM, _shutdown)
+    actual_host, actual_port = server.server_address[:2]
+    if ready_message:
+        print(
+            f"repro-rsn service listening on http://{actual_host}:"
+            f"{actual_port} (cache: {service.cache_dir or 'disabled'})",
+            flush=True,
+        )
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C
+        pass
+    finally:
+        service.close(drain=True, timeout=30.0)
+        server.server_close()
+    return 0

@@ -1,0 +1,205 @@
+"""Micro-batching coalescer: merging, scatter ordering, error fan-out."""
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis import BatchFaultAnalysis, GraphDamageAnalysis
+from repro.analysis.faults import iter_all_faults
+from repro.bench import build_design
+from repro.spec import spec_for_network
+from repro.errors import ReproError
+from repro.service.batching import BatchCoalescer
+
+
+def _doubler(faults):
+    return [float(f) * 2.0 for f in faults]
+
+
+def test_single_request_round_trips():
+    coalescer = BatchCoalescer(window=0.001)
+    try:
+        future = coalescer.submit("k", _doubler, [1, 2, 3])
+        assert future.result(timeout=5.0) == [2.0, 4.0, 6.0]
+    finally:
+        coalescer.close()
+
+
+def test_empty_fault_list_resolves_immediately():
+    coalescer = BatchCoalescer(window=60.0)
+    try:
+        future = coalescer.submit("k", _doubler, [])
+        assert future.result(timeout=0.1) == []
+    finally:
+        coalescer.close()
+
+
+def test_concurrent_requests_share_one_solve():
+    calls = []
+
+    def solve(faults):
+        calls.append(list(faults))
+        return _doubler(faults)
+
+    batches = []
+    coalescer = BatchCoalescer(
+        window=0.08,
+        on_batch=lambda occupancy, lanes, age: batches.append(
+            (occupancy, lanes)
+        ),
+    )
+    try:
+        futures = [
+            coalescer.submit("k", solve, [i]) for i in range(16)
+        ]
+        results = [f.result(timeout=5.0) for f in futures]
+        assert results == [[float(i * 2)] for i in range(16)]
+        # All 16 single-fault requests were merged into one kernel call.
+        assert len(calls) == 1
+        assert sorted(calls[0]) == list(range(16))
+        assert batches == [(16, 16)]
+    finally:
+        coalescer.close()
+
+
+def test_scatter_preserves_per_request_order():
+    coalescer = BatchCoalescer(window=0.05)
+    try:
+        first = coalescer.submit("k", _doubler, [5, 1])
+        second = coalescer.submit("k", _doubler, [3])
+        third = coalescer.submit("k", _doubler, [9, 7, 8])
+        assert first.result(timeout=5.0) == [10.0, 2.0]
+        assert second.result(timeout=5.0) == [6.0]
+        assert third.result(timeout=5.0) == [18.0, 14.0, 16.0]
+    finally:
+        coalescer.close()
+
+
+def test_distinct_keys_do_not_share_batches():
+    calls = []
+
+    def solve(faults):
+        calls.append(list(faults))
+        return _doubler(faults)
+
+    coalescer = BatchCoalescer(window=0.05)
+    try:
+        a = coalescer.submit("a", solve, [1])
+        b = coalescer.submit("b", solve, [2])
+        a.result(timeout=5.0)
+        b.result(timeout=5.0)
+        assert sorted(calls) == [[1], [2]]
+    finally:
+        coalescer.close()
+
+
+def test_max_faults_triggers_early_dispatch():
+    coalescer = BatchCoalescer(window=60.0, max_faults=4)
+    try:
+        futures = [coalescer.submit("k", _doubler, [i, i]) for i in range(2)]
+        # 4 lanes parked >= max_faults: dispatch fires long before the
+        # 60 s window closes.
+        for i, future in enumerate(futures):
+            assert future.result(timeout=5.0) == [float(i * 2)] * 2
+    finally:
+        coalescer.close()
+
+
+def test_solver_exception_fans_out_to_all_futures():
+    def explode(faults):
+        raise RuntimeError("kernel died")
+
+    coalescer = BatchCoalescer(window=0.02)
+    try:
+        futures = [coalescer.submit("k", explode, [i]) for i in range(3)]
+        for future in futures:
+            with pytest.raises(RuntimeError, match="kernel died"):
+                future.result(timeout=5.0)
+    finally:
+        coalescer.close()
+
+
+def test_length_mismatch_is_an_error():
+    coalescer = BatchCoalescer(window=0.01)
+    try:
+        future = coalescer.submit("k", lambda faults: [1.0, 2.0], [7])
+        with pytest.raises(ReproError, match="2 damages for 1 faults"):
+            future.result(timeout=5.0)
+    finally:
+        coalescer.close()
+
+
+def test_flush_dispatches_without_waiting_for_window():
+    coalescer = BatchCoalescer(window=60.0)
+    try:
+        future = coalescer.submit("k", _doubler, [4])
+        coalescer.flush()
+        assert future.result(timeout=1.0) == [8.0]
+    finally:
+        coalescer.close()
+
+
+def test_close_flushes_backlog_and_rejects_new_requests():
+    coalescer = BatchCoalescer(window=60.0)
+    future = coalescer.submit("k", _doubler, [1])
+    coalescer.close()
+    assert future.result(timeout=1.0) == [2.0]
+    with pytest.raises(ReproError, match="closed"):
+        coalescer.submit("k", _doubler, [2])
+    coalescer.close()  # idempotent
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ReproError):
+        BatchCoalescer(window=-1.0)
+    with pytest.raises(ReproError):
+        BatchCoalescer(max_faults=0)
+
+
+def test_coalesced_kernel_results_bit_identical_to_direct():
+    """The acceptance property at the coalescer level: concurrent
+    single-fault submissions against the real bitset kernel resolve to
+    exactly the damages the graph analysis computes fault-by-fault."""
+    network = build_design("TreeFlat")
+    spec = spec_for_network(network, seed=0)
+    batch = BatchFaultAnalysis(network, spec, policy="max")
+    graph = GraphDamageAnalysis(network, spec, policy="max")
+    faults = list(iter_all_faults(network))
+
+    coalescer = BatchCoalescer(window=0.05)
+    try:
+        results = [None] * len(faults)
+        barrier = threading.Barrier(len(faults[:24]) + 1)
+
+        def query(index, fault):
+            barrier.wait(timeout=10.0)
+            future = coalescer.submit(
+                "tree", batch.damage_vector, [fault]
+            )
+            results[index] = future.result(timeout=10.0)[0]
+
+        threads = [
+            threading.Thread(target=query, args=(i, fault))
+            for i, fault in enumerate(faults[:24])
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait(timeout=10.0)
+        for thread in threads:
+            thread.join(timeout=15.0)
+        for i, fault in enumerate(faults[:24]):
+            assert results[i] == graph.damage_of_fault(fault)
+    finally:
+        coalescer.close()
+
+
+def test_dispatcher_latency_bounded_by_window():
+    coalescer = BatchCoalescer(window=0.02)
+    try:
+        start = time.monotonic()
+        coalescer.submit("k", _doubler, [1]).result(timeout=5.0)
+        # One window plus scheduling slack, not the 60 s worst case.
+        assert time.monotonic() - start < 2.0
+    finally:
+        coalescer.close()

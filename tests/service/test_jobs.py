@@ -1,0 +1,224 @@
+"""Job queue: lifecycle, timeout, retries with backoff, cancel, drain."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service.jobs import JobQueue, JobStatus, TransientJobError
+
+
+@pytest.fixture
+def queue():
+    q = JobQueue(workers=2, retry_backoff=0.01)
+    yield q
+    q.shutdown(drain=False, timeout=5.0)
+
+
+def test_submit_runs_and_returns_result(queue):
+    job = queue.submit(lambda job: {"answer": 42}, kind="demo")
+    assert job.wait(5.0)
+    assert job.status == JobStatus.SUCCEEDED
+    assert job.result == {"answer": 42}
+    assert job.attempts == 1
+    assert job.error is None
+    assert queue.get(job.id) is job
+
+
+def test_as_dict_hides_result_until_done(queue):
+    gate = threading.Event()
+
+    def work(job):
+        gate.wait(5.0)
+        return "done"
+
+    job = queue.submit(work)
+    assert job.as_dict()["result"] is None
+    gate.set()
+    job.wait(5.0)
+    record = job.as_dict()
+    assert record["status"] == "succeeded"
+    assert record["result"] == "done"
+    assert record["runtime_seconds"] is not None
+
+
+def test_failure_captures_error(queue):
+    def boom(job):
+        raise ValueError("broken input")
+
+    job = queue.submit(boom)
+    job.wait(5.0)
+    assert job.status == JobStatus.FAILED
+    assert "ValueError" in job.error
+    assert "broken input" in job.error
+
+
+def test_transient_errors_retried_with_backoff(queue):
+    attempts = []
+
+    def flaky(job):
+        attempts.append(time.monotonic())
+        if len(attempts) < 3:
+            raise TransientJobError("worker pool hiccup")
+        return "recovered"
+
+    job = queue.submit(flaky, max_retries=3)
+    job.wait(10.0)
+    assert job.status == JobStatus.SUCCEEDED
+    assert job.result == "recovered"
+    assert job.attempts == 3
+    # Backoff grows: second gap at least as long as the base backoff.
+    assert attempts[2] - attempts[1] >= 0.01
+
+
+def test_transient_errors_exhaust_bounded_retries(queue):
+    calls = []
+
+    def always_flaky(job):
+        calls.append(1)
+        raise TransientJobError("still down")
+
+    job = queue.submit(always_flaky, max_retries=2)
+    job.wait(10.0)
+    assert job.status == JobStatus.FAILED
+    assert len(calls) == 3  # 1 initial + 2 retries
+    assert "TransientJobError" in job.error
+
+
+def test_non_transient_error_not_retried(queue):
+    calls = []
+
+    def fatal(job):
+        calls.append(1)
+        raise RuntimeError("logic bug")
+
+    job = queue.submit(fatal, max_retries=5)
+    job.wait(5.0)
+    assert job.status == JobStatus.FAILED
+    assert len(calls) == 1
+
+
+def test_timeout_fails_job(queue):
+    job = queue.submit(
+        lambda job: time.sleep(30), kind="slow", timeout=0.15
+    )
+    job.wait(5.0)
+    assert job.status == JobStatus.FAILED
+    assert "timeout" in job.error
+
+
+def test_cancel_queued_job():
+    queue = JobQueue(workers=1)
+    gate = threading.Event()
+    try:
+        blocker = queue.submit(lambda job: gate.wait(10.0), kind="blocker")
+        queued = queue.submit(lambda job: "never", kind="victim")
+        cancelled = queue.cancel(queued.id)
+        assert cancelled.status == JobStatus.CANCELLED
+        gate.set()
+        blocker.wait(5.0)
+        queued.wait(5.0)
+        assert queued.status == JobStatus.CANCELLED
+        assert queued.result is None
+    finally:
+        gate.set()
+        queue.shutdown(drain=False, timeout=5.0)
+
+
+def test_cancel_running_job_cooperatively(queue):
+    started = threading.Event()
+
+    def cooperative(job):
+        started.set()
+        while not job.cancelled():
+            time.sleep(0.01)
+        return "stopped"
+
+    job = queue.submit(cooperative)
+    assert started.wait(5.0)
+    queue.cancel(job.id)
+    job.wait(5.0)
+    assert job.status == JobStatus.CANCELLED
+
+
+def test_unknown_job_raises(queue):
+    with pytest.raises(ReproError):
+        queue.get("nope")
+    with pytest.raises(ReproError):
+        queue.cancel("nope")
+
+
+def test_counts_and_depth(queue):
+    gate = threading.Event()
+    jobs = [
+        queue.submit(lambda job: gate.wait(10.0)) for _ in range(4)
+    ]
+    time.sleep(0.1)
+    counts = queue.counts()
+    assert counts["running"] == 2  # two workers busy
+    assert counts["queued"] == 2
+    assert queue.depth() == 2
+    gate.set()
+    for job in jobs:
+        job.wait(5.0)
+    assert queue.counts()["succeeded"] == 4
+
+
+def test_shutdown_drains_backlog():
+    queue = JobQueue(workers=1)
+    done = []
+    jobs = [
+        queue.submit(lambda job, i=i: done.append(i) or i)
+        for i in range(5)
+    ]
+    queue.shutdown(drain=True, timeout=10.0)
+    assert sorted(done) == [0, 1, 2, 3, 4]
+    assert all(job.status == JobStatus.SUCCEEDED for job in jobs)
+    with pytest.raises(ReproError):
+        queue.submit(lambda job: None)
+
+
+def test_shutdown_without_drain_cancels_backlog():
+    queue = JobQueue(workers=1)
+    started = threading.Event()
+    gate = threading.Event()
+
+    def block(job):
+        started.set()
+        return gate.wait(10.0)
+
+    blocker = queue.submit(block)
+    assert started.wait(5.0)  # blocker is running, not merely queued
+    backlog = [queue.submit(lambda job: "never") for _ in range(3)]
+    gate.set()
+    queue.shutdown(drain=False, timeout=10.0)
+    blocker.wait(5.0)
+    assert blocker.status == JobStatus.SUCCEEDED
+    assert all(job.status == JobStatus.CANCELLED for job in backlog)
+
+
+def test_events_emitted(queue=None):
+    events = []
+    queue = JobQueue(
+        workers=1,
+        retry_backoff=0.0,
+        on_event=lambda job, event: events.append((job.kind, event)),
+    )
+    try:
+        calls = []
+
+        def flaky(job):
+            calls.append(1)
+            if len(calls) < 2:
+                raise TransientJobError("once")
+            return "ok"
+
+        job = queue.submit(flaky, kind="demo", max_retries=1)
+        job.wait(5.0)
+        assert ("demo", "submitted") in events
+        assert ("demo", "started") in events
+        assert ("demo", "retried") in events
+        assert ("demo", "succeeded") in events
+    finally:
+        queue.shutdown(drain=False, timeout=5.0)
