@@ -25,6 +25,7 @@ from .degradation import DegradationReport, degrade, worst_surviving_faults
 from .engine import (
     ANALYSIS_VERSION,
     CriticalityEngine,
+    CumulativeEngineStats,
     EngineStats,
     analysis_fingerprint,
     analyze_damage_cached,
@@ -56,6 +57,7 @@ __all__ = [
     "BatchFaultAnalysis",
     "ControlCellBreak",
     "CriticalityEngine",
+    "CumulativeEngineStats",
     "DamageReport",
     "DegradationReport",
     "EngineStats",

@@ -87,6 +87,7 @@ from ..ir import MUX as IR_MUX
 from ..ir import ROLE_DATA as IR_ROLE_DATA
 from ..ir import SEGMENT as IR_SEGMENT
 from ..ir import LANE_BITS, intern, lane_words
+from ..obs.trace import span
 from ..rsn.network import RsnNetwork
 from .faults import ControlCellBreak, Fault, MuxStuck, SegmentBreak
 
@@ -316,12 +317,18 @@ class BatchFaultAnalysis:
 
     def _reach(self, direction, prop, alive, words: int) -> np.ndarray:
         reach = np.zeros((self._n, words), dtype=np.uint64)
-        if direction == "forward":
-            reach[self.ir.scan_in] = _FULL_WORD
-            self.forward_pass(reach, prop, alive)
-        else:
-            reach[self.ir.scan_out] = _FULL_WORD
-            self.backward_pass(reach, prop, alive)
+        with span(
+            "batch.sweep",
+            direction=direction,
+            clean=prop is not None,
+            words=words,
+        ):
+            if direction == "forward":
+                reach[self.ir.scan_in] = _FULL_WORD
+                self.forward_pass(reach, prop, alive)
+            else:
+                reach[self.ir.scan_out] = _FULL_WORD
+                self.backward_pass(reach, prop, alive)
         return reach
 
     # ------------------------------------------------------------------
@@ -355,19 +362,24 @@ class BatchFaultAnalysis:
         Returns ``(not_broken, settable, observable)`` word matrices of
         shape ``(n_nodes, lane_words(len(states)))``.
         """
-        prop, alive, words = self._masks(states)
-        fwd_any = self._reach("forward", None, alive, words)
-        bwd_any = self._reach("backward", None, alive, words)
-        if prop is None:  # no lane breaks anything: clean == any
-            fwd_clean, bwd_clean = fwd_any, bwd_any
-        else:
-            fwd_clean = self._reach("forward", prop, alive, words)
-            bwd_clean = self._reach("backward", prop, alive, words)
-        settable = fwd_clean & bwd_any
-        observable = bwd_clean & fwd_any
-        if prop is not None:
-            settable &= prop
-            observable &= prop
+        with span(
+            "batch.chunk",
+            lanes=len(states),
+            occupancy=round(len(states) / (lane_words(len(states)) * 64), 3),
+        ):
+            prop, alive, words = self._masks(states)
+            fwd_any = self._reach("forward", None, alive, words)
+            bwd_any = self._reach("backward", None, alive, words)
+            if prop is None:  # no lane breaks anything: clean == any
+                fwd_clean, bwd_clean = fwd_any, bwd_any
+            else:
+                fwd_clean = self._reach("forward", prop, alive, words)
+                bwd_clean = self._reach("backward", prop, alive, words)
+            settable = fwd_clean & bwd_any
+            observable = bwd_clean & fwd_any
+            if prop is not None:
+                settable &= prop
+                observable &= prop
         self.counters["lanes"] += len(states)
         self.counters["chunks"] += 1
         return prop, settable, observable

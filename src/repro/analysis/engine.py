@@ -32,6 +32,7 @@ surfaces its counters.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import multiprocessing
 import os
@@ -43,6 +44,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ReproError
+from ..obs.metrics import record_engine_stats
+from ..obs.trace import (
+    SpanCollector,
+    collecting,
+    current_carrier,
+    current_collector,
+    span,
+    tracing_enabled,
+    use_carrier,
+)
 from ..ir import MUX as IR_MUX
 from ..ir import ROLE_DATA as IR_ROLE_DATA
 from ..ir import SEGMENT as IR_SEGMENT
@@ -239,6 +250,71 @@ class EngineStats:
         return "\n".join(lines)
 
 
+@dataclass
+class CumulativeEngineStats:
+    """Running totals across every ``report()`` call of one engine.
+
+    ``CriticalityEngine.stats`` is intentionally per-call (it is the
+    record benchmarks and ``--stats`` print), so before this view each
+    call silently discarded its predecessor.  The cumulative record is
+    what long-lived holders — the service, the EA loop — read for
+    hit-rates and throughput, and it mirrors what
+    :func:`repro.obs.metrics.record_engine_stats` feeds the global
+    registry.
+    """
+
+    reports: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    faults_evaluated: int = 0
+    lanes: int = 0
+    lane_chunks: int = 0
+    elapsed_seconds: float = 0.0
+    cache_evictions: int = 0
+    parallel_fallbacks: int = 0
+
+    def update(self, stats: "EngineStats") -> None:
+        self.reports += 1
+        if stats.cache == "hit":
+            self.cache_hits += 1
+        elif stats.cache == "miss":
+            self.cache_misses += 1
+        if stats.cache != "hit":
+            self.faults_evaluated += stats.faults_evaluated
+        self.lanes += stats.lanes
+        self.lane_chunks += stats.lane_chunks
+        self.elapsed_seconds += stats.elapsed_seconds
+        self.cache_evictions += stats.cache_evictions
+        if stats.parallel_fallback:
+            self.parallel_fallbacks += 1
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def faults_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.faults_evaluated / self.elapsed_seconds
+
+    def as_dict(self) -> Dict:
+        return {
+            "reports": self.reports,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "faults_evaluated": self.faults_evaluated,
+            "faults_per_second": self.faults_per_second,
+            "lanes": self.lanes,
+            "lane_chunks": self.lane_chunks,
+            "elapsed_seconds": self.elapsed_seconds,
+            "cache_evictions": self.cache_evictions,
+            "parallel_fallbacks": self.parallel_fallbacks,
+        }
+
+
 # ---------------------------------------------------------------------------
 # worker-side helpers (module-level so they pickle by reference)
 # ---------------------------------------------------------------------------
@@ -300,25 +376,47 @@ def _batch_counters(analysis) -> Dict[str, int]:
     return getattr(analysis, "batch_counters", None) or {}
 
 
+def _chunk_damages(analysis, names: List[str]) -> List[float]:
+    if hasattr(analysis, "primitive_damages"):
+        return analysis.primitive_damages(names)
+    return [analysis.primitive_damage(name) for name in names]
+
+
 def _worker_chunk(
     names: List[str],
-) -> Tuple[int, float, Dict[str, int], List[float]]:
+    carrier: Optional[Dict[str, str]] = None,
+) -> Tuple[int, float, Dict[str, int], List[float], List[Dict]]:
     """Evaluate one chunk of primitives; reports the bitset kernel's
     counter deltas alongside the damages (fork-mode workers mutate their
     copy-on-write analysis, so the parent never sees the counters
-    directly)."""
+    directly).
+
+    ``carrier`` is the parent's trace context: when present the worker
+    records its spans — ``engine.worker_chunk`` plus any kernel spans
+    opened underneath — into a private collector and ships them home as
+    the last tuple element, so one trace connects spans from many pids.
+    The private collector (rather than any fork-inherited one) keeps the
+    worker's spans out of its copy of the parent collector, which would
+    be discarded with the process.
+    """
     started = time.perf_counter()
     analysis = _WORKER_ANALYSIS
     before = _batch_counters(analysis)
-    if hasattr(analysis, "primitive_damages"):
-        damages = analysis.primitive_damages(names)
+    spans: List[Dict] = []
+    if carrier is not None:
+        local = SpanCollector()
+        with collecting(local), use_carrier(carrier):
+            with span("engine.worker_chunk", primitives=len(names)):
+                damages = _chunk_damages(analysis, names)
+        spans = [record.as_dict() for record in local.spans()]
     else:
-        damages = [analysis.primitive_damage(name) for name in names]
+        damages = _chunk_damages(analysis, names)
     counters = {
         key: value - before.get(key, 0)
         for key, value in _batch_counters(analysis).items()
     }
-    return os.getpid(), time.perf_counter() - started, counters, damages
+    elapsed = time.perf_counter() - started
+    return os.getpid(), elapsed, counters, damages, spans
 
 
 # ---------------------------------------------------------------------------
@@ -398,6 +496,7 @@ class CriticalityEngine:
         self.max_cache_mb = max_cache_mb
         self.min_parallel_primitives = min_parallel_primitives
         self.stats: Optional[EngineStats] = None
+        self.cumulative = CumulativeEngineStats()
         self._analysis = None
 
     @staticmethod
@@ -416,7 +515,8 @@ class CriticalityEngine:
         """Compute (or load) the :class:`DamageReport` for ``sites``.
 
         ``self.stats`` holds the :class:`EngineStats` of this call
-        afterwards.
+        afterwards; ``self.cumulative`` keeps accumulating across calls,
+        and every call is folded into the global metrics registry.
         """
         if sites not in _SITES:
             raise ReproError(f"unknown damage-site filter {sites!r}")
@@ -429,7 +529,28 @@ class CriticalityEngine:
             backend=self.backend,
         )
         self.stats = stats
+        with span(
+            "engine.analyze",
+            network=self.network.name,
+            fingerprint=intern(self.network).fingerprint[:16],
+            method=self.method,
+            backend=self.backend,
+            sites=sites,
+        ) as analyze_span:
+            report = self._report(sites, stats)
+            analyze_span.set_attribute("cache", stats.cache)
+            if stats.lanes:
+                analyze_span.set_attribute("lanes", stats.lanes)
+        stats.elapsed_seconds = time.perf_counter() - started
+        if stats.elapsed_seconds > 0:
+            stats.faults_per_second = (
+                stats.faults_evaluated / stats.elapsed_seconds
+            )
+        self.cumulative.update(stats)
+        record_engine_stats(stats)
+        return report
 
+    def _report(self, sites: str, stats: EngineStats) -> DamageReport:
         key = None
         if self.cache_dir:
             key = analysis_fingerprint(
@@ -441,10 +562,13 @@ class CriticalityEngine:
                 self.backend,
             )
             stats.cache_key = key
-            report = self._load_cached(key)
+            with span("engine.cache_lookup", key=key[:16]) as lookup:
+                report = self._load_cached(key)
+                lookup.set_attribute(
+                    "outcome", "hit" if report is not None else "miss"
+                )
             if report is not None:
                 stats.cache = "hit"
-                stats.elapsed_seconds = time.perf_counter() - started
                 return report
             stats.cache = "miss"
 
@@ -468,9 +592,10 @@ class CriticalityEngine:
                 f"{self.min_parallel_primitives})"
             )
         if damages is None:
-            before = _batch_counters(self._build_analysis())
-            damages = self._serial_damages(evaluated)
-            after = _batch_counters(self._analysis)
+            with span("engine.serial", primitives=len(evaluated)):
+                before = _batch_counters(self._build_analysis())
+                damages = self._serial_damages(evaluated)
+                after = _batch_counters(self._analysis)
             stats.lanes = after.get("lanes", 0) - before.get("lanes", 0)
             stats.lane_chunks = after.get("chunks", 0) - before.get(
                 "chunks", 0
@@ -493,16 +618,12 @@ class CriticalityEngine:
             self.network, self.policy, primitive_damage, unit_damage
         )
         if key is not None:
-            stats.cache_evictions = self._store_cached(key, report)
+            with span("engine.cache_store", key=key[:16]):
+                stats.cache_evictions = self._store_cached(key, report)
 
         analysis = self._analysis
         if analysis is not None and hasattr(analysis, "memo_counters"):
             stats.memo = dict(analysis.memo_counters)
-        stats.elapsed_seconds = time.perf_counter() - started
-        if stats.elapsed_seconds > 0:
-            stats.faults_per_second = (
-                stats.faults_evaluated / stats.elapsed_seconds
-            )
         return report
 
     # -- partitioning ----------------------------------------------------
@@ -626,25 +747,45 @@ class CriticalityEngine:
                 ),
             )
         parallel_started = time.perf_counter()
-        try:
-            with _EXECUTOR_FACTORY(
-                max_workers=jobs,
-                mp_context=context,
-                initializer=_worker_init,
-                initargs=initargs,
-            ) as pool:
-                results = list(pool.map(_worker_chunk, chunks))
-        finally:
-            _WORKER_ANALYSIS = None
+        with span(
+            "engine.pool",
+            workers=jobs,
+            chunks=len(chunks),
+            start_method=context.get_start_method(),
+        ):
+            # Dispatched under the pool span so worker_chunk spans (which
+            # carry this context across the process boundary) hang off it.
+            carrier = current_carrier() if tracing_enabled() else None
+            try:
+                with _EXECUTOR_FACTORY(
+                    max_workers=jobs,
+                    mp_context=context,
+                    initializer=_worker_init,
+                    initargs=initargs,
+                ) as pool:
+                    results = list(
+                        pool.map(
+                            _worker_chunk,
+                            chunks,
+                            itertools.repeat(carrier),
+                        )
+                    )
+            finally:
+                _WORKER_ANALYSIS = None
         parallel_wall = time.perf_counter() - parallel_started
 
         damages: List[float] = []
         busy: Dict[int, float] = {}
-        for pid, worker_elapsed, counters, chunk_damages in results:
+        shipped: List[Dict] = []
+        for pid, worker_elapsed, counters, chunk_damages, spans in results:
             damages.extend(chunk_damages)
             busy[pid] = busy.get(pid, 0.0) + worker_elapsed
             stats.lanes += counters.get("lanes", 0)
             stats.lane_chunks += counters.get("chunks", 0)
+            shipped.extend(spans)
+        collector = current_collector()
+        if collector is not None and shipped:
+            collector.ingest(shipped)
         stats.workers = jobs
         stats.distinct_workers = len(busy)
         stats.chunks = len(chunks)

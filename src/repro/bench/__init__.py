@@ -10,15 +10,29 @@ from .designs import (
     design_names,
     get_design,
 )
+from .regression import (
+    BenchComparison,
+    HotPath,
+    RegressionParseError,
+    RegressionReport,
+    compare_baseline,
+    load_hot_paths,
+)
 from .report import format_comparison, format_row, format_seconds, format_table
 from .table1 import Table1Row, run_design, run_table
 
 __all__ = [
+    "BenchComparison",
     "DESIGNS",
     "DesignInfo",
+    "HotPath",
     "MEDIUM_DESIGNS",
+    "RegressionParseError",
+    "RegressionReport",
     "SMALL_DESIGNS",
     "Table1Row",
+    "compare_baseline",
+    "load_hot_paths",
     "build_design",
     "design_names",
     "format_comparison",

@@ -1,0 +1,356 @@
+"""Benchmark-regression gating: fresh hot-path timings vs a baseline.
+
+``results/BENCH_*.json`` records the perf trajectory of the hot paths
+(serial engine analysis, the lane-packed bitset kernel, the compiled-IR
+graph walk) on the machine that produced them.  ``repro-rsn bench-diff``
+re-measures those same workloads — same generated designs, same seeds,
+same fault universes — on the current tree and fails when any hot path
+slowed down by more than the tolerance, so a perf regression shows up in
+the PR that introduced it instead of in the next hand-run benchmark.
+
+The measurement logic deliberately lives under ``src/`` (not in
+``benchmarks/``, which is not importable from the installed package):
+the CLI and CI call it directly.  Comparisons are ratio-based, so a
+baseline recorded on a slower machine only shifts every ratio by the
+same factor; a *relative* hot-path regression still stands out.  On
+shared CI runners the timings are noisy — that is what ``--soft`` and
+best-of-``repeats`` measurement are for — while schema errors (a
+baseline that cannot be parsed) always fail hard.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+
+__all__ = [
+    "BenchComparison",
+    "HotPath",
+    "RegressionParseError",
+    "RegressionReport",
+    "compare_baseline",
+    "load_hot_paths",
+]
+
+#: Fault-sample parameters of the IR benchmark (mirrors
+#: ``benchmarks/bench_analysis_scaling.py``).
+_IR_SAMPLE_SEED = 1234
+
+
+class RegressionParseError(ReproError):
+    """The baseline file is missing, malformed, or of an unknown schema.
+
+    Always a hard failure: a gate that cannot read its baseline must not
+    report success.
+    """
+
+
+@dataclass
+class HotPath:
+    """One re-measurable timing extracted from a baseline file."""
+
+    design: str
+    metric: str
+    n_segments: int
+    n_muxes: int
+    baseline_seconds: float
+    #: Metric-specific knobs (method, sampled fault count, ...).
+    params: Dict = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return f"{self.design}/{self.metric}"
+
+
+@dataclass
+class BenchComparison:
+    """A hot path's baseline timing next to its fresh measurement."""
+
+    hot_path: HotPath
+    fresh_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        if self.hot_path.baseline_seconds <= 0:
+            return float("inf")
+        return self.fresh_seconds / self.hot_path.baseline_seconds
+
+    def regressed(self, tolerance: float) -> bool:
+        return self.ratio > 1.0 + tolerance
+
+
+@dataclass
+class RegressionReport:
+    benchmark: str
+    baseline_path: str
+    tolerance: float
+    comparisons: List[BenchComparison]
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[BenchComparison]:
+        return [c for c in self.comparisons if c.regressed(self.tolerance)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        lines = [
+            f"bench-diff: {self.benchmark} vs {self.baseline_path} "
+            f"(tolerance {self.tolerance:.0%})",
+            f"{'hot path':34s} {'baseline':>10s} {'fresh':>10s} "
+            f"{'ratio':>7s}",
+        ]
+        for comparison in self.comparisons:
+            hot_path = comparison.hot_path
+            flag = (
+                "  REGRESSED"
+                if comparison.regressed(self.tolerance)
+                else ""
+            )
+            lines.append(
+                f"{hot_path.label:34s} "
+                f"{hot_path.baseline_seconds * 1e3:>8.2f}ms "
+                f"{comparison.fresh_seconds * 1e3:>8.2f}ms "
+                f"{comparison.ratio:>6.2f}x{flag}"
+            )
+        for reason in self.skipped:
+            lines.append(f"  (skipped {reason})")
+        lines.append(
+            "result: "
+            + (
+                "ok"
+                if self.ok
+                else f"{len(self.regressions)} hot path(s) regressed"
+            )
+        )
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict:
+        return {
+            "benchmark": self.benchmark,
+            "baseline": self.baseline_path,
+            "tolerance": self.tolerance,
+            "ok": self.ok,
+            "comparisons": [
+                {
+                    "label": c.hot_path.label,
+                    "baseline_seconds": c.hot_path.baseline_seconds,
+                    "fresh_seconds": c.fresh_seconds,
+                    "ratio": c.ratio,
+                    "regressed": c.regressed(self.tolerance),
+                }
+                for c in self.comparisons
+            ],
+            "skipped": list(self.skipped),
+        }
+
+
+# ---------------------------------------------------------------------------
+# baseline parsing
+# ---------------------------------------------------------------------------
+def _require(row: Dict, key: str, path: str):
+    if key not in row:
+        raise RegressionParseError(
+            f"{path}: baseline row missing key {key!r}"
+        )
+    return row[key]
+
+
+def load_hot_paths(path: str) -> Tuple[str, List[HotPath]]:
+    """Parse a ``BENCH_*.json`` baseline into re-measurable hot paths.
+
+    Raises :class:`RegressionParseError` on unreadable files, unknown
+    ``benchmark`` kinds, or rows without the expected timing fields.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise RegressionParseError(
+            f"cannot read baseline {path}: {exc}"
+        ) from None
+    if not isinstance(payload, dict):
+        raise RegressionParseError(f"{path}: baseline must be an object")
+    benchmark = payload.get("benchmark")
+    rows = payload.get("designs")
+    if not isinstance(rows, list) or not rows:
+        raise RegressionParseError(
+            f"{path}: baseline has no 'designs' rows"
+        )
+    hot_paths: List[HotPath] = []
+    for row in rows:
+        if not isinstance(row, dict):
+            raise RegressionParseError(f"{path}: design row is not an object")
+        design = str(_require(row, "design", path))
+        n_segments = int(_require(row, "n_segments", path))
+        n_muxes = int(_require(row, "n_muxes", path))
+        if benchmark == "criticality-engine":
+            method = str(_require(row, "method", path))
+            serial = _require(row, "serial", path)
+            if not isinstance(serial, dict) or "seconds" not in serial:
+                raise RegressionParseError(
+                    f"{path}: row {design!r} has no serial.seconds"
+                )
+            hot_paths.append(
+                HotPath(
+                    design=design,
+                    metric=f"serial/{method}",
+                    n_segments=n_segments,
+                    n_muxes=n_muxes,
+                    baseline_seconds=float(serial["seconds"]),
+                    params={"method": method},
+                )
+            )
+        elif benchmark == "bitset-batch-analysis":
+            hot_paths.append(
+                HotPath(
+                    design=design,
+                    metric="bitset",
+                    n_segments=n_segments,
+                    n_muxes=n_muxes,
+                    baseline_seconds=float(
+                        _require(row, "bitset_seconds", path)
+                    ),
+                )
+            )
+        elif benchmark == "compiled-ir-vs-dict":
+            graph = _require(row, "graph_analysis", path)
+            if not isinstance(graph, dict) or "ir_seconds" not in graph:
+                raise RegressionParseError(
+                    f"{path}: row {design!r} has no graph_analysis.ir_seconds"
+                )
+            hot_paths.append(
+                HotPath(
+                    design=design,
+                    metric="graph_ir",
+                    n_segments=n_segments,
+                    n_muxes=n_muxes,
+                    baseline_seconds=float(graph["ir_seconds"]),
+                    params={
+                        "faults_sampled": int(
+                            graph.get("faults_sampled", 30)
+                        )
+                    },
+                )
+            )
+        else:
+            raise RegressionParseError(
+                f"{path}: unknown benchmark kind {benchmark!r}"
+            )
+    return str(benchmark), hot_paths
+
+
+# ---------------------------------------------------------------------------
+# fresh measurement
+# ---------------------------------------------------------------------------
+def _build(hot_path: HotPath):
+    from ..rsn.ast import elaborate
+    from ..spec import spec_for_network
+    from .generators import mbist_network
+
+    network = elaborate(
+        mbist_network(hot_path.n_segments, hot_path.n_muxes, seed=0)
+    )
+    return network, spec_for_network(network, seed=0)
+
+
+def _all_faults(network) -> List:
+    from ..analysis.faults import faults_of_primitive
+    from ..rsn.primitives import NodeKind
+
+    faults: List = []
+    for node in network.nodes():
+        if node.kind in (NodeKind.SEGMENT, NodeKind.MUX):
+            faults.extend(faults_of_primitive(network, node.name))
+    return faults
+
+
+def _measure_once(hot_path: HotPath, network, spec, tree=None) -> float:
+    from ..analysis import CriticalityEngine, GraphDamageAnalysis
+
+    if hot_path.metric.startswith("serial/"):
+        # Mirror the baseline's _time_engine: tree pre-built outside the
+        # timer, serial (jobs=0), no parallel floor, no cache.
+        started = time.perf_counter()
+        engine = CriticalityEngine(
+            network,
+            spec,
+            tree=tree,
+            method=hot_path.params["method"],
+            jobs=0,
+            min_parallel_primitives=1,
+        )
+        engine.report()
+        return time.perf_counter() - started
+    if hot_path.metric == "bitset":
+        faults = _all_faults(network)
+        started = time.perf_counter()
+        analysis = GraphDamageAnalysis(network, spec, backend="bitset")
+        analysis.damage_vector(faults)
+        return time.perf_counter() - started
+    if hot_path.metric == "graph_ir":
+        faults = _all_faults(network)
+        count = hot_path.params["faults_sampled"]
+        if len(faults) > count:
+            faults = random.Random(_IR_SAMPLE_SEED).sample(faults, count)
+        started = time.perf_counter()
+        analysis = GraphDamageAnalysis(network, spec, backend="ir")
+        for fault in faults:
+            analysis.damage_of_fault(fault)
+        return time.perf_counter() - started
+    raise RegressionParseError(f"unknown metric {hot_path.metric!r}")
+
+
+def measure_hot_path(hot_path: HotPath, repeats: int = 3) -> float:
+    """Best-of-``repeats`` fresh timing of one hot path (fresh analysis
+    objects per repeat, so construction is included exactly as the
+    baselines recorded it)."""
+    network, spec = _build(hot_path)
+    tree = None
+    if hot_path.metric.startswith("serial/"):
+        from ..sp import decompose
+
+        tree = decompose(network)
+    return min(
+        _measure_once(hot_path, network, spec, tree)
+        for _ in range(repeats)
+    )
+
+
+def compare_baseline(
+    path: str,
+    tolerance: float = 0.2,
+    repeats: int = 3,
+    max_segments: Optional[int] = None,
+) -> RegressionReport:
+    """Re-measure every hot path of a baseline and compare.
+
+    ``max_segments`` skips designs above that size (reported in the
+    ``skipped`` list, never silently) to bound the gate's runtime.
+    """
+    benchmark, hot_paths = load_hot_paths(path)
+    comparisons: List[BenchComparison] = []
+    skipped: List[str] = []
+    for hot_path in hot_paths:
+        if max_segments is not None and hot_path.n_segments > max_segments:
+            skipped.append(
+                f"{hot_path.label}: {hot_path.n_segments} segments > "
+                f"--max-segments {max_segments}"
+            )
+            continue
+        fresh = measure_hot_path(hot_path, repeats=repeats)
+        comparisons.append(BenchComparison(hot_path, fresh))
+    return RegressionReport(
+        benchmark=benchmark,
+        baseline_path=path,
+        tolerance=tolerance,
+        comparisons=comparisons,
+        skipped=skipped,
+    )

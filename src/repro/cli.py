@@ -8,7 +8,9 @@ Subcommands
 * ``harden``  — full selective-hardening synthesis of a network file;
 * ``example`` — walk through the paper's Fig. 1-4 example;
 * ``serve``   — run the batching analysis service (HTTP JSON API);
-* ``submit``  — upload a network to a running service and run a job.
+* ``submit``  — upload a network to a running service and run a job;
+* ``bench-diff`` — re-measure benchmark baselines and fail on
+  hot-path regressions.
 """
 
 from __future__ import annotations
@@ -246,7 +248,29 @@ def _cmd_analyze(args) -> int:
         chunk_lanes=args.chunk_lanes,
         max_cache_mb=args.cache_max_mb,
     )
-    report = engine.report(sites=args.sites)
+    collector = None
+    trace_id = None
+    if args.trace:
+        from .obs import SpanCollector, enable_tracing, new_trace_id
+
+        collector = SpanCollector()
+        enable_tracing(collector)
+        trace_id = new_trace_id()
+    try:
+        if trace_id is not None:
+            from .obs import root_span
+
+            with root_span(
+                "cli.analyze", trace_id=trace_id, network=network.name
+            ):
+                report = engine.report(sites=args.sites)
+        else:
+            report = engine.report(sites=args.sites)
+    finally:
+        if collector is not None:
+            from .obs import disable_tracing
+
+            disable_tracing()
     n_seg, n_mux = network.counts()
     print(f"network          : {network.name}")
     print(f"segments / muxes : {n_seg:,} / {n_mux:,}")
@@ -260,6 +284,17 @@ def _cmd_analyze(args) -> int:
     if args.stats:
         print()
         print(engine.stats.format())
+    if collector is not None:
+        from .obs import hot_path_tree, write_chrome_trace
+
+        count = write_chrome_trace(args.trace, collector, trace_id)
+        print()
+        print(
+            f"trace            : {count} spans -> {args.trace} "
+            "(open in chrome://tracing or ui.perfetto.dev)"
+        )
+        print("hot path:")
+        print(hot_path_tree(collector, trace_id))
     return 0
 
 
@@ -352,7 +387,38 @@ def _cmd_serve(args) -> int:
         batch_window=args.batch_window_ms / 1000.0,
         job_timeout=args.job_timeout,
         engine_jobs=args.jobs,
+        tracing=args.trace,
     )
+
+
+def _cmd_bench_diff(args) -> int:
+    from .bench.regression import RegressionParseError, compare_baseline
+
+    exit_code = 0
+    for index, path in enumerate(args.baselines):
+        try:
+            report = compare_baseline(
+                path,
+                tolerance=args.tolerance,
+                repeats=args.repeats,
+                max_segments=args.max_segments,
+            )
+        except RegressionParseError as exc:
+            # A gate that cannot read its baseline must fail loudly,
+            # --soft or not.
+            print(f"bench-diff: {exc}", file=sys.stderr)
+            return 2
+        if index:
+            print()
+        print(report.format())
+        if not report.ok:
+            if args.soft:
+                print(
+                    "(--soft: regression reported but not fatal)"
+                )
+            else:
+                exit_code = 1
+    return exit_code
 
 
 def _cmd_submit(args) -> int:
@@ -484,6 +550,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--sites", choices=["all", "control", "mux"], default="all",
         help="which primitives' faults Eq. 2 sums over",
     )
+    analyze.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record spans of the analysis and write a Chrome "
+        "trace_event JSON to PATH (plus a hot-path tree on stdout)",
+    )
     _add_engine_options(analyze)
 
     harden = subparsers.add_parser(
@@ -580,7 +653,54 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="cap the result cache at MB megabytes (LRU eviction)",
     )
     serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable in-process span collection (per-request traces "
+        "retrievable via GET /trace/{id})",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    bench_diff = subparsers.add_parser(
+        "bench-diff",
+        help="re-measure benchmark baselines; exit 1 on hot-path "
+        "regression, 2 on unreadable baselines",
+    )
+    bench_diff.add_argument(
+        "baselines",
+        nargs="*",
+        default=["results/BENCH_criticality.json"],
+        help="BENCH_*.json baseline files "
+        "(default: results/BENCH_criticality.json)",
+    )
+    bench_diff.add_argument(
+        "--tolerance",
+        type=_positive_float,
+        default=0.2,
+        metavar="FRAC",
+        help="allowed fractional slowdown per hot path (default 0.2 "
+        "= 20%%)",
+    )
+    bench_diff.add_argument(
+        "--repeats",
+        type=_positive_int,
+        default=3,
+        metavar="N",
+        help="timing repeats per hot path; the best is kept (default 3)",
+    )
+    bench_diff.add_argument(
+        "--max-segments",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="skip designs larger than N segments (bounds gate runtime)",
+    )
+    bench_diff.add_argument(
+        "--soft",
+        action="store_true",
+        help="report regressions without failing (for noisy CI "
+        "runners); parse errors still exit 2",
     )
 
     submit = subparsers.add_parser(
@@ -649,6 +769,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "dot": _cmd_dot,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
+        "bench-diff": _cmd_bench_diff,
     }
     return handlers[args.command](args)
 

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from ..errors import OptimizationError
+from ..obs.trace import span
 from .operators import (
     binary_tournament,
     bit_mutation,
@@ -86,46 +87,56 @@ class SPEA2:
         history: List[Dict[str, float]] = []
         generation = 0
         for generation in range(1, generations + 1):
-            union = np.vstack([population, archive])
-            union_objs = np.vstack([pop_objs, archive_objs])
-            fitness, distances = _fitness(union_objs)
+            with span(
+                "ea.generation", generation=generation
+            ) as gen_span:
+                union = np.vstack([population, archive])
+                union_objs = np.vstack([pop_objs, archive_objs])
+                fitness, distances = _fitness(union_objs)
 
-            keep = _environmental_selection(
-                fitness, distances, self.archive_size
-            )
-            archive = union[keep]
-            archive_objs = union_objs[keep]
-            archive_fitness = fitness[keep]
-
-            history.append(
-                {
-                    "generation": generation,
-                    "archive_size": len(keep),
-                    "hypervolume": hypervolume_2d(archive_objs, reference)
-                    if archive_objs.shape[1] == 2
-                    else 0.0,
-                    "best_obj0": float(archive_objs[:, 0].min()),
-                    "best_obj1": float(archive_objs[:, 1].min())
-                    if archive_objs.shape[1] > 1
-                    else 0.0,
-                }
-            )
-            if early_stop is not None and early_stop(history):
-                break
-            if generation == generations:
-                break
-
-            parents = archive[
-                binary_tournament(
-                    rng, archive_fitness, self._even(self.population_size)
+                keep = _environmental_selection(
+                    fitness, distances, self.archive_size
                 )
-            ]
-            offspring = one_point_crossover(rng, parents, self.p_crossover)
-            population = bit_mutation(rng, offspring, self.p_mutation)[
-                : self.population_size
-            ]
-            pop_objs = self.problem.evaluate(population)
-            n_evaluations += len(population)
+                archive = union[keep]
+                archive_objs = union_objs[keep]
+                archive_fitness = fitness[keep]
+
+                history.append(
+                    {
+                        "generation": generation,
+                        "archive_size": len(keep),
+                        "hypervolume": hypervolume_2d(
+                            archive_objs, reference
+                        )
+                        if archive_objs.shape[1] == 2
+                        else 0.0,
+                        "best_obj0": float(archive_objs[:, 0].min()),
+                        "best_obj1": float(archive_objs[:, 1].min())
+                        if archive_objs.shape[1] > 1
+                        else 0.0,
+                    }
+                )
+                gen_span.set_attribute("archive_size", len(keep))
+                if early_stop is not None and early_stop(history):
+                    break
+                if generation == generations:
+                    break
+
+                parents = archive[
+                    binary_tournament(
+                        rng,
+                        archive_fitness,
+                        self._even(self.population_size),
+                    )
+                ]
+                offspring = one_point_crossover(
+                    rng, parents, self.p_crossover
+                )
+                population = bit_mutation(
+                    rng, offspring, self.p_mutation
+                )[: self.population_size]
+                pop_objs = self.problem.evaluate(population)
+                n_evaluations += len(population)
 
         return EAResult(
             algorithm="spea2",

@@ -1,0 +1,69 @@
+"""Observability: tracing, the global metrics registry, span exporters.
+
+See DESIGN.md §5f.  ``repro.service.metrics`` re-exports the metrics
+classes for back-compat; new code should import from here.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    record_engine_stats,
+)
+from .trace import (
+    NOOP_SPAN,
+    Span,
+    SpanCollector,
+    SpanRecord,
+    TraceContext,
+    collecting,
+    current_carrier,
+    current_collector,
+    current_context,
+    disable_tracing,
+    enable_tracing,
+    new_span_id,
+    new_trace_id,
+    root_span,
+    span,
+    tracing_enabled,
+    use_carrier,
+)
+from .export import (
+    chrome_trace_events,
+    chrome_trace_json,
+    hot_path_tree,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "SpanCollector",
+    "SpanRecord",
+    "TraceContext",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "collecting",
+    "current_carrier",
+    "current_collector",
+    "current_context",
+    "disable_tracing",
+    "enable_tracing",
+    "global_registry",
+    "hot_path_tree",
+    "new_span_id",
+    "new_trace_id",
+    "record_engine_stats",
+    "root_span",
+    "span",
+    "tracing_enabled",
+    "use_carrier",
+    "write_chrome_trace",
+]

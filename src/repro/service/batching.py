@@ -38,6 +38,7 @@ from concurrent.futures import Future
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
+from ..obs.trace import current_carrier, span, use_carrier
 
 __all__ = ["BatchCoalescer"]
 
@@ -50,7 +51,8 @@ class _PendingBatch:
     def __init__(self, key, solve, window: float):
         self.key = key
         self.solve = solve
-        self.requests: List[Tuple[Sequence, Future]] = []
+        #: (faults, future, submitting thread's trace carrier or None)
+        self.requests: List[Tuple[Sequence, Future, Optional[Dict]]] = []
         self.n_faults = 0
         self.opened = time.monotonic()
         self.deadline = self.opened + window
@@ -112,7 +114,9 @@ class BatchCoalescer:
             if batch is None:
                 batch = _PendingBatch(key, solve, self.window)
                 self._pending[key] = batch
-            batch.requests.append((list(faults), future))
+            batch.requests.append(
+                (list(faults), future, current_carrier())
+            )
             batch.n_faults += len(faults)
             self._wakeup.notify()
         return future
@@ -162,13 +166,27 @@ class BatchCoalescer:
 
     def _dispatch(self, batch: _PendingBatch) -> None:
         merged: List = []
-        for faults, _ in batch.requests:
+        carrier = None
+        for faults, _, request_carrier in batch.requests:
             merged.extend(faults)
+            if carrier is None:
+                carrier = request_carrier
         age = time.monotonic() - batch.opened
         try:
-            damages = batch.solve(merged)
+            # The dispatcher thread adopts the first traced request's
+            # context, so the kernel spans of a shared pass land in that
+            # request's trace (a batch serves many traces but the sweep
+            # runs once — it can only hang off one of them).
+            with use_carrier(carrier):
+                with span(
+                    "coalescer.dispatch",
+                    occupancy=len(batch.requests),
+                    lanes=len(merged),
+                    wait_seconds=round(age, 6),
+                ):
+                    damages = batch.solve(merged)
         except BaseException as exc:
-            for _, future in batch.requests:
+            for _, future, _ in batch.requests:
                 if not future.cancelled():
                     future.set_exception(exc)
             return
@@ -177,12 +195,12 @@ class BatchCoalescer:
                 f"batch solver returned {len(damages)} damages for "
                 f"{len(merged)} faults"
             )
-            for _, future in batch.requests:
+            for _, future, _ in batch.requests:
                 if not future.cancelled():
                     future.set_exception(exc)
             return
         offset = 0
-        for faults, future in batch.requests:
+        for faults, future, _ in batch.requests:
             slice_ = [float(d) for d in damages[offset : offset + len(faults)]]
             offset += len(faults)
             if not future.cancelled():

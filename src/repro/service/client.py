@@ -34,6 +34,9 @@ class ServiceClient:
     def __init__(self, base_url: str, timeout: float = 60.0):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: ``X-Trace-Id`` of the most recent response (assigned by the
+        #: server unless the request carried one).
+        self.last_trace_id: Optional[str] = None
 
     # -- transport -------------------------------------------------------
     def _request(
@@ -42,10 +45,13 @@ class ServiceClient:
         path: str,
         payload: Optional[Dict] = None,
         timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ):
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
+        if trace_id:
+            headers["X-Trace-Id"] = trace_id
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -58,6 +64,7 @@ class ServiceClient:
             ) as response:
                 body = response.read()
                 content_type = response.headers.get("Content-Type", "")
+                self.last_trace_id = response.headers.get("X-Trace-Id")
         except urllib.error.HTTPError as exc:
             detail = ""
             try:
@@ -153,6 +160,7 @@ class ServiceClient:
         seed: int = 0,
         policy: str = "max",
         timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> List[float]:
         """Damage of each fault (coalesced server-side across clients)."""
         payload = {
@@ -164,15 +172,22 @@ class ServiceClient:
         if timeout is not None:
             payload["timeout"] = timeout
         return self._request(
-            "POST", "/damage", payload, timeout=timeout
+            "POST", "/damage", payload, timeout=timeout, trace_id=trace_id
         )["damages"]
 
     # -- liveness --------------------------------------------------------
     def healthz(self) -> Dict:
         return self._request("GET", "/healthz")
 
+    def version(self) -> Dict:
+        return self._request("GET", "/version")
+
     def metrics(self) -> str:
         return self._request("GET", "/metrics")
+
+    def trace(self, trace_id: str) -> Dict:
+        """The server-side Chrome trace document for one trace id."""
+        return self._request("GET", f"/trace/{trace_id}")
 
     def wait_ready(self, timeout: float = 10.0) -> Dict:
         """Poll ``/healthz`` until the server answers (startup helper)."""

@@ -37,6 +37,7 @@ from queue import Empty, Queue
 from typing import Callable, Dict, List, Optional
 
 from ..errors import ReproError
+from ..obs.trace import current_carrier, span, use_carrier
 
 __all__ = [
     "Job",
@@ -83,6 +84,10 @@ class Job:
         self.result: Optional[object] = None
         self.error: Optional[str] = None
         self.attempts = 0
+        # Captured at submit time (the HTTP request thread): worker and
+        # attempt threads re-attach it so job spans join the submitter's
+        # trace.
+        self.trace_carrier = current_carrier()
         self.created_at = time.time()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -310,11 +315,20 @@ class JobQueue:
             job.status = JobStatus.RUNNING
         job.started_at = time.time()
         self._emit(job, "started")
+        # Re-attach the submitter's trace on this worker thread; the
+        # job.run span then covers queue wait-free runtime including all
+        # retries, each of which is a child job.attempt span.
+        with use_carrier(job.trace_carrier):
+            with span("job.run", kind=job.kind, job_id=job.id):
+                self._run_attempts(job)
+
+    def _run_attempts(self, job: Job) -> None:
         deadline = (
             time.monotonic() + job.timeout
             if job.timeout is not None
             else None
         )
+        run_carrier = current_carrier()
         for attempt in itertools.count():
             if job.cancelled():
                 job._finish(JobStatus.CANCELLED, error="cancelled")
@@ -323,9 +337,15 @@ class JobQueue:
             job.attempts = attempt + 1
             outcome: Dict[str, object] = {}
 
-            def _attempt(outcome=outcome):
+            def _attempt(outcome=outcome, attempt_no=job.attempts):
                 try:
-                    outcome["result"] = job.fn(job)
+                    with use_carrier(run_carrier):
+                        with span(
+                            "job.attempt",
+                            kind=job.kind,
+                            attempt=attempt_no,
+                        ):
+                            outcome["result"] = job.fn(job)
                 except BaseException as exc:  # reported via the job record
                     outcome["error"] = exc
 

@@ -1,276 +1,27 @@
-"""Minimal, stdlib-only Prometheus-style metrics.
+"""Back-compat shim: the metrics implementation moved to ``repro.obs``.
 
-The analysis service exposes ``GET /metrics`` in the Prometheus text
-exposition format.  Pulling in an actual client library is out of scope
-for this repo (stdlib-only service layer), and the subset the service
-needs is tiny: monotonically increasing counters, point-in-time gauges
-and cumulative-bucket histograms, each optionally split by a fixed label
-set.  All three are thread-safe — every HTTP request and every job
-worker updates them concurrently.
-
-Semantics follow the Prometheus conventions:
-
-* a :class:`Counter` only ever increases;
-* a :class:`Histogram` renders cumulative ``_bucket{le=...}`` series plus
-  ``_sum`` and ``_count`` (so averages and quantile estimates work with
-  the standard PromQL recipes);
-* label values are escaped per the exposition-format rules.
+The registry became process-global when the engine and the tracer
+started feeding it alongside the HTTP layer (see DESIGN.md §5f), so the
+classes now live in :mod:`repro.obs.metrics`.  Existing imports of
+``repro.service.metrics`` keep working through this module.
 """
 
-from __future__ import annotations
-
-import math
-import threading
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from repro.obs.metrics import (  # noqa: F401
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    record_engine_stats,
+)
 
 __all__ = [
+    "DEFAULT_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "global_registry",
+    "record_engine_stats",
 ]
-
-#: Default histogram buckets (seconds) — tuned for request latencies from
-#: sub-millisecond cache hits to multi-second full analyses.
-DEFAULT_BUCKETS = (
-    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
-    0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
-)
-
-
-def _escape_label_value(value: str) -> str:
-    return (
-        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
-    )
-
-
-def _format_value(value: float) -> str:
-    if value == math.inf:
-        return "+Inf"
-    if value == int(value):
-        return str(int(value))
-    return repr(value)
-
-
-def _labels_text(names: Sequence[str], values: Sequence[str]) -> str:
-    if not names:
-        return ""
-    pairs = ", ".join(
-        f'{name}="{_escape_label_value(str(value))}"'
-        for name, value in zip(names, values)
-    )
-    return "{" + pairs + "}"
-
-
-class _Metric:
-    """Shared scaffolding: name, help text, label handling, locking."""
-
-    kind = "untyped"
-
-    def __init__(
-        self, name: str, help_text: str, labelnames: Sequence[str] = ()
-    ):
-        self.name = name
-        self.help_text = help_text
-        self.labelnames = tuple(labelnames)
-        self._lock = threading.Lock()
-        self._samples: Dict[Tuple[str, ...], object] = {}
-
-    def _key(self, labels: Dict[str, str]) -> Tuple[str, ...]:
-        if set(labels) != set(self.labelnames):
-            raise ValueError(
-                f"metric {self.name} expects labels {self.labelnames}, "
-                f"got {tuple(labels)}"
-            )
-        return tuple(str(labels[name]) for name in self.labelnames)
-
-    def header(self) -> List[str]:
-        return [
-            f"# HELP {self.name} {self.help_text}",
-            f"# TYPE {self.name} {self.kind}",
-        ]
-
-
-class Counter(_Metric):
-    """A monotonically increasing counter, optionally labelled."""
-
-    kind = "counter"
-
-    def inc(self, amount: float = 1.0, **labels: str) -> None:
-        if amount < 0:
-            raise ValueError("counters can only increase")
-        key = self._key(labels)
-        with self._lock:
-            self._samples[key] = self._samples.get(key, 0.0) + amount
-
-    def value(self, **labels: str) -> float:
-        with self._lock:
-            return float(self._samples.get(self._key(labels), 0.0))
-
-    def render(self) -> List[str]:
-        lines = self.header()
-        with self._lock:
-            samples = sorted(self._samples.items())
-        if not samples and not self.labelnames:
-            samples = [((), 0.0)]
-        for key, value in samples:
-            lines.append(
-                f"{self.name}{_labels_text(self.labelnames, key)} "
-                f"{_format_value(value)}"
-            )
-        return lines
-
-
-class Gauge(_Metric):
-    """A value that can go up and down (queue depth, registry size)."""
-
-    kind = "gauge"
-
-    def set(self, value: float, **labels: str) -> None:
-        key = self._key(labels)
-        with self._lock:
-            self._samples[key] = float(value)
-
-    def inc(self, amount: float = 1.0, **labels: str) -> None:
-        key = self._key(labels)
-        with self._lock:
-            self._samples[key] = self._samples.get(key, 0.0) + amount
-
-    def dec(self, amount: float = 1.0, **labels: str) -> None:
-        self.inc(-amount, **labels)
-
-    def value(self, **labels: str) -> float:
-        with self._lock:
-            return float(self._samples.get(self._key(labels), 0.0))
-
-    def render(self) -> List[str]:
-        lines = self.header()
-        with self._lock:
-            samples = sorted(self._samples.items())
-        if not samples and not self.labelnames:
-            samples = [((), 0.0)]
-        for key, value in samples:
-            lines.append(
-                f"{self.name}{_labels_text(self.labelnames, key)} "
-                f"{_format_value(value)}"
-            )
-        return lines
-
-
-class Histogram(_Metric):
-    """Cumulative-bucket histogram (`_bucket`/`_sum`/`_count` series)."""
-
-    kind = "histogram"
-
-    def __init__(
-        self,
-        name: str,
-        help_text: str,
-        labelnames: Sequence[str] = (),
-        buckets: Iterable[float] = DEFAULT_BUCKETS,
-    ):
-        super().__init__(name, help_text, labelnames)
-        bounds = sorted(float(b) for b in buckets)
-        if not bounds:
-            raise ValueError("histogram needs at least one bucket")
-        if bounds[-1] != math.inf:
-            bounds.append(math.inf)
-        self.buckets = tuple(bounds)
-
-    def observe(self, value: float, **labels: str) -> None:
-        key = self._key(labels)
-        with self._lock:
-            state = self._samples.get(key)
-            if state is None:
-                state = [[0] * len(self.buckets), 0.0, 0]
-                self._samples[key] = state
-            counts, _, _ = state
-            for index, bound in enumerate(self.buckets):
-                if value <= bound:
-                    counts[index] += 1
-                    break
-            state[1] += value
-            state[2] += 1
-
-    def count(self, **labels: str) -> int:
-        with self._lock:
-            state = self._samples.get(self._key(labels))
-            return int(state[2]) if state else 0
-
-    def sum(self, **labels: str) -> float:
-        with self._lock:
-            state = self._samples.get(self._key(labels))
-            return float(state[1]) if state else 0.0
-
-    def render(self) -> List[str]:
-        lines = self.header()
-        with self._lock:
-            samples = sorted(
-                (key, ([*state[0]], state[1], state[2]))
-                for key, state in self._samples.items()
-            )
-        for key, (counts, total, count) in samples:
-            cumulative = 0
-            for bound, bucket_count in zip(self.buckets, counts):
-                cumulative += bucket_count
-                label_names = (*self.labelnames, "le")
-                label_values = (*key, _format_value(bound))
-                lines.append(
-                    f"{self.name}_bucket"
-                    f"{_labels_text(label_names, label_values)} {cumulative}"
-                )
-            labels_text = _labels_text(self.labelnames, key)
-            lines.append(
-                f"{self.name}_sum{labels_text} {_format_value(total)}"
-            )
-            lines.append(f"{self.name}_count{labels_text} {count}")
-        return lines
-
-
-class MetricsRegistry:
-    """The set of metrics one service instance exposes."""
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._metrics: Dict[str, _Metric] = {}
-
-    def _register(self, metric: _Metric) -> _Metric:
-        with self._lock:
-            if metric.name in self._metrics:
-                raise ValueError(
-                    f"metric {metric.name!r} already registered"
-                )
-            self._metrics[metric.name] = metric
-        return metric
-
-    def counter(
-        self, name: str, help_text: str, labelnames: Sequence[str] = ()
-    ) -> Counter:
-        return self._register(Counter(name, help_text, labelnames))
-
-    def gauge(
-        self, name: str, help_text: str, labelnames: Sequence[str] = ()
-    ) -> Gauge:
-        return self._register(Gauge(name, help_text, labelnames))
-
-    def histogram(
-        self,
-        name: str,
-        help_text: str,
-        labelnames: Sequence[str] = (),
-        buckets: Iterable[float] = DEFAULT_BUCKETS,
-    ) -> Histogram:
-        return self._register(Histogram(name, help_text, labelnames, buckets))
-
-    def get(self, name: str) -> Optional[_Metric]:
-        with self._lock:
-            return self._metrics.get(name)
-
-    def render(self) -> str:
-        """The Prometheus text exposition of every registered metric."""
-        with self._lock:
-            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
-        lines: List[str] = []
-        for metric in metrics:
-            lines.extend(metric.render())
-        return "\n".join(lines) + "\n"

@@ -47,9 +47,19 @@ from ..analysis.engine import (
 )
 from ..analysis.faults import fault_from_dict
 from ..errors import ReproError
+from ..ir import IR_VERSION
+from ..obs.export import chrome_trace_events
+from ..obs.metrics import global_registry
+from ..obs.trace import (
+    current_collector,
+    enable_tracing,
+    new_trace_id,
+    root_span,
+    span,
+    tracing_enabled,
+)
 from .batching import BatchCoalescer
 from .jobs import Job, JobQueue
-from .metrics import MetricsRegistry
 from .registry import NetworkRegistry, RegistryError
 
 __all__ = [
@@ -99,6 +109,7 @@ class AnalysisService:
         job_timeout: Optional[float] = None,
         job_retries: int = 2,
         engine_jobs=None,
+        tracing: bool = False,
     ):
         self.cache_dir = (
             None
@@ -109,7 +120,11 @@ class AnalysisService:
         self.engine_jobs = engine_jobs
         self.started_at = time.time()
         self.registry = NetworkRegistry()
-        self.metrics = MetricsRegistry()
+        # The process-global registry: the engine and the tracer feed it
+        # too, so one /metrics scrape covers the whole pipeline.
+        self.metrics = global_registry()
+        if tracing and not tracing_enabled():
+            enable_tracing()
         m = self.metrics
         self._m_requests = m.counter(
             "repro_http_requests_total",
@@ -153,11 +168,6 @@ class AnalysisService:
             "repro_batch_wait_seconds",
             "Age of a batch (first request to dispatch).",
             buckets=(0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25),
-        )
-        self._m_engine_cache = m.counter(
-            "repro_engine_cache_total",
-            "Engine result-cache outcomes of analyze jobs.",
-            ("outcome",),
         )
         self.queue = JobQueue(
             workers=workers,
@@ -274,7 +284,6 @@ class AnalysisService:
             )
             report = engine.report(sites=params["sites"])
             stats = engine.stats.as_dict()
-            self._m_engine_cache.inc(outcome=stats["cache"])
             return {"report": _report_payload(report), "stats": stats}
 
         return run, params
@@ -327,9 +336,7 @@ class AnalysisService:
                     }
                 )
             if synthesis.analysis_stats is not None:
-                stats = synthesis.analysis_stats.as_dict()
-                self._m_engine_cache.inc(outcome=stats["cache"])
-                out["stats"] = stats
+                out["stats"] = synthesis.analysis_stats.as_dict()
             return out
 
         return run, params
@@ -396,20 +403,50 @@ class AnalysisService:
         if not isinstance(raw_faults, list):
             raise ReproError("'faults' must be a list of fault objects")
         faults = [fault_from_dict(f) for f in raw_faults]
-        batch = self.registry.batch_analysis(
-            entry.fingerprint, seed=seed, policy=policy
-        )
-        future = self.coalescer.submit(
-            (entry.fingerprint, seed, policy), batch.damage_vector, faults
-        )
-        timeout = float(payload.get("timeout", 60.0))
-        damages = future.result(timeout=timeout)
+        with span(
+            "service.damage",
+            fingerprint=entry.fingerprint[:16],
+            faults=len(faults),
+        ):
+            batch = self.registry.batch_analysis(
+                entry.fingerprint, seed=seed, policy=policy
+            )
+            future = self.coalescer.submit(
+                (entry.fingerprint, seed, policy),
+                batch.damage_vector,
+                faults,
+            )
+            timeout = float(payload.get("timeout", 60.0))
+            damages = future.result(timeout=timeout)
         return {
             "fingerprint": entry.fingerprint,
             "seed": seed,
             "policy": policy,
             "damages": damages,
         }
+
+    # -- introspection ---------------------------------------------------
+    def version(self) -> Dict:
+        """Package + cache-key versions, so a client can correlate a
+        trace with the exact analysis/IR semantics that produced it."""
+        return {
+            "version": __version__,
+            "analysis_version": ANALYSIS_VERSION,
+            "ir_version": IR_VERSION,
+        }
+
+    def trace(self, trace_id: str) -> Dict:
+        """The collected spans of one trace as a Chrome trace_event
+        document (load in ``chrome://tracing`` / Perfetto)."""
+        collector = current_collector()
+        if collector is None:
+            raise NotFoundError(
+                "tracing is disabled (start the service with --trace)"
+            )
+        events = chrome_trace_events(collector, trace_id)
+        if not events:
+            raise NotFoundError(f"no spans recorded for trace {trace_id!r}")
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
 
     # -- liveness --------------------------------------------------------
     def healthz(self) -> Dict:
@@ -466,6 +503,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header("X-Trace-Id", trace_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -473,47 +513,74 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         body = json.dumps(payload).encode("utf-8")
         self._send(status, body, "application/json")
 
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(
+            status,
+            {"error": message, "trace_id": getattr(self, "_trace_id", None)},
+        )
+
     def _route(self, method: str) -> None:
         started = time.perf_counter()
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        # Accept the caller's X-Trace-Id (so a client can stitch its own
+        # spans onto ours) or assign one; either way it is echoed on the
+        # response and stamped into error bodies.
+        header_id = (self.headers.get("X-Trace-Id") or "").strip()
+        self._trace_id = header_id[:64] if header_id else new_trace_id()
         route, status = path, 500
-        try:
-            route, status, payload = self._handle(method, path)
-            if isinstance(payload, str):
-                self._send(
-                    status,
-                    payload.encode("utf-8"),
-                    "text/plain; version=0.0.4; charset=utf-8",
+        payload: object = None
+        error: Optional[str] = None
+        # The span closes before the response bytes are written: once a
+        # client has received the response it can immediately GET
+        # /trace/{id} and find the root span already recorded.
+        with root_span(
+            "http.request",
+            trace_id=self._trace_id,
+            method=method,
+            path=path,
+        ) as request_span:
+            try:
+                route, status, payload = self._handle(method, path)
+            except NotFoundError as exc:
+                status, error = 404, str(exc)
+            except (ReproError, ValueError, KeyError, TypeError) as exc:
+                status, error = 400, str(exc)
+            except Exception as exc:  # pragma: no cover - defensive
+                status, error = 500, f"{type(exc).__name__}: {exc}"
+            finally:
+                request_span.set_attribute("route", route)
+                request_span.set_attribute("status", status)
+                service = self.service
+                service._m_requests.inc(
+                    method=method, path=route, status=str(status)
                 )
-            else:
-                self._send_json(status, payload)
-        except NotFoundError as exc:
-            status = 404
-            self._send_json(status, {"error": str(exc)})
-        except (ReproError, ValueError, KeyError, TypeError) as exc:
-            status = 400
-            self._send_json(status, {"error": str(exc)})
-        except Exception as exc:  # pragma: no cover - defensive
-            status = 500
-            self._send_json(
-                status, {"error": f"{type(exc).__name__}: {exc}"}
+                service._m_request_seconds.observe(
+                    time.perf_counter() - started, path=route
+                )
+        if error is not None:
+            self._error(status, error)
+        elif isinstance(payload, str):
+            self._send(
+                status,
+                payload.encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
             )
-        finally:
-            service = self.service
-            service._m_requests.inc(
-                method=method, path=route, status=str(status)
-            )
-            service._m_request_seconds.observe(
-                time.perf_counter() - started, path=route
-            )
+        else:
+            self._send_json(status, payload)
 
     def _handle(self, method: str, path: str) -> Tuple[str, int, object]:
         """Returns (normalized route, status, payload)."""
         service = self.service
         if method == "GET" and path == "/healthz":
             return path, 200, service.healthz()
+        if method == "GET" and path == "/version":
+            return path, 200, service.version()
         if method == "GET" and path == "/metrics":
             return path, 200, service.metrics.render()
+        if method == "GET" and path.startswith("/trace/"):
+            trace_id = path[len("/trace/") :]
+            if "/" not in trace_id:
+                return "/trace/{id}", 200, service.trace(trace_id)
         if path == "/networks":
             if method == "GET":
                 return path, 200, service.list_networks()

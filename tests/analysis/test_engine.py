@@ -231,7 +231,8 @@ class TestSpawnPayload:
         try:
             engine_mod._worker_init(payload)
             names = list(serial.primitive_damage)
-            _, _, _, damages = engine_mod._worker_chunk(names)
+            _, _, _, damages, spans = engine_mod._worker_chunk(names)
+            assert spans == []  # no carrier shipped: no span payloads
         finally:
             engine_mod._WORKER_ANALYSIS = previous
         assert dict(zip(names, damages)) == serial.primitive_damage
@@ -322,3 +323,54 @@ class TestStats:
         engine.report()
         payload = json.dumps(engine.stats.as_dict())
         assert "faults_per_second" in payload
+
+
+class TestCumulativeStats:
+    """`engine.stats` is per-call; `engine.cumulative` survives across
+    calls so long-lived holders can read hit-rates and throughput."""
+
+    def test_accumulates_across_reports(self, tmp_path):
+        network, spec = _setup("TreeFlat")
+        engine = CriticalityEngine(
+            network, spec, cache_dir=str(tmp_path)
+        )
+        first = engine.report()
+        miss_faults = engine.stats.faults_evaluated
+        second = engine.report()
+        assert second.primitive_damage == first.primitive_damage
+        cumulative = engine.cumulative
+        assert cumulative.reports == 2
+        assert cumulative.cache_misses == 1
+        assert cumulative.cache_hits == 1
+        assert cumulative.cache_hit_rate == 0.5
+        # The hit re-served the cached result: faults counted once.
+        assert cumulative.faults_evaluated == miss_faults
+        assert cumulative.elapsed_seconds > 0
+        assert cumulative.faults_per_second > 0
+
+    def test_per_call_stats_stay_per_call(self, tmp_path):
+        network, spec = _setup("TreeFlat")
+        engine = CriticalityEngine(
+            network, spec, cache_dir=str(tmp_path)
+        )
+        engine.report()
+        miss_faults = engine.stats.faults_evaluated
+        engine.report()
+        assert engine.stats.cache == "hit"
+        assert miss_faults > 0
+
+    def test_as_dict_is_json_safe(self):
+        network, spec = _setup("TreeFlat")
+        engine = CriticalityEngine(network, spec)
+        engine.report()
+        payload = json.loads(json.dumps(engine.cumulative.as_dict()))
+        assert payload["reports"] == 1
+        assert payload["cache_hits"] == 0
+        assert payload["parallel_fallbacks"] == 0
+
+    def test_fresh_engine_starts_at_zero(self):
+        network, spec = _setup("TreeFlat")
+        engine = CriticalityEngine(network, spec)
+        assert engine.cumulative.reports == 0
+        assert engine.cumulative.cache_hit_rate == 0.0
+        assert engine.cumulative.faults_per_second == 0.0

@@ -1,0 +1,146 @@
+"""Exporters: Chrome trace_event JSON round-trips, hot-path tree text."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SpanCollector,
+    chrome_trace_events,
+    chrome_trace_json,
+    disable_tracing,
+    enable_tracing,
+    hot_path_tree,
+    root_span,
+    span,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_tracing():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+@pytest.fixture
+def collector():
+    collector = enable_tracing(SpanCollector())
+    with root_span("http.request", trace_id="a" * 32, method="POST"):
+        with span("service.damage", faults=3):
+            with span("batch.sweep", direction="forward"):
+                pass
+    with root_span("http.request", trace_id="b" * 32):
+        pass
+    return collector
+
+
+class TestChromeExport:
+    def test_json_round_trips(self, collector):
+        document = json.loads(chrome_trace_json(collector))
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 4
+        names = {e["name"] for e in complete}
+        assert names == {"http.request", "service.damage", "batch.sweep"}
+
+    def test_metadata_events_name_the_process(self, collector):
+        events = chrome_trace_events(collector)
+        meta = [e for e in events if e["ph"] == "M"]
+        assert any(
+            e["name"] == "process_name"
+            and e["args"]["name"] == "service"
+            for e in meta
+        )
+        assert any(e["name"] == "thread_name" for e in meta)
+
+    def test_trace_filter_keeps_one_trace(self, collector):
+        events = chrome_trace_events(collector, trace_id="a" * 32)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 3
+        assert {e["args"]["trace_id"] for e in complete} == {"a" * 32}
+
+    def test_timestamps_are_normalized_microseconds(self, collector):
+        complete = [
+            e
+            for e in chrome_trace_events(collector, trace_id="a" * 32)
+            if e["ph"] == "X"
+        ]
+        assert min(e["ts"] for e in complete) == 0.0
+        assert all(e["dur"] >= 0 for e in complete)
+        # Children nest inside their parent's interval.
+        by_name = {e["name"]: e for e in complete}
+        parent = by_name["http.request"]
+        child = by_name["service.damage"]
+        assert parent["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= (
+            parent["ts"] + parent["dur"] + 1e-3
+        )
+
+    def test_span_args_carry_ids_and_attrs(self, collector):
+        complete = [
+            e for e in chrome_trace_events(collector) if e["ph"] == "X"
+        ]
+        damage = next(
+            e for e in complete if e["name"] == "service.damage"
+        )
+        assert damage["args"]["faults"] == 3
+        assert damage["args"]["parent_id"]
+        assert damage["cat"] == "service"
+
+    def test_empty_source_exports_no_events(self):
+        assert chrome_trace_events(SpanCollector()) == []
+        assert json.loads(chrome_trace_json([])) == {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+        }
+
+    def test_write_returns_span_count_and_valid_json(
+        self, collector, tmp_path
+    ):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(str(path), collector, "a" * 32)
+        assert count == 3
+        document = json.loads(path.read_text())
+        assert len(
+            [e for e in document["traceEvents"] if e["ph"] == "X"]
+        ) == 3
+
+
+class TestHotPathTree:
+    def test_tree_shows_nesting_and_percentages(self, collector):
+        text = hot_path_tree(collector, "a" * 32)
+        lines = text.splitlines()
+        assert lines[0].startswith("http.request")
+        assert "(100.0%)" in lines[0]
+        assert lines[1].startswith("  service.damage")
+        assert lines[2].startswith("    batch.sweep")
+        assert "[direction=forward]" in lines[2]
+
+    def test_error_spans_are_marked(self):
+        collector = enable_tracing(SpanCollector())
+        with pytest.raises(RuntimeError):
+            with root_span("bad", trace_id="c" * 32):
+                raise RuntimeError("nope")
+        assert "!error" in hot_path_tree(collector)
+
+    def test_orphan_spans_surface_as_roots(self):
+        collector = SpanCollector()
+        collector.ingest(
+            [
+                {
+                    "name": "orphan",
+                    "trace_id": "d" * 32,
+                    "span_id": "1" * 16,
+                    "parent_id": "f" * 16,  # parent never recorded
+                    "start": 0.0,
+                    "duration": 0.5,
+                }
+            ]
+        )
+        assert hot_path_tree(collector).startswith("orphan")
+
+    def test_empty_trace_has_a_placeholder(self):
+        assert hot_path_tree(SpanCollector()) == "(no spans)"

@@ -1,0 +1,237 @@
+"""Core span mechanics: nesting, propagation carriers, the disabled path.
+
+The zero-overhead contract is the critical one: with tracing disabled
+(the default), ``span()`` must return the shared no-op singleton without
+allocating anything — instrumented hot loops (the bitset sweep, the EA
+generation loop) pay only a module-global ``is None`` check.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NOOP_SPAN,
+    SpanCollector,
+    SpanRecord,
+    collecting,
+    current_carrier,
+    current_collector,
+    disable_tracing,
+    enable_tracing,
+    root_span,
+    span,
+    tracing_enabled,
+    use_carrier,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_tracing():
+    """Every test starts and ends with tracing disabled."""
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+# ---------------------------------------------------------------------------
+# disabled path
+# ---------------------------------------------------------------------------
+class TestDisabled:
+    def test_disabled_is_the_default(self):
+        assert not tracing_enabled()
+        assert current_collector() is None
+
+    def test_span_returns_shared_noop_singleton(self):
+        # Identity, not just equality: no per-call allocation at all.
+        for _ in range(100):
+            assert span("engine.analyze", network="x") is NOOP_SPAN
+        assert root_span("http.request") is NOOP_SPAN
+
+    def test_noop_span_supports_the_span_protocol(self):
+        with span("anything", key="value") as active:
+            active.set_attribute("more", 1)
+            assert active.context is None
+
+    def test_no_carrier_without_an_active_span(self):
+        assert current_carrier() is None
+
+    def test_disabled_records_nothing(self):
+        collector = SpanCollector()
+        with span("a"):
+            with span("b"):
+                pass
+        assert len(collector) == 0
+
+
+# ---------------------------------------------------------------------------
+# recording and nesting
+# ---------------------------------------------------------------------------
+class TestNesting:
+    def test_parent_child_linkage(self):
+        collector = enable_tracing(SpanCollector())
+        with root_span("http.request", trace_id="t" * 32) as root:
+            with span("service.damage") as mid:
+                with span("batch.sweep"):
+                    pass
+        records = {r.name: r for r in collector.spans()}
+        assert set(records) == {
+            "http.request", "service.damage", "batch.sweep"
+        }
+        assert records["http.request"].trace_id == "t" * 32
+        assert records["http.request"].parent_id is None
+        assert records["service.damage"].parent_id == root.context["span_id"]
+        assert records["batch.sweep"].parent_id == mid.context["span_id"]
+        assert {r.trace_id for r in records.values()} == {"t" * 32}
+
+    def test_children_close_before_parents_are_recorded(self):
+        collector = enable_tracing(SpanCollector())
+        with span("outer"):
+            with span("inner"):
+                pass
+            assert [r.name for r in collector.spans()] == ["inner"]
+        assert [r.name for r in collector.spans()] == ["inner", "outer"]
+
+    def test_root_span_assigns_a_trace_id_when_missing(self):
+        collector = enable_tracing(SpanCollector())
+        with root_span("http.request"):
+            pass
+        (record,) = collector.spans()
+        assert len(record.trace_id) == 32
+
+    def test_sibling_spans_share_the_parent(self):
+        collector = enable_tracing(SpanCollector())
+        with root_span("root") as root:
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        by_name = {r.name: r for r in collector.spans()}
+        root_id = root.context["span_id"]
+        assert by_name["first"].parent_id == root_id
+        assert by_name["second"].parent_id == root_id
+
+    def test_exception_marks_error_status(self):
+        collector = enable_tracing(SpanCollector())
+        with pytest.raises(ValueError):
+            with span("engine.analyze"):
+                raise ValueError("boom")
+        (record,) = collector.spans()
+        assert record.status == "error"
+        assert record.attrs["error"] == "ValueError"
+
+    def test_set_attribute_lands_in_the_record(self):
+        collector = enable_tracing(SpanCollector())
+        with span("engine.analyze", sites="all") as active:
+            active.set_attribute("cache", "miss")
+        (record,) = collector.spans()
+        assert record.attrs == {"sites": "all", "cache": "miss"}
+
+    def test_durations_are_positive_and_ordered(self):
+        collector = enable_tracing(SpanCollector())
+        with span("outer"):
+            with span("inner"):
+                pass
+        by_name = {r.name: r for r in collector.spans()}
+        assert 0 <= by_name["inner"].duration <= by_name["outer"].duration
+
+
+# ---------------------------------------------------------------------------
+# carriers: thread and process hand-offs
+# ---------------------------------------------------------------------------
+class TestCarriers:
+    def test_carrier_reflects_the_active_span(self):
+        enable_tracing(SpanCollector())
+        with root_span("root", trace_id="a" * 32) as root:
+            carrier = current_carrier()
+        assert carrier == {
+            "trace_id": "a" * 32,
+            "span_id": root.context["span_id"],
+        }
+
+    def test_use_carrier_joins_spans_across_threads(self):
+        collector = enable_tracing(SpanCollector())
+        with root_span("submit", trace_id="b" * 32) as root:
+            carrier = current_carrier()
+
+        def worker():
+            with use_carrier(carrier):
+                with span("worker.run"):
+                    pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        by_name = {r.name: r for r in collector.spans()}
+        assert by_name["worker.run"].trace_id == "b" * 32
+        assert by_name["worker.run"].parent_id == root.context["span_id"]
+
+    def test_use_carrier_none_is_a_noop(self):
+        enable_tracing(SpanCollector())
+        with use_carrier(None):
+            assert current_carrier() is None
+
+    def test_use_carrier_restores_the_previous_context(self):
+        enable_tracing(SpanCollector())
+        with root_span("outer", trace_id="c" * 32):
+            before = current_carrier()
+            with use_carrier({"trace_id": "d" * 32, "span_id": "e" * 16}):
+                assert current_carrier()["trace_id"] == "d" * 32
+            assert current_carrier() == before
+
+
+# ---------------------------------------------------------------------------
+# collector behaviour
+# ---------------------------------------------------------------------------
+class TestCollector:
+    def test_bounded_never_grows_past_max(self):
+        collector = enable_tracing(SpanCollector(max_spans=3))
+        for index in range(10):
+            with span(f"s{index}"):
+                pass
+        assert len(collector) == 3
+        assert collector.dropped == 7
+
+    def test_ingest_adopts_shipped_dicts(self):
+        local = SpanCollector()
+        with collecting(local):
+            with root_span("worker", trace_id="f" * 32):
+                pass
+        shipped = [r.as_dict() for r in local.spans()]
+        home = SpanCollector()
+        assert home.ingest(shipped) == 1
+        (record,) = home.spans()
+        assert record.name == "worker"
+        assert record.trace_id == "f" * 32
+
+    def test_spans_filter_by_trace_id(self):
+        collector = enable_tracing(SpanCollector())
+        with root_span("one", trace_id="1" * 32):
+            pass
+        with root_span("two", trace_id="2" * 32):
+            pass
+        assert [r.name for r in collector.spans("1" * 32)] == ["one"]
+        assert collector.trace_ids() == ["1" * 32, "2" * 32]
+
+    def test_collecting_restores_the_previous_collector(self):
+        outer = enable_tracing(SpanCollector())
+        inner = SpanCollector()
+        with collecting(inner):
+            assert current_collector() is inner
+            with span("inside"):
+                pass
+        assert current_collector() is outer
+        assert len(inner) == 1
+        assert len(outer) == 0
+
+    def test_record_roundtrips_through_dict_form(self):
+        collector = enable_tracing(SpanCollector())
+        with root_span("roundtrip", trace_id="9" * 32, answer=42):
+            pass
+        (record,) = collector.spans()
+        clone = SpanRecord.from_dict(record.as_dict())
+        assert clone.as_dict() == record.as_dict()
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            SpanCollector(max_spans=0)
