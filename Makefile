@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench bench-ir bench-batch bench-diff baseline lint table1 sweeps examples serve-smoke clean
+.PHONY: install test test-fast bench bench-ir bench-batch bench-ea bench-diff baseline lint table1 sweeps examples serve-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -30,8 +30,11 @@ bench-ir:
 bench-batch:
 	$(PYTHON) benchmarks/bench_analysis_scaling.py --batch --output results/BENCH_batch.json
 
+bench-ea:
+	$(PYTHON) benchmarks/bench_ea_population.py --output results/BENCH_ea.json
+
 bench-diff:
-	$(PYTHON) -m repro.cli bench-diff results/BENCH_criticality.json results/BENCH_batch.json --tolerance 0.2
+	$(PYTHON) -m repro.cli bench-diff results/BENCH_criticality.json results/BENCH_batch.json results/BENCH_ea.json --tolerance 0.2
 
 lint:
 	ruff check src tests benchmarks examples

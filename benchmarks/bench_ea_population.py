@@ -1,0 +1,309 @@
+"""Population-batched EA evaluation on the bitset kernel.
+
+The fault-set hardening objective scores a genome by the joint damage of
+every un-hardened candidate faulting simultaneously — one reachability
+state per genome.  Under the bitset backend a whole population becomes
+one lane-packed sweep (64 genomes per uint64 word); under the scalar
+backends every state costs its own 4-BFS pass.  This benchmark records
+that gap at population scale:
+
+1. **parity first** — a short SPEA-2 run through the bitset-backed and
+   the IR-backed :class:`FaultSetHardeningProblem` must produce
+   bit-identical Pareto fronts, and the timed population's batched
+   objective matrix must equal the per-genome scalar one exactly,
+   before any timing is recorded;
+2. **cold evaluation** — one batched ``evaluate()`` of a fresh random
+   population (memo empty, every genome swept) vs. the pre-batching
+   scalar path: one ``damage_of_faults(residual_faults(genome))`` call
+   per genome;
+3. **generation throughput** — per-generation wall time of a real
+   SPEA-2 loop through each evaluation path (memoized incremental
+   re-evaluation included on the batched side, as the EA actually
+   runs; the scalar path has no population machinery to warm up).
+
+Run as a script to (re)write the perf baseline consumed by the
+``bench-diff`` regression gate::
+
+    PYTHONPATH=src python benchmarks/bench_ea_population.py \
+        --output results/BENCH_ea.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.graph_analysis import GraphDamageAnalysis
+from repro.bench.generators import mbist_network
+from repro.core.problem import FaultSetHardeningProblem
+from repro.ea import SPEA2, init_population
+from repro.rsn.ast import elaborate
+from repro.spec import spec_for_network
+from repro.spec.cost_model import GateCountCost
+
+#: The MBIST designs of the EA baseline; the larger anchors the
+#: acceptance threshold (>= 20x generation throughput at pop >= 1000).
+SIZES = [
+    (113, 15),
+    (1_091, 28),
+]
+
+_PARITY_GENERATIONS = 3
+_PARITY_POPULATION = 64
+
+
+def _build(n_segments, n_muxes):
+    network = elaborate(mbist_network(n_segments, n_muxes, seed=0))
+    return network, spec_for_network(network, seed=0)
+
+
+def _problem(network, spec, backend):
+    """A fresh fault-set problem whose state sweeps run on ``backend``."""
+    analysis = GraphDamageAnalysis(network, spec, backend=backend)
+    return FaultSetHardeningProblem(
+        network, analysis.report(), GateCountCost(), analysis
+    )
+
+
+class _PerGenomeScalarProblem(FaultSetHardeningProblem):
+    """The pre-batching evaluation path, as a drop-in problem.
+
+    No lane packing, no dedup, no memo: every genome is lowered to its
+    residual fault multiset and scored by one scalar
+    ``damage_of_faults`` call — exactly what an EA over the fault-set
+    objective cost before population batching existed.
+    """
+
+    def evaluate(self, genomes):
+        genomes = np.asarray(genomes, dtype=bool)
+        cost = genomes.astype(float) @ self.costs
+        damage = np.asarray(
+            [
+                self._analysis.damage_of_faults(self.residual_faults(g))
+                for g in genomes
+            ],
+            dtype=float,
+        )
+        return np.stack([cost, damage], axis=1)
+
+
+def _scalar_problem(network, spec):
+    analysis = GraphDamageAnalysis(network, spec, backend="ir")
+    return _PerGenomeScalarProblem(
+        network, analysis.report(), GateCountCost(), analysis
+    )
+
+
+def _check_parity(network, spec):
+    """Identical short SPEA-2 runs through both backends.
+
+    Same problem, same seed, same operators — the only difference is
+    whether the state sweep goes through the lane-packed kernel or the
+    per-state IR walk.  Any divergence aborts the benchmark.
+    """
+    fronts = []
+    for backend in ("bitset", "ir"):
+        problem = _problem(network, spec, backend)
+        result = SPEA2(
+            problem,
+            population_size=_PARITY_POPULATION,
+            seed=0,
+        ).run(_PARITY_GENERATIONS)
+        fronts.append(result.front())
+    (bitset_genomes, bitset_objs), (ir_genomes, ir_objs) = fronts
+    if not np.array_equal(bitset_genomes, ir_genomes):
+        raise SystemExit("bitset-vs-ir Pareto front genome mismatch")
+    if not np.array_equal(bitset_objs, ir_objs):
+        raise SystemExit("bitset-vs-ir Pareto front objective mismatch")
+
+
+def _time_cold_evaluate(problem, population):
+    """Construction-free timing of one cold population evaluation: the
+    problem and the random population are built outside the timer,
+    every genome is unseen."""
+    genomes = init_population(
+        np.random.default_rng(0), population, problem.n_vars
+    )
+    started = time.perf_counter()
+    objectives = problem.evaluate(genomes)
+    return time.perf_counter() - started, objectives
+
+
+def _time_generations(problem, population, generations):
+    """Per-generation seconds of a real SPEA-2 loop (initial population
+    evaluation and archive churn included — the throughput the EA user
+    sees)."""
+    optimizer = SPEA2(problem, population_size=population, seed=0)
+    started = time.perf_counter()
+    optimizer.run(generations)
+    return (time.perf_counter() - started) / generations
+
+
+def write_ea_baseline(
+    output: str, quick: bool = False, population: int = 1_000
+) -> dict:
+    """Population-batched vs. per-state EA evaluation per design.
+
+    ``quick`` keeps the small design and a reduced population for CI
+    sanity passes; the full run records the >= 20x acceptance point on
+    the 1091-segment design at population 1000.
+    """
+    sizes = SIZES[:1] if quick else SIZES
+    if quick:
+        population = min(population, 256)
+    # The scalar path pays one 4-BFS pass per genome per generation, so
+    # a single generation is enough (and all the full design affords).
+    scalar_generations = 1
+    batched_generations = 5
+    designs = []
+    for n_segments, n_muxes in sizes:
+        network, spec = _build(n_segments, n_muxes)
+        _check_parity(network, spec)
+
+        batched_seconds, batched_objs = _time_cold_evaluate(
+            _problem(network, spec, "bitset"), population
+        )
+        scalar_seconds, scalar_objs = _time_cold_evaluate(
+            _scalar_problem(network, spec), population
+        )
+        if not np.array_equal(batched_objs, scalar_objs):
+            raise SystemExit(
+                f"population objective mismatch on mbist_{n_segments}"
+            )
+
+        batched_generation = _time_generations(
+            _problem(network, spec, "bitset"),
+            population,
+            batched_generations,
+        )
+        scalar_generation = _time_generations(
+            _scalar_problem(network, spec),
+            population,
+            scalar_generations,
+        )
+
+        entry = {
+            "design": f"mbist_{n_segments}_{n_muxes}",
+            "n_segments": n_segments,
+            "n_muxes": n_muxes,
+            "population": population,
+            "batched_eval_seconds": batched_seconds,
+            "scalar_eval_seconds": scalar_seconds,
+            "eval_speedup": (
+                scalar_seconds / batched_seconds
+                if batched_seconds > 0
+                else 0.0
+            ),
+            "batched_generation_seconds": batched_generation,
+            "scalar_generation_seconds": scalar_generation,
+            "generation_speedup": (
+                scalar_generation / batched_generation
+                if batched_generation > 0
+                else 0.0
+            ),
+            "parity": True,
+        }
+        designs.append(entry)
+        print(
+            f"{entry['design']:18s} pop {population}: "
+            f"eval bitset {batched_seconds:.3f}s / "
+            f"ir {scalar_seconds:.3f}s "
+            f"({entry['eval_speedup']:.1f}x), "
+            f"generation bitset {batched_generation:.3f}s / "
+            f"ir {scalar_generation:.3f}s "
+            f"({entry['generation_speedup']:.1f}x)",
+            flush=True,
+        )
+
+    payload = {
+        "benchmark": "ea-population",
+        "created": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "host": {
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "designs": designs,
+        "notes": (
+            "FaultSetHardeningProblem population evaluation through the "
+            "lane-packed bitset kernel (one fault-set lane per unique "
+            "genome, 64 per uint64 word) vs. the pre-batching scalar "
+            "path (one damage_of_faults(residual_faults(genome)) call "
+            "per genome through the IR backend).  Parity is checked "
+            "first: a short SPEA-2 run through the bitset- and IR-backed "
+            "state sweeps must produce bit-identical Pareto fronts, and "
+            "the timed population's batched objective matrix must equal "
+            "the per-genome scalar one exactly.  eval = one cold "
+            "evaluation of a fresh random population; generation = "
+            "per-generation wall time of a real SPEA-2 loop (memoized "
+            "incremental re-evaluation on the batched side; the scalar "
+            "side runs fewer generations because each one sweeps the "
+            "whole population at scalar cost)."
+        ),
+    }
+    os.makedirs(os.path.dirname(output) or ".", exist_ok=True)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {output}")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (benchmarks/ is also a pytest-benchmark suite)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["bitset", "ir"])
+def test_population_evaluate(benchmark, backend):
+    """One cold 256-genome sweep on the small design, both backends."""
+    network, spec = _build(*SIZES[0])
+    problem = _problem(network, spec, backend)
+    genomes = init_population(
+        np.random.default_rng(0), 256, problem.n_vars
+    )
+
+    objectives = benchmark.pedantic(
+        lambda: _problem(network, spec, backend).evaluate(genomes),
+        rounds=1,
+        iterations=1,
+    )
+    assert objectives.shape == (256, 2)
+    benchmark.extra_info.update(
+        {"backend": backend, "population": 256}
+    )
+
+
+def test_population_parity():
+    """The parity gate of the baseline writer, standalone."""
+    network, spec = _build(*SIZES[0])
+    _check_parity(network, spec)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="write the population-batched EA perf baseline"
+    )
+    parser.add_argument("--output", default="results/BENCH_ea.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small design and reduced population (CI sanity pass)",
+    )
+    parser.add_argument(
+        "--population", type=int, default=1_000,
+        help="timed population size (default 1000; quick caps at 256)",
+    )
+    args = parser.parse_args(argv)
+    write_ea_baseline(
+        args.output, quick=args.quick, population=args.population
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -105,6 +105,16 @@ def _clear_bit(view8: np.ndarray, row: int, lane: int) -> None:
     view8[row, lane >> 3] &= np.uint8(0xFF ^ (1 << (lane & 7)))
 
 
+def _pack_lanes(bits: np.ndarray, words: int) -> np.ndarray:
+    """Pack a ``(rows, lanes)`` boolean matrix into ``(rows, words)``
+    ``uint64`` with the ``_clear_bit`` lane layout (little bit order);
+    padding lanes come out 0."""
+    packed = np.packbits(bits, axis=1, bitorder="little")
+    full = np.zeros((len(bits), words * 8), dtype=np.uint8)
+    full[:, : packed.shape[1]] = packed
+    return full.view(np.uint64)
+
+
 #: One fault state: (sorted broken node ids, sorted (mux id, wrapped
 #: pinned port) items).  Hashable, so equal states share a lane.
 _State = Tuple[Tuple[int, ...], Tuple[Tuple[int, int], ...]]
@@ -154,11 +164,13 @@ class BatchFaultAnalysis:
         self._cell_ports_memo: Dict[int, Dict[str, int]] = {}
         self._build_schedule()
         #: Instrumentation surfaced through ``EngineStats``: lanes packed,
-        #: chunks solved, vectorized sweeps executed.
+        #: chunks solved, vectorized sweeps executed, duplicate states
+        #: folded onto existing lanes.
         self.counters: Dict[str, int] = {
             "lanes": 0,
             "chunks": 0,
             "sweeps": 0,
+            "deduped": 0,
         }
 
     # ------------------------------------------------------------------
@@ -336,24 +348,22 @@ class BatchFaultAnalysis:
     # ------------------------------------------------------------------
     def _masks(self, states: Sequence[_State]):
         words = lane_words(len(states))
-        alive = np.full(
-            (self._n_slots, words), _FULL_WORD, dtype=np.uint64
-        )
-        alive8 = alive.view(np.uint8)
-        prop = None
-        prop8 = None
+        lanes = len(states)
         ir = self.ir
+        # One boolean column per lane, scattered with fancy indexing and
+        # packed in a single pass: population-sized batches break or pin
+        # hundreds of nodes per lane, far too many for per-bit clears.
+        broken_bits = np.zeros((self._n, lanes), dtype=bool)
+        dead_bits = np.zeros((self._n_slots, lanes), dtype=bool)
+        any_broken = False
         for lane, (broken, forced) in enumerate(states):
-            if broken and prop is None:
-                prop = np.full(
-                    (self._n, words), _FULL_WORD, dtype=np.uint64
-                )
-                prop8 = prop.view(np.uint8)
-            for node_id in broken:
-                _clear_bit(prop8, node_id, lane)
+            if broken:
+                any_broken = True
+                broken_bits[list(broken), lane] = True
             for mux_id, port in forced:
-                for slot in ir.mux_dead_slots(mux_id, port):
-                    _clear_bit(alive8, slot, lane)
+                dead_bits[ir.mux_dead_slots(mux_id, port), lane] = True
+        alive = ~_pack_lanes(dead_bits, words)
+        prop = ~_pack_lanes(broken_bits, words) if any_broken else None
         return prop, alive, words
 
     def _solve(self, states: Sequence[_State]):
@@ -543,20 +553,66 @@ class BatchFaultAnalysis:
                     )
         return damages
 
+    def canonical_state(self, broken, forced) -> _State:
+        """Lane state for one simultaneous set of broken node ids plus
+        mux pins (a mapping or ``(mux_id, port)`` pairs, later pairs
+        overriding earlier ones); ports wrap modulo fanin like every
+        scalar traversal."""
+        ir = self.ir
+        pins = (
+            dict(forced.items())
+            if isinstance(forced, Mapping)
+            else dict(forced)
+        )
+        wrapped = {
+            int(mux_id): int(port) % int(ir.fanin[mux_id])
+            for mux_id, port in pins.items()
+        }
+        return self._state({int(node) for node in broken}, wrapped)
+
+    def _deduped_damages(self, states: Sequence[_State]) -> np.ndarray:
+        """Damage per state, solving each *unique* state on one lane and
+        scattering the results back (populations repeat states often —
+        duplicate genomes, converged archives)."""
+        lane_of: Dict[_State, int] = {}
+        unique: List[_State] = []
+        scatter = np.empty(len(states), dtype=np.int64)
+        for index, state in enumerate(states):
+            lane = lane_of.get(state)
+            if lane is None:
+                lane = len(unique)
+                lane_of[state] = lane
+                unique.append(state)
+            scatter[index] = lane
+        self.counters["deduped"] += len(states) - len(unique)
+        damages = np.zeros(len(unique))
+        capacity = self.chunk_lanes * LANE_BITS
+        for lo in range(0, len(unique), capacity):
+            chunk = unique[lo : lo + capacity]
+            lane_damages, _, _ = self._lane_damages(chunk)
+            damages[lo : lo + len(chunk)] = lane_damages
+        return damages[scatter]
+
+    def damage_of_states(self, states) -> np.ndarray:
+        """Damage of many ``(broken ids, mux pins)`` states — the
+        population entry point the fault-set hardening problem drives,
+        one lane per unique state."""
+        return self._deduped_damages(
+            [
+                self.canonical_state(broken, forced)
+                for broken, forced in states
+            ]
+        )
+
     def damage_of_fault_sets(
         self, fault_sets: Sequence[Sequence[Fault]]
     ) -> np.ndarray:
         """Damage of many *simultaneous* fault multisets, one lane each
         (the batched form of ``damage_of_faults`` — e.g. every Monte-
         Carlo sample of ``expected_damage_under_rate`` in one pass)."""
-        states = [self._multiset_state(faults) for faults in fault_sets]
-        damages = np.zeros(len(states))
-        capacity = self.chunk_lanes * LANE_BITS
-        for lo in range(0, len(states), capacity):
-            chunk = states[lo : lo + capacity]
-            lane_damages, _, _ = self._lane_damages(chunk)
-            damages[lo : lo + len(chunk)] = lane_damages
-        return damages
+        return self._deduped_damages(
+            [self._multiset_state(faults) for faults in fault_sets]
+        )
 
     def primitive_damages(self, names: Sequence[str]) -> List[float]:
         """``d_j`` for each named primitive: the policy aggregate over

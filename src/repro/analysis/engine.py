@@ -269,6 +269,8 @@ class CumulativeEngineStats:
     faults_evaluated: int = 0
     lanes: int = 0
     lane_chunks: int = 0
+    #: Fault states scored through ``population_damages`` (EA batches).
+    population_states: int = 0
     elapsed_seconds: float = 0.0
     cache_evictions: int = 0
     parallel_fallbacks: int = 0
@@ -309,6 +311,7 @@ class CumulativeEngineStats:
             "faults_per_second": self.faults_per_second,
             "lanes": self.lanes,
             "lane_chunks": self.lane_chunks,
+            "population_states": self.population_states,
             "elapsed_seconds": self.elapsed_seconds,
             "cache_evictions": self.cache_evictions,
             "parallel_fallbacks": self.parallel_fallbacks,
@@ -498,6 +501,7 @@ class CriticalityEngine:
         self.stats: Optional[EngineStats] = None
         self.cumulative = CumulativeEngineStats()
         self._analysis = None
+        self._population = None
 
     @staticmethod
     def _normalize_jobs(jobs) -> int:
@@ -675,6 +679,52 @@ class CriticalityEngine:
         if hasattr(analysis, "primitive_damages"):
             return analysis.primitive_damages(names)
         return [analysis.primitive_damage(name) for name in names]
+
+    # -- population queries ----------------------------------------------
+    def population_analysis(self):
+        """The graph analysis population queries run on.
+
+        The graph method shares the engine's own analysis (and its lane
+        kernel); the tree methods cannot answer multi-fault state queries,
+        so a graph analysis with the engine's backend and ``chunk_lanes``
+        is built lazily alongside them.
+        """
+        if self.method == "graph":
+            return self._build_analysis()
+        if self._population is None:
+            from .graph_analysis import GraphDamageAnalysis
+
+            self._population = GraphDamageAnalysis(
+                self.network,
+                self.spec,
+                policy=self.policy,
+                backend=self.backend,
+                chunk_lanes=self.chunk_lanes,
+            )
+        return self._population
+
+    def population_damages(self, states):
+        """Damage of many ``(broken ids, mux pins)`` fault states — the
+        EA's batched objective query, with the kernel's lane counters
+        folded into :attr:`cumulative`."""
+        states = list(states)
+        analysis = self.population_analysis()
+        before = _batch_counters(analysis)
+        with span(
+            "engine.population",
+            states=len(states),
+            backend=self.backend,
+        ):
+            damages = analysis.damage_of_states(states)
+        after = _batch_counters(analysis)
+        self.cumulative.lanes += after.get("lanes", 0) - before.get(
+            "lanes", 0
+        )
+        self.cumulative.lane_chunks += after.get(
+            "chunks", 0
+        ) - before.get("chunks", 0)
+        self.cumulative.population_states += len(states)
+        return damages
 
     def _partition_chunks(self, names: List[str]) -> List[List[str]]:
         """Split the evaluated primitives into worker tasks.

@@ -493,6 +493,24 @@ class GraphDamageAnalysis(_AnalysisBase):
             ]
         return [self.damage_of_faults(faults) for faults in fault_sets]
 
+    def damage_of_states(self, states) -> np.ndarray:
+        """Damage of many pre-lowered ``(broken ids, mux pins)`` states —
+        the population entry point of the EA's fault-set objective.  One
+        lane per unique state under the bitset backend; the scalar
+        backends run the 4-BFS query per state (the parity reference)."""
+        if self._batch is not None:
+            return self._batch.damage_of_states(states)
+        results = []
+        for broken, forced in states:
+            pins = dict(
+                forced.items() if isinstance(forced, Mapping) else forced
+            )
+            unobs, unset = self._single_sets(
+                {int(node) for node in broken}, pins
+            )
+            results.append(self._damage_of_sets(unobs, unset))
+        return np.asarray(results, dtype=float)
+
 
 def analyze_damage_graph(
     network: RsnNetwork, spec, policy: str = "max", backend: str = "ir"

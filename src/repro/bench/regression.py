@@ -240,6 +240,21 @@ def load_hot_paths(path: str) -> Tuple[str, List[HotPath]]:
                     },
                 )
             )
+        elif benchmark == "ea-population":
+            hot_paths.append(
+                HotPath(
+                    design=design,
+                    metric="ea_batched_eval",
+                    n_segments=n_segments,
+                    n_muxes=n_muxes,
+                    baseline_seconds=float(
+                        _require(row, "batched_eval_seconds", path)
+                    ),
+                    params={
+                        "population": int(_require(row, "population", path))
+                    },
+                )
+            )
         else:
             raise RegressionParseError(
                 f"{path}: unknown benchmark kind {benchmark!r}"
@@ -304,6 +319,27 @@ def _measure_once(hot_path: HotPath, network, spec, tree=None) -> float:
         analysis = GraphDamageAnalysis(network, spec, backend="ir")
         for fault in faults:
             analysis.damage_of_fault(fault)
+        return time.perf_counter() - started
+    if hot_path.metric == "ea_batched_eval":
+        # Mirror bench_ea_population: problem + population built outside
+        # the timer, one cold batched evaluate inside it.
+        import numpy as np
+
+        from ..core.problem import FaultSetHardeningProblem
+        from ..ea import init_population
+        from ..spec.cost_model import GateCountCost
+
+        analysis = GraphDamageAnalysis(network, spec, backend="bitset")
+        problem = FaultSetHardeningProblem(
+            network, analysis.report(), GateCountCost(), analysis
+        )
+        genomes = init_population(
+            np.random.default_rng(0),
+            hot_path.params["population"],
+            problem.n_vars,
+        )
+        started = time.perf_counter()
+        problem.evaluate(genomes)
         return time.perf_counter() - started
     raise RegressionParseError(f"unknown metric {hot_path.metric!r}")
 

@@ -50,6 +50,8 @@ class Table1Row:
         self.runtime_seconds = 0.0
         self.front_size = 0
         self.analysis_stats: Optional[Dict] = None
+        #: EA run-cache outcome ("disabled" | "hit" | "miss").
+        self.ea_cache: Optional[str] = None
 
     @property
     def name(self) -> str:
@@ -72,6 +74,7 @@ class Table1Row:
             "runtime_seconds": self.runtime_seconds,
             "front_size": self.front_size,
             "analysis_stats": self.analysis_stats,
+            "ea_cache": self.ea_cache,
             "paper": {
                 "max_cost": self.design.paper.max_cost,
                 "max_damage": self.design.paper.max_damage,
@@ -107,6 +110,7 @@ def run_design(
     backend: str = "ir",
     chunk_lanes: int = 64,
     max_cache_mb: Optional[float] = None,
+    objective: str = "linear",
 ) -> Table1Row:
     """Run the full Table-I pipeline for one design."""
     design = get_design(name)
@@ -127,6 +131,7 @@ def run_design(
         backend=backend,
         chunk_lanes=chunk_lanes,
         max_cache_mb=max_cache_mb,
+        objective=objective,
     )
     row.max_cost = synthesis.max_cost
     row.max_damage = synthesis.max_damage
@@ -145,6 +150,7 @@ def run_design(
         algorithm=algorithm,
         seed=seed,
     )
+    row.ea_cache = synthesis.last_ea_cache
     min_cost = result.min_cost_solution(damage_fraction)
     if min_cost is not None:
         row.min_cost_cost = min_cost.cost

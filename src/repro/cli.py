@@ -72,6 +72,14 @@ def _add_table1(subparsers) -> None:
         help="which primitives may be hardened",
     )
     parser.add_argument(
+        "--objective",
+        choices=["linear", "fault-set"],
+        default="linear",
+        help="EA damage objective: the paper's linear Eq. 2 sum "
+        "(default) or the exact joint damage of every un-hardened "
+        "candidate faulting simultaneously",
+    )
+    parser.add_argument(
         "--compare", action="store_true",
         help="print the paper-vs-measured comparison table",
     )
@@ -183,6 +191,7 @@ def _cmd_table1(args) -> int:
         backend=args.backend,
         chunk_lanes=args.chunk_lanes,
         max_cache_mb=args.cache_max_mb,
+        objective=args.objective,
     )
     print()
     print(format_table(rows))
@@ -198,11 +207,16 @@ def _cmd_table1(args) -> int:
                 if stats.get("lanes")
                 else ""
             )
+            ea_cache = (
+                f", ea-cache {row.ea_cache}"
+                if row.ea_cache and row.ea_cache != "disabled"
+                else ""
+            )
             print(
                 f"{row.name:16s} analysis {stats['elapsed_seconds']:.3f}s, "
                 f"{stats['faults_per_second']:,.0f} faults/s, "
                 f"cache {stats['cache']}, "
-                f"memo {stats['memo_hit_rate']:.1%}{lanes}"
+                f"memo {stats['memo_hit_rate']:.1%}{lanes}{ea_cache}"
             )
     if args.compare:
         print()
@@ -301,14 +315,27 @@ def _cmd_analyze(args) -> int:
 def _cmd_harden(args) -> int:
     network = _load_network(args.network)
     spec = spec_for_network(network, seed=args.seed)
-    synthesis = SelectiveHardening(network, spec=spec, seed=args.seed)
+    synthesis = SelectiveHardening(
+        network,
+        spec=spec,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=_engine_cache_dir(args),
+        backend=args.backend,
+        chunk_lanes=args.chunk_lanes,
+        max_cache_mb=args.cache_max_mb,
+        objective=args.objective,
+    )
     print(f"max cost   : {synthesis.max_cost:,.0f}")
     print(f"max damage : {synthesis.max_damage:,.0f}")
     result = synthesis.optimize(
-        generations=args.generations, algorithm=args.algorithm
+        generations=args.generations,
+        population_size=args.population_size,
+        algorithm=args.algorithm,
     )
     print(f"front      : {len(result.objectives)} points "
-          f"({result.runtime_seconds:.1f}s)")
+          f"({result.runtime_seconds:.1f}s, "
+          f"ea-cache {synthesis.last_ea_cache})")
     for label, solution in (
         ("min cost @ damage<=10%", result.min_cost_solution(0.10)),
         ("min damage @ cost<=10%", result.min_damage_solution(0.10)),
@@ -329,6 +356,22 @@ def _cmd_harden(args) -> int:
         if args.show_spots:
             for name in solution.hardened[: args.show_spots]:
                 print(f"    harden {name}")
+    if args.stats and synthesis.analysis_stats is not None:
+        stats = synthesis.analysis_stats.as_dict()
+        lanes = (
+            f", {stats['lanes']:,} lanes ({stats['lane_chunks']} chunks)"
+            if stats.get("lanes")
+            else ""
+        )
+        print(
+            f"analysis   : {stats['elapsed_seconds']:.3f}s, "
+            f"{stats['faults_per_second']:,.0f} faults/s, "
+            f"cache {stats['cache']}, "
+            f"memo {stats['memo_hit_rate']:.1%}{lanes}"
+        )
+        population_states = synthesis.engine.cumulative.population_states
+        if population_states:
+            print(f"population : {population_states:,} states swept")
     return 0
 
 
@@ -567,11 +610,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     harden.add_argument("--generations", type=int, default=300)
     harden.add_argument(
+        "--population-size",
+        type=_positive_int,
+        default=None,
+        metavar="P",
+        help="EA population size (default: scaled to the network)",
+    )
+    harden.add_argument(
         "--algorithm", choices=["spea2", "nsga2"], default="spea2"
+    )
+    harden.add_argument(
+        "--objective",
+        choices=["linear", "fault-set"],
+        default="linear",
+        help="EA damage objective: the paper's linear Eq. 2 sum "
+        "(default) or the exact joint damage of every un-hardened "
+        "candidate faulting simultaneously",
     )
     harden.add_argument("--seed", type=int, default=0)
     harden.add_argument("--verify", action="store_true")
     harden.add_argument("--show-spots", type=int, default=0)
+    _add_engine_options(harden)
 
     example = subparsers.add_parser(
         "example", help="walk through the paper's worked example"

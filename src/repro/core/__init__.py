@@ -3,11 +3,12 @@ hardening (Sec. V)."""
 
 from . import baselines
 from .hardening import SelectiveHardening, default_population_size
-from .problem import HardeningProblem
+from .problem import FaultSetHardeningProblem, HardeningProblem
 from .protect import critical_threat_sites, protect_critical_instruments
 from .result import HardeningResult, HardeningSolution
 
 __all__ = [
+    "FaultSetHardeningProblem",
     "HardeningProblem",
     "HardeningResult",
     "HardeningSolution",

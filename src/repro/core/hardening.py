@@ -19,14 +19,23 @@ test and diagnosis pattern remains valid.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import tempfile
 import time
 from typing import Optional
 
 import numpy as np
 
 from ..analysis.damage import DamageReport
-from ..analysis.engine import CriticalityEngine, EngineStats
+from ..analysis.engine import (
+    CriticalityEngine,
+    EngineStats,
+    analysis_fingerprint,
+)
 from ..ea.nsga2 import NSGA2
+from ..ea.result import EAResult
 from ..ea.spea2 import SPEA2
 from ..errors import NotSeriesParallelError, OptimizationError
 from ..rsn.network import RsnNetwork
@@ -35,8 +44,14 @@ from ..sp.tree import SPTree
 from ..spec.cost_model import CostModel, GateCountCost
 from ..spec.criticality import CriticalitySpec, spec_for_network
 from . import baselines
-from .problem import HardeningProblem
+from .problem import FaultSetHardeningProblem, HardeningProblem
 from .result import HardeningResult
+
+#: Bump whenever the EA trajectory semantics change (operators, selection,
+#: problem lowering), so stale cached runs can never be replayed.
+EA_CACHE_VERSION = "1"
+
+_OBJECTIVES = ("linear", "fault-set")
 
 
 def default_population_size(network: RsnNetwork) -> int:
@@ -64,7 +79,12 @@ class SelectiveHardening:
         backend: str = "ir",
         chunk_lanes: int = 64,
         max_cache_mb: Optional[float] = None,
+        objective: str = "linear",
     ):
+        if objective not in _OBJECTIVES:
+            raise OptimizationError(
+                f"objective must be one of {_OBJECTIVES}, got {objective!r}"
+            )
         self.network = network
         self.spec = spec if spec is not None else spec_for_network(
             network, seed=seed
@@ -88,15 +108,21 @@ class SelectiveHardening:
         self.backend = backend
         self.chunk_lanes = chunk_lanes
         self.max_cache_mb = max_cache_mb
+        self.objective = objective
+        #: Outcome of the EA run cache on the last ``optimize()`` call:
+        #: "disabled" | "hit" | "miss".
+        self.last_ea_cache = "disabled"
         self.analysis_stats: Optional[EngineStats] = None
+        self._engine: Optional[CriticalityEngine] = None
         self._report: Optional[DamageReport] = None
         self._problem: Optional[HardeningProblem] = None
 
     # ------------------------------------------------------------------
     @property
-    def report(self) -> DamageReport:
-        """The criticality analysis (computed once, reused everywhere)."""
-        if self._report is None:
+    def engine(self) -> CriticalityEngine:
+        """The (cached) criticality engine behind :attr:`report` and the
+        population damage queries of the fault-set objective."""
+        if self._engine is None:
             # A non-default backend selects the graph analysis even on
             # SP networks (the tree method has no backend notion).
             method = (
@@ -104,7 +130,7 @@ class SelectiveHardening:
                 if self.tree is not None and self.backend == "ir"
                 else "graph"
             )
-            engine = CriticalityEngine(
+            self._engine = CriticalityEngine(
                 self.network,
                 self.spec,
                 tree=self.tree,
@@ -116,19 +142,36 @@ class SelectiveHardening:
                 chunk_lanes=self.chunk_lanes,
                 max_cache_mb=self.max_cache_mb,
             )
-            self._report = engine.report(sites=self.damage_sites)
-            self.analysis_stats = engine.stats
+        return self._engine
+
+    @property
+    def report(self) -> DamageReport:
+        """The criticality analysis (computed once, reused everywhere)."""
+        if self._report is None:
+            self._report = self.engine.report(sites=self.damage_sites)
+            self.analysis_stats = self.engine.stats
         return self._report
 
     @property
     def problem(self) -> HardeningProblem:
         if self._problem is None:
-            self._problem = HardeningProblem(
-                self.network,
-                self.report,
-                self.cost_model,
-                hardenable=self.hardenable,
-            )
+            if self.objective == "fault-set":
+                report = self.report  # also primes the engine + stats
+                self._problem = FaultSetHardeningProblem(
+                    self.network,
+                    report,
+                    self.cost_model,
+                    analysis=self.engine.population_analysis(),
+                    hardenable=self.hardenable,
+                    evaluate_states=self.engine.population_damages,
+                )
+            else:
+                self._problem = HardeningProblem(
+                    self.network,
+                    self.report,
+                    self.cost_model,
+                    hardenable=self.hardenable,
+                )
         return self._problem
 
     @property
@@ -163,6 +206,35 @@ class SelectiveHardening:
         seed = self.seed if seed is None else seed
 
         problem = self.problem
+        # EA run cache: repeated optimizations of an identical problem
+        # with identical EA parameters replay the stored archive instead
+        # of re-evolving (``early_stop`` callbacks are opaque, so runs
+        # using one are never cached).
+        key = None
+        self.last_ea_cache = "disabled"
+        if self.cache_dir and early_stop is None:
+            key = self._ea_cache_key(
+                algorithm,
+                generations,
+                population_size,
+                p_crossover,
+                p_mutation,
+                seed,
+            )
+            cached = self._load_ea_cached(key, problem.n_vars)
+            if cached is not None:
+                self.last_ea_cache = "hit"
+                ea_result, load_seconds = cached
+                genomes, objectives = ea_result.front()
+                return HardeningResult(
+                    problem,
+                    genomes,
+                    objectives,
+                    ea_result=ea_result,
+                    runtime_seconds=load_seconds,
+                )
+            self.last_ea_cache = "miss"
+
         if algorithm == "spea2":
             optimizer = SPEA2(
                 problem,
@@ -185,6 +257,8 @@ class SelectiveHardening:
         started = time.perf_counter()
         ea_result = optimizer.run(generations, early_stop=early_stop)
         elapsed = time.perf_counter() - started
+        if key is not None:
+            self._store_ea_cached(key, ea_result, problem.n_vars)
         genomes, objectives = ea_result.front()
         return HardeningResult(
             problem,
@@ -193,6 +267,136 @@ class SelectiveHardening:
             ea_result=ea_result,
             runtime_seconds=elapsed,
         )
+
+    # -- EA run cache ----------------------------------------------------
+    def _ea_cache_key(
+        self,
+        algorithm: str,
+        generations: int,
+        population_size: int,
+        p_crossover: float,
+        p_mutation: float,
+        seed: int,
+    ) -> str:
+        """SHA-256 over everything the EA trajectory depends on.
+
+        The engine's analysis fingerprint alone is NOT enough — it omits
+        the EA seed and population parameters, which is exactly the
+        ``table1`` re-run bug this cache fixes: identical analyses with
+        different EA settings must key different entries.  The candidate
+        vectors are hashed too, folding in the cost model.
+        """
+        problem = self.problem
+        candidates = hashlib.sha256()
+        candidates.update(
+            "\x00".join(problem.candidates).encode("utf-8")
+        )
+        candidates.update(problem.costs.tobytes())
+        candidates.update(problem.damages.tobytes())
+        payload = {
+            "ea_version": EA_CACHE_VERSION,
+            "analysis": analysis_fingerprint(
+                self.network,
+                self.spec,
+                self.engine.method,
+                self.policy,
+                self.damage_sites,
+                self.backend,
+            ),
+            "objective": self.objective,
+            "hardenable": self.hardenable,
+            "candidates": candidates.hexdigest(),
+            "algorithm": algorithm,
+            "generations": int(generations),
+            "population_size": int(population_size),
+            "p_crossover": float(p_crossover),
+            "p_mutation": float(p_mutation),
+            "seed": int(seed),
+        }
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def _ea_cache_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"ea-{key}.json")
+
+    def _store_ea_cached(
+        self, key: str, result: EAResult, n_vars: int
+    ) -> None:
+        genomes = np.asarray(result.genomes, dtype=bool)
+        payload = {
+            "version": EA_CACHE_VERSION,
+            "n_vars": int(n_vars),
+            "algorithm": result.algorithm,
+            "genomes": [
+                np.packbits(row).tobytes().hex() for row in genomes
+            ],
+            "objectives": [
+                [float(value) for value in row]
+                for row in np.asarray(result.objectives, dtype=float)
+            ],
+            "history": result.history,
+            "generations": int(result.generations),
+            "n_evaluations": int(result.n_evaluations),
+            "seed": int(result.seed),
+            "reference": (
+                [float(value) for value in result.reference]
+                if result.reference is not None
+                else None
+            ),
+        }
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self.cache_dir, suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, default=float)
+            os.replace(tmp_path, self._ea_cache_path(key))
+        except OSError:
+            pass  # a read-only cache dir must not fail the optimization
+
+    def _load_ea_cached(self, key: str, n_vars: int):
+        """(EAResult, load seconds) or None (absent/stale/corrupt)."""
+        path = self._ea_cache_path(key)
+        started = time.perf_counter()
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if (
+                payload.get("version") != EA_CACHE_VERSION
+                or payload.get("n_vars") != n_vars
+            ):
+                return None
+            rows = [
+                np.unpackbits(
+                    np.frombuffer(bytes.fromhex(text), dtype=np.uint8)
+                )[:n_vars].astype(bool)
+                for text in payload["genomes"]
+            ]
+            genomes = np.asarray(rows, dtype=bool).reshape(
+                len(rows), n_vars
+            )
+            result = EAResult(
+                algorithm=str(payload["algorithm"]),
+                genomes=genomes,
+                objectives=np.asarray(payload["objectives"], dtype=float),
+                history=list(payload["history"]),
+                generations=int(payload["generations"]),
+                n_evaluations=int(payload["n_evaluations"]),
+                seed=int(payload["seed"]),
+                reference=(
+                    tuple(payload["reference"])
+                    if payload.get("reference")
+                    else None
+                ),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        try:
+            os.utime(path)  # LRU touch, matching the engine's cache
+        except OSError:
+            pass
+        return result, time.perf_counter() - started
 
     def exact_front(self) -> HardeningResult:
         """The supported Pareto points of the linear problem — the exact

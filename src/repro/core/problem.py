@@ -20,12 +20,20 @@ products.  (The linear structure also admits exact baselines — see
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.damage import DamageReport
+from ..analysis.faults import (
+    ControlCellBreak,
+    Fault,
+    MuxStuck,
+    SegmentBreak,
+)
+from ..ea.problem import EvaluationMemo
 from ..errors import OptimizationError
+from ..obs.trace import span
 from ..rsn.network import RsnNetwork
 from ..spec.cost_model import CostModel
 
@@ -126,3 +134,187 @@ class HardeningProblem:
         return [
             name for name, bit in zip(self.candidates, genome) if bit
         ]
+
+
+class FaultSetHardeningProblem(HardeningProblem):
+    """Hardening with the *joint* damage of all residual faults.
+
+    The linear problem scores a genome by summing per-candidate damages
+    (Eq. 2) — exact under the paper's single-fault model, but blind to
+    fault interaction.  This variant instead treats every un-hardened
+    candidate as simultaneously faulty and scores the genome by the exact
+    joint damage of that fault multiset: each genome lowers to one
+    ``(broken ids, mux pins)`` state
+    (:meth:`GraphDamageAnalysis.effect_of_faults` semantics), and a whole
+    population is swept through
+    :meth:`~repro.analysis.graph_analysis.GraphDamageAnalysis.damage_of_states`
+    — one kernel lane per unique genome under the bitset backend.
+
+    An :class:`repro.ea.EvaluationMemo` keyed by the packed genome bytes
+    makes re-evaluation incremental: after crossover/mutation only the
+    genomes whose bits actually changed are swept again.
+
+    ``evaluate_states`` optionally reroutes the state sweep (e.g. through
+    :meth:`CriticalityEngine.population_damages` for stats accounting);
+    it must be exact — results are memoized.
+    """
+
+    def __init__(
+        self,
+        network: RsnNetwork,
+        report: DamageReport,
+        cost_model: CostModel,
+        analysis,
+        hardenable: str = "all",
+        evaluate_states: Optional[Callable] = None,
+        max_memo_entries: int = 1 << 17,
+    ):
+        super().__init__(network, report, cost_model, hardenable=hardenable)
+        self._analysis = analysis
+        self._evaluate_states_fn = evaluate_states
+        ir = analysis.ir
+
+        # Per-candidate residual effect: (broken node ids, (mux id, port)
+        # pins, pins-override flag) applied when the candidate is NOT
+        # hardened, plus the equivalent Fault objects for the scalar
+        # parity path.  Candidate order mirrors ``self.candidates``.
+        states: List[Tuple[Tuple[int, ...], Tuple[Tuple[int, int], ...], bool]] = []
+        fault_lists: List[Tuple[Fault, ...]] = []
+        for unit in network.units():
+            broken: List[int] = []
+            pins: List[Tuple[int, int]] = []
+            faults: List[Fault] = []
+            override = False
+            if unit.cells:
+                # A dead unit breaks its configuration cells; each break
+                # pins the driven muxes at their worst marginal ports
+                # (the ControlCellBreak rule).
+                for cell in unit.cells:
+                    faults.append(ControlCellBreak(cell))
+                    broken.append(ir.id_of(cell))
+                    for mux, port in analysis.cell_stuck_ports(cell).items():
+                        mux_id = ir.id_of(mux)
+                        pins.append(
+                            (mux_id, int(port) % int(ir.fanin[mux_id]))
+                        )
+            else:
+                # No cells to break: the muxes themselves stick (port 0).
+                override = True
+                for mux in unit.muxes:
+                    faults.append(MuxStuck(mux, 0))
+                    pins.append((ir.id_of(mux), 0))
+            states.append((tuple(broken), tuple(pins), override))
+            fault_lists.append(tuple(faults))
+        if hardenable == "all":
+            for segment in network.data_segments():
+                states.append(((ir.id_of(segment.name),), (), False))
+                fault_lists.append((SegmentBreak(segment.name),))
+        self._candidate_states = states
+        self._candidate_faults = fault_lists
+
+        self.memo = EvaluationMemo(max_memo_entries)
+        self.counters: Dict[str, int] = {
+            "evaluations": 0,
+            "memo_hits": 0,
+            "states_swept": 0,
+        }
+        # Joint-damage extremes replace the linear bounds: nothing
+        # hardened (every candidate faulty at once) and everything
+        # hardened (no residual fault).
+        zeros = np.zeros(self.n_vars, dtype=bool)
+        ones = np.ones(self.n_vars, dtype=bool)
+        extremes = np.asarray(
+            self._evaluate_states(
+                [self._state_of(zeros), self._state_of(ones)]
+            ),
+            dtype=float,
+        )
+        self.max_damage = float(extremes[0])
+        self.floor_damage = float(extremes[1])
+        for key, value in zip(
+            EvaluationMemo.keys_of(np.stack([zeros, ones])), extremes
+        ):
+            self.memo.put(key, float(value))
+
+    # ------------------------------------------------------------------
+    def residual_faults(self, genome: np.ndarray) -> List[Fault]:
+        """The simultaneous fault multiset of a genome's un-hardened
+        candidates — the scalar-parity form of :meth:`_state_of`
+        (``damage_of_faults(residual_faults(g))`` must equal the batched
+        damage exactly)."""
+        genome = np.asarray(genome, dtype=bool)
+        faults: List[Fault] = []
+        for index in np.flatnonzero(~genome):
+            faults.extend(self._candidate_faults[index])
+        return faults
+
+    def _state_of(self, genome: np.ndarray):
+        """Merge the un-hardened candidates' effects into one lane state,
+        mirroring ``_multiset_state`` over :meth:`residual_faults`: breaks
+        accumulate, stuck muxes pin (override), broken cells pin without
+        overriding."""
+        broken: List[int] = []
+        forced: Dict[int, int] = {}
+        for index in np.flatnonzero(~np.asarray(genome, dtype=bool)):
+            more_broken, pins, override = self._candidate_states[index]
+            broken.extend(more_broken)
+            if override:
+                for mux_id, port in pins:
+                    forced[mux_id] = port
+            else:
+                for mux_id, port in pins:
+                    forced.setdefault(mux_id, port)
+        return (tuple(broken), tuple(forced.items()))
+
+    def _evaluate_states(self, states) -> np.ndarray:
+        if self._evaluate_states_fn is not None:
+            return self._evaluate_states_fn(states)
+        return self._analysis.damage_of_states(states)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, genomes: np.ndarray) -> np.ndarray:
+        """(P, 2) objectives [cost, joint residual damage].
+
+        Costs stay a chunked matvec; damages are memo-checked per genome
+        and only the unique, never-seen states are swept (one lane each).
+        """
+        genomes = np.asarray(genomes, dtype=bool)
+        if genomes.ndim != 2 or genomes.shape[1] != self.n_vars:
+            raise OptimizationError(
+                f"expected (P, {self.n_vars}) genomes, got "
+                f"{tuple(genomes.shape)}"
+            )
+        rows = genomes.shape[0]
+        cost = np.empty(rows)
+        chunk = max(1, self._CHUNK_FLOATS // max(1, self.n_vars))
+        for start in range(0, rows, chunk):
+            block = genomes[start : start + chunk].astype(float)
+            cost[start : start + chunk] = block @ self.costs
+
+        damage = np.empty(rows)
+        hits_before = self.memo.hits
+        pending: Dict[bytes, List[int]] = {}
+        states = []
+        for row, key in enumerate(EvaluationMemo.keys_of(genomes)):
+            cached = self.memo.get(key)
+            if cached is not None:
+                damage[row] = cached
+                continue
+            duplicates = pending.get(key)
+            if duplicates is None:
+                pending[key] = [row]
+                states.append(self._state_of(genomes[row]))
+            else:
+                duplicates.append(row)
+        if states:
+            with span("ea.evaluate", genomes=rows, swept=len(states)):
+                swept = np.asarray(
+                    self._evaluate_states(states), dtype=float
+                )
+            for (key, dup_rows), value in zip(pending.items(), swept):
+                damage[dup_rows] = value
+                self.memo.put(key, float(value))
+        self.counters["evaluations"] += rows
+        self.counters["memo_hits"] += self.memo.hits - hits_before
+        self.counters["states_swept"] += len(states)
+        return np.stack([cost, damage], axis=1)

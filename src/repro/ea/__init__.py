@@ -18,13 +18,19 @@ from .pareto import (
     normalize,
     pareto_front,
 )
-from .problem import FunctionProblem, Problem, check_problem
+from .problem import (
+    EvaluationMemo,
+    FunctionProblem,
+    Problem,
+    check_problem,
+)
 from .result import EAResult
 from .spea2 import SPEA2
 from .termination import HypervolumeStall, TargetObjective
 
 __all__ = [
     "EAResult",
+    "EvaluationMemo",
     "FunctionProblem",
     "HypervolumeStall",
     "NSGA2",

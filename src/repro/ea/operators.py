@@ -69,15 +69,24 @@ def one_point_crossover(
     if count % 2:
         raise OptimizationError("crossover needs an even number of parents")
     offspring = parents.copy()
-    if n_vars < 2:
+    pairs = count // 2
+    if n_vars < 2 or pairs == 0:
         return offspring
-    for pair in range(0, count, 2):
-        if rng.random() >= p_crossover:
-            continue
-        point = int(rng.integers(1, n_vars))
-        first = offspring[pair].copy()
-        offspring[pair, point:] = offspring[pair + 1, point:]
-        offspring[pair + 1, point:] = first[point:]
+    crossed = rng.random(pairs) < p_crossover
+    points = rng.integers(1, n_vars, size=pairs)
+    columns = np.arange(n_vars)
+    pairs_per_block = max(1, _BLOCK_CELLS // n_vars)
+    for start in range(0, pairs, pairs_per_block):
+        stop = min(pairs, start + pairs_per_block)
+        first = offspring[2 * start : 2 * stop : 2]
+        second = offspring[2 * start + 1 : 2 * stop : 2]
+        swap = crossed[start:stop, None] & (
+            columns >= points[start:stop, None]
+        )
+        swapped_first = np.where(swap, second, first)
+        swapped_second = np.where(swap, first, second)
+        first[...] = swapped_first
+        second[...] = swapped_second
     return offspring
 
 

@@ -11,6 +11,10 @@ import numpy as np
 
 from ..errors import OptimizationError
 
+#: Pairwise cells per domination block: bounds the boolean temporaries of
+#: the blocked sort to a few megabytes regardless of population size.
+_BLOCK_CELLS = 4_000_000
+
 
 def dominates(a: np.ndarray, b: np.ndarray) -> bool:
     """True when ``a`` Pareto-dominates ``b`` (<= everywhere, < somewhere)."""
@@ -56,18 +60,47 @@ def dedupe_front(objectives: np.ndarray) -> np.ndarray:
     return np.asarray(unique, dtype=int)
 
 
+def _domination_rows(
+    objs: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """Rows ``[lo, hi)`` of the domination matrix (``M[i, j]`` = ``i``
+    dominates ``j``), computed without the full (n, n, m) broadcast."""
+    less_equal = np.all(objs[lo:hi, None, :] <= objs[None, :, :], axis=2)
+    strictly_less = np.any(objs[lo:hi, None, :] < objs[None, :, :], axis=2)
+    return less_equal & strictly_less
+
+
 def fast_non_dominated_sort(objectives: np.ndarray) -> List[np.ndarray]:
-    """Deb's fast non-dominated sorting: list of fronts (index arrays)."""
-    matrix = domination_matrix(objectives)
-    dominated_count = matrix.sum(axis=0).astype(int)
+    """Deb's fast non-dominated sorting: list of fronts (index arrays).
+
+    The domination matrix is built in row blocks and kept bit-packed
+    (``n * n/8`` bytes), so the merged NSGA-II populations of a
+    10,000-genome run fit comfortably; front peeling subtracts whole
+    blocks of unpacked rows at once instead of looping per individual.
+    """
+    objs = np.asarray(objectives, dtype=float)
+    count = len(objs)
+    if count == 0:
+        return []
+    packed = np.empty((count, (count + 7) // 8), dtype=np.uint8)
+    dominated_count = np.zeros(count, dtype=np.int64)
+    block = max(1, _BLOCK_CELLS // count)
+    for lo in range(0, count, block):
+        hi = min(count, lo + block)
+        rows = _domination_rows(objs, lo, hi)
+        packed[lo:hi] = np.packbits(rows, axis=1)
+        dominated_count += rows.sum(axis=0, dtype=np.int64)
     fronts: List[np.ndarray] = []
+    assigned = np.zeros(count, dtype=bool)
     current = np.flatnonzero(dominated_count == 0)
-    assigned = np.zeros(len(objectives), dtype=bool)
     while len(current):
         fronts.append(current)
         assigned[current] = True
-        for index in current:
-            dominated_count[matrix[index]] -= 1
+        for lo in range(0, len(current), block):
+            rows = np.unpackbits(
+                packed[current[lo : lo + block]], axis=1, count=count
+            )
+            dominated_count -= rows.sum(axis=0, dtype=np.int64)
         current = np.flatnonzero((dominated_count == 0) & ~assigned)
     return fronts
 

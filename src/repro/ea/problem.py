@@ -9,7 +9,8 @@ optimizer loop in numpy; the selective-hardening problem in
 
 from __future__ import annotations
 
-from typing import Protocol
+from collections import OrderedDict
+from typing import List, Optional, Protocol
 
 import numpy as np
 
@@ -50,6 +51,48 @@ class FunctionProblem:
                 "objective function returned the wrong shape"
             )
         return objectives
+
+
+class EvaluationMemo:
+    """Bounded LRU cache from packed genomes to evaluation results.
+
+    Crossover and mutation leave most of a population unchanged between
+    generations, so an incremental evaluator only needs to re-sweep the
+    genomes whose bits actually moved.  Keys are the ``np.packbits`` bytes
+    of a genome row — 1/8th of the boolean genome, hashable, exact.
+    """
+
+    def __init__(self, max_entries: int = 1 << 17):
+        if max_entries < 1:
+            raise OptimizationError("memo needs max_entries >= 1")
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[bytes, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def keys_of(genomes: np.ndarray) -> List[bytes]:
+        """One hashable key per genome row."""
+        packed = np.packbits(np.asarray(genomes, dtype=bool), axis=1)
+        return [row.tobytes() for row in packed]
+
+    def get(self, key: bytes) -> Optional[object]:
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: bytes, value: object) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
 
 
 def check_problem(problem: Problem) -> None:

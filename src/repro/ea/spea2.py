@@ -33,7 +33,12 @@ from .operators import (
     init_population,
     one_point_crossover,
 )
-from .pareto import domination_matrix, hypervolume_2d, normalize
+from .pareto import (
+    _BLOCK_CELLS,
+    _domination_rows,
+    hypervolume_2d,
+    normalize,
+)
 from .problem import Problem, check_problem
 from .result import EAResult
 
@@ -92,10 +97,10 @@ class SPEA2:
             ) as gen_span:
                 union = np.vstack([population, archive])
                 union_objs = np.vstack([pop_objs, archive_objs])
-                fitness, distances = _fitness(union_objs)
+                fitness, norm = _fitness(union_objs)
 
                 keep = _environmental_selection(
-                    fitness, distances, self.archive_size
+                    fitness, norm, self.archive_size
                 )
                 archive = union[keep]
                 archive_objs = union_objs[keep]
@@ -158,29 +163,55 @@ class SPEA2:
 # fitness assignment and environmental selection
 # ----------------------------------------------------------------------
 def _fitness(objectives: np.ndarray):
-    """(fitness, normalized pairwise distances) for population ∪ archive."""
-    matrix = domination_matrix(objectives)
-    strength = matrix.sum(axis=1).astype(float)
-    raw = (strength[:, None] * matrix).sum(axis=0)
+    """(fitness, normalized objectives) for population ∪ archive.
 
-    norm = normalize(objectives)
-    deltas = norm[:, None, :] - norm[None, :, :]
-    distances = np.sqrt((deltas * deltas).sum(axis=2))
+    Both the domination structure and the k-nearest-neighbour density are
+    computed in row blocks so nothing larger than ``block * count`` is ever
+    materialized; strengths are integer counts, so the blocked raw-fitness
+    sums are exact (bit-identical to the full-matrix formulation).
+    """
+    objs = np.asarray(objectives, dtype=float)
+    count = len(objs)
+    norm = normalize(objs)
+    block = max(1, _BLOCK_CELLS // max(1, count))
 
-    count = len(objectives)
+    strength = np.zeros(count)
+    for lo in range(0, count, block):
+        hi = min(count, lo + block)
+        strength[lo:hi] = _domination_rows(objs, lo, hi).sum(axis=1)
+
+    raw = np.zeros(count)
+    sigma_k = np.empty(count)
     k = min(count - 1, max(1, int(math.sqrt(count))))
-    sigma_k = np.sort(distances, axis=1)[:, k]
+    for lo in range(0, count, block):
+        hi = min(count, lo + block)
+        raw += strength[lo:hi] @ _domination_rows(objs, lo, hi)
+        deltas = norm[lo:hi, None, :] - norm[None, :, :]
+        distances = np.sqrt((deltas * deltas).sum(axis=2))
+        # partition places the exact k-th order statistic at column k,
+        # identical to the former full sort.
+        sigma_k[lo:hi] = np.partition(distances, k, axis=1)[:, k]
+
     density = 1.0 / (sigma_k + 2.0)
-    return raw + density, distances
+    return raw + density, norm
 
 
 def _environmental_selection(
-    fitness: np.ndarray, distances: np.ndarray, size: int
+    fitness: np.ndarray, norm: np.ndarray, size: int
 ) -> np.ndarray:
-    """Indices of the next archive (SPEA2 rules)."""
+    """Indices of the next archive (SPEA2 rules).
+
+    The pairwise distance matrix is only built over the non-dominated
+    subset, and only when truncation is actually needed — the common
+    no-truncation generations never pay the O(n²) memory.
+    """
     non_dominated = np.flatnonzero(fitness < 1.0)
     if len(non_dominated) > size:
-        return _truncate(non_dominated, distances, size)
+        sub = norm[non_dominated]
+        deltas = sub[:, None, :] - sub[None, :, :]
+        distances = np.sqrt((deltas * deltas).sum(axis=2))
+        keep = _truncate(np.arange(len(non_dominated)), distances, size)
+        return non_dominated[keep]
     if len(non_dominated) < size:
         dominated = np.flatnonzero(fitness >= 1.0)
         fill = dominated[np.argsort(fitness[dominated], kind="stable")]

@@ -37,24 +37,46 @@ class TestFitnessAssignment:
         fitness, _ = _fitness(objs)
         assert fitness[0] < fitness[1] < fitness[2]
 
-    def test_distances_symmetric(self):
+    def test_normalized_objectives_returned(self):
         objs = np.random.default_rng(0).random((10, 2))
-        _, distances = _fitness(objs)
-        assert np.allclose(distances, distances.T)
-        assert np.allclose(np.diag(distances), 0.0)
+        _, norm = _fitness(objs)
+        assert norm.shape == objs.shape
+        assert np.allclose(norm.min(axis=0), 0.0)
+        assert np.allclose(norm.max(axis=0), 1.0)
+
+    def test_blocked_fitness_matches_naive(self):
+        """The blocked computation must be bit-identical to the direct
+        full-matrix formulation it replaced."""
+        import math
+
+        from repro.ea.pareto import domination_matrix, normalize
+
+        objs = np.random.default_rng(7).random((37, 2))
+        fitness, _ = _fitness(objs)
+
+        matrix = domination_matrix(objs)
+        strength = matrix.sum(axis=1).astype(float)
+        raw = (strength[:, None] * matrix).sum(axis=0)
+        norm = normalize(objs)
+        deltas = norm[:, None, :] - norm[None, :, :]
+        distances = np.sqrt((deltas * deltas).sum(axis=2))
+        k = min(len(objs) - 1, max(1, int(math.sqrt(len(objs)))))
+        sigma_k = np.sort(distances, axis=1)[:, k]
+        expected = raw + 1.0 / (sigma_k + 2.0)
+        assert np.array_equal(fitness, expected)
 
 
 class TestEnvironmentalSelection:
     def test_exact_fit(self):
         objs = np.array([[0.0, 2.0], [1.0, 1.0], [2.0, 0.0], [5.0, 5.0]])
-        fitness, distances = _fitness(objs)
-        keep = _environmental_selection(fitness, distances, 3)
+        fitness, norm = _fitness(objs)
+        keep = _environmental_selection(fitness, norm, 3)
         assert sorted(keep) == [0, 1, 2]
 
     def test_fill_with_best_dominated(self):
         objs = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
-        fitness, distances = _fitness(objs)
-        keep = _environmental_selection(fitness, distances, 2)
+        fitness, norm = _fitness(objs)
+        keep = _environmental_selection(fitness, norm, 2)
         assert 0 in keep and 1 in keep
 
     def test_truncation_keeps_extremes(self):
@@ -62,14 +84,16 @@ class TestEnvironmentalSelection:
         objs = np.array(
             [[0.0, 4.0], [1.0, 3.0], [1.1, 2.9], [2.0, 2.0], [4.0, 0.0]]
         )
-        fitness, distances = _fitness(objs)
-        keep = _environmental_selection(fitness, distances, 3)
+        fitness, norm = _fitness(objs)
+        keep = _environmental_selection(fitness, norm, 3)
         assert 0 in keep and 4 in keep
 
     def test_truncate_size(self):
         rng = np.random.default_rng(1)
         objs = rng.random((20, 2))
-        _, distances = _fitness(objs)
+        _, norm = _fitness(objs)
+        deltas = norm[:, None, :] - norm[None, :, :]
+        distances = np.sqrt((deltas * deltas).sum(axis=2))
         result = _truncate(np.arange(20), distances, 7)
         assert len(result) == 7
 
