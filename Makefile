@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench bench-ir bench-batch bench-ea bench-diff baseline lint table1 sweeps examples serve-smoke clean
+.PHONY: install test test-fast bench bench-ir bench-batch bench-ea bench-service bench-diff baseline lint table1 sweeps examples serve-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -33,8 +33,11 @@ bench-batch:
 bench-ea:
 	$(PYTHON) benchmarks/bench_ea_population.py --output results/BENCH_ea.json
 
+bench-service:
+	$(PYTHON) benchmarks/bench_service_load.py --output results/BENCH_service.json
+
 bench-diff:
-	$(PYTHON) -m repro.cli bench-diff results/BENCH_criticality.json results/BENCH_batch.json results/BENCH_ea.json --tolerance 0.2
+	$(PYTHON) -m repro.cli bench-diff results/BENCH_criticality.json results/BENCH_batch.json results/BENCH_ea.json results/BENCH_service.json --tolerance 0.2
 
 lint:
 	ruff check src tests benchmarks examples

@@ -130,13 +130,25 @@ class BatchFaultAnalysis:
 
     def __init__(
         self,
-        network: RsnNetwork,
+        network: Optional[RsnNetwork],
         spec,
         policy: str = "max",
         chunk_lanes: int = 64,
+        ir=None,
     ):
+        # ``ir=`` constructs the kernel straight from a CompiledNetwork —
+        # the zero-copy path of the sharded worker tier, where the arrays
+        # are memoryview windows into a shared-memory segment and no dict
+        # graph exists (repro.ir.shm).  Every query below reads only the
+        # IR, so both construction paths are computationally identical.
+        if ir is None:
+            if network is None:
+                raise ReproError(
+                    "BatchFaultAnalysis needs a network or a compiled ir"
+                )
+            ir = intern(network)
         self.network = network
-        self.ir = intern(network)
+        self.ir = ir
         self.spec = spec
         self.policy = policy
         self.chunk_lanes = max(1, int(chunk_lanes))

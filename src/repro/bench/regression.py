@@ -255,6 +255,30 @@ def load_hot_paths(path: str) -> Tuple[str, List[HotPath]]:
                     },
                 )
             )
+        elif benchmark == "service-latency":
+            sharded = _require(row, "sharded", path)
+            if not isinstance(sharded, dict) or "p50_seconds" not in sharded:
+                raise RegressionParseError(
+                    f"{path}: row {design!r} has no sharded.p50_seconds"
+                )
+            hot_paths.append(
+                HotPath(
+                    design=design,
+                    metric="service_p50",
+                    n_segments=n_segments,
+                    n_muxes=n_muxes,
+                    baseline_seconds=float(sharded["p50_seconds"]),
+                    params={
+                        "requests": int(sharded.get("requests", 200)),
+                        "concurrency": int(sharded.get("concurrency", 16)),
+                        "workers": int(row.get("workers", 2)),
+                        "shards": int(row.get("shards", 8)),
+                        "batch_window": float(
+                            row.get("batch_window", 0.005)
+                        ),
+                    },
+                )
+            )
         else:
             raise RegressionParseError(
                 f"{path}: unknown benchmark kind {benchmark!r}"
@@ -344,10 +368,92 @@ def _measure_once(hot_path: HotPath, network, spec, tree=None) -> float:
     raise RegressionParseError(f"unknown metric {hot_path.metric!r}")
 
 
+def _measure_service(hot_path: HotPath, repeats: int) -> float:
+    """Best-of-``repeats`` p50 /damage latency on the sharded stack.
+
+    Boots the exact baseline configuration (asyncio front-end, worker
+    pool, coalescer window) once, replays the recorded request plan
+    ``repeats`` times and keeps the best median.  Every response is
+    checked against a direct in-process damage vector first — a parity
+    failure is a correctness bug, not a slow run, and fails hard.
+    """
+    import statistics
+    import tempfile
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+
+    from ..analysis import GraphDamageAnalysis
+    from ..analysis.faults import iter_all_faults
+    from ..service import AnalysisService, AsyncServerThread, ServiceClient
+    from ..spec import spec_for_network
+    from .designs import build_design
+
+    params = hot_path.params
+    network = build_design(hot_path.design)
+    spec = spec_for_network(network, seed=0)
+    faults = list(iter_all_faults(network))
+    direct = [
+        float(d)
+        for d in GraphDamageAnalysis(
+            network, spec, backend="bitset"
+        ).damage_vector(faults)
+    ]
+    plan = [
+        random.Random(_IR_SAMPLE_SEED + offset).randrange(len(faults))
+        for offset in range(params["requests"])
+    ]
+    best = float("inf")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-diff-") as tmp:
+        service = AnalysisService(
+            cache_dir=tmp,
+            workers=2,
+            batch_window=params["batch_window"],
+            shard_workers=params["workers"],
+            shards=params["shards"],
+        )
+        server = AsyncServerThread(service, host="127.0.0.1", port=0)
+        try:
+            client = ServiceClient(server.url, timeout=120.0)
+            fingerprint = client.upload_network(
+                design=hot_path.design
+            )["fingerprint"]
+            if client.damage(fingerprint, faults, seed=0) != direct:
+                raise ReproError(
+                    f"{hot_path.design}: sharded /damage diverged from "
+                    "direct GraphDamageAnalysis during bench-diff"
+                )
+            local = threading.local()
+
+            def one(index):
+                thread_client = getattr(local, "client", None)
+                if thread_client is None:
+                    thread_client = local.client = ServiceClient(
+                        server.url, timeout=120.0
+                    )
+                started = time.perf_counter()
+                thread_client.damage(
+                    fingerprint, [faults[index]], seed=0
+                )
+                return time.perf_counter() - started
+
+            for _ in range(repeats):
+                with ThreadPoolExecutor(
+                    max_workers=params["concurrency"]
+                ) as executor:
+                    latencies = list(executor.map(one, plan))
+                best = min(best, statistics.median(latencies))
+        finally:
+            server.stop()
+            service.close(drain=False)
+    return best
+
+
 def measure_hot_path(hot_path: HotPath, repeats: int = 3) -> float:
     """Best-of-``repeats`` fresh timing of one hot path (fresh analysis
     objects per repeat, so construction is included exactly as the
     baselines recorded it)."""
+    if hot_path.metric == "service_p50":
+        return _measure_service(hot_path, repeats)
     network, spec = _build(hot_path)
     tree = None
     if hot_path.metric.startswith("serial/"):

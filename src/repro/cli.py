@@ -417,21 +417,35 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .service import serve
-
-    return serve(
+    kwargs = dict(
         host=args.host,
         port=args.port,
         verbose=args.verbose,
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
         max_cache_mb=args.cache_max_mb,
-        workers=args.workers,
+        workers=args.job_threads,
         batch_window=args.batch_window_ms / 1000.0,
         job_timeout=args.job_timeout,
         engine_jobs=args.jobs,
         tracing=args.trace,
+        shard_workers=args.workers,
+        shards=args.shards,
+        prefer_shm=not args.no_shm,
     )
+    frontend = args.frontend
+    if frontend == "auto":
+        # The event loop pays off exactly when requests park on worker
+        # futures; without a pool the threaded server is the simpler
+        # beast to debug.
+        frontend = "async" if args.workers else "thread"
+    if frontend == "async":
+        from .service import serve_async
+
+        return serve_async(**kwargs)
+    from .service import serve
+
+    return serve(**kwargs)
 
 
 def _cmd_bench_diff(args) -> int:
@@ -666,10 +680,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--port", type=int, default=8471)
     serve.add_argument(
         "--workers",
+        type=_nonnegative_int,
+        default=2,
+        metavar="N",
+        help="analysis worker processes, sharded by network fingerprint "
+        "(default 2; 0 = run every sweep in-process, pre-PR-7 mode)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="shard count for the fingerprint → worker map "
+        "(default 4 × workers; more shards = finer rebalance granularity)",
+    )
+    serve.add_argument(
+        "--frontend",
+        choices=("auto", "async", "thread"),
+        default="auto",
+        help="HTTP front-end: asyncio event loop or thread-per-request "
+        "(default auto: async when worker processes are enabled)",
+    )
+    serve.add_argument(
+        "--job-threads",
         type=_positive_int,
         default=2,
         metavar="N",
-        help="job-queue worker threads (default 2)",
+        help="job-queue worker threads (default 2; with worker "
+        "processes these only park on shard futures)",
+    )
+    serve.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="ship compiled networks to workers by pickle instead of "
+        "shared memory (debugging aid)",
     )
     serve.add_argument(
         "--batch-window-ms",

@@ -1,0 +1,345 @@
+"""Zero-copy shipping of :class:`CompiledNetwork` via shared memory.
+
+The sharded worker tier (:mod:`repro.service.workers`) hands whole
+compiled networks to long-lived worker processes.  Pickling works — the
+engine's spawn workers already do it — but every worker then holds its
+own private copy of the adjacency arrays, and a 10⁵-segment design costs
+the pack/unpack twice per worker.  This module instead places the IR's
+numeric payload (CSR adjacency, ports, topo order, per-node attribute
+arrays) in one ``multiprocessing.shared_memory`` segment; a worker
+*attaches* and builds a :class:`CompiledNetwork` whose hot-path buffers
+are ``memoryview`` windows straight into the shared pages — zero copies,
+one physical instance of the arrays however many workers analyze the
+network.
+
+``memoryview.cast('i')`` is a drop-in for the ``array('i')`` fields: the
+Python sweeps index it to unboxed ints exactly like ``array``, and
+``np.frombuffer`` accepts it wherever the batch kernel wants vectorized
+views.  The only thing an attached IR cannot do is pickle (a memoryview
+is process-local) — attached networks stay inside their worker, which is
+the point.
+
+Layout of a segment::
+
+    [8-byte little-endian meta length][pickled metadata][arrays...]
+
+The metadata pickle carries the small, stringy fields (names, units,
+instruments, fingerprint, ...) plus an offset table for the numeric
+arrays; each array region is 8-byte aligned.
+
+Lifecycle
+---------
+:class:`ShmSegment` is refcounted **in the owning process**: the pool
+acquires one reference per worker the network is shipped to and releases
+on worker death / pool shutdown; the segment is unlinked when the count
+reaches zero (or at :meth:`ShmSegment.unlink`, whichever comes first).
+Attached sides only ever ``close()`` — use :func:`detach` to release the
+IR's memoryview exports first, or the mmap refuses to unmap.  The
+``resource_tracker`` needs no special handling here: the pool's workers
+are children of the owning process and share its tracker, so the
+attach-side registration is a duplicate no-op and the owner's
+``unlink()`` retires the name exactly once.
+
+When shared memory is unavailable (no ``/dev/shm``, exotic platform),
+:func:`ship` degrades to a pickle payload and :func:`receive` rebuilds a
+private copy — same API, no zero-copy, nothing else changes.
+"""
+
+from __future__ import annotations
+
+import pickle
+import secrets
+import struct
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from .compiled import CompiledNetwork
+
+try:  # pragma: no cover - import succeeds on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - stdlib without shm
+    _shared_memory = None
+
+__all__ = [
+    "ShmSegment",
+    "ShmUnavailable",
+    "attach",
+    "detach",
+    "pack",
+    "receive",
+    "ship",
+    "shm_available",
+]
+
+#: (slot name, typecode) of every numeric field placed in the segment.
+#: ``kinds`` is raw bytes; the rest are int / signed-char arrays.  Order
+#: is the serialization order and must stay stable.
+_ARRAY_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("kinds", "B"),
+    ("succ_indptr", "i"),
+    ("succ_indices", "i"),
+    ("succ_ports", "i"),
+    ("pred_indptr", "i"),
+    ("pred_indices", "i"),
+    ("topo", "i"),
+    ("fanin", "i"),
+    ("control_cell", "i"),
+    ("seg_length", "i"),
+    ("roles", "b"),
+    ("instrument_segment", "i"),
+)
+
+#: Metadata fields shipped as a (small) pickle next to the arrays.
+_META_FIELDS: Tuple[str, ...] = (
+    "name",
+    "names",
+    "scan_in",
+    "scan_out",
+    "sib_of",
+    "instrument_of",
+    "instruments",
+    "units",
+    "fingerprint",
+)
+
+_ALIGN = 8
+_HEADER = struct.Struct("<Q")
+
+
+class ShmUnavailable(ReproError):
+    """Shared memory cannot be used on this platform / mount."""
+
+
+def shm_available() -> bool:
+    """Can this process create shared-memory segments at all?"""
+    if _shared_memory is None:
+        return False
+    try:
+        probe = _shared_memory.SharedMemory(create=True, size=16)
+    except (OSError, ValueError):
+        return False
+    probe.close()
+    try:
+        probe.unlink()
+    except OSError:  # pragma: no cover - already gone
+        pass
+    return True
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _array_bytes(value) -> bytes:
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value)
+    return value.tobytes()
+
+
+class ShmSegment:
+    """An owner-side shared-memory segment holding one packed IR.
+
+    Refcounted: :meth:`acquire` / :meth:`release` bracket each shipment
+    to a worker; the segment is unlinked once every reference is gone.
+    """
+
+    def __init__(self, shm, fingerprint: str, size: int):
+        self._shm = shm
+        self.fingerprint = fingerprint
+        self.size = size
+        self._lock = threading.Lock()
+        self._refs = 0
+        self._unlinked = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def refs(self) -> int:
+        with self._lock:
+            return self._refs
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._unlinked
+
+    def acquire(self) -> "ShmSegment":
+        with self._lock:
+            if self._unlinked:
+                raise ReproError(
+                    f"shm segment {self.name} is already unlinked"
+                )
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one reference; unlink the segment at zero."""
+        with self._lock:
+            if self._unlinked:
+                return
+            self._refs = max(0, self._refs - 1)
+            if self._refs > 0:
+                return
+            self._unlinked = True
+        self._destroy()
+
+    def unlink(self) -> None:
+        """Force-unlink regardless of the refcount (pool shutdown)."""
+        with self._lock:
+            if self._unlinked:
+                return
+            self._unlinked = True
+            self._refs = 0
+        self._destroy()
+
+    def _destroy(self) -> None:
+        try:
+            self._shm.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        try:
+            self._shm.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover
+            pass
+
+
+def pack(ir: CompiledNetwork) -> ShmSegment:
+    """Write ``ir`` into a fresh shared-memory segment.
+
+    Raises :class:`ShmUnavailable` when segments cannot be created;
+    callers that can fall back to pickle should use :func:`ship`.
+    """
+    if _shared_memory is None:
+        raise ShmUnavailable("multiprocessing.shared_memory is missing")
+    blobs: List[bytes] = []
+    table: List[Tuple[str, str, int, int]] = []  # (slot, code, off, len)
+    offset = 0  # relative to the arrays region
+    for slot, code in _ARRAY_FIELDS:
+        raw = _array_bytes(getattr(ir, slot))
+        offset = _aligned(offset)
+        table.append((slot, code, offset, len(raw)))
+        blobs.append(raw)
+        offset += len(raw)
+    meta = {slot: getattr(ir, slot) for slot in _META_FIELDS}
+    meta_blob = pickle.dumps(
+        {"meta": meta, "table": table}, protocol=pickle.HIGHEST_PROTOCOL
+    )
+    arrays_at = _aligned(_HEADER.size + len(meta_blob))
+    total = arrays_at + offset
+    try:
+        shm = _shared_memory.SharedMemory(create=True, size=max(total, 1))
+    except (OSError, ValueError) as exc:
+        raise ShmUnavailable(f"cannot create shm segment: {exc}") from None
+    buf = shm.buf
+    _HEADER.pack_into(buf, 0, len(meta_blob))
+    buf[_HEADER.size : _HEADER.size + len(meta_blob)] = meta_blob
+    for (slot, code, rel, length), raw in zip(table, blobs):
+        at = arrays_at + rel
+        buf[at : at + length] = raw
+    return ShmSegment(shm, ir.fingerprint, total)
+
+
+def attach(name: str) -> Tuple[CompiledNetwork, object]:
+    """Open segment ``name`` and build a zero-copy :class:`CompiledNetwork`.
+
+    Returns ``(ir, shm)``; the caller must keep ``shm`` alive as long as
+    the IR is used and ``shm.close()`` it afterwards.  Every numeric
+    field of the returned IR is a ``memoryview`` into the shared pages
+    (``kinds`` stays ``bytes`` — it is tiny and indexed byte-wise).
+    """
+    if _shared_memory is None:
+        raise ShmUnavailable("multiprocessing.shared_memory is missing")
+    try:
+        shm = _shared_memory.SharedMemory(name=name)
+    except (OSError, ValueError) as exc:
+        raise ShmUnavailable(
+            f"cannot attach shm segment {name!r}: {exc}"
+        ) from None
+    buf = shm.buf
+    (meta_len,) = _HEADER.unpack_from(buf, 0)
+    payload = pickle.loads(
+        bytes(buf[_HEADER.size : _HEADER.size + meta_len])
+    )
+    meta: Dict = payload["meta"]
+    arrays_at = _aligned(_HEADER.size + meta_len)
+    fields: Dict[str, object] = dict(meta)
+    for slot, code, rel, length in payload["table"]:
+        window = buf[arrays_at + rel : arrays_at + rel + length]
+        if slot == "kinds":
+            # bytes() copies ~n_nodes bytes once; indexing bytes is the
+            # fastest byte-wise access and the field is small.
+            fields[slot] = bytes(window)
+        else:
+            fields[slot] = window.cast(code)
+    fields["_index"] = {
+        node_name: i for i, node_name in enumerate(meta["names"])
+    }
+    return CompiledNetwork(**fields), shm
+
+
+def detach(ir: Optional[CompiledNetwork], shm) -> None:
+    """Release an attached IR's buffer exports and close its segment.
+
+    A ``memoryview`` field keeps the shm mmap pinned; closing the
+    segment while any survive raises ``BufferError``.  Callers must drop
+    every *derived* export first (numpy views inside kernels, etc.) —
+    this releases the IR's own field views and then closes.  Safe to
+    call with ``shm=None`` (pickle transport) and best-effort
+    throughout: the worst case is the OS unmapping at process exit.
+    """
+    if ir is not None:
+        for slot, _code in _ARRAY_FIELDS:
+            view = getattr(ir, slot, None)
+            if isinstance(view, memoryview):
+                try:
+                    view.release()
+                except BufferError:  # pragma: no cover - still exported
+                    pass
+    if shm is not None:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - still exported
+            pass
+
+
+# ---------------------------------------------------------------------------
+# transport-agnostic ship/receive (shm with pickle fallback)
+# ---------------------------------------------------------------------------
+def ship(ir: CompiledNetwork, prefer_shm: bool = True) -> Tuple[str, object]:
+    """Serialize ``ir`` for another process.
+
+    Returns ``(transport, payload)`` where transport is ``"shm"`` (the
+    payload is a :class:`ShmSegment`, already holding one reference) or
+    ``"pickle"`` (the payload is ``bytes``).  The shm payload must be
+    converted to its ``descriptor()`` wire form by the caller; the
+    pickle payload is the wire form.
+    """
+    if prefer_shm:
+        try:
+            return "shm", pack(ir).acquire()
+        except ShmUnavailable:
+            pass
+    return "pickle", pickle.dumps(ir, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def receive(transport: str, payload) -> Tuple[CompiledNetwork, Optional[object]]:
+    """Worker-side counterpart of :func:`ship`.
+
+    Returns ``(ir, shm_or_None)``; a non-``None`` second element must be
+    kept referenced while the IR is in use and closed when the worker
+    drops the network.
+    """
+    if transport == "shm":
+        ir, shm = attach(payload)
+        return ir, shm
+    if transport == "pickle":
+        return pickle.loads(payload), None
+    raise ReproError(f"unknown IR transport {transport!r}")
+
+
+def random_segment_name() -> str:
+    """A collision-resistant segment name (used in tests)."""
+    return f"repro-ir-{secrets.token_hex(8)}"

@@ -3,14 +3,20 @@
 The long-lived counterpart of the one-shot CLI: networks are uploaded
 and interned once (:mod:`registry`), heavy analyses run as tracked jobs
 on a worker pool (:mod:`jobs`), concurrent fault queries are coalesced
-into shared bitset-kernel passes (:mod:`batching`), and everything is
-observable over Prometheus-format metrics (:mod:`metrics`).  The HTTP
-surface (:mod:`server`) and client (:mod:`client`) are stdlib-only.
+into shared bitset-kernel passes (:mod:`batching`) and executed on a
+sharded pool of worker *processes* keyed by IR fingerprint
+(:mod:`workers` — shared-memory kernel shipping, consistent-hash
+rebalance on crash), and everything is observable over
+Prometheus-format metrics (:mod:`metrics`).  Two interchangeable HTTP
+front-ends sit on top: the thread-per-request :mod:`server` and the
+event-loop :mod:`aserver`; both are stdlib-only, as is the retrying
+:mod:`client`.
 
 Start it with ``repro-rsn serve``; drive it with ``repro-rsn submit``,
 :class:`ServiceClient`, or plain ``curl``.
 """
 
+from .aserver import AsyncServerThread, AsyncServiceServer, serve_async
 from .batching import BatchCoalescer
 from .client import ServiceClient, ServiceClientError
 from .jobs import Job, JobQueue, JobStatus, TransientJobError
@@ -24,9 +30,17 @@ from .server import (
     make_server,
     serve,
 )
+from .workers import (
+    PoolClosedError,
+    ShardMap,
+    WorkerCrashError,
+    WorkerPool,
+)
 
 __all__ = [
     "AnalysisService",
+    "AsyncServerThread",
+    "AsyncServiceServer",
     "BatchCoalescer",
     "Counter",
     "DEFAULT_HOST",
@@ -39,11 +53,16 @@ __all__ = [
     "MetricsRegistry",
     "NetworkRegistry",
     "NotFoundError",
+    "PoolClosedError",
     "RegisteredNetwork",
     "RegistryError",
     "ServiceClient",
     "ServiceClientError",
+    "ShardMap",
     "TransientJobError",
+    "WorkerCrashError",
+    "WorkerPool",
     "make_server",
     "serve",
+    "serve_async",
 ]

@@ -28,6 +28,16 @@ with load exactly like a GPU inference micro-batcher.
 Dispatch runs on one dedicated thread per coalescer; per-key kernels are
 therefore driven single-threaded, which is exactly the thread-safety
 contract of :meth:`repro.service.registry.NetworkRegistry.batch_analysis`.
+
+A ``solve`` callable may also return a :class:`~concurrent.futures.
+Future` of the damages instead of the damages themselves — that is how
+the sharded worker tier plugs in: the dispatcher thread hands the merged
+batch to the shard queue and moves straight on to the next key, so
+batches for different shards solve concurrently while each kernel still
+sees single-threaded, in-order batches.  The scatter then runs from the
+future's done-callback.  :meth:`drain` flushes parked batches *and*
+waits for those in-flight asynchronous solves, which is what graceful
+shutdown calls before tearing the worker pool down.
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future
+from concurrent.futures import wait as _futures_wait
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
@@ -81,6 +92,7 @@ class BatchCoalescer:
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._pending: Dict[Hashable, _PendingBatch] = {}
+        self._inflight: set = set()  # Futures of async solves
         self._closed = False
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop,
@@ -129,15 +141,36 @@ class BatchCoalescer:
         for batch in batches:
             self._dispatch(batch)
 
-    def close(self) -> None:
-        """Stop accepting requests, flush the backlog, join the thread."""
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Dispatch every parked batch and wait for in-flight solves.
+
+        Synchronous solves finish inside :meth:`flush`; asynchronous
+        (future-returning) solves are awaited here up to ``timeout``.
+        Returns ``True`` when nothing is left in flight.
+        """
+        self.flush()
+        with self._lock:
+            waiting = [f for f in self._inflight if not f.done()]
+        if not waiting:
+            return True
+        _, not_done = _futures_wait(waiting, timeout=timeout)
+        return not not_done
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop accepting requests, flush the backlog, join the thread.
+
+        Parked batches are dispatched, not abandoned — a request
+        accepted before close resolves (or fails with its solver's
+        error), never hangs.  ``timeout`` bounds the wait for
+        asynchronous solves already handed to a worker tier.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             self._wakeup.notify()
         self._dispatcher.join()
-        self.flush()
+        self.drain(timeout=timeout)
 
     # -- dispatch side ---------------------------------------------------
     def _dispatch_loop(self) -> None:
@@ -186,18 +219,50 @@ class BatchCoalescer:
                 ):
                     damages = batch.solve(merged)
         except BaseException as exc:
-            for _, future, _ in batch.requests:
-                if not future.cancelled():
-                    future.set_exception(exc)
+            self._fail(batch, exc)
             return
-        if len(damages) != len(merged):
-            exc = ReproError(
-                f"batch solver returned {len(damages)} damages for "
-                f"{len(merged)} faults"
+        if isinstance(damages, Future):
+            # Async solver (the shard worker tier): don't block the
+            # dispatcher — other keys' batches can dispatch to other
+            # shards while this one computes.  Scatter on completion.
+            with self._lock:
+                self._inflight.add(damages)
+            damages.add_done_callback(
+                lambda fut, batch=batch, merged=merged, age=age: (
+                    self._async_done(batch, merged, age, fut)
+                )
             )
-            for _, future, _ in batch.requests:
-                if not future.cancelled():
-                    future.set_exception(exc)
+            return
+        self._scatter(batch, merged, damages, age)
+
+    def _async_done(
+        self, batch: _PendingBatch, merged: List, age: float, fut: Future
+    ) -> None:
+        with self._lock:
+            self._inflight.discard(fut)
+        try:
+            damages = fut.result()
+        except BaseException as exc:
+            self._fail(batch, exc)
+            return
+        self._scatter(batch, merged, damages, age)
+
+    def _fail(self, batch: _PendingBatch, exc: BaseException) -> None:
+        for _, future, _ in batch.requests:
+            if not future.cancelled():
+                future.set_exception(exc)
+
+    def _scatter(
+        self, batch: _PendingBatch, merged: List, damages, age: float
+    ) -> None:
+        if len(damages) != len(merged):
+            self._fail(
+                batch,
+                ReproError(
+                    f"batch solver returned {len(damages)} damages for "
+                    f"{len(merged)} faults"
+                ),
+            )
             return
         offset = 0
         for faults, future, _ in batch.requests:

@@ -4,6 +4,13 @@
 :mod:`repro.service.server` with typed convenience methods; it is what
 ``repro-rsn submit`` and the CI smoke test drive.  Only ``urllib`` is
 used — the client has no dependencies beyond the library itself.
+
+Idempotent GETs retry on connection refusal/reset with bounded
+exponential backoff (a restarting server, a server mid-listen and a
+dropped keep-alive socket all look the same from here); POST/DELETE are
+never retried — resubmitting a job or a cancel is not the client's call
+to make.  Every verb threads an optional per-call ``timeout`` through
+to the transport.
 """
 
 from __future__ import annotations
@@ -28,18 +35,71 @@ class ServiceClientError(ReproError):
         super().__init__(message)
 
 
-class ServiceClient:
-    """Talk to a running ``repro-rsn serve`` instance."""
+def _connection_failure(exc: BaseException) -> bool:
+    """Did the request die on the socket, before/without an HTTP reply?"""
+    if isinstance(exc, ConnectionError):
+        # ConnectionResetError / ConnectionRefusedError / BrokenPipeError
+        # (http.client.RemoteDisconnected subclasses ConnectionResetError)
+        return True
+    if isinstance(exc, urllib.error.URLError):
+        return isinstance(exc.reason, ConnectionError)
+    return False
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+
+class ServiceClient:
+    """Talk to a running ``repro-rsn serve`` instance.
+
+    ``retries``/``backoff``/``backoff_max`` tune the GET retry policy:
+    attempt *n* sleeps ``min(backoff * 2**n, backoff_max)`` seconds
+    first, and only connection-level failures are retried (an HTTP
+    error status is an answer, not a failure).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        backoff_max: float = 2.0,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = float(backoff)
+        self.backoff_max = float(backoff_max)
         #: ``X-Trace-Id`` of the most recent response (assigned by the
         #: server unless the request carried one).
         self.last_trace_id: Optional[str] = None
 
     # -- transport -------------------------------------------------------
     def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+        timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
+    ):
+        attempts = 1 + (self.retries if method == "GET" else 0)
+        for attempt in range(attempts):
+            try:
+                return self._request_once(
+                    method, path, payload, timeout, trace_id
+                )
+            except ServiceClientError as exc:
+                cause = exc.__cause__
+                if (
+                    attempt + 1 >= attempts
+                    or cause is None
+                    or not _connection_failure(cause)
+                ):
+                    raise
+                time.sleep(
+                    min(self.backoff * (2**attempt), self.backoff_max)
+                )
+
+    def _request_once(
         self,
         method: str,
         path: str,
@@ -79,9 +139,15 @@ class ServiceClient:
                 status=exc.code,
             ) from None
         except urllib.error.URLError as exc:
+            # Chained (not suppressed): the retry loop inspects the
+            # cause to distinguish connection failures from the rest.
             raise ServiceClientError(
                 f"cannot reach service at {self.base_url}: {exc.reason}"
-            ) from None
+            ) from exc
+        except ConnectionError as exc:
+            raise ServiceClientError(
+                f"connection to {self.base_url} failed: {exc}"
+            ) from exc
         if content_type.startswith("application/json"):
             return json.loads(body.decode("utf-8"))
         return body.decode("utf-8")
@@ -92,6 +158,7 @@ class ServiceClient:
         icl: Optional[str] = None,
         network_json: Optional[Dict] = None,
         design: Optional[str] = None,
+        timeout: Optional[float] = None,
     ) -> Dict:
         """Register a network; pass exactly one source form.  Returns the
         registry entry (including its ``fingerprint``)."""
@@ -102,24 +169,41 @@ class ServiceClient:
             payload["network"] = network_json
         if design is not None:
             payload["design"] = design
-        return self._request("POST", "/networks", payload)
+        return self._request("POST", "/networks", payload, timeout=timeout)
 
-    def networks(self) -> List[Dict]:
-        return self._request("GET", "/networks")["networks"]
+    def networks(self, timeout: Optional[float] = None) -> List[Dict]:
+        return self._request("GET", "/networks", timeout=timeout)[
+            "networks"
+        ]
 
     # -- jobs ------------------------------------------------------------
-    def submit(self, kind: str = "analyze", **params) -> Dict:
-        """Submit a job; returns its record (``id``, ``status``, ...)."""
-        return self._request("POST", "/jobs", {"kind": kind, **params})
+    def submit(
+        self,
+        kind: str = "analyze",
+        timeout: Optional[float] = None,
+        job_timeout: Optional[float] = None,
+        **params,
+    ) -> Dict:
+        """Submit a job; returns its record (``id``, ``status``, ...).
 
-    def job(self, job_id: str) -> Dict:
-        return self._request("GET", f"/jobs/{job_id}")
+        ``timeout`` bounds the HTTP round-trip; ``job_timeout`` is the
+        server-side per-job timeout (the payload's ``timeout`` field).
+        """
+        payload = {"kind": kind, **params}
+        if job_timeout is not None:
+            payload["timeout"] = job_timeout
+        return self._request("POST", "/jobs", payload, timeout=timeout)
 
-    def jobs(self) -> List[Dict]:
-        return self._request("GET", "/jobs")["jobs"]
+    def job(self, job_id: str, timeout: Optional[float] = None) -> Dict:
+        return self._request("GET", f"/jobs/{job_id}", timeout=timeout)
 
-    def cancel(self, job_id: str) -> Dict:
-        return self._request("DELETE", f"/jobs/{job_id}")
+    def jobs(self, timeout: Optional[float] = None) -> List[Dict]:
+        return self._request("GET", "/jobs", timeout=timeout)["jobs"]
+
+    def cancel(self, job_id: str, timeout: Optional[float] = None) -> Dict:
+        return self._request(
+            "DELETE", f"/jobs/{job_id}", timeout=timeout
+        )
 
     def wait(
         self,
@@ -176,18 +260,20 @@ class ServiceClient:
         )["damages"]
 
     # -- liveness --------------------------------------------------------
-    def healthz(self) -> Dict:
-        return self._request("GET", "/healthz")
+    def healthz(self, timeout: Optional[float] = None) -> Dict:
+        return self._request("GET", "/healthz", timeout=timeout)
 
-    def version(self) -> Dict:
-        return self._request("GET", "/version")
+    def version(self, timeout: Optional[float] = None) -> Dict:
+        return self._request("GET", "/version", timeout=timeout)
 
-    def metrics(self) -> str:
-        return self._request("GET", "/metrics")
+    def metrics(self, timeout: Optional[float] = None) -> str:
+        return self._request("GET", "/metrics", timeout=timeout)
 
-    def trace(self, trace_id: str) -> Dict:
+    def trace(
+        self, trace_id: str, timeout: Optional[float] = None
+    ) -> Dict:
         """The server-side Chrome trace document for one trace id."""
-        return self._request("GET", f"/trace/{trace_id}")
+        return self._request("GET", f"/trace/{trace_id}", timeout=timeout)
 
     def wait_ready(self, timeout: float = 10.0) -> Dict:
         """Poll ``/healthz`` until the server answers (startup helper)."""

@@ -51,6 +51,7 @@ from ..ir import IR_VERSION
 from ..obs.export import chrome_trace_events
 from ..obs.metrics import global_registry
 from ..obs.trace import (
+    current_carrier,
     current_collector,
     enable_tracing,
     new_trace_id,
@@ -61,6 +62,7 @@ from ..obs.trace import (
 from .batching import BatchCoalescer
 from .jobs import Job, JobQueue
 from .registry import NetworkRegistry, RegistryError
+from .workers import WorkerPool, report_payload
 
 __all__ = [
     "AnalysisService",
@@ -81,18 +83,9 @@ class NotFoundError(ReproError):
     """A lookup of an unknown network or job (HTTP 404)."""
 
 
-def _report_payload(report) -> Dict:
-    """JSON form of a :class:`repro.analysis.DamageReport`."""
-    return {
-        "network": report.network.name,
-        "policy": report.policy,
-        "total": report.total,
-        "hardenable": report.hardenable,
-        "unavoidable": report.unavoidable,
-        "primitive_damage": report.primitive_damage,
-        "unit_damage": report.unit_damage,
-        "most_critical_units": report.most_critical_units(10),
-    }
+# One wire shape for reports whether they are computed in-process or
+# inside a shard worker (the worker serializes with the same function).
+_report_payload = report_payload
 
 
 class AnalysisService:
@@ -110,6 +103,10 @@ class AnalysisService:
         job_retries: int = 2,
         engine_jobs=None,
         tracing: bool = False,
+        shard_workers: int = 0,
+        shards: Optional[int] = None,
+        prefer_shm: bool = True,
+        start_method: Optional[str] = None,
     ):
         self.cache_dir = (
             None
@@ -180,6 +177,32 @@ class AnalysisService:
             max_faults=batch_max_faults,
             on_batch=self._batch_event,
         )
+        # The sharded worker-process tier (0 = legacy in-process mode:
+        # every sweep runs under this process's GIL).
+        self.pool: Optional[WorkerPool] = None
+        if shard_workers:
+            self._m_shard_depth = m.gauge(
+                "repro_shard_queue_depth",
+                "Requests parked in each shard's work queue.",
+                ("shard",),
+            )
+            self._m_shard_events = m.counter(
+                "repro_shard_worker_events_total",
+                "Shard worker lifecycle events (died/restarted/removed).",
+                ("event",),
+            )
+            self.pool = WorkerPool(
+                workers=shard_workers,
+                shards=shards,
+                prefer_shm=prefer_shm,
+                start_method=start_method,
+                on_depth=lambda shard, depth: self._m_shard_depth.set(
+                    depth, shard=str(shard)
+                ),
+                on_worker_event=lambda _wid, event: (
+                    self._m_shard_events.inc(event=event)
+                ),
+            )
 
     # -- metric hooks ----------------------------------------------------
     def _job_event(self, job: Job, event: str) -> None:
@@ -270,6 +293,25 @@ class AnalysisService:
         }
 
         def run(job: Job) -> Dict:
+            if self.pool is not None:
+                # The job thread only parks on the future; the sweep
+                # runs inside the shard worker that owns the kernel.
+                self._pool_register(entry, seed)
+                future = self.pool.analyze(
+                    entry.fingerprint,
+                    seed=seed,
+                    params={
+                        "method": params["method"],
+                        "policy": params["policy"],
+                        "sites": params["sites"],
+                        "backend": params["backend"],
+                        "chunk_lanes": params["chunk_lanes"],
+                        "cache_dir": self.cache_dir,
+                        "max_cache_mb": self.max_cache_mb,
+                    },
+                    carrier=current_carrier(),
+                )
+                return future.result()
             spec = self.registry.spec(entry.fingerprint, seed=seed)
             engine = CriticalityEngine(
                 entry.network,
@@ -388,11 +430,45 @@ class AnalysisService:
         return run, params
 
     # -- coalesced fault queries ----------------------------------------
-    def damage(self, payload: Dict) -> Dict:
-        """Synchronous, coalesced ``damage_vector`` query.
+    def _pool_register(self, entry, seed: int) -> None:
+        """Ship a registered network (and its seed's spec) to the pool —
+        idempotent, the segment is packed once per fingerprint."""
+        spec = self.registry.spec(entry.fingerprint, seed=seed)
+        self.pool.register_network(entry.ir, spec=spec, seed=seed)
 
-        Concurrent calls targeting the same (fingerprint, seed, policy)
-        within the batching window share one kernel pass.
+    def _damage_solver(self, entry, seed: int, policy: str):
+        """The coalescer's solve callable for one (network, seed, policy).
+
+        In-process mode returns the memoized kernel's ``damage_vector``
+        (synchronous).  Pool mode returns a closure that enqueues the
+        merged batch on the owning shard and hands the coalescer a
+        Future, so the dispatcher never blocks on a sweep.
+        """
+        if self.pool is None:
+            batch = self.registry.batch_analysis(
+                entry.fingerprint, seed=seed, policy=policy
+            )
+            return batch.damage_vector
+        self._pool_register(entry, seed)
+        fingerprint = entry.fingerprint
+
+        def solve(merged):
+            return self.pool.damage(
+                fingerprint,
+                merged,
+                seed=seed,
+                policy=policy,
+                carrier=current_carrier(),
+            )
+
+        return solve
+
+    def damage_submit(self, payload: Dict):
+        """Validate and park a damage query on the coalescer.
+
+        Returns ``(meta, future, timeout)`` where ``future`` resolves to
+        the damages list — the sync HTTP layer blocks on it, the asyncio
+        front-end awaits it off-thread.
         """
         if not isinstance(payload, dict):
             raise ReproError("damage payload must be an object")
@@ -408,22 +484,28 @@ class AnalysisService:
             fingerprint=entry.fingerprint[:16],
             faults=len(faults),
         ):
-            batch = self.registry.batch_analysis(
-                entry.fingerprint, seed=seed, policy=policy
-            )
             future = self.coalescer.submit(
                 (entry.fingerprint, seed, policy),
-                batch.damage_vector,
+                self._damage_solver(entry, seed, policy),
                 faults,
             )
-            timeout = float(payload.get("timeout", 60.0))
-            damages = future.result(timeout=timeout)
-        return {
+        meta = {
             "fingerprint": entry.fingerprint,
             "seed": seed,
             "policy": policy,
-            "damages": damages,
         }
+        return meta, future, float(payload.get("timeout", 60.0))
+
+    def damage(self, payload: Dict) -> Dict:
+        """Synchronous, coalesced ``damage_vector`` query.
+
+        Concurrent calls targeting the same (fingerprint, seed, policy)
+        within the batching window share one kernel pass; with a worker
+        pool the pass runs on the shard that owns the fingerprint.
+        """
+        meta, future, timeout = self.damage_submit(payload)
+        damages = future.result(timeout=timeout)
+        return {**meta, "damages": damages}
 
     # -- introspection ---------------------------------------------------
     def version(self) -> Dict:
@@ -450,7 +532,7 @@ class AnalysisService:
 
     # -- liveness --------------------------------------------------------
     def healthz(self) -> Dict:
-        return {
+        out = {
             "status": "ok",
             "version": __version__,
             "analysis_version": ANALYSIS_VERSION,
@@ -460,11 +542,28 @@ class AnalysisService:
             "queue_depth": self.queue.depth(),
             "cache_dir": self.cache_dir,
         }
+        if self.pool is not None:
+            pool = self.pool.describe()
+            dead = [
+                worker_id
+                for worker_id, state in pool["workers"].items()
+                if not state["alive"]
+            ]
+            if dead:
+                out["status"] = "degraded"
+            out["pool"] = pool
+        return out
 
     def close(self, drain: bool = True, timeout: Optional[float] = None):
-        """Graceful shutdown: stop intake, drain jobs, flush batches."""
+        """Graceful shutdown, in dependency order: flush parked batches
+        (they may still dispatch to the pool), drain the job queue (jobs
+        may still park on pool futures), then stop the workers.  A
+        SIGTERM inside an open batching window therefore resolves every
+        parked future instead of abandoning it."""
+        self.coalescer.close(timeout=timeout if drain else 0.0)
         self.queue.shutdown(drain=drain, timeout=timeout)
-        self.coalescer.close()
+        if self.pool is not None:
+            self.pool.close()
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,932 @@
+"""Sharded analysis worker processes: the multi-core service tier.
+
+The coalescer (PR 4) recovers batch shape from concurrency, but every
+batched sweep still executes under the front-end process's GIL.  This
+module moves the CPU-bound work into a persistent pool of worker
+*processes*, sharded by compiled-IR fingerprint:
+
+* **shard map** — fingerprints hash onto a fixed number of shards;
+  shards map onto workers through a consistent-hash ring
+  (:class:`ShardMap`), so one network's kernels live in exactly one
+  worker (cache affinity, no duplicate interning) and a worker's death
+  moves only *its* shards, not the whole assignment;
+* **per-shard work queues** — requests park in parent-side FIFO queues,
+  one per shard; a feeder thread per worker drains the shards that
+  worker owns into a small bounded pipe, so a rebalanced shard's backlog
+  follows the shard to its new owner instead of dying with the old one;
+* **zero-copy shipping** — a network is shipped to its worker once, as a
+  :mod:`repro.ir.shm` shared-memory segment when available (the worker's
+  kernel reads the parent's arrays in place) or a pickle otherwise;
+* **crash recovery** — a monitor thread watches worker liveness; a dead
+  worker's in-flight and queued requests are re-dispatched (bounded
+  retries), the worker restarts in place up to ``max_restarts`` times,
+  and beyond that it is removed from the ring so its shards rebalance
+  onto the survivors;
+* **observability** — requests carry the submitting thread's trace
+  carrier across the process boundary; workers record their spans into a
+  private collector and ship them home with each result, exactly like
+  the engine's chunk workers (PR 5).
+
+Results are bit-identical to in-process evaluation: the worker builds
+the same :class:`repro.analysis.BatchFaultAnalysis` kernel from the same
+IR and the same pickled spec, so every float comes out of the same
+operation sequence (asserted end-to-end in ``tests/service``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+import os
+import pickle
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing
+
+from ..errors import ReproError
+from ..ir.shm import receive, ship
+from ..obs.trace import SpanCollector, collecting, current_collector, span, use_carrier
+
+__all__ = [
+    "PoolClosedError",
+    "ShardMap",
+    "WorkerCrashError",
+    "WorkerPool",
+    "report_payload",
+]
+
+
+class WorkerCrashError(ReproError):
+    """A request failed because its worker died (bounded retries spent)."""
+
+
+class PoolClosedError(ReproError):
+    """The pool is shut down (or has no live workers left)."""
+
+
+def report_payload(report) -> Dict:
+    """JSON form of a :class:`repro.analysis.DamageReport` — shared by
+    the HTTP layer and the analyze-in-worker path, so both produce the
+    same wire shape."""
+    return {
+        "network": report.network.name,
+        "policy": report.policy,
+        "total": report.total,
+        "hardenable": report.hardenable,
+        "unavoidable": report.unavoidable,
+        "primitive_damage": report.primitive_damage,
+        "unit_damage": report.unit_damage,
+        "most_critical_units": report.most_critical_units(10),
+    }
+
+
+def _point(key: str) -> int:
+    return int(hashlib.sha256(key.encode("utf-8")).hexdigest()[:16], 16)
+
+
+class ShardMap:
+    """Fingerprint → shard → worker, with consistent-hash rebalance.
+
+    ``shard_of`` is a pure stable hash — a fingerprint's shard never
+    changes.  ``worker_of`` walks a ring of ``replicas`` virtual points
+    per worker, so removing one worker reassigns only the shards that
+    hashed onto its points.
+    """
+
+    def __init__(self, shards: int, replicas: int = 32):
+        if shards < 1:
+            raise ReproError(f"shards must be >= 1, got {shards}")
+        self.n_shards = int(shards)
+        self.replicas = int(replicas)
+        self._points: List[int] = []  # sorted ring positions
+        self._owner: Dict[int, int] = {}  # ring position -> worker id
+        self._workers: set = set()
+
+    def add_worker(self, worker_id: int) -> None:
+        if worker_id in self._workers:
+            return
+        self._workers.add(worker_id)
+        for replica in range(self.replicas):
+            point = _point(f"w{worker_id}:{replica}")
+            # Ties are astronomically unlikely; lowest id wins for
+            # determinism if they happen.
+            if point in self._owner:
+                self._owner[point] = min(self._owner[point], worker_id)
+                continue
+            bisect.insort(self._points, point)
+            self._owner[point] = worker_id
+
+    def remove_worker(self, worker_id: int) -> None:
+        if worker_id not in self._workers:
+            return
+        self._workers.discard(worker_id)
+        for replica in range(self.replicas):
+            point = _point(f"w{worker_id}:{replica}")
+            if self._owner.get(point) == worker_id:
+                del self._owner[point]
+                index = bisect.bisect_left(self._points, point)
+                if (
+                    index < len(self._points)
+                    and self._points[index] == point
+                ):
+                    del self._points[index]
+
+    def workers(self) -> List[int]:
+        return sorted(self._workers)
+
+    def shard_of(self, fingerprint: str) -> int:
+        return _point(f"fp:{fingerprint}") % self.n_shards
+
+    def worker_of(self, shard: int) -> int:
+        if not self._points:
+            raise PoolClosedError("no live workers on the ring")
+        index = bisect.bisect_right(self._points, _point(f"s{shard}"))
+        if index == len(self._points):
+            index = 0
+        return self._owner[self._points[index]]
+
+    def assignment(self) -> Dict[int, int]:
+        """shard id → owning worker id, for every shard."""
+        return {
+            shard: self.worker_of(shard) for shard in range(self.n_shards)
+        }
+
+    def shards_of(self, worker_id: int) -> List[int]:
+        return [
+            shard
+            for shard, owner in self.assignment().items()
+            if owner == worker_id
+        ]
+
+
+# ---------------------------------------------------------------------------
+# worker-process side
+# ---------------------------------------------------------------------------
+def _worker_main(worker_id: int, work_q, result_q) -> None:
+    """Entry point of one analysis worker process.
+
+    Owns a partition of interned kernels: networks registered to it are
+    attached (shared memory) or unpickled once, kernels are memoized per
+    ``(fingerprint, seed, policy, chunk_lanes)``, and the dict-graph
+    view needed by analyze jobs is rebuilt lazily per fingerprint.
+    """
+    import gc
+
+    from ..analysis.batch import BatchFaultAnalysis
+    from ..analysis.engine import CriticalityEngine
+    from ..ir.shm import detach
+
+    networks: Dict[str, Tuple[object, object]] = {}  # fp -> (ir, shm|None)
+    register_errors: Dict[str, str] = {}
+    specs: Dict[Tuple[str, int], object] = {}
+    kernels: Dict[Tuple[str, int, str, int], object] = {}
+    dict_nets: Dict[str, object] = {}
+
+    def _ir_of(fp: str):
+        if fp in register_errors:
+            raise ReproError(register_errors[fp])
+        try:
+            return networks[fp][0]
+        except KeyError:
+            raise ReproError(
+                f"network {fp!r} is not registered on worker {worker_id}"
+            ) from None
+
+    def _spec_of(fp: str, seed: int):
+        try:
+            return specs[(fp, seed)]
+        except KeyError:
+            raise ReproError(
+                f"no spec for ({fp!r}, seed {seed}) on worker {worker_id}"
+            ) from None
+
+    def _kernel_of(fp: str, seed: int, policy: str, chunk_lanes: int):
+        key = (fp, seed, policy, chunk_lanes)
+        kernel = kernels.get(key)
+        if kernel is None:
+            kernel = BatchFaultAnalysis(
+                None,
+                _spec_of(fp, seed),
+                policy=policy,
+                chunk_lanes=chunk_lanes,
+                ir=_ir_of(fp),
+            )
+            kernels[key] = kernel
+        return kernel
+
+    def _network_of(fp: str):
+        net = dict_nets.get(fp)
+        if net is None:
+            net = _ir_of(fp).to_network()
+            dict_nets[fp] = net
+        return net
+
+    def _run(handler, carrier):
+        """Run one handler, recording spans into a private collector when
+        the request is traced; returns (payload, shipped spans)."""
+        if carrier is None:
+            return handler(), []
+        local = SpanCollector()
+        with collecting(local), use_carrier(carrier):
+            payload = handler()
+        return payload, [record.as_dict() for record in local.spans()]
+
+    while True:
+        message = work_q.get()
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "register":
+            _, fp, transport, payload = message
+            try:
+                networks[fp] = receive(transport, payload)
+                register_errors.pop(fp, None)
+            except Exception as exc:
+                register_errors[fp] = (
+                    f"worker {worker_id} failed to receive network "
+                    f"{fp!r}: {type(exc).__name__}: {exc}"
+                )
+            continue
+        if kind == "spec":
+            _, fp, seed, blob = message
+            try:
+                specs[(fp, seed)] = pickle.loads(blob)
+            except Exception as exc:  # pragma: no cover - defensive
+                register_errors[fp] = (
+                    f"worker {worker_id} failed to load spec: {exc}"
+                )
+            continue
+        req_id = message[1]
+        try:
+            if kind == "ping":
+                result_q.put(
+                    (
+                        req_id,
+                        True,
+                        {
+                            "pid": os.getpid(),
+                            "networks": len(networks),
+                            "kernels": len(kernels),
+                        },
+                        [],
+                    )
+                )
+                continue
+            if kind == "damage":
+                _, _, fp, seed, policy, chunk_lanes, faults, carrier = (
+                    message
+                )
+
+                def _solve():
+                    with span(
+                        "worker.damage",
+                        worker=worker_id,
+                        fingerprint=fp[:16],
+                        lanes=len(faults),
+                    ):
+                        kernel = _kernel_of(fp, seed, policy, chunk_lanes)
+                        return [
+                            float(d)
+                            for d in kernel.damage_vector(faults)
+                        ]
+
+                damages, spans = _run(_solve, carrier)
+                result_q.put((req_id, True, damages, spans))
+                continue
+            if kind == "analyze":
+                _, _, fp, seed, params, carrier = message
+
+                def _analyze():
+                    with span(
+                        "worker.analyze",
+                        worker=worker_id,
+                        fingerprint=fp[:16],
+                    ):
+                        engine = CriticalityEngine(
+                            _network_of(fp),
+                            _spec_of(fp, seed),
+                            method=params.get("method", "fast"),
+                            policy=params.get("policy", "max"),
+                            jobs=0,
+                            cache_dir=params.get("cache_dir"),
+                            backend=params.get("backend", "ir"),
+                            chunk_lanes=params.get("chunk_lanes", 64),
+                            max_cache_mb=params.get("max_cache_mb"),
+                        )
+                        report = engine.report(
+                            sites=params.get("sites", "all")
+                        )
+                        return {
+                            "report": report_payload(report),
+                            "stats": engine.stats.as_dict(),
+                        }
+
+                payload, spans = _run(_analyze, carrier)
+                result_q.put((req_id, True, payload, spans))
+                continue
+            raise ReproError(f"unknown worker message {kind!r}")
+        except Exception as exc:
+            result_q.put(
+                (req_id, False, f"{type(exc).__name__}: {exc}", [])
+            )
+
+    # Orderly detach: kernels hold numpy views into the shared pages, so
+    # drop them (and any stragglers the GC owns) before releasing the
+    # IR's own memoryviews and closing each segment.
+    kernels.clear()
+    dict_nets.clear()
+    specs.clear()
+    gc.collect()
+    for ir, shm in networks.values():
+        detach(ir, shm)
+    networks.clear()
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+class _Request:
+    __slots__ = (
+        "req_id",
+        "shard",
+        "fingerprint",
+        "seed",
+        "kind",
+        "tail",
+        "future",
+        "attempts",
+        "submitted",
+    )
+
+    def __init__(self, req_id, shard, fingerprint, seed, kind, tail, future):
+        self.req_id = req_id
+        self.shard = shard
+        self.fingerprint = fingerprint
+        self.seed = seed
+        self.kind = kind
+        #: message fields after (kind, req_id, fingerprint) — pre-built
+        #: so a re-dispatch after a crash sends exactly the same request.
+        self.tail = tail
+        self.future = future
+        self.attempts = 0
+        self.submitted = time.monotonic()
+
+
+class _ShippedNetwork:
+    """Parent-side record of one network's wire form."""
+
+    __slots__ = ("fingerprint", "transport", "segment", "blob", "specs")
+
+    def __init__(self, fingerprint, transport, segment, blob):
+        self.fingerprint = fingerprint
+        self.transport = transport  # "shm" | "pickle"
+        self.segment = segment  # ShmSegment | None
+        self.blob = blob  # pickled IR | None
+        self.specs: Dict[int, bytes] = {}  # seed -> pickled spec
+
+    def wire(self):
+        if self.transport == "shm":
+            return self.segment.name
+        return self.blob
+
+
+class _WorkerHandle:
+    """One live worker process plus its parent-side plumbing."""
+
+    def __init__(self, worker_id: int, ctx, result_q):
+        self.worker_id = worker_id
+        self.work_q = ctx.Queue(maxsize=8)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self.work_q, result_q),
+            name=f"repro-shard-worker-{worker_id}",
+            daemon=True,
+        )
+        self.registered: set = set()  # fingerprints shipped
+        self.specs: set = set()  # (fingerprint, seed) shipped
+        self.inflight: Dict[int, _Request] = {}
+        self.stopped = False
+        self.process.start()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class WorkerPool:
+    """Persistent sharded pool of analysis worker processes.
+
+    ``submit``-style entry points (:meth:`damage`, :meth:`analyze`,
+    :meth:`ping`) return :class:`concurrent.futures.Future`; parking,
+    shard routing, shipping and crash recovery are internal.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        shards: Optional[int] = None,
+        prefer_shm: bool = True,
+        start_method: Optional[str] = None,
+        max_restarts: int = 3,
+        max_redispatch: int = 2,
+        monitor_interval: float = 0.2,
+        on_depth: Optional[Callable[[int, int], None]] = None,
+        on_worker_event: Optional[Callable[[int, str], None]] = None,
+    ):
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        self.n_workers = int(workers)
+        self.prefer_shm = bool(prefer_shm)
+        self.max_restarts = max(0, int(max_restarts))
+        self.max_redispatch = max(0, int(max_redispatch))
+        self._on_depth = on_depth
+        self._on_worker_event = on_worker_event
+        if start_method is None:
+            # forkserver children fork from a clean, single-threaded
+            # server process — no inherited locks from this (very)
+            # threaded parent, and restarts after the first worker are
+            # cheap.  Plain fork of a threaded parent risks a child
+            # deadlocking on a lock some other thread held at fork time.
+            methods = multiprocessing.get_all_start_methods()
+            start_method = (
+                "forkserver" if "forkserver" in methods else "spawn"
+            )
+        self._ctx = multiprocessing.get_context(start_method)
+        self.map = ShardMap(
+            shards if shards is not None else 4 * self.n_workers
+        )
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._shard_queues: List[deque] = [
+            deque() for _ in range(self.map.n_shards)
+        ]
+        self._shipped: Dict[str, _ShippedNetwork] = {}
+        self._handles: Dict[int, _WorkerHandle] = {}
+        self._restarts: Dict[int, int] = {}
+        self._req_ids = itertools.count(1)
+        self._closed = False
+        self._result_q = self._ctx.Queue()
+        for worker_id in range(self.n_workers):
+            self.map.add_worker(worker_id)
+            self._handles[worker_id] = _WorkerHandle(
+                worker_id, self._ctx, self._result_q
+            )
+            self._restarts[worker_id] = 0
+        self._feeders: Dict[int, threading.Thread] = {}
+        for worker_id in list(self._handles):
+            self._start_feeder(worker_id)
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="repro-pool-collector", daemon=True
+        )
+        self._collector.start()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop,
+            args=(float(monitor_interval),),
+            name="repro-pool-monitor",
+            daemon=True,
+        )
+        self._monitor.start()
+
+    # -- registration ----------------------------------------------------
+    def register_network(self, ir, spec=None, seed: int = 0) -> None:
+        """Make ``ir`` shippable (packed once); optionally attach the
+        spec for ``seed``.  Idempotent per fingerprint / seed."""
+        with self._lock:
+            shipped = self._shipped.get(ir.fingerprint)
+            if shipped is None:
+                transport, payload = ship(ir, prefer_shm=self.prefer_shm)
+                if transport == "shm":
+                    shipped = _ShippedNetwork(
+                        ir.fingerprint, "shm", payload, None
+                    )
+                else:
+                    shipped = _ShippedNetwork(
+                        ir.fingerprint, "pickle", None, payload
+                    )
+                self._shipped[ir.fingerprint] = shipped
+            if spec is not None and int(seed) not in shipped.specs:
+                shipped.specs[int(seed)] = pickle.dumps(
+                    spec, protocol=pickle.HIGHEST_PROTOCOL
+                )
+
+    def ensure_spec(self, fingerprint: str, seed: int, spec) -> None:
+        with self._lock:
+            shipped = self._shipped.get(fingerprint)
+            if shipped is None:
+                raise ReproError(
+                    f"network {fingerprint!r} not registered with the pool"
+                )
+            if int(seed) not in shipped.specs:
+                shipped.specs[int(seed)] = pickle.dumps(
+                    spec, protocol=pickle.HIGHEST_PROTOCOL
+                )
+
+    # -- request entry points --------------------------------------------
+    def damage(
+        self,
+        fingerprint: str,
+        faults: Sequence,
+        seed: int = 0,
+        policy: str = "max",
+        chunk_lanes: int = 64,
+        carrier: Optional[Dict] = None,
+    ) -> "Future[List[float]]":
+        """Damage of each fault, evaluated on the owning shard's worker."""
+        tail = (
+            int(seed),
+            str(policy),
+            int(chunk_lanes),
+            list(faults),
+            carrier,
+        )
+        return self._submit("damage", fingerprint, int(seed), tail)
+
+    def analyze(
+        self,
+        fingerprint: str,
+        seed: int = 0,
+        params: Optional[Dict] = None,
+        carrier: Optional[Dict] = None,
+    ) -> "Future[Dict]":
+        """A full criticality report computed inside the shard worker."""
+        return self._submit(
+            "analyze",
+            fingerprint,
+            int(seed),
+            (int(seed), dict(params or {}), carrier),
+        )
+
+    def ping(self, worker_id: int) -> "Future[Dict]":
+        """Round-trip liveness probe of one specific worker."""
+        future: Future = Future()
+        req = _Request(
+            next(self._req_ids), -1, None, 0, "ping", (), future
+        )
+        with self._lock:
+            if self._closed:
+                raise PoolClosedError("worker pool is closed")
+            handle = self._handles.get(worker_id)
+            if handle is None:
+                raise ReproError(f"no worker {worker_id}")
+            handle.inflight[req.req_id] = req
+        try:
+            handle.work_q.put(("ping", req.req_id), timeout=5.0)
+        except Exception as exc:  # pragma: no cover - full pipe
+            with self._lock:
+                handle.inflight.pop(req.req_id, None)
+            future.set_exception(
+                WorkerCrashError(f"worker {worker_id} unreachable: {exc}")
+            )
+        return future
+
+    def _submit(self, kind, fingerprint, seed, tail) -> Future:
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise PoolClosedError("worker pool is closed")
+            if fingerprint not in self._shipped:
+                raise ReproError(
+                    f"network {fingerprint!r} not registered with the pool"
+                )
+            shard = self.map.shard_of(fingerprint)
+            req = _Request(
+                next(self._req_ids),
+                shard,
+                fingerprint,
+                seed,
+                kind,
+                tail,
+                future,
+            )
+            self._shard_queues[shard].append(req)
+            depth = len(self._shard_queues[shard])
+            self._work_ready.notify_all()
+        self._report_depth(shard, depth)
+        return future
+
+    # -- feeders ----------------------------------------------------------
+    def _start_feeder(self, worker_id: int) -> None:
+        thread = threading.Thread(
+            target=self._feed_loop,
+            args=(worker_id, self._handles[worker_id]),
+            name=f"repro-pool-feeder-{worker_id}",
+            daemon=True,
+        )
+        self._feeders[worker_id] = thread
+        thread.start()
+
+    def _owned_request(self, worker_id: int) -> Optional[_Request]:
+        """Pop the next request from a shard owned by ``worker_id``.
+
+        Caller holds the lock.  Oldest-first across owned shards keeps
+        FIFO fairness under rebalance.
+        """
+        best_shard = None
+        best_when = None
+        try:
+            owned = set(self.map.shards_of(worker_id))
+        except PoolClosedError:
+            return None
+        for shard in owned:
+            queue = self._shard_queues[shard]
+            if queue and (
+                best_when is None or queue[0].submitted < best_when
+            ):
+                best_when = queue[0].submitted
+                best_shard = shard
+        if best_shard is None:
+            return None
+        req = self._shard_queues[best_shard].popleft()
+        self._report_depth_locked(best_shard)
+        return req
+
+    def _feed_loop(self, worker_id: int, handle: _WorkerHandle) -> None:
+        while True:
+            with self._lock:
+                if handle.stopped or self._closed:
+                    return
+                req = self._owned_request(worker_id)
+                if req is None:
+                    self._work_ready.wait(timeout=0.5)
+                    continue
+                messages = self._messages_for(handle, req)
+                handle.inflight[req.req_id] = req
+            try:
+                for message in messages:
+                    while True:
+                        if handle.stopped:
+                            raise ReproError("worker handle stopped")
+                        try:
+                            handle.work_q.put(message, timeout=0.25)
+                            break
+                        except Exception:
+                            if not handle.alive():
+                                raise ReproError(
+                                    "worker died while feeding"
+                                ) from None
+            except Exception:
+                # The monitor will requeue this request (it is in the
+                # handle's inflight map) when it tears the worker down.
+                continue
+
+    def _messages_for(
+        self, handle: _WorkerHandle, req: _Request
+    ) -> List[Tuple]:
+        """The wire messages for one request, prefixed with any missing
+        registration / spec shipments for its worker.  Caller holds the
+        lock."""
+        messages: List[Tuple] = []
+        shipped = self._shipped[req.fingerprint]
+        if req.fingerprint not in handle.registered:
+            if shipped.transport == "shm":
+                shipped.segment.acquire()
+            messages.append(
+                (
+                    "register",
+                    req.fingerprint,
+                    shipped.transport,
+                    shipped.wire(),
+                )
+            )
+            handle.registered.add(req.fingerprint)
+        spec_key = (req.fingerprint, req.seed)
+        if spec_key not in handle.specs:
+            blob = shipped.specs.get(req.seed)
+            if blob is not None:
+                messages.append(
+                    ("spec", req.fingerprint, req.seed, blob)
+                )
+                handle.specs.add(spec_key)
+        messages.append(
+            (req.kind, req.req_id, req.fingerprint) + req.tail
+        )
+        return messages
+
+    # -- results ----------------------------------------------------------
+    def _collect_loop(self) -> None:
+        while True:
+            try:
+                req_id, ok, payload, spans = self._result_q.get(
+                    timeout=0.5
+                )
+            except Exception:
+                with self._lock:
+                    if self._closed:
+                        return
+                continue
+            request = None
+            with self._lock:
+                for handle in self._handles.values():
+                    request = handle.inflight.pop(req_id, None)
+                    if request is not None:
+                        break
+            if request is None:
+                continue  # stale result from a recovered request
+            if spans:
+                collector = current_collector()
+                if collector is not None:
+                    collector.ingest(spans)
+            if request.future.cancelled():
+                continue
+            if ok:
+                request.future.set_result(payload)
+            else:
+                request.future.set_exception(ReproError(str(payload)))
+
+    # -- crash recovery ---------------------------------------------------
+    def _monitor_loop(self, interval: float) -> None:
+        while True:
+            time.sleep(interval)
+            with self._lock:
+                if self._closed:
+                    return
+                dead = [
+                    (worker_id, handle)
+                    for worker_id, handle in self._handles.items()
+                    if not handle.stopped and not handle.alive()
+                ]
+            for worker_id, handle in dead:
+                self._recover_worker(worker_id, handle)
+
+    def _recover_worker(self, worker_id: int, handle: _WorkerHandle) -> None:
+        self._emit_worker(worker_id, "died")
+        with self._lock:
+            if self._handles.get(worker_id) is not handle:
+                return  # already recovered by a concurrent pass
+            handle.stopped = True
+            orphans = list(handle.inflight.values())
+            handle.inflight.clear()
+            # A dead worker's attachments are gone: release its refs so
+            # segments don't outlive the networks they serve.
+            for fingerprint in handle.registered:
+                shipped = self._shipped.get(fingerprint)
+                if shipped is not None and shipped.transport == "shm":
+                    shipped.segment.release()
+            restarts = self._restarts[worker_id] + 1
+            self._restarts[worker_id] = restarts
+            if restarts <= self.max_restarts:
+                self._handles[worker_id] = _WorkerHandle(
+                    worker_id, self._ctx, self._result_q
+                )
+                event = "restarted"
+            else:
+                del self._handles[worker_id]
+                self.map.remove_worker(worker_id)
+                event = "removed"
+            failures: List[_Request] = []
+            for req in orphans:
+                req.attempts += 1
+                if req.shard < 0 or req.attempts > self.max_redispatch:
+                    # Pings are worker-addressed, not shard-addressed:
+                    # they die with the worker they probed.
+                    failures.append(req)
+                else:
+                    self._shard_queues[req.shard].appendleft(req)
+            still_routable = bool(self.map.workers())
+            self._work_ready.notify_all()
+        if event == "restarted":
+            self._start_feeder(worker_id)
+        self._emit_worker(worker_id, event)
+        for req in failures:
+            if not req.future.cancelled():
+                req.future.set_exception(
+                    WorkerCrashError(
+                        f"{req.kind} request lost to {req.attempts} "
+                        f"worker crash(es)"
+                    )
+                )
+        if not still_routable:
+            self._fail_all_pending(
+                WorkerCrashError("all workers are gone")
+            )
+
+    def _fail_all_pending(self, exc: Exception) -> None:
+        with self._lock:
+            pending: List[_Request] = []
+            for queue in self._shard_queues:
+                pending.extend(queue)
+                queue.clear()
+        for req in pending:
+            if not req.future.cancelled():
+                req.future.set_exception(exc)
+
+    # -- introspection ----------------------------------------------------
+    def depths(self) -> Dict[int, int]:
+        with self._lock:
+            return {
+                shard: len(queue)
+                for shard, queue in enumerate(self._shard_queues)
+            }
+
+    def describe(self) -> Dict:
+        """Liveness + topology snapshot (feeds ``/healthz``)."""
+        with self._lock:
+            try:
+                assignment = self.map.assignment()
+            except PoolClosedError:
+                assignment = {}
+            shards = {
+                str(shard): {
+                    "worker": assignment.get(shard),
+                    "depth": len(self._shard_queues[shard]),
+                }
+                for shard in range(self.map.n_shards)
+            }
+            workers = {
+                str(worker_id): {
+                    "alive": handle.alive(),
+                    "pid": handle.pid,
+                    "restarts": self._restarts.get(worker_id, 0),
+                    "networks": len(handle.registered),
+                    "inflight": len(handle.inflight),
+                }
+                for worker_id, handle in self._handles.items()
+            }
+        return {
+            "shards": shards,
+            "workers": workers,
+            "n_shards": self.map.n_shards,
+            "transport": "shm" if self.prefer_shm else "pickle",
+        }
+
+    def inflight(self) -> int:
+        with self._lock:
+            return sum(
+                len(handle.inflight) for handle in self._handles.values()
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+    def kill_worker(self, worker_id: int) -> Optional[int]:
+        """Hard-kill one worker process (crash-recovery tests)."""
+        with self._lock:
+            handle = self._handles.get(worker_id)
+            pid = handle.pid if handle is not None else None
+        if handle is not None and handle.alive():
+            handle.process.kill()
+        return pid
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop intake, fail queued work, stop workers, free segments."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles.values())
+            pending: List[_Request] = []
+            for queue in self._shard_queues:
+                pending.extend(queue)
+                queue.clear()
+            for handle in handles:
+                handle.stopped = True
+                pending.extend(handle.inflight.values())
+                handle.inflight.clear()
+            self._work_ready.notify_all()
+        for req in pending:
+            if not req.future.cancelled():
+                req.future.set_exception(
+                    PoolClosedError("worker pool is closed")
+                )
+        deadline = time.monotonic() + timeout
+        for handle in handles:
+            try:
+                handle.work_q.put_nowait(("stop",))
+            except Exception:
+                pass
+        for handle in handles:
+            remaining = max(0.0, deadline - time.monotonic())
+            handle.process.join(remaining)
+            if handle.alive():
+                handle.process.kill()
+                handle.process.join(1.0)
+        with self._lock:
+            shipped = list(self._shipped.values())
+            self._shipped.clear()
+        for record in shipped:
+            if record.transport == "shm" and record.segment is not None:
+                record.segment.unlink()
+
+    # -- metric hooks ------------------------------------------------------
+    def _report_depth(self, shard: int, depth: int) -> None:
+        if self._on_depth is not None:
+            try:
+                self._on_depth(shard, depth)
+            except Exception:
+                pass
+
+    def _report_depth_locked(self, shard: int) -> None:
+        self._report_depth(shard, len(self._shard_queues[shard]))
+
+    def _emit_worker(self, worker_id: int, event: str) -> None:
+        if self._on_worker_event is not None:
+            try:
+                self._on_worker_event(worker_id, event)
+            except Exception:
+                pass

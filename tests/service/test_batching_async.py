@@ -1,0 +1,140 @@
+"""Future-returning solvers in the coalescer (the shard-pool plug-in).
+
+`BatchCoalescer._dispatch` must not block the dispatcher thread when a
+solver hands back a :class:`~concurrent.futures.Future`: the scatter
+runs from the done-callback, `drain` waits for in-flight solves, and
+`close` still guarantees every accepted request resolves.
+"""
+
+import threading
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service import BatchCoalescer
+
+
+class ManualSolver:
+    """Records each dispatched batch; the test resolves it by hand."""
+
+    def __init__(self):
+        self.calls = []
+        self._ready = threading.Event()
+
+    def __call__(self, faults):
+        future = Future()
+        self.calls.append((list(faults), future))
+        self._ready.set()
+        return future
+
+    def wait_called(self, n=1, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while len(self.calls) < n:
+            if time.monotonic() >= deadline:
+                raise AssertionError(
+                    f"solver called {len(self.calls)} times, wanted {n}"
+                )
+            time.sleep(0.005)
+
+
+def test_scatter_runs_from_done_callback():
+    coalescer = BatchCoalescer(window=0.02)
+    solver = ManualSolver()
+    try:
+        first = coalescer.submit("k", solver, ["a", "b"])
+        second = coalescer.submit("k", solver, ["c"])
+        solver.wait_called(1)
+        merged, batch_future = solver.calls[0]
+        assert merged == ["a", "b", "c"]
+        assert not first.done() and not second.done()
+        batch_future.set_result([1.0, 2.0, 3.0])
+        assert first.result(timeout=5.0) == [1.0, 2.0]
+        assert second.result(timeout=5.0) == [3.0]
+    finally:
+        coalescer.close(timeout=1.0)
+
+
+def test_dispatcher_not_blocked_by_unresolved_future():
+    # Two keys, two shards: the second batch must dispatch while the
+    # first one's future is still pending — the old synchronous
+    # dispatcher would have sat in solve() and serialized them.
+    coalescer = BatchCoalescer(window=0.0)
+    slow, fast = ManualSolver(), ManualSolver()
+    try:
+        slow_future = coalescer.submit("slow", slow, ["x"])
+        fast_future = coalescer.submit("fast", fast, ["y"])
+        fast.wait_called(1)
+        slow.wait_called(1)
+        assert not slow.calls[0][1].done()
+        fast.calls[0][1].set_result([7.0])
+        assert fast_future.result(timeout=5.0) == [7.0]
+        assert not slow_future.done()
+        slow.calls[0][1].set_result([9.0])
+        assert slow_future.result(timeout=5.0) == [9.0]
+    finally:
+        coalescer.close(timeout=1.0)
+
+
+def test_drain_waits_for_inflight_solves():
+    coalescer = BatchCoalescer(window=60.0)  # park until flushed
+    solver = ManualSolver()
+    try:
+        request = coalescer.submit("k", solver, ["a"])
+        # drain flushes the parked batch, but the async solve is still
+        # pending: a bounded drain reports the leftover truthfully.
+        assert coalescer.drain(timeout=0.05) is False
+        solver.wait_called(1)
+        resolver = threading.Timer(
+            0.05, solver.calls[0][1].set_result, args=([4.0],)
+        )
+        resolver.start()
+        assert coalescer.drain(timeout=5.0) is True
+        assert request.result(timeout=1.0) == [4.0]
+    finally:
+        coalescer.close(timeout=1.0)
+
+
+def test_async_solver_error_fails_every_request():
+    coalescer = BatchCoalescer(window=0.01)
+    solver = ManualSolver()
+    try:
+        futures = [
+            coalescer.submit("k", solver, [f"f{i}"]) for i in range(3)
+        ]
+        solver.wait_called(1)
+        solver.calls[0][1].set_exception(ReproError("worker crashed"))
+        for future in futures:
+            with pytest.raises(ReproError, match="worker crashed"):
+                future.result(timeout=5.0)
+    finally:
+        coalescer.close(timeout=1.0)
+
+
+def test_async_length_mismatch_fails_requests():
+    coalescer = BatchCoalescer(window=0.01)
+    solver = ManualSolver()
+    try:
+        request = coalescer.submit("k", solver, ["a", "b"])
+        solver.wait_called(1)
+        solver.calls[0][1].set_result([1.0])  # 1 damage for 2 faults
+        with pytest.raises(ReproError, match="returned 1 damages"):
+            request.result(timeout=5.0)
+    finally:
+        coalescer.close(timeout=1.0)
+
+
+def test_close_resolves_parked_async_batches():
+    coalescer = BatchCoalescer(window=60.0)
+    solver = ManualSolver()
+    request = coalescer.submit("k", solver, ["a"])
+    closer = threading.Thread(
+        target=coalescer.close, kwargs={"timeout": 5.0}
+    )
+    closer.start()
+    solver.wait_called(1)
+    solver.calls[0][1].set_result([2.0])
+    closer.join(timeout=5.0)
+    assert not closer.is_alive()
+    assert request.result(timeout=1.0) == [2.0]

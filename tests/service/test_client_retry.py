@@ -1,0 +1,189 @@
+"""Retry and timeout behaviour of :class:`ServiceClient`.
+
+GETs retry on connection-level failures with bounded exponential
+backoff; POST/DELETE never retry; HTTP error statuses are answers, not
+failures; and every verb threads its per-call ``timeout`` through to
+the transport.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.service import ServiceClient, ServiceClientError
+
+
+def make_flaky(client, failures, cause_factory=ConnectionRefusedError):
+    """Replace the transport with one that fails ``failures`` times."""
+    calls = []
+
+    def fake(method, path, payload=None, timeout=None, trace_id=None):
+        calls.append({"method": method, "path": path, "timeout": timeout})
+        if len(calls) <= failures:
+            error = ServiceClientError("transport down")
+            error.__cause__ = cause_factory()
+            raise error
+        return {"status": "ok"}
+
+    client._request_once = fake
+    return calls
+
+
+class TestRetryPolicy:
+    def test_get_retries_until_success(self):
+        client = ServiceClient("http://x", retries=3, backoff=0.001)
+        calls = make_flaky(client, failures=2)
+        assert client.healthz() == {"status": "ok"}
+        assert len(calls) == 3
+
+    def test_get_gives_up_after_budget(self):
+        client = ServiceClient("http://x", retries=2, backoff=0.001)
+        calls = make_flaky(client, failures=10)
+        with pytest.raises(ServiceClientError):
+            client.healthz()
+        assert len(calls) == 3  # 1 attempt + 2 retries
+
+    def test_post_never_retries(self):
+        client = ServiceClient("http://x", retries=5, backoff=0.001)
+        calls = make_flaky(client, failures=10)
+        with pytest.raises(ServiceClientError):
+            client.submit(kind="analyze", fingerprint="f")
+        assert len(calls) == 1
+
+    def test_delete_never_retries(self):
+        client = ServiceClient("http://x", retries=5, backoff=0.001)
+        calls = make_flaky(client, failures=10)
+        with pytest.raises(ServiceClientError):
+            client.cancel("job-1")
+        assert len(calls) == 1
+
+    def test_http_status_errors_are_not_retried(self):
+        # An HTTP error response reaches the client as a
+        # ServiceClientError with *no* connection-level cause: it is the
+        # server's answer and must surface immediately.
+        client = ServiceClient("http://x", retries=5, backoff=0.001)
+        calls = []
+
+        def fake(method, path, payload=None, timeout=None, trace_id=None):
+            calls.append(method)
+            raise ServiceClientError("GET /x failed with HTTP 404",
+                                     status=404) from None
+
+        client._request_once = fake
+        with pytest.raises(ServiceClientError):
+            client.healthz()
+        assert len(calls) == 1
+
+    def test_backoff_is_exponential_and_capped(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", sleeps.append
+        )
+        client = ServiceClient(
+            "http://x", retries=4, backoff=0.05, backoff_max=0.12
+        )
+        make_flaky(client, failures=10)
+        with pytest.raises(ServiceClientError):
+            client.healthz()
+        assert sleeps == [0.05, 0.1, 0.12, 0.12]
+
+
+class TestRealSocketRecovery:
+    def test_get_survives_a_reset_connection(self):
+        # First accept: close without answering (RemoteDisconnected /
+        # ECONNRESET at the client).  Second accept: answer properly.
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        port = listener.getsockname()[1]
+
+        def serve():
+            conn, _ = listener.accept()
+            conn.close()
+            conn, _ = listener.accept()
+            conn.recv(65536)
+            body = b'{"status": "ok"}'
+            conn.sendall(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                b"Connection: close\r\n\r\n" + body
+            )
+            conn.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{port}",
+                timeout=10.0,
+                retries=3,
+                backoff=0.01,
+            )
+            assert client.healthz() == {"status": "ok"}
+        finally:
+            listener.close()
+            thread.join(timeout=5.0)
+
+    def test_refused_connection_exhausts_retries(self):
+        # Bind-then-close guarantees a port nobody is listening on.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ServiceClient(
+            f"http://127.0.0.1:{port}", retries=2, backoff=0.01
+        )
+        with pytest.raises(ServiceClientError, match="cannot reach"):
+            client.healthz()
+
+
+class TestTimeoutThreading:
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda c: c.healthz(timeout=1.5),
+            lambda c: c.version(timeout=1.5),
+            lambda c: c.metrics(timeout=1.5),
+            lambda c: c.networks(timeout=1.5),
+            lambda c: c.jobs(timeout=1.5),
+            lambda c: c.job("j1", timeout=1.5),
+            lambda c: c.cancel("j1", timeout=1.5),
+            lambda c: c.trace("t1", timeout=1.5),
+            lambda c: c.upload_network(design="TreeFlat", timeout=1.5),
+            lambda c: c.submit(kind="analyze", timeout=1.5),
+            lambda c: c.damage("fp", [], seed=0, timeout=1.5),
+        ],
+        ids=[
+            "healthz", "version", "metrics", "networks", "jobs", "job",
+            "cancel", "trace", "upload_network", "submit", "damage",
+        ],
+    )
+    def test_every_verb_threads_timeout(self, call):
+        client = ServiceClient("http://x")
+        seen = {}
+
+        def fake(method, path, payload=None, timeout=None, trace_id=None):
+            seen["timeout"] = timeout
+            return {
+                "status": "ok", "networks": [], "jobs": [],
+                "damages": [], "version": "0",
+            }
+
+        client._request_once = fake
+        call(client)
+        assert seen["timeout"] == 1.5
+
+    def test_job_timeout_lands_in_payload_not_transport(self):
+        client = ServiceClient("http://x")
+        seen = {}
+
+        def fake(method, path, payload=None, timeout=None, trace_id=None):
+            seen.update({"payload": payload, "timeout": timeout})
+            return {"id": "j1"}
+
+        client._request_once = fake
+        client.submit(kind="analyze", timeout=2.0, job_timeout=30.0)
+        assert seen["timeout"] == 2.0
+        assert seen["payload"]["timeout"] == 30.0
