@@ -31,13 +31,13 @@ bench-batch:
 	$(PYTHON) benchmarks/bench_analysis_scaling.py --batch --output results/BENCH_batch.json
 
 bench-ea:
-	$(PYTHON) benchmarks/bench_ea_population.py --output results/BENCH_ea.json
+	$(PYTHON) benchmarks/bench_ea_population.py --output results/BENCH_ea.json --lowering-output results/BENCH_ea_lowering.json
 
 bench-service:
 	$(PYTHON) benchmarks/bench_service_load.py --output results/BENCH_service.json
 
 bench-diff:
-	$(PYTHON) -m repro.cli bench-diff results/BENCH_criticality.json results/BENCH_batch.json results/BENCH_ea.json results/BENCH_service.json --tolerance 0.2
+	$(PYTHON) -m repro.cli bench-diff results/BENCH_criticality.json results/BENCH_batch.json results/BENCH_ea.json results/BENCH_ea_lowering.json results/BENCH_service.json --tolerance 0.2
 
 lint:
 	ruff check src tests benchmarks examples

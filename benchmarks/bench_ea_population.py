@@ -64,11 +64,11 @@ def _build(n_segments, n_muxes):
     return network, spec_for_network(network, seed=0)
 
 
-def _problem(network, spec, backend):
+def _problem(network, spec, backend, **kwargs):
     """A fresh fault-set problem whose state sweeps run on ``backend``."""
     analysis = GraphDamageAnalysis(network, spec, backend=backend)
     return FaultSetHardeningProblem(
-        network, analysis.report(), GateCountCost(), analysis
+        network, analysis.report(), GateCountCost(), analysis, **kwargs
     )
 
 
@@ -136,6 +136,79 @@ def _time_cold_evaluate(problem, population):
     return time.perf_counter() - started, objectives
 
 
+def _time_lowering(problem, population):
+    """Vectorized whole-population lowering vs the per-genome
+    ``_state_of`` loop, parity-checked: the packed masks must solve to
+    the exact damages of the tuple states before either timing counts."""
+    genomes = init_population(
+        np.random.default_rng(0), population, problem.n_vars
+    )
+    problem.lower_packed(genomes[:1])  # warm the incidence tables
+    started = time.perf_counter()
+    packed = problem.lower_packed(genomes)
+    vectorized_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    states = [problem._state_of(genome) for genome in genomes]
+    state_of_seconds = time.perf_counter() - started
+
+    expected = problem._analysis.damage_of_states(states)
+    got = problem._analysis.damage_of_packed_states(packed)
+    if not np.array_equal(got, expected):
+        raise SystemExit(
+            f"vectorized-vs-_state_of lowering mismatch at pop {population}"
+        )
+    return vectorized_seconds, state_of_seconds
+
+
+def _record_streaming(
+    network, spec, parity_population=10_000, full_population=100_000
+):
+    """Streaming lane-block evaluation at population scale.
+
+    Parity first: a cold ``parity_population`` sweep under the default
+    ``max_lane_mb`` budget must be bit-identical to the
+    streaming-disabled path (``max_lane_mb=None``, all lanes in one
+    block).  Then the ``full_population`` cold sweep is timed under the
+    default budget — the population the unchunked path could not
+    materialize."""
+    streamed = _problem(network, spec, "bitset")
+    unchunked = _problem(network, spec, "bitset", max_lane_mb=None)
+    genomes = init_population(
+        np.random.default_rng(1), parity_population, streamed.n_vars
+    )
+    started = time.perf_counter()
+    streamed_objs = streamed.evaluate(genomes)
+    streamed_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    unchunked_objs = unchunked.evaluate(genomes)
+    unchunked_seconds = time.perf_counter() - started
+    if not np.array_equal(streamed_objs, unchunked_objs):
+        raise SystemExit(
+            "streamed-vs-unchunked objective mismatch at pop "
+            f"{parity_population}"
+        )
+
+    big = _problem(network, spec, "bitset")
+    big_genomes = init_population(
+        np.random.default_rng(2), full_population, big.n_vars
+    )
+    started = time.perf_counter()
+    big.evaluate(big_genomes)
+    full_seconds = time.perf_counter() - started
+    return {
+        "parity_population": parity_population,
+        "streamed_seconds": streamed_seconds,
+        "unchunked_seconds": unchunked_seconds,
+        "bit_identical": True,
+        "population": full_population,
+        "seconds": full_seconds,
+        "states_swept": int(big.counters["states_swept"]),
+        "max_lane_mb": big.max_lane_mb,
+        "block_lanes": big._lane_block(),
+    }
+
+
 def _time_generations(problem, population, generations):
     """Per-generation seconds of a real SPEA-2 loop (initial population
     evaluation and archive churn included — the throughput the EA user
@@ -147,13 +220,20 @@ def _time_generations(problem, population, generations):
 
 
 def write_ea_baseline(
-    output: str, quick: bool = False, population: int = 1_000
+    output: str,
+    quick: bool = False,
+    population: int = 1_000,
+    lowering_output: str | None = None,
 ) -> dict:
     """Population-batched vs. per-state EA evaluation per design.
 
     ``quick`` keeps the small design and a reduced population for CI
     sanity passes; the full run records the >= 20x acceptance point on
-    the 1091-segment design at population 1000.
+    the 1091-segment design at population 1000, the vectorized-lowering
+    speedup over the per-genome ``_state_of`` loop, and the streaming
+    section (pop 10k parity + pop 100k completion under the default
+    lane budget).  ``lowering_output`` additionally writes the
+    ``ea-lowering`` bench-diff baseline (rows at pop 1000 and 10k).
     """
     sizes = SIZES[:1] if quick else SIZES
     if quick:
@@ -163,6 +243,8 @@ def write_ea_baseline(
     scalar_generations = 1
     batched_generations = 5
     designs = []
+    lowering_rows = []
+    streaming = None
     for n_segments, n_muxes in sizes:
         network, spec = _build(n_segments, n_muxes)
         _check_parity(network, spec)
@@ -178,6 +260,27 @@ def write_ea_baseline(
                 f"population objective mismatch on mbist_{n_segments}"
             )
 
+        lowering_populations = [population]
+        if not quick and population < 10_000:
+            lowering_populations.append(10_000)
+        lowering = {}
+        for lowering_population in lowering_populations:
+            lowering[lowering_population] = _time_lowering(
+                _problem(network, spec, "bitset"), lowering_population
+            )
+            vec, state_of = lowering[lowering_population]
+            lowering_rows.append(
+                {
+                    "design": f"mbist_{n_segments}_{n_muxes}",
+                    "n_segments": n_segments,
+                    "n_muxes": n_muxes,
+                    "population": lowering_population,
+                    "vectorized_seconds": vec,
+                    "state_of_seconds": state_of,
+                    "speedup": state_of / vec if vec > 0 else 0.0,
+                }
+            )
+
         batched_generation = _time_generations(
             _problem(network, spec, "bitset"),
             population,
@@ -189,6 +292,7 @@ def write_ea_baseline(
             scalar_generations,
         )
 
+        lowering_vec, lowering_state_of = lowering[population]
         entry = {
             "design": f"mbist_{n_segments}_{n_muxes}",
             "n_segments": n_segments,
@@ -199,6 +303,13 @@ def write_ea_baseline(
             "eval_speedup": (
                 scalar_seconds / batched_seconds
                 if batched_seconds > 0
+                else 0.0
+            ),
+            "lowering_vectorized_seconds": lowering_vec,
+            "lowering_state_of_seconds": lowering_state_of,
+            "lowering_speedup": (
+                lowering_state_of / lowering_vec
+                if lowering_vec > 0
                 else 0.0
             ),
             "batched_generation_seconds": batched_generation,
@@ -216,11 +327,29 @@ def write_ea_baseline(
             f"eval bitset {batched_seconds:.3f}s / "
             f"ir {scalar_seconds:.3f}s "
             f"({entry['eval_speedup']:.1f}x), "
+            f"lowering {lowering_vec:.4f}s / "
+            f"_state_of {lowering_state_of:.3f}s "
+            f"({entry['lowering_speedup']:.1f}x), "
             f"generation bitset {batched_generation:.3f}s / "
             f"ir {scalar_generation:.3f}s "
             f"({entry['generation_speedup']:.1f}x)",
             flush=True,
         )
+
+        if not quick and (n_segments, n_muxes) == sizes[-1]:
+            streaming = _record_streaming(network, spec)
+            print(
+                f"{entry['design']:18s} streaming: "
+                f"pop {streaming['parity_population']} "
+                f"streamed {streaming['streamed_seconds']:.2f}s vs "
+                f"unchunked {streaming['unchunked_seconds']:.2f}s "
+                f"(bit-identical), "
+                f"pop {streaming['population']} in "
+                f"{streaming['seconds']:.1f}s under "
+                f"{streaming['max_lane_mb']} MB "
+                f"({streaming['block_lanes']} lanes/block)",
+                flush=True,
+            )
 
     payload = {
         "benchmark": "ea-population",
@@ -245,14 +374,46 @@ def write_ea_baseline(
             "per-generation wall time of a real SPEA-2 loop (memoized "
             "incremental re-evaluation on the batched side; the scalar "
             "side runs fewer generations because each one sweeps the "
-            "whole population at scalar cost)."
+            "whole population at scalar cost).  lowering = one "
+            "whole-population PopulationLowering.masks() call "
+            "(incidence tables warm) vs the per-genome _state_of merge "
+            "loop, parity-checked through the kernel before timing.  "
+            "streaming = memo-miss sweeps in max_lane_mb-bounded lane "
+            "blocks: pop 10k streamed vs single-block bit-identical, "
+            "then the pop-100k cold sweep the single-block path could "
+            "not hold in memory."
         ),
     }
+    if streaming is not None:
+        payload["streaming"] = streaming
     os.makedirs(os.path.dirname(output) or ".", exist_ok=True)
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(f"wrote {output}")
+
+    if lowering_output:
+        lowering_payload = {
+            "benchmark": "ea-lowering",
+            "created": payload["created"],
+            "host": payload["host"],
+            "designs": lowering_rows,
+            "notes": (
+                "Whole-population genome->lane lowering "
+                "(PopulationLowering.masks: bit-packed break/pin "
+                "incidence gathers) vs the per-genome _state_of merge "
+                "loop, on fresh random populations with warm incidence "
+                "tables.  Each row is parity-checked before timing: the "
+                "packed masks must solve to damages ==-identical to the "
+                "tuple states'.  Consumed by the bench-diff regression "
+                "gate (metric ea_lowering/<population>)."
+            ),
+        }
+        os.makedirs(os.path.dirname(lowering_output) or ".", exist_ok=True)
+        with open(lowering_output, "w", encoding="utf-8") as handle:
+            json.dump(lowering_payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {lowering_output}")
     return payload
 
 
@@ -298,9 +459,19 @@ def main(argv=None) -> int:
         "--population", type=int, default=1_000,
         help="timed population size (default 1000; quick caps at 256)",
     )
+    parser.add_argument(
+        "--lowering-output", default=None,
+        help=(
+            "also write the ea-lowering bench-diff baseline "
+            "(e.g. results/BENCH_ea_lowering.json)"
+        ),
+    )
     args = parser.parse_args(argv)
     write_ea_baseline(
-        args.output, quick=args.quick, population=args.population
+        args.output,
+        quick=args.quick,
+        population=args.population,
+        lowering_output=args.lowering_output,
     )
     return 0
 

@@ -37,6 +37,12 @@ def main() -> int:
             "Large MBIST designs — faithful accounting, generation "
             "budgets scaled ×0.1",
         )
+        render_tables.render_faultset(
+            render_tables.RESULTS / "rows_faultset.json",
+            render_tables.RESULTS / "rows_linear01.json",
+            "Fault-set objective vs same-budget linear fronts, 21 designs "
+            "(`--objective fault-set --backend bitset`, budgets ×0.1)",
+        )
     tables = buffer.getvalue().strip()
 
     text = EXPERIMENTS.read_text()

@@ -120,6 +120,38 @@ def _pack_lanes(bits: np.ndarray, words: int) -> np.ndarray:
 _State = Tuple[Tuple[int, ...], Tuple[Tuple[int, int], ...]]
 
 
+class PackedStates:
+    """Array-form fault states: one kernel lane per bit, no tuples.
+
+    The population entry point for callers that lower whole genome
+    blocks vectorized (:class:`repro.core.lowering.PopulationLowering`):
+
+    * ``broken`` — ``(n_nodes, words)`` ``uint64``; bit ``f`` of row
+      ``v`` set iff lane ``f`` breaks node ``v`` (``None`` when no lane
+      breaks anything — the ``prop is None`` fast path).
+    * ``dead``  — ``(n_pred_slots, words)``; bit ``f`` set iff lane
+      ``f`` pins the slot's mux to a different port.
+
+    These are the complements of the kernel's ``prop``/``alive`` sweep
+    masks with the ``_pack_lanes`` bit layout; padding lanes must be 0.
+    :meth:`BatchFaultAnalysis.damage_of_packed` inverts them **in
+    place** (the matrices are the dominant memory term at population
+    scale), so a container is consumed by the call that solves it.
+    """
+
+    __slots__ = ("broken", "dead", "lanes")
+
+    def __init__(
+        self,
+        broken: Optional[np.ndarray],
+        dead: np.ndarray,
+        lanes: int,
+    ):
+        self.broken = broken
+        self.dead = dead
+        self.lanes = int(lanes)
+
+
 class BatchFaultAnalysis:
     """Lane-packed damage analysis over one network's compiled IR.
 
@@ -390,20 +422,27 @@ class BatchFaultAnalysis:
             occupancy=round(len(states) / (lane_words(len(states)) * 64), 3),
         ):
             prop, alive, words = self._masks(states)
-            fwd_any = self._reach("forward", None, alive, words)
-            bwd_any = self._reach("backward", None, alive, words)
-            if prop is None:  # no lane breaks anything: clean == any
-                fwd_clean, bwd_clean = fwd_any, bwd_any
-            else:
-                fwd_clean = self._reach("forward", prop, alive, words)
-                bwd_clean = self._reach("backward", prop, alive, words)
-            settable = fwd_clean & bwd_any
-            observable = bwd_clean & fwd_any
-            if prop is not None:
-                settable &= prop
-                observable &= prop
+            result = self._solve_masks(prop, alive, words)
         self.counters["lanes"] += len(states)
         self.counters["chunks"] += 1
+        return result
+
+    def _solve_masks(self, prop, alive, words: int):
+        """The four sweeps over prebuilt masks: ``(prop, settable,
+        observable)`` word matrices for any mask source (tuple states or
+        packed array lowering)."""
+        fwd_any = self._reach("forward", None, alive, words)
+        bwd_any = self._reach("backward", None, alive, words)
+        if prop is None:  # no lane breaks anything: clean == any
+            fwd_clean, bwd_clean = fwd_any, bwd_any
+        else:
+            fwd_clean = self._reach("forward", prop, alive, words)
+            bwd_clean = self._reach("backward", prop, alive, words)
+        settable = fwd_clean & bwd_any
+        observable = bwd_clean & fwd_any
+        if prop is not None:
+            settable &= prop
+            observable &= prop
         return prop, settable, observable
 
     @staticmethod
@@ -421,11 +460,12 @@ class BatchFaultAnalysis:
             out += weights[lo : lo + _ROW_BLOCK] @ block.astype(np.float64)
         return out
 
-    def _lane_damages(self, states: Sequence[_State]):
-        """Per-lane damage plus the unpacked accessibility bits of the
-        weighted primitives (for composite-fault recombination)."""
-        prop, settable, observable = self._solve(states)
-        lanes = len(states)
+    def _mask_damages(
+        self, settable: np.ndarray, observable: np.ndarray, lanes: int
+    ):
+        """Weighted-popcount damage per lane from solved accessibility
+        words, plus the unpacked bits of the weighted primitives (for
+        composite-fault recombination)."""
         w_ids = self._weighted_ids
         set_bits = self._unpack(settable[w_ids], lanes)
         obs_bits = self._unpack(observable[w_ids], lanes)
@@ -434,6 +474,12 @@ class BatchFaultAnalysis:
             + (self._total_ds - self._weighted_lane_sums(set_bits, self._ds_w))
         )
         return damages, obs_bits, set_bits
+
+    def _lane_damages(self, states: Sequence[_State]):
+        """Per-lane damage plus the unpacked accessibility bits of the
+        weighted primitives (for composite-fault recombination)."""
+        _, settable, observable = self._solve(states)
+        return self._mask_damages(settable, observable, len(states))
 
     def _composite_damage(
         self, obs_bits: np.ndarray, set_bits: np.ndarray, lanes: List[int]
@@ -615,6 +661,42 @@ class BatchFaultAnalysis:
                 for broken, forced in states
             ]
         )
+
+    def damage_of_packed(self, packed: PackedStates) -> np.ndarray:
+        """Damage per lane of a :class:`PackedStates` block — the
+        array-form population entry point: the masks arrive prebuilt
+        (vectorized genome lowering), so no per-lane Python work remains
+        between here and the sweeps.  Consumes ``packed`` (the word
+        matrices are inverted in place into the sweep masks)."""
+        lanes = packed.lanes
+        if lanes == 0:
+            return np.zeros(0)
+        words = lane_words(lanes)
+        if packed.dead.shape != (self._n_slots, words):
+            raise ReproError(
+                f"packed dead mask must be ({self._n_slots}, {words}), "
+                f"got {tuple(packed.dead.shape)}"
+            )
+        alive = np.bitwise_not(packed.dead, out=packed.dead)
+        prop = None
+        if packed.broken is not None:
+            if packed.broken.shape != (self._n, words):
+                raise ReproError(
+                    f"packed broken mask must be ({self._n}, {words}), "
+                    f"got {tuple(packed.broken.shape)}"
+                )
+            prop = np.bitwise_not(packed.broken, out=packed.broken)
+        with span(
+            "batch.chunk",
+            lanes=lanes,
+            occupancy=round(lanes / (words * 64), 3),
+            packed=True,
+        ):
+            _, settable, observable = self._solve_masks(prop, alive, words)
+        self.counters["lanes"] += lanes
+        self.counters["chunks"] += 1
+        damages, _, _ = self._mask_damages(settable, observable, lanes)
+        return damages
 
     def damage_of_fault_sets(
         self, fault_sets: Sequence[Sequence[Fault]]

@@ -726,6 +726,31 @@ class CriticalityEngine:
         self.cumulative.population_states += len(states)
         return damages
 
+    def population_damages_packed(self, packed):
+        """Damage per lane of a pre-lowered
+        :class:`repro.analysis.batch.PackedStates` block — the
+        array-form counterpart of :meth:`population_damages` for callers
+        that lower whole genome blocks vectorized (requires the bitset
+        backend; consumes ``packed``)."""
+        analysis = self.population_analysis()
+        before = _batch_counters(analysis)
+        with span(
+            "engine.population",
+            states=packed.lanes,
+            backend=self.backend,
+            packed=True,
+        ):
+            damages = analysis.damage_of_packed_states(packed)
+        after = _batch_counters(analysis)
+        self.cumulative.lanes += after.get("lanes", 0) - before.get(
+            "lanes", 0
+        )
+        self.cumulative.lane_chunks += after.get(
+            "chunks", 0
+        ) - before.get("chunks", 0)
+        self.cumulative.population_states += packed.lanes
+        return damages
+
     def _partition_chunks(self, names: List[str]) -> List[List[str]]:
         """Split the evaluated primitives into worker tasks.
 

@@ -45,6 +45,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..errors import ReproError
+from ..ir import LANE_BITS as IR_LANE_BITS
 from ..ir import MUX as IR_MUX
 from ..ir import ROLE_DATA as IR_ROLE_DATA
 from ..ir import SEGMENT as IR_SEGMENT
@@ -510,6 +511,28 @@ class GraphDamageAnalysis(_AnalysisBase):
             )
             results.append(self._damage_of_sets(unobs, unset))
         return np.asarray(results, dtype=float)
+
+    def damage_of_packed_states(self, packed) -> np.ndarray:
+        """Array-form population query: damage per lane of a
+        :class:`repro.analysis.batch.PackedStates` block (vectorized
+        genome lowering).  The packed masks are a bitset-kernel encoding
+        — the scalar backends have no lane notion, so this raises rather
+        than silently unpacking (callers keep the tuple path as the
+        parity reference there)."""
+        if self._batch is None:
+            raise ReproError(
+                "packed population states need backend='bitset', "
+                f"got {self.backend!r}"
+            )
+        return self._batch.damage_of_packed(packed)
+
+    @property
+    def lane_capacity(self) -> Optional[int]:
+        """Lanes one bitset kernel chunk solves (``chunk_lanes`` words);
+        ``None`` for the scalar backends."""
+        if self._batch is None:
+            return None
+        return self._batch.chunk_lanes * IR_LANE_BITS
 
 
 def analyze_damage_graph(

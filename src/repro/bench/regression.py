@@ -255,6 +255,20 @@ def load_hot_paths(path: str) -> Tuple[str, List[HotPath]]:
                     },
                 )
             )
+        elif benchmark == "ea-lowering":
+            population = int(_require(row, "population", path))
+            hot_paths.append(
+                HotPath(
+                    design=design,
+                    metric=f"ea_lowering/{population}",
+                    n_segments=n_segments,
+                    n_muxes=n_muxes,
+                    baseline_seconds=float(
+                        _require(row, "vectorized_seconds", path)
+                    ),
+                    params={"population": population},
+                )
+            )
         elif benchmark == "service-latency":
             sharded = _require(row, "sharded", path)
             if not isinstance(sharded, dict) or "p50_seconds" not in sharded:
@@ -364,6 +378,29 @@ def _measure_once(hot_path: HotPath, network, spec, tree=None) -> float:
         )
         started = time.perf_counter()
         problem.evaluate(genomes)
+        return time.perf_counter() - started
+    if hot_path.metric.startswith("ea_lowering/"):
+        # Mirror bench_ea_population._time_lowering: incidence tables
+        # warmed outside the timer, one whole-population lower_packed
+        # call inside it.
+        import numpy as np
+
+        from ..core.problem import FaultSetHardeningProblem
+        from ..ea import init_population
+        from ..spec.cost_model import GateCountCost
+
+        analysis = GraphDamageAnalysis(network, spec, backend="bitset")
+        problem = FaultSetHardeningProblem(
+            network, analysis.report(), GateCountCost(), analysis
+        )
+        genomes = init_population(
+            np.random.default_rng(0),
+            hot_path.params["population"],
+            problem.n_vars,
+        )
+        problem.lower_packed(genomes[:1])
+        started = time.perf_counter()
+        problem.lower_packed(genomes)
         return time.perf_counter() - started
     raise RegressionParseError(f"unknown metric {hot_path.metric!r}")
 

@@ -52,6 +52,13 @@ class Table1Row:
         self.analysis_stats: Optional[Dict] = None
         #: EA run-cache outcome ("disabled" | "hit" | "miss").
         self.ea_cache: Optional[str] = None
+        self.objective: str = "linear"
+        #: Fault-set objective memo efficiency (None under "linear"):
+        #: genome evaluations requested, memo hits among them, unique
+        #: states actually swept through the kernel.
+        self.ea_evaluations: Optional[int] = None
+        self.ea_memo_hits: Optional[int] = None
+        self.ea_states_swept: Optional[int] = None
 
     @property
     def name(self) -> str:
@@ -75,6 +82,10 @@ class Table1Row:
             "front_size": self.front_size,
             "analysis_stats": self.analysis_stats,
             "ea_cache": self.ea_cache,
+            "objective": self.objective,
+            "ea_evaluations": self.ea_evaluations,
+            "ea_memo_hits": self.ea_memo_hits,
+            "ea_states_swept": self.ea_states_swept,
             "paper": {
                 "max_cost": self.design.paper.max_cost,
                 "max_damage": self.design.paper.max_damage,
@@ -111,10 +122,12 @@ def run_design(
     chunk_lanes: int = 64,
     max_cache_mb: Optional[float] = None,
     objective: str = "linear",
+    max_lane_mb: Optional[float] = 64.0,
 ) -> Table1Row:
     """Run the full Table-I pipeline for one design."""
     design = get_design(name)
     row = Table1Row(design)
+    row.objective = objective
 
     started = time.perf_counter()
     network = design.build()
@@ -132,6 +145,7 @@ def run_design(
         chunk_lanes=chunk_lanes,
         max_cache_mb=max_cache_mb,
         objective=objective,
+        max_lane_mb=max_lane_mb,
     )
     row.max_cost = synthesis.max_cost
     row.max_damage = synthesis.max_damage
@@ -175,6 +189,11 @@ def run_design(
     row.runtime_seconds = time.perf_counter() - started
     if synthesis.analysis_stats is not None:
         row.analysis_stats = synthesis.analysis_stats.as_dict()
+    counters = getattr(synthesis.problem, "counters", None)
+    if counters is not None:
+        row.ea_evaluations = int(counters["evaluations"])
+        row.ea_memo_hits = int(counters["memo_hits"])
+        row.ea_states_swept = int(counters["states_swept"])
     return row
 
 

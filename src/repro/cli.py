@@ -113,6 +113,15 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _lane_budget_mb(text: str) -> Optional[float]:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative number, got {value}"
+        )
+    return None if value == 0 else value
+
+
 def _add_engine_options(parser) -> None:
     """Shared criticality-engine flags (parallelism, cache, stats)."""
     parser.add_argument(
@@ -158,6 +167,15 @@ def _add_engine_options(parser) -> None:
         "each store; default: unbounded)",
     )
     parser.add_argument(
+        "--max-lane-mb",
+        type=_lane_budget_mb,
+        default=64.0,
+        metavar="MB",
+        help="fault-set objective: memory budget of one streaming "
+        "lane block when sweeping memo-miss genomes (default 64; "
+        "0 disables streaming and solves all misses in one block)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print engine statistics (faults/s, cache and memo hit "
@@ -192,6 +210,7 @@ def _cmd_table1(args) -> int:
         chunk_lanes=args.chunk_lanes,
         max_cache_mb=args.cache_max_mb,
         objective=args.objective,
+        max_lane_mb=args.max_lane_mb,
     )
     print()
     print(format_table(rows))
@@ -212,11 +231,18 @@ def _cmd_table1(args) -> int:
                 if row.ea_cache and row.ea_cache != "disabled"
                 else ""
             )
+            memo = (
+                f", ea {row.ea_evaluations:,} evals / "
+                f"{row.ea_memo_hits:,} memo hits / "
+                f"{row.ea_states_swept:,} swept"
+                if row.ea_evaluations is not None
+                else ""
+            )
             print(
                 f"{row.name:16s} analysis {stats['elapsed_seconds']:.3f}s, "
                 f"{stats['faults_per_second']:,.0f} faults/s, "
                 f"cache {stats['cache']}, "
-                f"memo {stats['memo_hit_rate']:.1%}{lanes}{ea_cache}"
+                f"memo {stats['memo_hit_rate']:.1%}{lanes}{ea_cache}{memo}"
             )
     if args.compare:
         print()
@@ -325,6 +351,7 @@ def _cmd_harden(args) -> int:
         chunk_lanes=args.chunk_lanes,
         max_cache_mb=args.cache_max_mb,
         objective=args.objective,
+        max_lane_mb=args.max_lane_mb,
     )
     print(f"max cost   : {synthesis.max_cost:,.0f}")
     print(f"max damage : {synthesis.max_damage:,.0f}")
@@ -372,6 +399,13 @@ def _cmd_harden(args) -> int:
         population_states = synthesis.engine.cumulative.population_states
         if population_states:
             print(f"population : {population_states:,} states swept")
+        counters = getattr(synthesis.problem, "counters", None)
+        if counters is not None:
+            print(
+                f"ea memo    : {counters['evaluations']:,} evaluations, "
+                f"{counters['memo_hits']:,} memo hits, "
+                f"{counters['states_swept']:,} states swept"
+            )
     return 0
 
 

@@ -80,6 +80,7 @@ class SelectiveHardening:
         chunk_lanes: int = 64,
         max_cache_mb: Optional[float] = None,
         objective: str = "linear",
+        max_lane_mb: Optional[float] = 64.0,
     ):
         if objective not in _OBJECTIVES:
             raise OptimizationError(
@@ -109,6 +110,9 @@ class SelectiveHardening:
         self.chunk_lanes = chunk_lanes
         self.max_cache_mb = max_cache_mb
         self.objective = objective
+        #: Streaming lane-block memory budget of the fault-set objective
+        #: (None = solve every memo miss in one block).
+        self.max_lane_mb = max_lane_mb
         #: Outcome of the EA run cache on the last ``optimize()`` call:
         #: "disabled" | "hit" | "miss".
         self.last_ea_cache = "disabled"
@@ -164,6 +168,15 @@ class SelectiveHardening:
                     analysis=self.engine.population_analysis(),
                     hardenable=self.hardenable,
                     evaluate_states=self.engine.population_damages,
+                    # Array-form sweeps (vectorized genome lowering) are
+                    # a bitset-kernel encoding; scalar backends keep the
+                    # per-genome tuple path as the parity reference.
+                    evaluate_packed=(
+                        self.engine.population_damages_packed
+                        if self.backend == "bitset"
+                        else None
+                    ),
+                    max_lane_mb=self.max_lane_mb,
                 )
             else:
                 self._problem = HardeningProblem(

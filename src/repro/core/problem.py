@@ -33,6 +33,7 @@ from ..analysis.faults import (
 )
 from ..ea.problem import EvaluationMemo
 from ..errors import OptimizationError
+from ..ir import LANE_BITS
 from ..obs.trace import span
 from ..rsn.network import RsnNetwork
 from ..spec.cost_model import CostModel
@@ -154,9 +155,21 @@ class FaultSetHardeningProblem(HardeningProblem):
     makes re-evaluation incremental: after crossover/mutation only the
     genomes whose bits actually changed are swept again.
 
-    ``evaluate_states`` optionally reroutes the state sweep (e.g. through
-    :meth:`CriticalityEngine.population_damages` for stats accounting);
-    it must be exact — results are memoized.
+    Under the bitset backend the memo misses never become Python tuples:
+    :class:`repro.core.lowering.PopulationLowering` lowers whole genome
+    blocks straight to the kernel's packed word masks
+    (:meth:`lower_packed`), streamed in lane blocks bounded by both the
+    kernel's ``chunk_lanes`` and a hard memory budget (``max_lane_mb``)
+    so a population of 100k never materializes all lanes at once.  The
+    scalar backends keep the per-genome :meth:`_state_of` path — the
+    parity reference the vectorized path is property-tested
+    ``==``-identical against.
+
+    ``evaluate_states`` optionally reroutes the tuple-state sweep (e.g.
+    through :meth:`CriticalityEngine.population_damages` for stats
+    accounting) and ``evaluate_packed`` the array-form sweep
+    (:meth:`CriticalityEngine.population_damages_packed`); both must be
+    exact — results are memoized.
     """
 
     def __init__(
@@ -167,11 +180,37 @@ class FaultSetHardeningProblem(HardeningProblem):
         analysis,
         hardenable: str = "all",
         evaluate_states: Optional[Callable] = None,
+        evaluate_packed: Optional[Callable] = None,
         max_memo_entries: int = 1 << 17,
+        max_lane_mb: Optional[float] = 64.0,
+        lowering: str = "auto",
     ):
         super().__init__(network, report, cost_model, hardenable=hardenable)
+        if lowering not in ("auto", "vectorized", "scalar"):
+            raise OptimizationError(
+                "lowering must be 'auto', 'vectorized' or 'scalar', "
+                f"got {lowering!r}"
+            )
         self._analysis = analysis
         self._evaluate_states_fn = evaluate_states
+        self._evaluate_packed_fn = evaluate_packed
+        self.max_lane_mb = max_lane_mb
+        # Vectorized lowering produces bitset lane masks; scalar analysis
+        # backends have no lane notion, so they stay on the per-genome
+        # tuple path (which doubles as the parity reference).
+        vector_ok = (
+            evaluate_packed is not None
+            or getattr(analysis, "backend", None) == "bitset"
+        )
+        if lowering == "vectorized" and not vector_ok:
+            raise OptimizationError(
+                "lowering='vectorized' needs the bitset backend or an "
+                "evaluate_packed hook"
+            )
+        self._vectorized = (
+            vector_ok if lowering == "auto" else lowering == "vectorized"
+        )
+        self._lowering = None  # built lazily on the first packed sweep
         ir = analysis.ir
 
         # Per-candidate residual effect: (broken node ids, (mux id, port)
@@ -271,12 +310,89 @@ class FaultSetHardeningProblem(HardeningProblem):
             return self._evaluate_states_fn(states)
         return self._analysis.damage_of_states(states)
 
+    def _evaluate_packed(self, packed) -> np.ndarray:
+        if self._evaluate_packed_fn is not None:
+            return self._evaluate_packed_fn(packed)
+        return self._analysis.damage_of_packed_states(packed)
+
+    # ------------------------------------------------------------------
+    def lower_packed(self, genomes: np.ndarray):
+        """Vectorized whole-block lowering: a ``(P, n_vars)`` genome
+        block straight to the kernel's packed lane masks
+        (:class:`repro.analysis.batch.PackedStates`), bit-identical to
+        lowering each row through :meth:`_state_of`."""
+        if self._lowering is None:
+            from .lowering import PopulationLowering
+
+            self._lowering = PopulationLowering(
+                self._analysis.ir, self._candidate_states, self.n_vars
+            )
+        return self._lowering.masks(genomes)
+
+    def _lane_block(self) -> Optional[int]:
+        """Lanes per streaming block of the packed sweep: bounded by the
+        kernel's ``chunk_lanes`` chunk and by the ``max_lane_mb`` memory
+        budget (``None`` disables streaming — all misses in one block)."""
+        if self.max_lane_mb is None:
+            return None
+        ir = self._analysis.ir
+        # Peak working set per lane: ~6 live (n_nodes, words) word
+        # matrices across the sweeps (masks + 4 reach + accessibility)
+        # plus the (n_slots, words) alive mask, plus two unpacked uint8
+        # accessibility rows per node for the damage popcount.
+        per_lane = (6 * ir.n_nodes + len(ir.pred_indices)) // 8 + (
+            2 * ir.n_nodes
+        )
+        budget = int(self.max_lane_mb * (1 << 20)) // max(1, per_lane)
+        lanes = max(LANE_BITS, (budget // LANE_BITS) * LANE_BITS)
+        capacity = getattr(self._analysis, "lane_capacity", None)
+        return min(lanes, capacity) if capacity else lanes
+
+    def _sweep_rows(
+        self, genomes: np.ndarray, miss_rows: np.ndarray
+    ) -> np.ndarray:
+        """Damage of the memo-miss genome rows, one kernel lane each.
+
+        Vectorized path: lower + solve in streaming lane blocks so a
+        100k-genome cold sweep stays inside the memory budget.  Scalar
+        path: per-genome tuples (parity reference)."""
+        count = len(miss_rows)
+        if not self._vectorized:
+            states = [self._state_of(genomes[row]) for row in miss_rows]
+            with span(
+                "ea.evaluate",
+                genomes=len(genomes),
+                swept=count,
+                lowering="scalar",
+            ):
+                return np.asarray(
+                    self._evaluate_states(states), dtype=float
+                )
+        block = self._lane_block() or count
+        out = np.empty(count)
+        with span(
+            "ea.evaluate",
+            genomes=len(genomes),
+            swept=count,
+            lowering="vectorized",
+            blocks=-(-count // block),
+        ):
+            for lo in range(0, count, block):
+                rows = miss_rows[lo : lo + block]
+                packed = self.lower_packed(genomes[rows])
+                out[lo : lo + len(rows)] = np.asarray(
+                    self._evaluate_packed(packed), dtype=float
+                )
+        return out
+
     # ------------------------------------------------------------------
     def evaluate(self, genomes: np.ndarray) -> np.ndarray:
         """(P, 2) objectives [cost, joint residual damage].
 
-        Costs stay a chunked matvec; damages are memo-checked per genome
-        and only the unique, never-seen states are swept (one lane each).
+        The population is bit-packed exactly once; memo keys and the
+        cost matvec chunks both read that packed matrix.  Only the
+        unique, never-seen genomes are swept (one lane each), in
+        streaming lane blocks under the vectorized lowering.
         """
         genomes = np.asarray(genomes, dtype=bool)
         if genomes.ndim != 2 or genomes.shape[1] != self.n_vars:
@@ -285,17 +401,24 @@ class FaultSetHardeningProblem(HardeningProblem):
                 f"{tuple(genomes.shape)}"
             )
         rows = genomes.shape[0]
+        packed_rows = EvaluationMemo.packed_of(genomes)
         cost = np.empty(rows)
         chunk = max(1, self._CHUNK_FLOATS // max(1, self.n_vars))
         for start in range(0, rows, chunk):
-            block = genomes[start : start + chunk].astype(float)
-            cost[start : start + chunk] = block @ self.costs
+            bits = np.unpackbits(
+                packed_rows[start : start + chunk],
+                axis=1,
+                count=self.n_vars,
+            )
+            cost[start : start + chunk] = bits @ self.costs
 
         damage = np.empty(rows)
         hits_before = self.memo.hits
         pending: Dict[bytes, List[int]] = {}
-        states = []
-        for row, key in enumerate(EvaluationMemo.keys_of(genomes)):
+        miss_rows: List[int] = []
+        for row, key in enumerate(
+            EvaluationMemo.keys_of_packed(packed_rows)
+        ):
             cached = self.memo.get(key)
             if cached is not None:
                 damage[row] = cached
@@ -303,18 +426,17 @@ class FaultSetHardeningProblem(HardeningProblem):
             duplicates = pending.get(key)
             if duplicates is None:
                 pending[key] = [row]
-                states.append(self._state_of(genomes[row]))
+                miss_rows.append(row)
             else:
                 duplicates.append(row)
-        if states:
-            with span("ea.evaluate", genomes=rows, swept=len(states)):
-                swept = np.asarray(
-                    self._evaluate_states(states), dtype=float
-                )
+        if miss_rows:
+            swept = self._sweep_rows(
+                genomes, np.asarray(miss_rows, dtype=np.int64)
+            )
             for (key, dup_rows), value in zip(pending.items(), swept):
                 damage[dup_rows] = value
                 self.memo.put(key, float(value))
         self.counters["evaluations"] += rows
         self.counters["memo_hits"] += self.memo.hits - hits_before
-        self.counters["states_swept"] += len(states)
+        self.counters["states_swept"] += len(miss_rows)
         return np.stack([cost, damage], axis=1)

@@ -74,10 +74,21 @@ class EvaluationMemo:
         return len(self._entries)
 
     @staticmethod
+    def packed_of(genomes: np.ndarray) -> np.ndarray:
+        """The ``np.packbits`` matrix keys derive from — exposed so a
+        caller can pack a population exactly once and share the packed
+        rows between key derivation and any other per-row reads."""
+        return np.packbits(np.asarray(genomes, dtype=bool), axis=1)
+
+    @staticmethod
+    def keys_of_packed(packed: np.ndarray) -> List[bytes]:
+        """Keys from an existing :meth:`packed_of` matrix."""
+        return [row.tobytes() for row in packed]
+
+    @staticmethod
     def keys_of(genomes: np.ndarray) -> List[bytes]:
         """One hashable key per genome row."""
-        packed = np.packbits(np.asarray(genomes, dtype=bool), axis=1)
-        return [row.tobytes() for row in packed]
+        return EvaluationMemo.keys_of_packed(EvaluationMemo.packed_of(genomes))
 
     def get(self, key: bytes) -> Optional[object]:
         value = self._entries.get(key)
