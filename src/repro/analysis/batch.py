@@ -611,6 +611,56 @@ class BatchFaultAnalysis:
                     )
         return damages
 
+    def fault_effect_bits(
+        self, faults: Sequence[Fault]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Lost-primitive signature bits of every fault in one batch.
+
+        Returns ``(unobservable, unsettable)`` 0/1 ``uint8`` matrices of
+        shape ``(n_faults, n_primitives)``, columns aligned to
+        ``ir.primitive_ids()``: entry ``[i, j]`` is 1 iff fault ``i``
+        makes primitive ``j`` unobservable (resp. unsettable).  A
+        composite fault ANDs its component accessibility bits exactly
+        like damage evaluation, so row ``i`` matches
+        ``GraphDamageAnalysis.effect_of_fault`` name-for-name — the
+        signature source of effects-based diagnosis campaigns
+        (:mod:`repro.campaigns.diagnosis`)."""
+        faults = list(faults)
+        prim = np.asarray(self._primitive_ids, dtype=np.int64)
+        unobs = np.empty((len(faults), len(prim)), dtype=np.uint8)
+        unset = np.empty_like(unobs)
+        capacity = self.chunk_lanes * LANE_BITS
+        index = 0
+        while index < len(faults):
+            chunk_faults: List[Tuple[int, List[int]]] = []
+            lane_of: Dict[_State, int] = {}
+            states: List[_State] = []
+            while index < len(faults):
+                components = self._components(faults[index])
+                fresh = [c for c in components if c not in lane_of]
+                if states and len(states) + len(fresh) > capacity:
+                    break
+                for state in fresh:
+                    lane_of[state] = len(states)
+                    states.append(state)
+                chunk_faults.append(
+                    (index, [lane_of[c] for c in components])
+                )
+                index += 1
+            _, settable, observable = self._solve(states)
+            obs_bits = self._unpack(observable[prim], len(states))
+            set_bits = self._unpack(settable[prim], len(states))
+            for fault_index, lanes in chunk_faults:
+                if len(lanes) == 1:
+                    obs_col = obs_bits[:, lanes[0]]
+                    set_col = set_bits[:, lanes[0]]
+                else:
+                    obs_col = obs_bits[:, lanes].min(axis=1)
+                    set_col = set_bits[:, lanes].min(axis=1)
+                unobs[fault_index] = 1 - obs_col
+                unset[fault_index] = 1 - set_col
+        return unobs, unset
+
     def canonical_state(self, broken, forced) -> _State:
         """Lane state for one simultaneous set of broken node ids plus
         mux pins (a mapping or ``(mux_id, port)`` pairs, later pairs

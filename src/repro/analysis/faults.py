@@ -151,6 +151,33 @@ def iter_all_faults(network: RsnNetwork) -> Iterator[Fault]:
 
 
 # ----------------------------------------------------------------------
+# canonical ordering
+# ----------------------------------------------------------------------
+def fault_sort_key(fault: Fault) -> Tuple[int, str, int]:
+    """A stable structural sort key: (kind rank, site name, port).
+
+    Total over all modeled faults and identical across processes —
+    unlike ``repr()``-based ordering, which ties diagnosis rankings to
+    the incidental formatting of the fault classes.  Used wherever a
+    deterministic fault order is needed (diagnosis tie-breaking,
+    campaign top-damage retention, signature-matrix row order).
+    """
+    if isinstance(fault, SegmentBreak):
+        return (0, fault.segment, -1)
+    if isinstance(fault, MuxStuck):
+        return (1, fault.mux, fault.port)
+    if isinstance(fault, ControlCellBreak):
+        return (2, fault.cell, -1)
+    raise ReproError(f"unknown fault {fault!r}")
+
+
+def fault_set_sort_key(faults) -> Tuple[Tuple[int, str, int], ...]:
+    """Lexicographic key over a fault multiset (sorted memberwise), the
+    deterministic tie-break for equal-damage fault combinations."""
+    return tuple(sorted(fault_sort_key(fault) for fault in faults))
+
+
+# ----------------------------------------------------------------------
 # JSON form (the analysis service's wire format for fault queries)
 # ----------------------------------------------------------------------
 def fault_to_dict(fault: Fault) -> dict:

@@ -552,6 +552,7 @@ def expected_damage_under_rate(
     seed: int = 0,
     hardened_units=(),
     backend: str = "bitset",
+    sampler: str = "scalar",
 ) -> float:
     """Monte-Carlo expected damage when every un-hardened primitive fails
     independently with probability ``defect_rate``.
@@ -559,39 +560,26 @@ def expected_damage_under_rate(
     A multi-fault generalization of Eq. 2 (whose sum is the first-order
     term of this expectation divided by the rate): useful to compare
     hardening selections under realistic defect clustering rather than
-    the single-fault worst case.  All samples are drawn first (the RNG
-    stream is backend-independent) and evaluated in one batched pass —
-    one lane per sample under the default bitset backend.
+    the single-fault worst case.  Runs as a one-rate campaign through
+    the streaming block executor (:mod:`repro.campaigns.montecarlo`).
+
+    The default ``sampler="scalar"`` preserves the original per-site
+    ``random.Random(seed)`` stream exactly, so results are seed-for-seed
+    identical to the pre-campaign implementation (and backend-
+    independent); ``sampler="vectorized"`` switches to the campaign's
+    per-block numpy substreams — the resumable, O(block) path rate
+    sweeps use.
     """
-    import random
+    from ..campaigns import MonteCarloPlan, run_monte_carlo
 
-    from .faults import faults_of_primitive
-
-    if not 0.0 <= defect_rate <= 1.0:
-        raise ReproError("defect_rate must be within [0, 1]")
     analysis = GraphDamageAnalysis(network, spec, backend=backend)
-    unit_names = set(network.unit_names())
-    covered: Set[str] = set()
-    for name in hardened_units:
-        if name in unit_names:
-            covered.update(network.unit(name).members)
-        else:
-            covered.add(name)
-    sites = [
-        node.name
-        for node in network.nodes()
-        if node.kind in (NodeKind.SEGMENT, NodeKind.MUX)
-        and node.name not in covered
-    ]
-    rng = random.Random(seed)
-    fault_sets: List[List[Fault]] = []
-    for _ in range(samples):
-        faults: List[Fault] = []
-        for site in sites:
-            if rng.random() < defect_rate:
-                candidates = faults_of_primitive(network, site)
-                if candidates:
-                    faults.append(rng.choice(candidates))
-        if faults:
-            fault_sets.append(faults)
-    return sum(analysis.damage_of_fault_sets(fault_sets)) / samples
+    plan = MonteCarloPlan(
+        rates=(defect_rate,),
+        samples=samples,
+        seed=seed,
+        sampler=sampler,
+        hardened_units=tuple(hardened_units),
+        bootstrap=0,
+    )
+    result = run_monte_carlo(analysis, plan)
+    return result["records"][0]["mean_damage"]

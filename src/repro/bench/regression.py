@@ -293,6 +293,51 @@ def load_hot_paths(path: str) -> Tuple[str, List[HotPath]]:
                     },
                 )
             )
+        elif benchmark == "campaign":
+            montecarlo = _require(row, "montecarlo", path)
+            diagnosis = _require(row, "diagnosis", path)
+            for section, key in (
+                (montecarlo, "seconds"),
+                (diagnosis, "campaign_seconds"),
+            ):
+                if not isinstance(section, dict) or key not in section:
+                    raise RegressionParseError(
+                        f"{path}: row {design!r} has no campaign {key}"
+                    )
+            hot_paths.append(
+                HotPath(
+                    design=design,
+                    metric="campaign_mc",
+                    n_segments=n_segments,
+                    n_muxes=n_muxes,
+                    baseline_seconds=float(montecarlo["seconds"]),
+                    params={
+                        "rates": [
+                            float(r) for r in montecarlo.get(
+                                "rates", [0.001, 0.01]
+                            )
+                        ],
+                        "samples": int(montecarlo.get("samples", 1000)),
+                    },
+                )
+            )
+            hot_paths.append(
+                HotPath(
+                    design=design,
+                    metric="campaign_diagnosis",
+                    n_segments=n_segments,
+                    n_muxes=n_muxes,
+                    baseline_seconds=float(
+                        diagnosis["campaign_seconds"]
+                    ),
+                    params={
+                        "observations": int(
+                            diagnosis.get("observations", 256)
+                        ),
+                        "noise": float(diagnosis.get("noise", 0.25)),
+                    },
+                )
+            )
         else:
             raise RegressionParseError(
                 f"{path}: unknown benchmark kind {benchmark!r}"
@@ -401,6 +446,40 @@ def _measure_once(hot_path: HotPath, network, spec, tree=None) -> float:
         problem.lower_packed(genomes[:1])
         started = time.perf_counter()
         problem.lower_packed(genomes)
+        return time.perf_counter() - started
+    if hot_path.metric == "campaign_mc":
+        # Mirror bench_campaigns: analysis built outside the timer, one
+        # vectorized rate sweep (sampling + lane-block solves) inside.
+        from ..campaigns import MonteCarloPlan, run_monte_carlo
+
+        analysis = GraphDamageAnalysis(network, spec, backend="bitset")
+        plan = MonteCarloPlan(
+            rates=tuple(hot_path.params["rates"]),
+            samples=hot_path.params["samples"],
+            seed=0,
+            bootstrap=0,
+        )
+        started = time.perf_counter()
+        run_monte_carlo(analysis, plan)
+        return time.perf_counter() - started
+    if hot_path.metric == "campaign_diagnosis":
+        # Mirror bench_campaigns: signature matrix prebuilt outside the
+        # timer, one diagnosis campaign over it inside.
+        from ..campaigns import (
+            DiagnosisPlan,
+            effect_signature_matrix,
+            run_diagnosis,
+        )
+
+        analysis = GraphDamageAnalysis(network, spec, backend="bitset")
+        matrix = effect_signature_matrix(analysis)
+        plan = DiagnosisPlan(
+            observations=hot_path.params["observations"],
+            seed=0,
+            noise=hot_path.params["noise"],
+        )
+        started = time.perf_counter()
+        run_diagnosis(analysis, plan, matrix=matrix)
         return time.perf_counter() - started
     raise RegressionParseError(f"unknown metric {hot_path.metric!r}")
 

@@ -1,0 +1,76 @@
+"""Fault campaigns: batched fault studies as first-class workloads.
+
+The campaign subsystem plans, executes, checkpoints and summarizes
+large fault studies on top of the kernel/engine/service stack — three
+kinds over one streaming block executor:
+
+* :func:`run_monte_carlo` — Monte-Carlo defect-rate sweeps
+  (expected-damage-vs-rate curves with bootstrap CIs);
+* :func:`run_k_fault` — exhaustive k-fault enumeration with budgets and
+  top-damage retention;
+* :func:`run_diagnosis` — batched syndrome ranking over bit-packed
+  signature matrices, with ambiguity statistics.
+
+Surfaced as ``repro-rsn campaign`` CLI verbs and as the service's
+``campaign`` job kind; see DESIGN.md §5j.
+"""
+
+from .checkpoint import CheckpointStore
+from .diagnosis import (
+    effect_signature_matrix,
+    run_diagnosis,
+    sequence_signature_matrix,
+)
+from .executor import (
+    CAMPAIGN_VERSION,
+    CampaignBudgetExceeded,
+    CampaignExecutor,
+    campaign_key,
+    lane_block,
+    spec_token,
+)
+from .kfault import fault_universe, run_k_fault
+from .montecarlo import run_monte_carlo
+from .plan import (
+    CampaignPlan,
+    DiagnosisPlan,
+    KFaultPlan,
+    MonteCarloPlan,
+    plan_from_dict,
+)
+from .signatures import SignatureMatrix, jaccard_rank_scalar
+
+__all__ = [
+    "CAMPAIGN_VERSION",
+    "CampaignBudgetExceeded",
+    "CampaignExecutor",
+    "CampaignPlan",
+    "CheckpointStore",
+    "DiagnosisPlan",
+    "KFaultPlan",
+    "MonteCarloPlan",
+    "SignatureMatrix",
+    "campaign_key",
+    "effect_signature_matrix",
+    "fault_universe",
+    "jaccard_rank_scalar",
+    "lane_block",
+    "plan_from_dict",
+    "run_campaign",
+    "run_diagnosis",
+    "run_k_fault",
+    "run_monte_carlo",
+    "sequence_signature_matrix",
+    "spec_token",
+]
+
+
+def run_campaign(analysis, plan, **kwargs):
+    """Dispatch on the plan kind — the single entry point the service
+    and CLI share."""
+    runner = {
+        "montecarlo": run_monte_carlo,
+        "kfault": run_k_fault,
+        "diagnosis": run_diagnosis,
+    }[plan.kind]
+    return runner(analysis, plan, **kwargs)

@@ -1,0 +1,105 @@
+"""Resumable campaign checkpoints: an append-only JSONL block log.
+
+A campaign is a deterministic sequence of *blocks*; the checkpoint file
+records each completed block's payload as one JSON line, after a header
+line binding the file to the campaign key (a hash over plan + network
+fingerprint + spec + campaign version — see
+:func:`repro.campaigns.executor.campaign_key`).  Restarting a killed
+campaign replays the recorded payloads and computes only the missing
+blocks, bit-identically: every block's content is a pure function of
+(plan, block index), and JSON round-trips float64 exactly (``json``
+serializes via ``repr`` and parses back to the same double).
+
+Appends are flushed and fsynced per block, so a kill can lose at most
+the line being written; a torn trailing line is detected on load and
+dropped.  A header that does not match the requested key (changed plan,
+different network, new campaign version) invalidates the whole file —
+:meth:`CheckpointStore.begin` then truncates and starts over.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from ..errors import ReproError
+
+
+class CheckpointStore:
+    """One campaign's block log at ``path``."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+
+    # -- loading ---------------------------------------------------------
+    def load(self, key: str) -> Dict[int, Dict]:
+        """Completed block payloads by index; ``{}`` when the file is
+        missing or belongs to a different campaign key."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.read().split("\n")
+        except (FileNotFoundError, IsADirectoryError):
+            return {}
+        blocks: Dict[int, Dict] = {}
+        header_seen = False
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn trailing line from a kill mid-append
+            if not isinstance(record, dict):
+                break
+            if not header_seen:
+                if record.get("campaign") != key:
+                    return {}
+                header_seen = True
+                continue
+            index = record.get("block")
+            payload = record.get("payload")
+            if not isinstance(index, int) or not isinstance(payload, dict):
+                break
+            blocks[index] = payload
+        return blocks
+
+    # -- writing ---------------------------------------------------------
+    def begin(self, key: str, fresh: bool = False) -> Dict[int, Dict]:
+        """Open the log for this key: load what a matching file already
+        holds, or truncate a stale one and write a fresh header.
+        ``fresh`` discards any existing blocks (``--no-resume``)."""
+        existing = {} if fresh else self.load(key)
+        if existing:
+            return existing
+        parent = os.path.dirname(os.path.abspath(self.path))
+        try:
+            os.makedirs(parent, exist_ok=True)
+            with open(self.path, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps({"campaign": key}) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise ReproError(
+                f"cannot write campaign checkpoint {self.path!r}: {exc}"
+            ) from None
+        return {}
+
+    def append(self, index: int, payload: Dict) -> None:
+        """Record one completed block (flush + fsync, crash-safe)."""
+        record = json.dumps({"block": int(index), "payload": payload})
+        try:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(record + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise ReproError(
+                f"cannot append campaign checkpoint {self.path!r}: {exc}"
+            ) from None
+
+
+def store_for(path: Optional[str]) -> Optional[CheckpointStore]:
+    """A store when checkpointing is configured, else ``None``."""
+    return CheckpointStore(path) if path else None

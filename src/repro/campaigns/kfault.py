@@ -1,0 +1,199 @@
+"""Exhaustive k-fault campaigns: every k-combination, lane-blocked.
+
+The single-fault universe (optionally filtered to segments or muxes) is
+enumerated in the deterministic order of ``iter_all_faults``; the
+campaign walks ``itertools.combinations`` — lexicographic over that
+order — in lane blocks, evaluates each combination as one simultaneous
+fault multiset (one kernel lane), and retains the ``top`` worst
+combinations per block.  The final summary merges block tops under the
+structural tie-break (damage desc, then the memberwise fault key), so
+results are deterministic across runs, block sizes and resumes.
+
+Budgets: ``max_combinations`` caps the enumeration up front (the result
+is marked truncated, never silently complete); ``max_seconds`` stops at
+the first block boundary past the deadline via
+:class:`~repro.campaigns.executor.CampaignBudgetExceeded`.
+
+Resume: combinations are never stored — a block's combos are re-derived
+by fast-forwarding the iterator (C-level ``islice``), which costs
+microseconds per million skipped combos and keeps checkpoints small
+(top retentions + block aggregates only).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from itertools import combinations, islice
+from typing import Dict, List, Optional
+
+from ..analysis.faults import (
+    ControlCellBreak,
+    MuxStuck,
+    SegmentBreak,
+    fault_sort_key,
+    fault_to_dict,
+    iter_all_faults,
+)
+from ..errors import ReproError
+from .executor import (
+    CampaignBudgetExceeded,
+    CampaignExecutor,
+    lane_block,
+    spec_token,
+)
+from .plan import KFaultPlan
+
+
+def fault_universe(network, sites: str = "all"):
+    """The enumeration universe, in ``iter_all_faults`` order."""
+    faults = list(iter_all_faults(network))
+    if sites == "segments":
+        faults = [
+            f
+            for f in faults
+            if isinstance(f, (SegmentBreak, ControlCellBreak))
+        ]
+    elif sites == "muxes":
+        faults = [f for f in faults if isinstance(f, MuxStuck)]
+    return faults
+
+
+def _dict_key(payload: Dict):
+    """Structural sort key straight from a fault's JSON form (the
+    checkpointed shape) — same ordering as ``fault_sort_key``."""
+    kind = payload["kind"]
+    if kind == "segment_break":
+        return (0, payload["segment"], -1)
+    if kind == "mux_stuck":
+        return (1, payload["mux"], payload["port"])
+    return (2, payload["cell"], -1)
+
+
+def _combo_key(entry: Dict):
+    return tuple(sorted(_dict_key(f) for f in entry["faults"]))
+
+
+def run_k_fault(
+    analysis,
+    plan: KFaultPlan,
+    max_lane_mb: Optional[float] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = True,
+    progress=None,
+    cancelled=None,
+    lock=None,
+) -> Dict:
+    """Execute an exhaustive k-fault campaign on a
+    ``GraphDamageAnalysis``."""
+    network = analysis.network
+    if network is None:
+        raise ReproError("k-fault campaigns need a network object")
+    universe = fault_universe(network, plan.sites)
+    total = math.comb(len(universe), plan.k)
+    capped = total
+    if plan.max_combinations is not None:
+        capped = min(total, plan.max_combinations)
+    block = lane_block(analysis, plan.block_lanes, max_lane_mb)
+    n_blocks = math.ceil(capped / block) if capped else 0
+
+    executor = CampaignExecutor(
+        "kfault",
+        {
+            "plan": plan.as_dict(),
+            "fingerprint": analysis.ir.fingerprint,
+            "spec": spec_token(analysis),
+            # Payload slicing follows block boundaries: a checkpoint is
+            # only replayable at the block size that wrote it.
+            "block": block,
+        },
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+        progress=progress,
+        cancelled=cancelled,
+        lock=lock,
+    )
+
+    # One shared iterator, fast-forwarded to whatever block actually
+    # computes next (resumed blocks replay from the checkpoint and are
+    # skipped at C speed).
+    walker = {"it": combinations(universe, plan.k), "pos": 0}
+    deadline = (
+        time.monotonic() + plan.max_seconds
+        if plan.max_seconds is not None
+        else None
+    )
+
+    def solve_block(index: int) -> Dict:
+        if deadline is not None and time.monotonic() > deadline:
+            raise CampaignBudgetExceeded(
+                f"time budget of {plan.max_seconds}s exhausted "
+                f"before block {index}"
+            )
+        lo = index * block
+        hi = min(lo + block, capped)
+        skip = lo - walker["pos"]
+        if skip:
+            next(islice(walker["it"], skip - 1, skip), None)
+        combos = list(islice(walker["it"], hi - lo))
+        walker["pos"] = hi
+        damages = analysis.damage_of_fault_sets(combos)
+        executor.note_units("combinations", len(combos))
+        ranked = sorted(
+            range(len(combos)),
+            key=lambda i: (
+                -damages[i],
+                tuple(sorted(map(fault_sort_key, combos[i]))),
+            ),
+        )[: plan.top]
+        return {
+            "count": len(combos),
+            "sum": float(sum(damages)),
+            "max": float(max(damages)) if len(combos) else 0.0,
+            "top": [
+                {
+                    "damage": float(damages[i]),
+                    "faults": [fault_to_dict(f) for f in combos[i]],
+                }
+                for i in ranked
+            ],
+        }
+
+    meta = executor.run(n_blocks, solve_block)
+
+    payloads = [p for p in meta["payloads"] if p is not None]
+    enumerated = sum(p["count"] for p in payloads)
+    merged = [entry for p in payloads for entry in p["top"]]
+    merged.sort(key=lambda entry: (-entry["damage"], _combo_key(entry)))
+    summary: Dict = {
+        "universe": len(universe),
+        "k": plan.k,
+        "combinations_total": total,
+        "combinations_budgeted": capped,
+        "combinations_evaluated": enumerated,
+        "truncated": (
+            capped < total or meta["outcome"] != "completed"
+        ),
+        "mean_damage": (
+            sum(p["sum"] for p in payloads) / enumerated
+            if enumerated
+            else 0.0
+        ),
+        "max_damage": max((p["max"] for p in payloads), default=0.0),
+        "top": merged[: plan.top],
+    }
+
+    return {
+        "kind": "kfault",
+        "plan": plan.as_dict(),
+        "network": network.name,
+        "fingerprint": analysis.ir.fingerprint,
+        "block_lanes": block,
+        "blocks_total": n_blocks,
+        "blocks_completed": meta["completed"],
+        "blocks_resumed": meta["resumed"],
+        "outcome": meta["outcome"],
+        "truncated_reason": meta["truncated_reason"],
+        "elapsed_seconds": meta["elapsed_seconds"],
+        "summary": summary,
+    }

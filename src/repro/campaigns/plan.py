@@ -1,0 +1,213 @@
+"""Campaign plans: the validated, JSON-stable description of one study.
+
+A plan is everything needed to reproduce a campaign bit-for-bit — kind,
+RNG seed, sampling parameters, retention limits.  Its :meth:`as_dict`
+form is simultaneously the service wire format, the CLI's JSON-artifact
+header and the checkpoint key material (:func:`repro.campaigns.executor.
+campaign_key` hashes it), so any parameter change invalidates stale
+checkpoints automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from ..errors import ReproError
+
+#: Monte-Carlo sampler implementations (see :mod:`repro.campaigns.sampler`).
+SAMPLERS = ("scalar", "vectorized")
+
+#: Diagnosis signature sources (see :mod:`repro.campaigns.diagnosis`).
+SOURCES = ("effects", "sequence")
+
+#: Fault-universe filters for k-fault enumeration.
+SITE_FILTERS = ("all", "segments", "muxes")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ReproError(message)
+
+
+@dataclass(frozen=True)
+class MonteCarloPlan:
+    """A rate sweep: ``samples`` independent defect draws per rate."""
+
+    rates: Tuple[float, ...]
+    samples: int = 1000
+    seed: int = 0
+    sampler: str = "vectorized"
+    hardened_units: Tuple[str, ...] = ()
+    bootstrap: int = 200
+    confidence: float = 0.95
+    block_lanes: Optional[int] = None
+
+    kind = "montecarlo"
+
+    def __post_init__(self):
+        object.__setattr__(self, "rates", tuple(float(r) for r in self.rates))
+        object.__setattr__(
+            self, "hardened_units", tuple(str(u) for u in self.hardened_units)
+        )
+        _require(len(self.rates) > 0, "montecarlo plan needs >= 1 rate")
+        for rate in self.rates:
+            _require(
+                0.0 <= rate <= 1.0, "defect_rate must be within [0, 1]"
+            )
+        _require(self.samples >= 1, "samples must be >= 1")
+        _require(
+            self.sampler in SAMPLERS,
+            f"unknown sampler {self.sampler!r}; expected one of {SAMPLERS}",
+        )
+        _require(self.bootstrap >= 0, "bootstrap must be >= 0")
+        _require(
+            0.0 < self.confidence < 1.0, "confidence must be within (0, 1)"
+        )
+        _require(
+            self.block_lanes is None or self.block_lanes >= 1,
+            "block_lanes must be >= 1",
+        )
+
+    def as_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "rates": list(self.rates),
+            "samples": self.samples,
+            "seed": self.seed,
+            "sampler": self.sampler,
+            "hardened_units": list(self.hardened_units),
+            "bootstrap": self.bootstrap,
+            "confidence": self.confidence,
+            "block_lanes": self.block_lanes,
+        }
+
+
+@dataclass(frozen=True)
+class KFaultPlan:
+    """Exhaustive k-fault analysis: every ``k``-combination of the
+    single-fault universe, in lexicographic enumeration order."""
+
+    k: int = 2
+    top: int = 20
+    sites: str = "all"
+    max_combinations: Optional[int] = None
+    max_seconds: Optional[float] = None
+    block_lanes: Optional[int] = None
+
+    kind = "kfault"
+
+    def __post_init__(self):
+        _require(self.k >= 1, "k must be >= 1")
+        _require(self.top >= 1, "top must be >= 1")
+        _require(
+            self.sites in SITE_FILTERS,
+            f"unknown sites filter {self.sites!r}; "
+            f"expected one of {SITE_FILTERS}",
+        )
+        _require(
+            self.max_combinations is None or self.max_combinations >= 1,
+            "max_combinations must be >= 1",
+        )
+        _require(
+            self.max_seconds is None or self.max_seconds > 0,
+            "max_seconds must be > 0",
+        )
+        _require(
+            self.block_lanes is None or self.block_lanes >= 1,
+            "block_lanes must be >= 1",
+        )
+
+    def as_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "k": self.k,
+            "top": self.top,
+            "sites": self.sites,
+            "max_combinations": self.max_combinations,
+            # Deliberately part of the checkpoint key: resuming under a
+            # different time budget is a different (truncated) campaign.
+            "max_seconds": self.max_seconds,
+            "block_lanes": self.block_lanes,
+        }
+
+
+@dataclass(frozen=True)
+class DiagnosisPlan:
+    """Batched diagnosis: rank candidates for synthetic observations."""
+
+    observations: int = 100
+    seed: int = 0
+    top: int = 5
+    source: str = "effects"
+    noise: float = 0.0
+    block_lanes: Optional[int] = None
+    examples: int = field(default=3)
+
+    kind = "diagnosis"
+
+    def __post_init__(self):
+        _require(self.observations >= 1, "observations must be >= 1")
+        _require(self.top >= 1, "top must be >= 1")
+        _require(
+            self.source in SOURCES,
+            f"unknown source {self.source!r}; expected one of {SOURCES}",
+        )
+        _require(0.0 <= self.noise < 1.0, "noise must be within [0, 1)")
+        _require(
+            self.block_lanes is None or self.block_lanes >= 1,
+            "block_lanes must be >= 1",
+        )
+        _require(self.examples >= 0, "examples must be >= 0")
+
+    def as_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "observations": self.observations,
+            "seed": self.seed,
+            "top": self.top,
+            "source": self.source,
+            "noise": self.noise,
+            "block_lanes": self.block_lanes,
+            "examples": self.examples,
+        }
+
+
+CampaignPlan = Union[MonteCarloPlan, KFaultPlan, DiagnosisPlan]
+
+_PLAN_KINDS = {
+    "montecarlo": MonteCarloPlan,
+    "kfault": KFaultPlan,
+    "diagnosis": DiagnosisPlan,
+}
+
+
+def plan_from_dict(payload: Dict):
+    """Parse a plan from its wire form (inverse of ``as_dict``)."""
+    if not isinstance(payload, dict):
+        raise ReproError(
+            f"campaign plan must be an object, got {type(payload).__name__}"
+        )
+    kind = payload.get("kind")
+    cls = _PLAN_KINDS.get(kind)
+    if cls is None:
+        raise ReproError(
+            f"unknown campaign kind {kind!r}; "
+            f"expected one of {tuple(_PLAN_KINDS)}"
+        )
+    fields = {k: v for k, v in payload.items() if k != "kind"}
+    known = set(cls.__dataclass_fields__)
+    unknown = set(fields) - known
+    if unknown:
+        raise ReproError(
+            f"unknown {kind} plan fields {sorted(unknown)}; "
+            f"expected a subset of {sorted(known)}"
+        )
+    try:
+        if "rates" in fields:
+            fields["rates"] = tuple(fields["rates"])
+        if "hardened_units" in fields:
+            fields["hardened_units"] = tuple(fields["hardened_units"])
+        return cls(**fields)
+    except TypeError as exc:
+        raise ReproError(f"invalid {kind} plan: {exc}") from None

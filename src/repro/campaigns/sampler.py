@@ -1,0 +1,128 @@
+"""Monte-Carlo defect-sample generation for rate-sweep campaigns.
+
+Two interchangeable samplers produce the fault multisets a rate block
+evaluates:
+
+* ``scalar`` — the original per-site ``random.Random`` loop of
+  ``expected_damage_under_rate``, preserved verbatim as the parity
+  reference: for a given ``(seed, rate)`` it reproduces the exact
+  pre-campaign RNG stream, so routing the function through the campaign
+  executor is seed-for-seed equivalent (tested).  Its stream is
+  sequential — sample ``i`` depends on every draw before it — so the
+  whole rate is materialized up front and blocks slice into it.
+* ``vectorized`` — numpy ``default_rng`` streams keyed per
+  ``(seed, rate index, block index)``: each lane block draws an
+  independent substream, which is what makes checkpoint/resume
+  bit-identical (a resumed block re-derives exactly the draws it would
+  have made) and keeps sampling O(block) regardless of where in the
+  campaign it runs.  Backend-independent by construction: the stream
+  never touches kernel state.
+
+Both samplers share the site model: every un-hardened SEGMENT/MUX
+primitive fails independently with probability ``rate``; a failing site
+draws uniformly among its concrete faults
+(:func:`repro.analysis.faults.faults_of_primitive`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.faults import Fault, faults_of_primitive
+from ..rsn.network import RsnNetwork
+from ..rsn.primitives import NodeKind
+
+
+def campaign_sites(
+    network: RsnNetwork, hardened_units: Sequence[str] = ()
+) -> List[str]:
+    """Defect sites: every SEGMENT/MUX primitive not covered by a
+    hardened unit (unit names expand to their members; bare primitive
+    names cover themselves) — the site model of
+    ``expected_damage_under_rate``, in network node order."""
+    unit_names = set(network.unit_names())
+    covered = set()
+    for name in hardened_units:
+        if name in unit_names:
+            covered.update(network.unit(name).members)
+        else:
+            covered.add(name)
+    return [
+        node.name
+        for node in network.nodes()
+        if node.kind in (NodeKind.SEGMENT, NodeKind.MUX)
+        and node.name not in covered
+    ]
+
+
+def site_candidates(
+    network: RsnNetwork, sites: Sequence[str]
+) -> List[Tuple[Fault, ...]]:
+    """Concrete fault choices per site, precomputed once per campaign."""
+    return [faults_of_primitive(network, site) for site in sites]
+
+
+def scalar_samples(
+    network: RsnNetwork,
+    sites: Sequence[str],
+    rate: float,
+    samples: int,
+    seed: int,
+) -> List[List[Fault]]:
+    """The original sequential sampler — byte-for-byte the RNG stream of
+    the pre-campaign ``expected_damage_under_rate`` loop.  Returns one
+    (possibly empty) fault list per sample."""
+    rng = random.Random(seed)
+    fault_sets: List[List[Fault]] = []
+    for _ in range(samples):
+        faults: List[Fault] = []
+        for site in sites:
+            if rng.random() < rate:
+                candidates = faults_of_primitive(network, site)
+                if candidates:
+                    faults.append(rng.choice(candidates))
+        fault_sets.append(faults)
+    return fault_sets
+
+
+def block_rng(seed: int, rate_index: int, block_index: int) -> np.random.Generator:
+    """The vectorized sampler's substream for one (rate, block) cell."""
+    return np.random.default_rng(
+        (int(seed), int(rate_index), int(block_index))
+    )
+
+
+def vectorized_samples(
+    candidates: Sequence[Tuple[Fault, ...]],
+    rate: float,
+    count: int,
+    rng: np.random.Generator,
+) -> List[List[Fault]]:
+    """Draw ``count`` samples from one block substream.
+
+    Two uniform matrices decide everything: ``hit < rate`` marks failing
+    sites, and an independent uniform picks the fault among the site's
+    candidates (``floor(u * n_candidates)``).  Both are drawn for every
+    (sample, site) cell regardless of the hit mask, so the stream — and
+    therefore every checkpointed block — is a pure function of the
+    substream key, not of previous blocks.
+    """
+    n_sites = len(candidates)
+    if n_sites == 0 or count == 0:
+        return [[] for _ in range(count)]
+    hits = rng.random((count, n_sites)) < rate
+    choice_u = rng.random((count, n_sites))
+    n_cands = np.array([len(c) for c in candidates], dtype=np.int64)
+    hits &= n_cands > 0  # sites with no modeled faults never contribute
+    fault_sets: List[List[Fault]] = [[] for _ in range(count)]
+    rows, cols = np.nonzero(hits)
+    if len(rows):
+        picks = (choice_u[rows, cols] * n_cands[cols]).astype(np.int64)
+        # Guard the (probability-zero in practice) u == 1.0 edge.
+        np.minimum(picks, n_cands[cols] - 1, out=picks)
+        for row, col, pick in zip(rows, cols, picks):
+            fault_sets[row].append(candidates[col][pick])
+    return fault_sets

@@ -1,0 +1,217 @@
+"""Bit-packed fault-signature matrices and batched Jaccard ranking.
+
+A *signature* is the set of discrete positions a fault disturbs — test
+mismatches ``(pattern index, segment)`` for a sequence-derived
+:class:`repro.dft.diagnose.FaultDictionary`, or lost primitives
+``("unobs"/"unset", name)`` for kernel-derived effect signatures.  The
+matrix interns the position universe to bit columns, packs every fault's
+signature into ``uint64`` words (64 positions per word, the kernel's
+little-bit-order lane layout), and ranks whole batches of observed
+signatures at once:
+
+* intersections are one integer matmul — ``obs_bits @ fault_bits.T``
+  over the unpacked 0/1 bytes (popcount-by-dot-product; exact in
+  float64 for any realistic signature width);
+* unions follow from per-row popcounts (``|A ∪ B| = |A| + |B| - |A ∩
+  B|``), with observed positions *outside* the dictionary universe
+  counted into the union (they can never intersect), matching the
+  scalar set arithmetic exactly;
+* the per-observation ranking is a stable argsort over negated scores
+  with the faults pre-sorted by their structural key — i.e. exactly
+  ``sort by (-score, fault_sort_key)``, the deterministic tie-break of
+  ``FaultDictionary.diagnose``.
+
+Scores are ``|A ∩ B| / |A ∪ B|`` computed as float64 divisions of exact
+integer counts, so batched scores are bit-identical to the per-fault
+Python loop (:func:`jaccard_rank_scalar`, kept as the parity
+reference).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.faults import Fault, fault_sort_key
+from ..errors import ReproError
+
+#: Columns per packed word (mirrors the kernel's lane width).
+WORD_BITS = 64
+
+
+def _pack_rows(bits: np.ndarray) -> np.ndarray:
+    """Pack ``(rows, positions)`` 0/1 bytes into ``(rows, words)``
+    uint64, little bit order (position ``j`` -> word ``j >> 6``, bit
+    ``j & 63``)."""
+    rows = len(bits)
+    packed = np.packbits(bits, axis=1, bitorder="little")
+    words = -(-bits.shape[1] // WORD_BITS) if bits.shape[1] else 0
+    full = np.zeros((rows, words * 8), dtype=np.uint8)
+    full[:, : packed.shape[1]] = packed
+    return full.view(np.uint64)
+
+
+class SignatureMatrix:
+    """Packed signatures of one fault list, ready for batched ranking."""
+
+    def __init__(
+        self,
+        faults: Sequence[Fault],
+        bits: np.ndarray,
+        labels: Sequence = (),
+    ):
+        if len(faults) != len(bits):
+            raise ReproError(
+                f"{len(faults)} faults but {len(bits)} signature rows"
+            )
+        # Row order IS the tie-break order: pre-sorting by the
+        # structural key turns every stable argsort over scores into a
+        # (-score, fault_sort_key) ordering.
+        order = sorted(range(len(faults)), key=lambda i: fault_sort_key(faults[i]))
+        self.faults: List[Fault] = [faults[i] for i in order]
+        bits = np.ascontiguousarray(
+            np.asarray(bits, dtype=np.uint8)[order]
+        )
+        self.n_positions = int(bits.shape[1])
+        self.words = _pack_rows(bits)
+        self.sizes = bits.sum(axis=1, dtype=np.int64)
+        self.labels = tuple(labels)
+        self._index: Dict[object, int] = {
+            label: column for column, label in enumerate(self.labels)
+        }
+        self._bits = bits  # kept unpacked for the score matmuls
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_sets(
+        cls, syndromes: Mapping[Fault, Iterable]
+    ) -> "SignatureMatrix":
+        """Build from set-form signatures (e.g. ``FaultDictionary``
+        syndromes).  The position universe is the sorted union of all
+        signature members."""
+        faults = list(syndromes)
+        labels = sorted({pos for sig in syndromes.values() for pos in sig})
+        index = {label: column for column, label in enumerate(labels)}
+        bits = np.zeros((len(faults), len(labels)), dtype=np.uint8)
+        for row, fault in enumerate(faults):
+            for pos in syndromes[fault]:
+                bits[row, index[pos]] = 1
+        return cls(faults, bits, labels)
+
+    # -- observation packing ---------------------------------------------
+    def pack_observations(
+        self, observations: Sequence[Iterable]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(bits, sizes, unknown)`` for a batch of set-form observed
+        signatures: 0/1 rows over the dictionary universe, the observed
+        set size, and how many observed positions fall outside the
+        universe (union-only contributors)."""
+        bits = np.zeros(
+            (len(observations), self.n_positions), dtype=np.uint8
+        )
+        sizes = np.zeros(len(observations), dtype=np.int64)
+        unknown = np.zeros(len(observations), dtype=np.int64)
+        for row, observed in enumerate(observations):
+            positions = set(observed)
+            sizes[row] = len(positions)
+            for pos in positions:
+                column = self._index.get(pos)
+                if column is None:
+                    unknown[row] += 1
+                else:
+                    bits[row, column] = 1
+        return bits, sizes, unknown
+
+    # -- scoring ---------------------------------------------------------
+    def scores_from_bits(
+        self, obs_bits: np.ndarray, obs_sizes: np.ndarray
+    ) -> np.ndarray:
+        """Jaccard scores ``(n_observations, n_faults)`` for observation
+        rows already in bit form over this matrix's universe."""
+        inter = obs_bits.astype(np.float64) @ self._bits.T.astype(
+            np.float64
+        )
+        union = (
+            obs_sizes.astype(np.float64)[:, None]
+            + self.sizes.astype(np.float64)[None, :]
+            - inter
+        )
+        safe = np.where(union > 0.0, union, 1.0)
+        # Empty-vs-empty (union 0) scores 1.0, like the scalar loop.
+        return np.where(union > 0.0, inter / safe, 1.0)
+
+    def rank_scores(
+        self, scores: np.ndarray, top: int
+    ) -> List[List[Tuple[Fault, float]]]:
+        """Per-observation ``(fault, score)`` rankings from a score
+        matrix — stable argsort, so ties break on the structural key."""
+        ranked: List[List[Tuple[Fault, float]]] = []
+        for row in scores:
+            order = np.argsort(-row, kind="stable")[:top]
+            ranked.append(
+                [(self.faults[i], float(row[i])) for i in order]
+            )
+        return ranked
+
+    def rank(
+        self, observations: Sequence[Iterable], top: int = 5
+    ) -> List[List[Tuple[Fault, float]]]:
+        """Rank candidates for a batch of set-form observations — the
+        batched replacement for the per-fault ``diagnose`` loop."""
+        bits, sizes, _ = self.pack_observations(observations)
+        return self.rank_scores(self.scores_from_bits(bits, sizes), top)
+
+    # -- structure -------------------------------------------------------
+    def ambiguity_groups(self) -> List[List[Fault]]:
+        """Faults with identical non-empty signatures (indistinguishable
+        candidates), largest group first, deterministic order."""
+        by_row: Dict[bytes, List[int]] = {}
+        for row in range(len(self.faults)):
+            if self.sizes[row]:
+                by_row.setdefault(
+                    self.words[row].tobytes(), []
+                ).append(row)
+        groups = [
+            [self.faults[i] for i in rows]
+            for rows in by_row.values()
+            if len(rows) > 1
+        ]
+        groups.sort(
+            key=lambda group: (-len(group), fault_sort_key(group[0]))
+        )
+        return groups
+
+    def resolution(self) -> float:
+        """Fraction of detected (non-empty-signature) faults uniquely
+        identified — mirrors ``FaultDictionary.resolution``."""
+        detected = int((self.sizes > 0).sum())
+        if not detected:
+            return 1.0
+        ambiguous = sum(len(group) for group in self.ambiguity_groups())
+        return (detected - ambiguous) / detected
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+
+def jaccard_rank_scalar(
+    syndromes: Mapping[Fault, frozenset],
+    observed: Iterable,
+    top: int = 5,
+) -> List[Tuple[Fault, float]]:
+    """The per-fault Python reference loop: one Jaccard score per
+    dictionary entry, sorted by (-score, structural key).  Kept as the
+    parity baseline the batched matmul path is tested (and benchmarked)
+    against."""
+    observation = frozenset(observed)
+    scored: List[Tuple[Fault, float]] = []
+    for fault, syndrome in syndromes.items():
+        union = observation | syndrome
+        if not union:
+            score = 1.0
+        else:
+            score = len(observation & syndrome) / len(union)
+        scored.append((fault, score))
+    scored.sort(key=lambda item: (-item[1], fault_sort_key(item[0])))
+    return scored[:top]

@@ -9,6 +9,9 @@ Subcommands
 * ``example`` — walk through the paper's Fig. 1-4 example;
 * ``serve``   — run the batching analysis service (HTTP JSON API);
 * ``submit``  — upload a network to a running service and run a job;
+* ``campaign`` — batched fault studies (``montecarlo`` rate sweeps,
+  exhaustive ``kfault`` enumeration, batched ``diagnose``), locally or
+  routed through a running service with ``--url``;
 * ``bench-diff`` — re-measure benchmark baselines and fail on
   hot-path regressions.
 """
@@ -583,6 +586,196 @@ def _cmd_submit(args) -> int:
     return 0
 
 
+def _rate_list(text: str) -> tuple:
+    try:
+        rates = tuple(float(part) for part in text.split(",") if part)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a comma-separated list of rates, got {text!r}"
+        ) from None
+    if not rates:
+        raise argparse.ArgumentTypeError("need at least one rate")
+    return rates
+
+
+def _campaign_plan(args):
+    """Build the campaign plan from the parsed subcommand flags."""
+    from .campaigns import DiagnosisPlan, KFaultPlan, MonteCarloPlan
+
+    if args.campaign_kind == "montecarlo":
+        return MonteCarloPlan(
+            rates=args.rates,
+            samples=args.samples,
+            seed=args.seed,
+            sampler=args.sampler,
+            hardened_units=tuple(
+                part for part in (args.hardened or "").split(",") if part
+            ),
+            bootstrap=args.bootstrap,
+            confidence=args.confidence,
+            block_lanes=args.block_lanes,
+        )
+    if args.campaign_kind == "kfault":
+        return KFaultPlan(
+            k=args.k,
+            top=args.top,
+            sites=args.sites,
+            max_combinations=args.max_combinations,
+            max_seconds=args.max_seconds,
+            block_lanes=args.block_lanes,
+        )
+    return DiagnosisPlan(
+        observations=args.observations,
+        seed=args.seed,
+        top=args.top,
+        source=args.source,
+        noise=args.noise,
+        block_lanes=args.block_lanes,
+    )
+
+
+def _print_campaign_result(result) -> None:
+    kind = result["kind"]
+    print(f"campaign         : {kind}")
+    print(f"network          : {result['network']}")
+    print(
+        f"blocks           : {result['blocks_completed']}"
+        f"/{result['blocks_total']} "
+        f"({result['blocks_resumed']} resumed), "
+        f"{result['outcome']} in {result['elapsed_seconds']:.3f}s"
+    )
+    if result.get("truncated_reason"):
+        print(f"truncated        : {result['truncated_reason']}")
+    if kind == "montecarlo":
+        print(
+            f"{'rate':>10s} {'mean':>14s} {'ci95':>26s} "
+            f"{'max':>12s} {'nonzero':>8s}"
+        )
+        for record in result["records"]:
+            if not record["complete"]:
+                print(f"{record['rate']:>10.5f}    (incomplete)")
+                continue
+            ci = (
+                f"[{record['ci_low']:>11,.1f}, {record['ci_high']:>11,.1f}]"
+                if "ci_low" in record
+                else f"{'-':>26s}"
+            )
+            print(
+                f"{record['rate']:>10.5f} {record['mean_damage']:>14,.2f} "
+                f"{ci} {record['max_damage']:>12,.1f} "
+                f"{record['nonzero_fraction']:>8.1%}"
+            )
+    elif kind == "kfault":
+        summary = result["summary"]
+        print(
+            f"universe         : {summary['universe']} faults, "
+            f"k={summary['k']}"
+        )
+        print(
+            f"combinations     : {summary['combinations_evaluated']:,}"
+            f"/{summary['combinations_total']:,} evaluated"
+            + (" (truncated)" if summary["truncated"] else "")
+        )
+        print(
+            f"damage           : mean {summary['mean_damage']:,.2f}, "
+            f"max {summary['max_damage']:,.1f}"
+        )
+        print("worst combinations:")
+        for entry in summary["top"][:10]:
+            faults = ", ".join(
+                "{}({})".format(
+                    f["kind"],
+                    ",".join(
+                        str(f[key])
+                        for key in ("segment", "mux", "port", "cell")
+                        if key in f
+                    ),
+                )
+                for f in entry["faults"]
+            )
+            print(f"  {entry['damage']:>12,.1f}  {faults}")
+    else:
+        summary = result["summary"]
+        print(
+            f"universe         : {summary['universe']} faults over "
+            f"{summary['positions']} signature positions"
+        )
+        print(
+            f"observations     : {summary['observations_evaluated']:,} "
+            f"({result['block_observations']} per block)"
+        )
+        print(f"rank-1 accuracy  : {summary['rank1_accuracy']:.1%}")
+        print(f"top-k accuracy   : {summary['topk_accuracy']:.1%}")
+        print(
+            f"mean recip. rank : {summary['mean_reciprocal_rank']:.3f}"
+        )
+        print(
+            f"ambiguity        : {summary['ambiguity_groups']} groups, "
+            f"largest {summary['largest_ambiguity_group']}, "
+            f"resolution {summary['resolution']:.1%}"
+        )
+
+
+def _cmd_campaign(args) -> int:
+    plan = _campaign_plan(args)
+    if args.url:
+        from .service import ServiceClient
+
+        client = ServiceClient(args.url, timeout=args.timeout)
+        if args.network in DESIGNS:
+            entry = client.upload_network(design=args.network)
+        else:
+            with open(args.network, encoding="utf-8") as handle:
+                entry = client.upload_network(icl=handle.read())
+        print(f"fingerprint      : {entry['fingerprint'][:16]}…")
+        params = dict(
+            seed=args.seed,
+            policy=args.policy,
+            backend=args.backend,
+            chunk_lanes=args.chunk_lanes,
+            resume=not args.no_resume,
+        )
+        if args.max_lane_mb is not None:
+            params["max_lane_mb"] = args.max_lane_mb
+        record = client.campaign(
+            entry["fingerprint"],
+            plan,
+            timeout=args.timeout,
+            **params,
+        )
+        result = record["result"]
+        print(
+            f"job              : {record['id']} "
+            f"({record['runtime_seconds']:.3f}s server-side)"
+        )
+    else:
+        from .analysis import GraphDamageAnalysis
+        from .campaigns import run_campaign
+
+        network = _load_network(args.network)
+        spec = spec_for_network(network, seed=args.seed)
+        analysis = GraphDamageAnalysis(
+            network,
+            spec,
+            policy=args.policy,
+            backend=args.backend,
+            chunk_lanes=args.chunk_lanes,
+        )
+        result = run_campaign(
+            analysis,
+            plan,
+            max_lane_mb=args.max_lane_mb,
+            checkpoint_path=args.checkpoint,
+            resume=not args.no_resume,
+        )
+    _print_campaign_result(result)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_example(args) -> int:
     from .bench.generators import fig1_example
     from .analysis import mux_stuck_effect
@@ -799,6 +992,201 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--verbose", action="store_true", help="log every HTTP request"
     )
 
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="batched fault studies: Monte-Carlo rate sweeps, "
+        "exhaustive k-fault enumeration, batched diagnosis",
+    )
+    campaign_kinds = campaign.add_subparsers(
+        dest="campaign_kind", required=True
+    )
+
+    def _add_campaign_common(sub) -> None:
+        sub.add_argument(
+            "network", help="a design name or a path to a network file"
+        )
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--policy", choices=["max", "sum", "mean"], default="max"
+        )
+        sub.add_argument(
+            "--backend",
+            choices=["ir", "dict", "bitset"],
+            default="bitset",
+            help="analysis backend (default bitset: one kernel lane "
+            "per fault set)",
+        )
+        sub.add_argument(
+            "--chunk-lanes",
+            type=_positive_int,
+            default=64,
+            metavar="W",
+            help="bitset backend: uint64 words of fault lanes per "
+            "kernel chunk (default 64 = 4096 lanes)",
+        )
+        sub.add_argument(
+            "--max-lane-mb",
+            type=_lane_budget_mb,
+            default=64.0,
+            metavar="MB",
+            help="memory budget of one campaign block (default 64; "
+            "0 = one kernel chunk per block)",
+        )
+        sub.add_argument(
+            "--block-lanes",
+            type=_positive_int,
+            default=None,
+            metavar="N",
+            help="pin the exact block size (overrides --max-lane-mb)",
+        )
+        sub.add_argument(
+            "--checkpoint",
+            default=None,
+            metavar="PATH",
+            help="block-log path: a killed campaign rerun with the "
+            "same plan resumes from its last completed block "
+            "(service jobs checkpoint automatically)",
+        )
+        sub.add_argument(
+            "--no-resume",
+            action="store_true",
+            help="ignore and overwrite an existing checkpoint",
+        )
+        sub.add_argument(
+            "--output",
+            default=None,
+            metavar="PATH",
+            help="also dump the full result JSON to PATH",
+        )
+        sub.add_argument(
+            "--url",
+            default=None,
+            metavar="URL",
+            help="run as a campaign job on a running service instead "
+            "of in-process (progress appears in the job status)",
+        )
+        sub.add_argument(
+            "--timeout",
+            type=_positive_float,
+            default=600.0,
+            metavar="S",
+            help="client-side wait budget for --url (default 600)",
+        )
+
+    montecarlo = campaign_kinds.add_parser(
+        "montecarlo",
+        help="expected damage vs defect rate (sampled fault sets)",
+    )
+    montecarlo.add_argument(
+        "--rates",
+        type=_rate_list,
+        default=(0.0001, 0.0005, 0.001, 0.005, 0.01),
+        help="comma-separated defect rates "
+        "(default 0.0001,0.0005,0.001,0.005,0.01)",
+    )
+    montecarlo.add_argument(
+        "--samples",
+        type=_positive_int,
+        default=1000,
+        help="fault-set draws per rate (default 1000)",
+    )
+    montecarlo.add_argument(
+        "--sampler",
+        choices=["vectorized", "scalar"],
+        default="vectorized",
+        help="vectorized numpy sampling (default) or the scalar "
+        "random.Random reference stream",
+    )
+    montecarlo.add_argument(
+        "--hardened",
+        default=None,
+        metavar="UNITS",
+        help="comma-separated hardened unit names (excluded as "
+        "fault sites)",
+    )
+    montecarlo.add_argument(
+        "--bootstrap",
+        type=_nonnegative_int,
+        default=200,
+        help="bootstrap resamples for the CI on the mean "
+        "(default 200; 0 disables)",
+    )
+    montecarlo.add_argument(
+        "--confidence",
+        type=_positive_float,
+        default=0.95,
+        help="CI confidence level (default 0.95)",
+    )
+    _add_campaign_common(montecarlo)
+
+    kfault = campaign_kinds.add_parser(
+        "kfault",
+        help="exhaustive k-fault enumeration with budgets",
+    )
+    kfault.add_argument(
+        "-k", type=_positive_int, default=2, help="faults per set "
+        "(default 2)"
+    )
+    kfault.add_argument(
+        "--top",
+        type=_positive_int,
+        default=20,
+        help="worst combinations to keep (default 20)",
+    )
+    kfault.add_argument(
+        "--sites",
+        choices=["all", "segments", "muxes"],
+        default="all",
+        help="which fault sites enter the universe",
+    )
+    kfault.add_argument(
+        "--max-combinations",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="cardinality budget (stop after N combinations)",
+    )
+    kfault.add_argument(
+        "--max-seconds",
+        type=_positive_float,
+        default=None,
+        metavar="S",
+        help="time budget (stop at the first block past S seconds)",
+    )
+    _add_campaign_common(kfault)
+
+    diagnose = campaign_kinds.add_parser(
+        "diagnose",
+        help="batched diagnosis accuracy over synthesized observations",
+    )
+    diagnose.add_argument(
+        "--observations",
+        type=_positive_int,
+        default=100,
+        help="observed signatures to rank (default 100)",
+    )
+    diagnose.add_argument(
+        "--source",
+        choices=["effects", "sequence"],
+        default="effects",
+        help="signature source: kernel effect signatures (default, "
+        "scales to large designs) or exact test-sequence syndromes",
+    )
+    diagnose.add_argument(
+        "--noise",
+        type=float,
+        default=0.0,
+        help="probability of dropping each observed position "
+        "(partial observation; default 0)",
+    )
+    diagnose.add_argument(
+        "--top",
+        type=_positive_int,
+        default=5,
+        help="candidates per ranking (default 5)",
+    )
+    _add_campaign_common(diagnose)
+
     bench_diff = subparsers.add_parser(
         "bench-diff",
         help="re-measure benchmark baselines; exit 1 on hot-path "
@@ -906,6 +1294,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "dot": _cmd_dot,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
+        "campaign": _cmd_campaign,
         "bench-diff": _cmd_bench_diff,
     }
     return handlers[args.command](args)

@@ -10,9 +10,10 @@ which :func:`ambiguity_groups` reports directly.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..analysis.faults import Fault, iter_all_faults
+from ..campaigns.signatures import SignatureMatrix, jaccard_rank_scalar
 from .patterns import Mismatch, PatternSequence
 from .simulate import Syndrome, fault_syndrome
 
@@ -27,6 +28,7 @@ class FaultDictionary:
         syndromes: Optional[Dict[Fault, Syndrome]] = None,
     ):
         self.sequence = sequence
+        self._matrix: Optional[SignatureMatrix] = None
         if syndromes is not None:
             self.syndromes = dict(syndromes)
             return
@@ -43,6 +45,13 @@ class FaultDictionary:
         return cls(sequence, syndromes=report.syndromes)
 
     # ------------------------------------------------------------------
+    def signature_matrix(self) -> SignatureMatrix:
+        """The syndromes bit-packed for batched ranking; built once
+        (``syndromes`` is fixed at construction)."""
+        if self._matrix is None:
+            self._matrix = SignatureMatrix.from_sets(self.syndromes)
+        return self._matrix
+
     def diagnose(
         self, observed: Iterable[Mismatch], top: int = 5
     ) -> List[Tuple[Fault, float]]:
@@ -50,19 +59,31 @@ class FaultDictionary:
 
         Scores are Jaccard similarities between the observed mismatch set
         and each dictionary syndrome (1.0 = exact match); an empty
-        observation matches only faults with empty syndromes.
+        observation matches only faults with empty syndromes.  Runs on
+        the packed signature matrix; ties break on the structural fault
+        key, so rankings are deterministic across runs and processes
+        (bit-identical to :meth:`diagnose_scalar`, the per-fault
+        reference loop).
         """
-        observation: FrozenSet[Mismatch] = frozenset(observed)
-        scored: List[Tuple[Fault, float]] = []
-        for fault, syndrome in self.syndromes.items():
-            union = observation | syndrome
-            if not union:
-                score = 1.0
-            else:
-                score = len(observation & syndrome) / len(union)
-            scored.append((fault, score))
-        scored.sort(key=lambda item: (-item[1], repr(item[0])))
-        return scored[:top]
+        return self.signature_matrix().rank([frozenset(observed)], top)[0]
+
+    def diagnose_batch(
+        self, observations: Iterable[Iterable[Mismatch]], top: int = 5
+    ) -> List[List[Tuple[Fault, float]]]:
+        """Rank candidates for many observed syndromes in one pass —
+        intersections become a single matmul over the packed matrix
+        instead of a per-fault Python loop per observation."""
+        return self.signature_matrix().rank(
+            [frozenset(observed) for observed in observations], top
+        )
+
+    def diagnose_scalar(
+        self, observed: Iterable[Mismatch], top: int = 5
+    ) -> List[Tuple[Fault, float]]:
+        """The per-fault reference loop (same scores and ordering as
+        :meth:`diagnose`; kept as the parity baseline the batched path
+        is tested and benchmarked against)."""
+        return jaccard_rank_scalar(self.syndromes, observed, top)
 
     def ambiguity_groups(self) -> List[List[Fault]]:
         """Faults the sequence cannot tell apart (same non-empty

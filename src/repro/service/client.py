@@ -236,6 +236,29 @@ class ServiceClient:
         job = self.submit(kind="analyze", fingerprint=fingerprint, **params)
         return self.wait(job["id"], timeout=timeout)
 
+    def campaign(
+        self,
+        fingerprint: str,
+        plan,
+        timeout: float = 600.0,
+        wait: bool = True,
+        **params,
+    ) -> Dict:
+        """Submit a campaign job (``plan`` is a campaign plan object or
+        its dict form); waits for the terminal record unless
+        ``wait=False``, in which case the freshly queued job record is
+        returned for polling (its status JSON carries ``progress``)."""
+        plan_dict = plan.as_dict() if hasattr(plan, "as_dict") else plan
+        job = self.submit(
+            kind="campaign",
+            fingerprint=fingerprint,
+            campaign=plan_dict,
+            **params,
+        )
+        if not wait:
+            return job
+        return self.wait(job["id"], timeout=timeout)
+
     # -- coalesced fault queries ----------------------------------------
     def damage(
         self,

@@ -84,6 +84,10 @@ class Job:
         self.result: Optional[object] = None
         self.error: Optional[str] = None
         self.attempts = 0
+        #: Completed fraction in [0, 1] reported by the running handler
+        #: (campaign jobs wire their block executor here); ``None`` for
+        #: handlers that never report.
+        self.progress: Optional[float] = None
         # Captured at submit time (the HTTP request thread): worker and
         # attempt threads re-attach it so job spans join the submitter's
         # trace.
@@ -99,6 +103,12 @@ class Job:
     def cancelled(self) -> bool:
         """For job handlers: has cancellation been requested?"""
         return self._cancel.is_set()
+
+    # -- cooperative progress --------------------------------------------
+    def set_progress(self, fraction: float) -> None:
+        """For job handlers: report the completed fraction (clamped to
+        [0, 1]); surfaced in the job's status JSON."""
+        self.progress = min(1.0, max(0.0, float(fraction)))
 
     # -- completion ------------------------------------------------------
     def wait(self, timeout: Optional[float] = None) -> bool:
@@ -124,6 +134,7 @@ class Job:
             "params": self.params,
             "status": self.status,
             "attempts": self.attempts,
+            "progress": self.progress,
             "error": self.error,
             "result": self.result if self.done else None,
             "created_at": self.created_at,

@@ -18,7 +18,13 @@ lock discipline:
   clients only ever send the seed over the wire);
 * one :class:`repro.analysis.BatchFaultAnalysis` kernel per
   ``(seed, policy)`` — the coalescer's lane solver
-  (:mod:`repro.service.batching`).
+  (:mod:`repro.service.batching`);
+* one :class:`repro.analysis.GraphDamageAnalysis` (plus a serialization
+  lock) per ``(seed, policy, backend, chunk_lanes)`` — the campaign
+  jobs' analysis.  The embedded kernel is not thread-safe, so campaign
+  runners hold the paired lock around every block solve; two campaign
+  jobs on the same network interleave at block granularity instead of
+  corrupting a shared sweep.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..analysis.batch import BatchFaultAnalysis
+from ..analysis.graph_analysis import GraphDamageAnalysis
 from ..bench import DESIGNS, build_design
 from ..errors import ReproError
 from ..ir import CompiledNetwork, intern
@@ -77,6 +84,10 @@ class NetworkRegistry:
         self._entries: Dict[str, RegisteredNetwork] = {}
         self._specs: Dict[Tuple[str, int], CriticalitySpec] = {}
         self._batches: Dict[Tuple[str, int, str], BatchFaultAnalysis] = {}
+        self._campaigns: Dict[
+            Tuple[str, int, str, str, int],
+            Tuple[GraphDamageAnalysis, threading.Lock],
+        ] = {}
 
     # -- uploads ---------------------------------------------------------
     def add(self, payload: Mapping) -> RegisteredNetwork:
@@ -211,3 +222,44 @@ class NetworkRegistry:
             with self._lock:
                 batch = self._batches.setdefault(key, batch)
         return batch
+
+    def campaign_analysis(
+        self,
+        fingerprint: str,
+        seed: int = 0,
+        policy: str = "max",
+        backend: str = "bitset",
+        chunk_lanes: int = 64,
+    ) -> Tuple[GraphDamageAnalysis, threading.Lock]:
+        """The analysis campaign jobs run on, with its serialization
+        lock; memoized per (fingerprint, seed, policy, backend,
+        chunk_lanes).
+
+        Campaign runners must hold the returned lock around each block
+        solve (:class:`repro.campaigns.CampaignExecutor` takes it as
+        ``lock=``): the bitset kernel inside is not thread-safe, and two
+        queue workers may run campaigns on the same network at once.
+        """
+        entry = self.get(fingerprint)
+        key = (
+            fingerprint,
+            int(seed),
+            str(policy),
+            str(backend),
+            int(chunk_lanes),
+        )
+        with self._lock:
+            pair = self._campaigns.get(key)
+        if pair is None:
+            analysis = GraphDamageAnalysis(
+                entry.network,
+                self.spec(fingerprint, seed=seed),
+                policy=policy,
+                backend=backend,
+                chunk_lanes=int(chunk_lanes),
+            )
+            with self._lock:
+                pair = self._campaigns.setdefault(
+                    key, (analysis, threading.Lock())
+                )
+        return pair

@@ -14,7 +14,8 @@ API
 =======  =================  ==============================================
 POST     /networks          upload (icl text / builder JSON / design name)
 GET      /networks          list registered networks
-POST     /jobs              submit a job (analyze / harden / table1 / sleep)
+POST     /jobs              submit a job (analyze / harden / table1 /
+                            campaign / sleep)
 GET      /jobs              list jobs
 GET      /jobs/<id>         job status + result
 DELETE   /jobs/<id>         cancel a job
@@ -32,7 +33,9 @@ counter.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import signal
 import threading
 import time
@@ -76,7 +79,7 @@ __all__ = [
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8471
 
-_JOB_KINDS = ("analyze", "harden", "table1", "sleep")
+_JOB_KINDS = ("analyze", "harden", "table1", "campaign", "sleep")
 
 
 class NotFoundError(ReproError):
@@ -409,6 +412,84 @@ class AnalysisService:
                 max_cache_mb=self.max_cache_mb,
             )
             return row.as_dict()
+
+        return run, params
+
+    def _campaign_checkpoint(
+        self, fingerprint: str, seed: int, policy: str, plan
+    ) -> Optional[str]:
+        """Checkpoint path for one campaign identity, under the service
+        cache directory.  The name only needs to be *stable* across
+        resubmissions — the checkpoint header carries the full campaign
+        key and a mismatch (new plan, new code version) invalidates the
+        file — so a killed or cancelled campaign job resubmitted with
+        the same payload resumes from its last completed block."""
+        if self.cache_dir is None:
+            return None
+        material = json.dumps(
+            {
+                "fingerprint": fingerprint,
+                "seed": seed,
+                "policy": policy,
+                "plan": plan.as_dict(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        name = hashlib.sha256(material.encode("utf-8")).hexdigest()[:24]
+        directory = os.path.join(self.cache_dir, "campaigns")
+        os.makedirs(directory, exist_ok=True)
+        return os.path.join(directory, f"{name}.jsonl")
+
+    def _prepare_campaign(self, payload: Dict) -> Tuple:
+        from ..campaigns import plan_from_dict, run_campaign
+
+        entry = self._get_entry(payload)
+        seed = int(payload.get("seed", 0))
+        policy = str(payload.get("policy", "max"))
+        backend = str(payload.get("backend", "bitset"))
+        chunk_lanes = int(payload.get("chunk_lanes", 64))
+        raw_plan = payload.get("campaign")
+        if not isinstance(raw_plan, dict):
+            raise ReproError(
+                "campaign jobs need a 'campaign' object (the plan in "
+                "dict form, with a 'kind')"
+            )
+        plan = plan_from_dict(raw_plan)
+        raw_mb = payload.get("max_lane_mb")
+        max_lane_mb = None if raw_mb is None else float(raw_mb)
+        resume = bool(payload.get("resume", True))
+        checkpoint_path = self._campaign_checkpoint(
+            entry.fingerprint, seed, policy, plan
+        )
+        params = {
+            "fingerprint": entry.fingerprint,
+            "network": entry.name,
+            "seed": seed,
+            "policy": policy,
+            "backend": backend,
+            "campaign": plan.kind,
+            "plan": plan.as_dict(),
+        }
+
+        def run(job: Job) -> Dict:
+            analysis, lock = self.registry.campaign_analysis(
+                entry.fingerprint,
+                seed=seed,
+                policy=policy,
+                backend=backend,
+                chunk_lanes=chunk_lanes,
+            )
+            return run_campaign(
+                analysis,
+                plan,
+                max_lane_mb=max_lane_mb,
+                checkpoint_path=checkpoint_path,
+                resume=resume,
+                progress=job.set_progress,
+                cancelled=job.cancelled,
+                lock=lock,
+            )
 
         return run, params
 

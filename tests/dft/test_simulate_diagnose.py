@@ -114,6 +114,59 @@ class TestDiagnosis:
         )
 
 
+class TestDiagnoseDeterminism:
+    def test_tie_break_is_structural_not_repr(self, fig1_suite):
+        """Regression: ties used to break on ``repr(fault)``, which
+        ordered ``MuxStuck('m0', 10)`` before ``MuxStuck('m0', 2)``.
+        Identical syndromes must rank in structural-key order."""
+        _, sequence = fig1_suite
+        from repro.dft import PatternSequence
+
+        empty = PatternSequence(sequence.network, [])
+        faults = [MuxStuck("m0", port) for port in (10, 2, 0)]
+        dictionary = FaultDictionary(empty, faults=faults)
+        ranked = dictionary.diagnose([], top=3)
+        assert [fault for fault, _ in ranked] == [
+            MuxStuck("m0", 0),
+            MuxStuck("m0", 2),
+            MuxStuck("m0", 10),
+        ]
+        assert all(score == 1.0 for _, score in ranked)
+
+    def test_batched_diagnose_matches_scalar_reference(self, fig1_suite):
+        _, sequence = fig1_suite
+        dictionary = FaultDictionary(sequence)
+        observations = [
+            sequence.run(faults=[fault])
+            for fault in list(dictionary.syndromes)[:12]
+        ]
+        top = len(dictionary.syndromes)
+        for observed in observations:
+            assert dictionary.diagnose(
+                observed, top=top
+            ) == dictionary.diagnose_scalar(observed, top=top)
+        batched = dictionary.diagnose_batch(observations, top=top)
+        assert batched == [
+            dictionary.diagnose_scalar(observed, top=top)
+            for observed in observations
+        ]
+
+    def test_diagnose_stable_across_dict_order(self, fig1_suite):
+        """Rankings are independent of syndrome-dict insertion order."""
+        _, sequence = fig1_suite
+        forward = FaultDictionary(sequence)
+        reversed_syndromes = dict(
+            reversed(list(forward.syndromes.items()))
+        )
+        backward = FaultDictionary(
+            sequence, syndromes=reversed_syndromes
+        )
+        observed = sequence.run(faults=[MuxStuck("m2", 0)])
+        assert forward.diagnose(observed, top=10) == backward.diagnose(
+            observed, top=10
+        )
+
+
 class TestDictionaryFromCoverage:
     def test_reuses_syndromes(self, fig1_suite):
         from repro.dft import fault_coverage

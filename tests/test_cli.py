@@ -191,3 +191,92 @@ class TestEngineCli:
         out = capsys.readouterr().out
         assert "analysis" in out
         assert "cache miss" in out
+
+
+class TestCampaign:
+    def test_montecarlo_table(self, capsys):
+        assert main(
+            [
+                "campaign", "montecarlo", "TreeFlat",
+                "--rates", "0.01,0.05", "--samples", "60",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "campaign         : montecarlo" in out
+        assert "0.05000" in out
+        assert "completed" in out
+
+    def test_montecarlo_json_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "mc.json"
+        assert main(
+            [
+                "campaign", "montecarlo", "TreeFlat",
+                "--rates", "0.02", "--samples", "40",
+                "--output", str(artifact),
+            ]
+        ) == 0
+        payload = json.loads(artifact.read_text())
+        assert payload["kind"] == "montecarlo"
+        assert payload["records"][0]["complete"]
+        assert "wrote" in capsys.readouterr().out
+
+    def test_montecarlo_checkpoint_resume(self, tmp_path, capsys):
+        checkpoint = tmp_path / "mc.jsonl"
+        argv = [
+            "campaign", "montecarlo", "TreeFlat",
+            "--rates", "0.02", "--samples", "64",
+            "--block-lanes", "16",
+            "--checkpoint", str(checkpoint),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "(4 resumed)" in capsys.readouterr().out
+
+    def test_kfault_summary(self, capsys):
+        assert main(
+            ["campaign", "kfault", "TreeFlat", "-k", "2", "--top", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "campaign         : kfault" in out
+        assert "worst combinations:" in out
+
+    def test_kfault_budget_truncates(self, capsys):
+        assert main(
+            [
+                "campaign", "kfault", "TreeFlat",
+                "-k", "2", "--max-combinations", "50",
+            ]
+        ) == 0
+        assert "(truncated)" in capsys.readouterr().out
+
+    def test_diagnose_summary(self, capsys):
+        assert main(
+            [
+                "campaign", "diagnose", "TreeFlat",
+                "--observations", "50",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "campaign         : diagnosis" in out
+        assert "rank-1 accuracy" in out
+        assert "resolution" in out
+
+    def test_scalar_sampler_flag(self, capsys):
+        assert main(
+            [
+                "campaign", "montecarlo", "TreeFlat",
+                "--rates", "0.05", "--samples", "30",
+                "--sampler", "scalar", "--bootstrap", "0",
+            ]
+        ) == 0
+        assert "montecarlo" in capsys.readouterr().out
+
+    def test_bad_rates_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "campaign", "montecarlo", "TreeFlat",
+                    "--rates", "not-a-rate",
+                ]
+            )
