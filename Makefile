@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench bench-ir bench-batch bench-ea bench-service bench-campaigns bench-diff baseline lint table1 sweeps examples serve-smoke clean
+.PHONY: install test test-fast bench bench-ir bench-batch bench-ea bench-service bench-campaigns bench-telemetry bench-diff baseline lint table1 sweeps examples serve-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -39,8 +39,11 @@ bench-service:
 bench-campaigns:
 	$(PYTHON) benchmarks/bench_campaigns.py --output results/BENCH_campaigns.json
 
+bench-telemetry:
+	$(PYTHON) benchmarks/bench_telemetry.py --output results/BENCH_telemetry.json
+
 bench-diff:
-	$(PYTHON) -m repro.cli bench-diff results/BENCH_criticality.json results/BENCH_batch.json results/BENCH_ea.json results/BENCH_ea_lowering.json results/BENCH_service.json results/BENCH_campaigns.json --tolerance 0.2
+	$(PYTHON) -m repro.cli bench-diff results/BENCH_criticality.json results/BENCH_batch.json results/BENCH_ea.json results/BENCH_ea_lowering.json results/BENCH_service.json results/BENCH_campaigns.json results/BENCH_telemetry.json --tolerance 0.2
 
 lint:
 	ruff check src tests benchmarks examples

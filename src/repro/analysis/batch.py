@@ -87,6 +87,7 @@ from ..ir import MUX as IR_MUX
 from ..ir import ROLE_DATA as IR_ROLE_DATA
 from ..ir import SEGMENT as IR_SEGMENT
 from ..ir import LANE_BITS, intern, lane_words
+from ..obs.resources import add_lane_bytes
 from ..obs.trace import span
 from ..rsn.network import RsnNetwork
 from .faults import ControlCellBreak, Fault, MuxStuck, SegmentBreak
@@ -431,6 +432,11 @@ class BatchFaultAnalysis:
         """The four sweeps over prebuilt masks: ``(prop, settable,
         observable)`` word matrices for any mask source (tuple states or
         packed array lowering)."""
+        # Resource accounting: the chunk's estimated mask working set
+        # (same per-lane model as the campaign executor's lane budget) —
+        # 6 node-rows (prop + 4 reach results + a combine temp) plus the
+        # alive slot-rows, 8 bytes per word.
+        add_lane_bytes((6 * self._n + self._n_slots) * words * 8)
         fwd_any = self._reach("forward", None, alive, words)
         bwd_any = self._reach("backward", None, alive, words)
         if prop is None:  # no lane breaks anything: clean == any

@@ -21,6 +21,7 @@ baseline that cannot be parsed) always fail hard.
 from __future__ import annotations
 
 import json
+import math
 import random
 import time
 from dataclasses import dataclass, field
@@ -61,6 +62,9 @@ class HotPath:
     baseline_seconds: float
     #: Metric-specific knobs (method, sampled fault count, ...).
     params: Dict = field(default_factory=dict)
+    #: Per-path tolerance override; ``None`` uses the gate-wide
+    #: ``--tolerance`` (telemetry overhead gates at 5% regardless).
+    tolerance: Optional[float] = None
 
     @property
     def label(self) -> str:
@@ -81,7 +85,10 @@ class BenchComparison:
         return self.fresh_seconds / self.hot_path.baseline_seconds
 
     def regressed(self, tolerance: float) -> bool:
-        return self.ratio > 1.0 + tolerance
+        limit = self.hot_path.tolerance
+        if limit is None:
+            limit = tolerance
+        return self.ratio > 1.0 + limit
 
 
 @dataclass
@@ -338,6 +345,24 @@ def load_hot_paths(path: str) -> Tuple[str, List[HotPath]]:
                     },
                 )
             )
+        elif benchmark == "telemetry-overhead":
+            hot_paths.append(
+                HotPath(
+                    design=design,
+                    metric="telemetry_overhead",
+                    n_segments=n_segments,
+                    n_muxes=n_muxes,
+                    baseline_seconds=float(
+                        _require(row, "disabled_seconds", path)
+                    ),
+                    params={
+                        "history_interval": float(
+                            row.get("history_interval", 0.05)
+                        )
+                    },
+                    tolerance=float(row.get("tolerance", 0.05)),
+                )
+            )
         else:
             raise RegressionParseError(
                 f"{path}: unknown benchmark kind {benchmark!r}"
@@ -564,12 +589,59 @@ def _measure_service(hot_path: HotPath, repeats: int) -> float:
     return best
 
 
+def _measure_telemetry(hot_path: HotPath, repeats: int) -> float:
+    """Telemetry-overhead gate: the same bitset batch sweep with the
+    metrics-history sampler + structured logging enabled vs disabled.
+
+    Both sides are measured fresh on this machine in this run —
+    ``hot_path.baseline_seconds`` is *overwritten* with the fresh
+    disabled timing, so the reported ratio is pure enabled/disabled
+    overhead, immune to the machine that recorded the baseline file.
+    The two sides are measured *interleaved* (disabled, enabled,
+    disabled, enabled, ...) so slow drift — thermal throttling, page
+    cache, allocator state — lands on both sides instead of biasing
+    whichever happened to run second, and both keep their best-of.
+    """
+    from ..analysis import GraphDamageAnalysis
+    from ..obs.history import MetricsHistory
+    from ..obs.log import LogBuffer, capturing
+
+    network, spec = _build(hot_path)
+    faults = _all_faults(network)
+
+    def sweep() -> float:
+        analysis = GraphDamageAnalysis(network, spec, backend="bitset")
+        started = time.perf_counter()
+        analysis.damage_vector(faults)
+        return time.perf_counter() - started
+
+    sweep()  # warm numpy / kernel code paths outside both timings
+    disabled = math.inf
+    enabled = math.inf
+    # A 5% gate needs more best-of samples than a 20% one; sweeps are
+    # tens of milliseconds, so the extra pairs are cheap.
+    for _ in range(max(repeats, 5)):
+        disabled = min(disabled, sweep())
+        history = MetricsHistory(
+            interval=hot_path.params["history_interval"], window=64
+        ).start()
+        try:
+            with capturing(LogBuffer()):
+                enabled = min(enabled, sweep())
+        finally:
+            history.stop()
+    hot_path.baseline_seconds = disabled
+    return enabled
+
+
 def measure_hot_path(hot_path: HotPath, repeats: int = 3) -> float:
     """Best-of-``repeats`` fresh timing of one hot path (fresh analysis
     objects per repeat, so construction is included exactly as the
     baselines recorded it)."""
     if hot_path.metric == "service_p50":
         return _measure_service(hot_path, repeats)
+    if hot_path.metric == "telemetry_overhead":
+        return _measure_telemetry(hot_path, repeats)
     network, spec = _build(hot_path)
     tree = None
     if hot_path.metric.startswith("serial/"):

@@ -215,6 +215,7 @@ def run_diagnosis(
         "outcome": meta["outcome"],
         "truncated_reason": meta["truncated_reason"],
         "elapsed_seconds": meta["elapsed_seconds"],
+        "resources": meta.get("resources"),
         "summary": summary,
         "examples": examples,
     }

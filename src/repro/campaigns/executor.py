@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional
 from ..errors import ReproError
 from ..ir import LANE_BITS
 from ..obs.metrics import global_registry
+from ..obs.resources import ResourceProbe
 from ..obs.trace import span
 from .checkpoint import CheckpointStore
 
@@ -167,7 +168,12 @@ class CampaignExecutor:
              "completed": int, "resumed": int,
              "outcome": "completed" | "cancelled" | "truncated",
              "truncated_reason": str | None,
-             "elapsed_seconds": float}
+             "elapsed_seconds": float,
+             "resources": {wall/cpu seconds, rss delta, lane MB}}
+
+        ``resources`` sums per-block :class:`~repro.obs.resources.
+        ResourceProbe` deltas over *computed* blocks only — replayed
+        blocks cost a checkpoint read, not a sweep.
 
         ``None`` payloads mark blocks never executed (cancel/budget).
         """
@@ -179,6 +185,7 @@ class CampaignExecutor:
         completed = resumed = 0
         outcome = "completed"
         truncated_reason: Optional[str] = None
+        block_resources: List[Dict[str, float]] = []
         with span("campaign.run", kind=self.kind, blocks=n_blocks):
             for index in range(n_blocks):
                 payload = cached.get(index)
@@ -193,6 +200,7 @@ class CampaignExecutor:
                     outcome = "cancelled"
                     break
                 block_started = time.perf_counter()
+                probe = ResourceProbe()
                 try:
                     with span(
                         "campaign.block", kind=self.kind, index=index
@@ -206,6 +214,7 @@ class CampaignExecutor:
                     outcome = "truncated"
                     truncated_reason = str(exc)
                     break
+                block_resources.append(probe.delta())
                 self._m_block_seconds.observe(
                     time.perf_counter() - block_started, kind=self.kind
                 )
@@ -223,6 +232,7 @@ class CampaignExecutor:
             "outcome": outcome,
             "truncated_reason": truncated_reason,
             "elapsed_seconds": time.perf_counter() - started,
+            "resources": ResourceProbe.merge(block_resources),
         }
 
     def _note_progress(self, completed: int, n_blocks: int) -> None:

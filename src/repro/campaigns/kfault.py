@@ -195,5 +195,6 @@ def run_k_fault(
         "outcome": meta["outcome"],
         "truncated_reason": meta["truncated_reason"],
         "elapsed_seconds": meta["elapsed_seconds"],
+        "resources": meta.get("resources"),
         "summary": summary,
     }

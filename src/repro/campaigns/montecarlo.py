@@ -161,5 +161,6 @@ def run_monte_carlo(
         "outcome": meta["outcome"],
         "truncated_reason": meta["truncated_reason"],
         "elapsed_seconds": meta["elapsed_seconds"],
+        "resources": meta.get("resources"),
         "records": records,
     }

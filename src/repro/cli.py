@@ -8,6 +8,8 @@ Subcommands
 * ``harden``  — full selective-hardening synthesis of a network file;
 * ``example`` — walk through the paper's Fig. 1-4 example;
 * ``serve``   — run the batching analysis service (HTTP JSON API);
+* ``top``     — terminal dashboard for a running service (the text
+  equivalent of its ``GET /dashboard`` page);
 * ``submit``  — upload a network to a running service and run a job;
 * ``campaign`` — batched fault studies (``montecarlo`` rate sweeps,
   exhaustive ``kfault`` enumeration, batched ``diagnose``), locally or
@@ -21,6 +23,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from . import __version__
@@ -112,6 +115,15 @@ def _positive_float(text: str) -> float:
     if value <= 0:
         raise argparse.ArgumentTypeError(
             f"must be a positive number, got {value}"
+        )
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative number, got {value}"
         )
     return value
 
@@ -469,6 +481,10 @@ def _cmd_serve(args) -> int:
         shard_workers=args.workers,
         shards=args.shards,
         prefer_shm=not args.no_shm,
+        history_interval=args.history_interval,
+        history_window=args.history_window,
+        log_level=args.log_level,
+        log_jsonl=args.log_json,
     )
     frontend = args.frontend
     if frontend == "auto":
@@ -483,6 +499,162 @@ def _cmd_serve(args) -> int:
     from .service import serve
 
     return serve(**kwargs)
+
+
+_SPARK_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values, width: int = 32) -> str:
+    """Unicode block sparkline of the newest ``width`` values."""
+    values = [max(0.0, float(v)) for v in values][-width:]
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        return _SPARK_BLOCKS[0] * len(values)
+    scale = len(_SPARK_BLOCKS) - 1
+    return "".join(
+        _SPARK_BLOCKS[min(scale, round(v / peak * scale))] for v in values
+    )
+
+
+def _top_frame(client, log_lines: int) -> str:
+    """One rendered ``top`` frame (the /dashboard cards, in text)."""
+    from .obs.log import LogRecord
+
+    health = client.healthz()
+    history = client.metrics_history()
+    series = history.get("series", [])
+
+    def rows_of(name):
+        return [s for s in series if s["name"] == name]
+
+    def summed_rate(name):
+        """Last value + history of the label-summed per-second rate."""
+        rates = [s.get("rate") or [] for s in rows_of(name)]
+        rates = [r for r in rates if r]
+        if not rates:
+            return 0.0, []
+        depth = min(len(r) for r in rates)
+        totals = [
+            sum(r[len(r) - depth + i][1] for r in rates)
+            for i in range(depth)
+        ]
+        return totals[-1], totals
+
+    def summed_last(name):
+        """Last value + history of the label-summed gauge."""
+        points = [s.get("points") or [] for s in rows_of(name)]
+        points = [p for p in points if p]
+        if not points:
+            return 0.0, []
+        depth = min(len(p) for p in points)
+        totals = [
+            sum(p[len(p) - depth + i][1] for p in points)
+            for i in range(depth)
+        ]
+        return totals[-1], totals
+
+    def cache_hit_rate():
+        hit = total = 0.0
+        for s in rows_of("repro_engine_cache_total"):
+            last = (s.get("points") or [[0, 0.0]])[-1][1]
+            total += last
+            if s.get("labels", {}).get("outcome") == "hit":
+                hit += last
+        return None if total <= 0 else 100.0 * hit / total
+
+    req_rate, req_hist = summed_rate("repro_http_requests_total")
+    queue, queue_hist = summed_last("repro_job_queue_depth")
+    shardq, shardq_hist = summed_last("repro_shard_queue_depth")
+    cpu_rate, _ = summed_rate("repro_process_cpu_seconds_total")
+    lane_rate, _ = summed_rate("repro_lane_bytes_total")
+    rss, _ = summed_last("repro_process_rss_bytes")
+    hits = cache_hit_rate()
+
+    jobs = health.get("jobs", {})
+    lines = [
+        f"repro-rsn top — {client.base_url}  "
+        f"status={health.get('status')}  "
+        f"v{health.get('version')}  "
+        f"up {health.get('uptime_seconds', 0.0):.0f}s  "
+        f"({history.get('samples', 0)} samples @ "
+        f"{history.get('interval', 0)}s)",
+        "",
+        f"  requests/s : {req_rate:8.1f}  {_sparkline(req_hist)}",
+        f"  job queue  : {queue:8.0f}  {_sparkline(queue_hist)}",
+        f"  shard queue: {shardq:8.0f}  {_sparkline(shardq_hist)}",
+        f"  cpu cores  : {cpu_rate:8.2f}  rss {rss / 1048576.0:.0f} MB  "
+        f"lanes {lane_rate / 1048576.0:.1f} MB/s"
+        + (f"  cache hits {hits:.0f}%" if hits is not None else ""),
+        f"  jobs       : "
+        + "  ".join(f"{k}={v}" for k, v in sorted(jobs.items())),
+    ]
+
+    pool = health.get("pool")
+    if pool:
+        lines.append("")
+        lines.append(
+            f"  pool       : {pool.get('n_shards')} shards over "
+            f"{len(pool.get('workers', {}))} workers "
+            f"({pool.get('transport')})"
+        )
+        shards_of = {}
+        for shard, state in pool.get("shards", {}).items():
+            shards_of.setdefault(state["worker"], []).append(
+                (shard, state.get("depth", 0))
+            )
+        for worker_id, state in sorted(pool.get("workers", {}).items()):
+            owned = sorted(shards_of.get(int(worker_id), []))
+            depth = sum(d for _, d in owned)
+            lines.append(
+                f"    worker {worker_id}: "
+                f"{'alive' if state.get('alive') else 'DEAD '} "
+                f"pid={state.get('pid')} "
+                f"shards={[s for s, _ in owned]} depth={depth} "
+                f"inflight={state.get('inflight')} "
+                f"restarts={state.get('restarts')}"
+            )
+
+    if log_lines:
+        try:
+            tail = client.logs(limit=log_lines)["records"]
+        except Exception:
+            tail = []
+        if tail:
+            lines.append("")
+            lines.append("  recent logs:")
+            for record in tail:
+                lines.append(
+                    "    " + LogRecord.from_dict(record).format_line()
+                )
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    from .service import ServiceClient
+    from .service.client import ServiceClientError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    frames = 1 if args.once else args.iterations
+    rendered = 0
+    try:
+        while True:
+            try:
+                frame = _top_frame(client, args.log_lines)
+            except ServiceClientError as exc:
+                print(f"top: {exc}", file=sys.stderr)
+                return 1
+            if rendered:
+                # Clear + home between frames, full-screen style.
+                print("\x1b[2J\x1b[H", end="")
+            print(frame, flush=True)
+            rendered += 1
+            if frames is not None and rendered >= frames:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
 
 
 def _cmd_bench_diff(args) -> int:
@@ -989,7 +1161,79 @@ def main(argv: Optional[List[str]] = None) -> int:
         "retrievable via GET /trace/{id})",
     )
     serve.add_argument(
+        "--history-interval",
+        type=_nonnegative_float,
+        default=1.0,
+        metavar="S",
+        help="metrics-history sampling interval in seconds "
+        "(default 1.0; 0 disables GET /metrics/history)",
+    )
+    serve.add_argument(
+        "--history-window",
+        type=_positive_int,
+        default=300,
+        metavar="N",
+        help="metrics-history ring-buffer points per series (default 300)",
+    )
+    serve.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default="debug",
+        help="minimum level retained in the GET /logs ring (default "
+        "debug; stderr echo stays at info)",
+    )
+    serve.add_argument(
+        "--log-json",
+        default=None,
+        metavar="PATH",
+        help="tee every structured log record to a JSONL file",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    top = subparsers.add_parser(
+        "top",
+        help="terminal dashboard for a running service (text twin of "
+        "GET /dashboard)",
+    )
+    top.add_argument(
+        "--url",
+        default="http://127.0.0.1:8471",
+        help="service base URL (default http://127.0.0.1:8471)",
+    )
+    top.add_argument(
+        "--interval",
+        type=_positive_float,
+        default=2.0,
+        metavar="S",
+        help="seconds between frames (default 2)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (scripting / CI smoke)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="frames to render before exiting (default: run until ^C)",
+    )
+    top.add_argument(
+        "--log-lines",
+        type=_nonnegative_int,
+        default=8,
+        metavar="N",
+        help="log-tail lines per frame (default 8; 0 hides the tail)",
+    )
+    top.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=10.0,
+        metavar="S",
+        help="per-request client timeout in seconds (default 10)",
     )
 
     campaign = subparsers.add_parser(
@@ -1293,6 +1537,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _cmd_export,
         "dot": _cmd_dot,
         "serve": _cmd_serve,
+        "top": _cmd_top,
         "submit": _cmd_submit,
         "campaign": _cmd_campaign,
         "bench-diff": _cmd_bench_diff,

@@ -1,0 +1,306 @@
+"""The ``GET /dashboard`` page: one self-contained HTML file.
+
+No CDN, no framework, no build step — inline CSS and vanilla JS only,
+so the page works from an air-gapped lab bench exactly like the rest of
+the stack.  The browser polls the service's own JSON endpoints
+(``/metrics/history``, ``/healthz``, ``/logs``) every couple of seconds
+and renders:
+
+* headline stat cards (request rate, job queue depth, cache hit-rate,
+  batch occupancy, RSS) with inline SVG sparklines fed by the history
+  sampler's ring buffers;
+* per-shard queue-depth sparklines plus the worker-pool topology table
+  from ``/healthz`` (pid, state, shards, inflight);
+* the recent log tail (level-coloured, trace-id-correlated).
+
+Server side this is a single function returning a string — both HTTP
+front-ends serve it verbatim with ``Content-Type: text/html``.  The
+terminal equivalent is ``repro-rsn top`` (:mod:`repro.cli`), which polls
+the same endpoints.
+"""
+
+from __future__ import annotations
+
+__all__ = ["dashboard_html"]
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro-rsn dashboard</title>
+<style>
+  :root {
+    --bg: #11151c; --panel: #1a202b; --edge: #2a3342;
+    --text: #d7dde8; --dim: #7d8799; --accent: #5ab0f2;
+    --ok: #58c08a; --warn: #e0b050; --err: #e06c60;
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; padding: 16px 20px; background: var(--bg);
+    color: var(--text);
+    font: 13px/1.45 "SF Mono", "Cascadia Mono", Menlo, Consolas, monospace;
+  }
+  h1 { font-size: 15px; margin: 0 0 2px; font-weight: 600; }
+  h1 .ver { color: var(--dim); font-weight: 400; }
+  #meta { color: var(--dim); margin-bottom: 14px; }
+  #meta .stale { color: var(--err); }
+  .grid {
+    display: grid; gap: 12px;
+    grid-template-columns: repeat(auto-fill, minmax(230px, 1fr));
+    margin-bottom: 14px;
+  }
+  .card {
+    background: var(--panel); border: 1px solid var(--edge);
+    border-radius: 6px; padding: 10px 12px 8px;
+  }
+  .card .label { color: var(--dim); font-size: 11px;
+    text-transform: uppercase; letter-spacing: .06em; }
+  .card .value { font-size: 21px; margin: 2px 0 4px; }
+  .card svg { display: block; width: 100%; height: 34px; }
+  .spark { stroke: var(--accent); stroke-width: 1.5; fill: none; }
+  .spark-fill { fill: var(--accent); opacity: .12; stroke: none; }
+  .cols { display: grid; gap: 12px;
+    grid-template-columns: minmax(300px, 1fr) minmax(300px, 1.4fr); }
+  @media (max-width: 900px) { .cols { grid-template-columns: 1fr; } }
+  .panel {
+    background: var(--panel); border: 1px solid var(--edge);
+    border-radius: 6px; padding: 10px 12px;
+  }
+  .panel h2 { font-size: 12px; margin: 0 0 8px; color: var(--dim);
+    text-transform: uppercase; letter-spacing: .06em; font-weight: 600; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: 2px 10px 2px 0;
+    border-bottom: 1px solid var(--edge); font-size: 12px; }
+  th { color: var(--dim); font-weight: 400; }
+  td.num, th.num { text-align: right; }
+  .state-alive { color: var(--ok); }
+  .state-dead, .state-restarting { color: var(--err); }
+  #logs { max-height: 320px; overflow-y: auto; white-space: pre-wrap;
+    word-break: break-all; font-size: 12px; }
+  .lvl-DEBUG { color: var(--dim); }
+  .lvl-INFO { color: var(--text); }
+  .lvl-WARNING { color: var(--warn); }
+  .lvl-ERROR { color: var(--err); }
+  .trace { color: var(--accent); }
+  .shardrow svg { width: 120px; height: 16px; vertical-align: middle; }
+</style>
+</head>
+<body>
+<h1>repro-rsn <span class="ver" id="version"></span></h1>
+<div id="meta">connecting&hellip;</div>
+<div class="grid" id="cards"></div>
+<div class="cols">
+  <div class="panel">
+    <h2>Shard topology</h2>
+    <table id="pool"><tbody></tbody></table>
+  </div>
+  <div class="panel">
+    <h2>Log tail</h2>
+    <div id="logs">(no records yet)</div>
+  </div>
+</div>
+<script>
+"use strict";
+const POLL_MS = 2000;
+const $ = (id) => document.getElementById(id);
+
+function esc(s) {
+  return String(s).replace(/[&<>"]/g, (c) => (
+    {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}[c]));
+}
+
+function sparkline(points, width, height) {
+  // points: [[t, v], ...] -> inline SVG polyline, autoscaled.
+  if (!points || points.length < 2) {
+    return '<svg viewBox="0 0 ' + width + ' ' + height + '"></svg>';
+  }
+  const ts = points.map((p) => p[0]), vs = points.map((p) => p[1]);
+  const t0 = Math.min(...ts), t1 = Math.max(...ts);
+  const v0 = Math.min(0, ...vs), v1 = Math.max(...vs);
+  const dt = (t1 - t0) || 1, dv = (v1 - v0) || 1;
+  const pad = 2;
+  const xy = points.map((p) => [
+    pad + (p[0] - t0) / dt * (width - 2 * pad),
+    height - pad - (p[1] - v0) / dv * (height - 2 * pad),
+  ]);
+  const line = xy.map((q) => q[0].toFixed(1) + "," + q[1].toFixed(1))
+    .join(" ");
+  const area = line +
+    " " + xy[xy.length - 1][0].toFixed(1) + "," + (height - pad) +
+    " " + xy[0][0].toFixed(1) + "," + (height - pad);
+  return '<svg viewBox="0 0 ' + width + ' ' + height +
+    '" preserveAspectRatio="none">' +
+    '<polygon class="spark-fill" points="' + area + '"/>' +
+    '<polyline class="spark" points="' + line + '"/></svg>';
+}
+
+function fmt(v, digits) {
+  if (v === null || v === undefined || !isFinite(v)) return "–";
+  if (Math.abs(v) >= 1e6) return (v / 1e6).toFixed(1) + "M";
+  if (Math.abs(v) >= 1e4) return (v / 1e3).toFixed(1) + "k";
+  return Number(v).toFixed(digits === undefined ? 1 : digits);
+}
+
+function seriesOf(history, name, labels) {
+  // All series of one metric, optionally filtered by a label subset.
+  return (history.series || []).filter((s) => {
+    if (s.name !== name) return false;
+    for (const k in (labels || {})) {
+      if (s.labels[k] !== labels[k]) return false;
+    }
+    return true;
+  });
+}
+
+function sumPoints(seriesList, field) {
+  // Align by sample index from the end; sum across series.
+  const pts = seriesList.map((s) => s[field] || []);
+  const n = Math.max(0, ...pts.map((p) => p.length));
+  const out = [];
+  for (let i = 0; i < n; i++) {
+    let t = null, v = 0;
+    for (const p of pts) {
+      const q = p[p.length - n + i];
+      if (q) { t = q[0]; v += q[1]; }
+    }
+    if (t !== null) out.push([t, v]);
+  }
+  return out;
+}
+
+function last(points) {
+  return points && points.length ? points[points.length - 1][1] : null;
+}
+
+function card(label, value, points) {
+  return '<div class="card"><div class="label">' + esc(label) +
+    '</div><div class="value">' + value + "</div>" +
+    sparkline(points, 220, 34) + "</div>";
+}
+
+function hitRate(history) {
+  // Cumulative cache hit-rate from the outcome-labelled counter.
+  const hits = last(sumPoints(
+    seriesOf(history, "repro_engine_cache_total", {outcome: "hit"}),
+    "points")) || 0;
+  const total = last(sumPoints(
+    seriesOf(history, "repro_engine_cache_total", {}), "points")) || 0;
+  return total > 0 ? 100 * hits / total : null;
+}
+
+function occupancy(history) {
+  // Mean lanes-per-sweep occupancy over the window, from the batch
+  // histogram's (count, sum) points.
+  const s = seriesOf(history, "repro_batch_occupancy", {});
+  if (!s.length || s[0].points.length < 2) return null;
+  const pts = s[0].points;
+  const a = pts[0], b = pts[pts.length - 1];
+  const dc = b[1] - a[1], ds = b[2] - a[2];
+  return dc > 0 ? ds / dc : null;
+}
+
+function renderCards(history) {
+  const reqRate = sumPoints(
+    seriesOf(history, "repro_http_requests_total", {}), "rate");
+  const jobDepth = sumPoints(
+    seriesOf(history, "repro_job_queue_depth", {}), "points");
+  const shardDepth = sumPoints(
+    seriesOf(history, "repro_shard_queue_depth", {}), "points");
+  const rss = seriesOf(history, "repro_process_rss_bytes", {})
+    .flatMap((s) => s.points);
+  const laneRate = sumPoints(
+    seriesOf(history, "repro_lane_bytes_total", {}), "rate");
+  const hr = hitRate(history), occ = occupancy(history);
+  $("cards").innerHTML =
+    card("req/s", fmt(last(reqRate), 1), reqRate) +
+    card("job queue", fmt(last(jobDepth), 0), jobDepth) +
+    card("shard queues", fmt(last(shardDepth), 0), shardDepth) +
+    card("cache hit %", hr === null ? "–" : fmt(hr, 1), []) +
+    card("occupancy", occ === null ? "–" : fmt(occ, 1), []) +
+    card("lane MB/s", fmt(last(laneRate) / 1048576, 2), laneRate) +
+    card("rss MB", fmt(last(rss) / 1048576, 0), rss);
+}
+
+function renderPool(health, history) {
+  const pool = health.pool;
+  const rows = [];
+  if (pool && pool.workers && Object.keys(pool.workers).length) {
+    // shard id -> owning worker, from the /healthz topology snapshot.
+    const shardsOf = {};
+    for (const [shard, info] of Object.entries(pool.shards || {})) {
+      const w = String(info.worker);
+      shardsOf[w] = (shardsOf[w] || []).concat([shard]);
+    }
+    rows.push("<tr><th>worker</th><th>pid</th><th>state</th>" +
+      "<th class=num>shards</th><th class=num>restarts</th>" +
+      "<th class=num>inflight</th><th>queue depth</th></tr>");
+    for (const [id, w] of Object.entries(pool.workers)) {
+      const state = w.alive ? "alive" : "dead";
+      const owned = shardsOf[id] || [];
+      // Sum the queue-depth series of this worker's shards.
+      const pts = sumPoints(owned.flatMap((shard) =>
+        seriesOf(history, "repro_shard_queue_depth",
+          {shard: String(shard)})), "points");
+      rows.push('<tr class="shardrow"><td>w' + esc(id) + "</td><td>" +
+        esc(w.pid) + '</td><td class="state-' + esc(state) + '">' +
+        esc(state) + '</td><td class=num>' + owned.length +
+        '</td><td class=num>' + esc(w.restarts) +
+        '</td><td class=num>' + esc(w.inflight) + "</td><td>" +
+        sparkline(pts, 120, 16) + "</td></tr>");
+    }
+  } else {
+    rows.push("<tr><td>in-process (no worker pool)</td></tr>");
+  }
+  $("pool").innerHTML = rows.join("");
+}
+
+function renderLogs(payload) {
+  const records = payload.records || [];
+  if (!records.length) return;
+  $("logs").innerHTML = records.slice(-80).map((r) => {
+    const t = new Date(r.ts * 1000).toISOString().slice(11, 19);
+    const trace = r.trace_id
+      ? ' <span class="trace">' + esc(r.trace_id.slice(0, 8)) + "</span>"
+      : "";
+    const attrs = Object.entries(r.attrs || {})
+      .map(([k, v]) => " " + esc(k) + "=" + esc(v)).join("");
+    return '<div class="lvl-' + esc(r.level_name) + '">' + t + " " +
+      esc(r.level_name.padEnd(7)) + " " + esc(r.logger) + ": " +
+      esc(r.message) + esc(attrs ? attrs : "") + trace + "</div>";
+  }).join("");
+  $("logs").scrollTop = $("logs").scrollHeight;
+}
+
+async function poll() {
+  try {
+    const [history, health, logs] = await Promise.all([
+      fetch("/metrics/history").then((r) => r.json()),
+      fetch("/healthz").then((r) => r.json()),
+      fetch("/logs?limit=80").then((r) => r.json()),
+    ]);
+    $("version").textContent = "v" + (health.version || "?");
+    $("meta").innerHTML = "status <b>" + esc(health.status) + "</b>" +
+      " &middot; networks " + esc(health.networks) +
+      " &middot; jobs " + esc(health.jobs) +
+      " &middot; sampler " +
+      (history.running ? history.interval + "s" : "off") +
+      " &middot; " + new Date().toTimeString().slice(0, 8);
+    renderCards(history);
+    renderPool(health, history);
+    renderLogs(logs);
+  } catch (err) {
+    $("meta").innerHTML =
+      '<span class="stale">poll failed: ' + esc(err) + "</span>";
+  }
+}
+poll();
+setInterval(poll, POLL_MS);
+</script>
+</body>
+</html>
+"""
+
+
+def dashboard_html() -> str:
+    """The complete ``/dashboard`` page (static; state arrives by AJAX)."""
+    return _PAGE

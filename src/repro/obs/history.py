@@ -1,0 +1,292 @@
+"""Ring-buffer time series over the global metrics registry.
+
+``GET /metrics`` is a point-in-time scrape: it answers "what is the
+queue depth *now*", never "what has it been doing for the last five
+minutes".  :class:`MetricsHistory` closes that gap without pulling in a
+TSDB — a background daemon thread snapshots every counter, gauge and
+histogram in a :class:`~repro.obs.metrics.MetricsRegistry` on a fixed
+interval into per-series ``deque(maxlen=window)`` ring buffers.  Memory
+is strictly bounded (``window`` points per live label set) and sampling
+cost is one registry snapshot per tick — dict copies under per-metric
+locks, no rendering.
+
+Counters and histogram counts are cumulative, so the interesting signal
+is their derivative; :meth:`MetricsHistory.as_dict` derives a
+``rate`` series (per-second deltas between consecutive samples) next to
+the raw points, which is what the dashboard plots.  Histogram samples
+keep ``(count, sum)`` pairs so interval means fall out the same way.
+
+The module-global instance mirrors the tracing layer's pattern:
+:func:`enable_history` installs (and starts) a sampler,
+:func:`current_history` hands it to whoever serves ``/metrics/history``,
+and nothing here costs anything when no sampler was enabled.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry, global_registry
+from .resources import (
+    lane_bytes_total,
+    process_cpu_seconds,
+    process_rss_bytes,
+)
+
+__all__ = [
+    "MetricsHistory",
+    "enable_history",
+    "disable_history",
+    "current_history",
+]
+
+
+class _Series:
+    """One (metric, label set) ring buffer."""
+
+    __slots__ = ("kind", "labelnames", "labelvalues", "points")
+
+    def __init__(
+        self,
+        kind: str,
+        labelnames: Tuple[str, ...],
+        labelvalues: Tuple[str, ...],
+        window: int,
+    ):
+        self.kind = kind
+        self.labelnames = labelnames
+        self.labelvalues = labelvalues
+        #: ``(ts, value)`` for counters/gauges, ``(ts, count, sum)`` for
+        #: histograms.
+        self.points: Deque[tuple] = deque(maxlen=window)
+
+
+def _rate_points(points: List[tuple]) -> List[List[float]]:
+    """Per-second positive deltas between consecutive cumulative points."""
+    rates: List[List[float]] = []
+    for prev, cur in zip(points, points[1:]):
+        dt = cur[0] - prev[0]
+        if dt <= 0:
+            continue
+        delta = cur[1] - prev[1]
+        rates.append([cur[0], max(0.0, delta / dt)])
+    return rates
+
+
+class MetricsHistory:
+    """Fixed-window time series sampled from a metrics registry.
+
+    Parameters
+    ----------
+    registry:
+        Source registry; defaults to the process-global one.
+    interval:
+        Seconds between background samples.
+    window:
+        Ring-buffer length — points retained per series.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        interval: float = 1.0,
+        window: int = 300,
+    ):
+        if interval <= 0:
+            raise ValueError("history interval must be positive")
+        if window < 2:
+            raise ValueError("history window must hold at least 2 points")
+        self.registry = (
+            registry if registry is not None else global_registry()
+        )
+        self.interval = float(interval)
+        self.window = int(window)
+        self._lock = threading.Lock()
+        self._series: Dict[Tuple[str, Tuple[str, ...]], _Series] = {}
+        self._samples_taken = 0
+        self._started = time.time()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        # Process-level series fed at each tick (nobody else updates
+        # them): RSS gauge plus cumulative CPU / lane-byte counters.
+        self._m_rss = self.registry.gauge(
+            "repro_process_rss_bytes",
+            "Resident set size of the serving process.",
+        )
+        self._m_cpu = self.registry.counter(
+            "repro_process_cpu_seconds_total",
+            "User+system CPU seconds consumed by the serving process.",
+        )
+        self._m_lane_bytes = self.registry.counter(
+            "repro_lane_bytes_total",
+            "Estimated lane-mask working-set bytes streamed by the "
+            "bitset kernel in this process.",
+        )
+        self._last_cpu = process_cpu_seconds()
+        self._last_lane_bytes = lane_bytes_total()
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample_once(self, now: Optional[float] = None) -> int:
+        """Take one snapshot; returns the number of live series.
+
+        Exposed so tests (and the ``top`` CLI fallback) can sample
+        deterministically without running the thread.
+        """
+        ts = time.time() if now is None else float(now)
+        self._m_rss.set(process_rss_bytes())
+        cpu = process_cpu_seconds()
+        self._m_cpu.inc(max(0.0, cpu - self._last_cpu))
+        self._last_cpu = cpu
+        lane_bytes = lane_bytes_total()
+        self._m_lane_bytes.inc(max(0, lane_bytes - self._last_lane_bytes))
+        self._last_lane_bytes = lane_bytes
+        snap = self.registry.snapshot()
+        with self._lock:
+            for name, meta in snap.items():
+                kind = meta["kind"]
+                labelnames = tuple(meta["labelnames"])
+                for key, value in meta["samples"].items():
+                    series = self._series.get((name, key))
+                    if series is None:
+                        series = _Series(
+                            kind, labelnames, key, self.window
+                        )
+                        self._series[(name, key)] = series
+                    if kind == "histogram":
+                        count, total = value
+                        series.points.append((ts, count, total))
+                    else:
+                        series.points.append((ts, value))
+            self._samples_taken += 1
+            return len(self._series)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.sample_once()
+            except Exception:  # noqa: BLE001 - sampler must never die
+                pass
+
+    def start(self) -> "MetricsHistory":
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="metrics-history", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=2.0)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def as_dict(
+        self,
+        name: Optional[str] = None,
+        points: Optional[int] = None,
+    ) -> dict:
+        """The ``GET /metrics/history`` payload.
+
+        ``name`` filters to one metric; ``points`` caps how many of the
+        newest points each series returns.
+        """
+        with self._lock:
+            series_items = [
+                (key, s.kind, s.labelnames, s.labelvalues, list(s.points))
+                for key, s in sorted(self._series.items())
+            ]
+            samples_taken = self._samples_taken
+        out: List[dict] = []
+        for (metric, _), kind, labelnames, labelvalues, pts in series_items:
+            if name is not None and metric != name:
+                continue
+            if points is not None and points > 0:
+                pts = pts[-points:]
+            entry = {
+                "name": metric,
+                "kind": kind,
+                "labels": dict(zip(labelnames, labelvalues)),
+                "points": [list(p) for p in pts],
+            }
+            if kind in ("counter", "histogram"):
+                entry["rate"] = _rate_points(pts)
+            out.append(entry)
+        return {
+            "interval": self.interval,
+            "window": self.window,
+            "samples": samples_taken,
+            "started": self._started,
+            "running": self.running,
+            "series": out,
+        }
+
+    def series_names(self) -> List[str]:
+        with self._lock:
+            return sorted({name for name, _ in self._series})
+
+
+#: Module-global sampler, mirroring the tracing layer's collector.
+_GLOBAL_HISTORY: Optional[MetricsHistory] = None
+_GLOBAL_LOCK = threading.Lock()
+
+
+def enable_history(
+    interval: float = 1.0,
+    window: int = 300,
+    registry: Optional[MetricsRegistry] = None,
+    start: bool = True,
+) -> MetricsHistory:
+    """Install (and by default start) the process-global sampler.
+
+    Idempotent for an already-running sampler with the same settings;
+    otherwise the old one is stopped and replaced.
+    """
+    global _GLOBAL_HISTORY
+    with _GLOBAL_LOCK:
+        current = _GLOBAL_HISTORY
+        if (
+            current is not None
+            and current.interval == float(interval)
+            and current.window == int(window)
+            and (registry is None or registry is current.registry)
+        ):
+            if start:
+                current.start()
+            return current
+        if current is not None:
+            current.stop()
+        history = MetricsHistory(
+            registry=registry, interval=interval, window=window
+        )
+        _GLOBAL_HISTORY = history
+        if start:
+            history.start()
+        return history
+
+
+def disable_history() -> None:
+    global _GLOBAL_HISTORY
+    with _GLOBAL_LOCK:
+        if _GLOBAL_HISTORY is not None:
+            _GLOBAL_HISTORY.stop()
+            _GLOBAL_HISTORY = None
+
+
+def current_history() -> Optional[MetricsHistory]:
+    return _GLOBAL_HISTORY

@@ -1,0 +1,395 @@
+"""Structured, trace-correlated logging — the third leg of the obs tier.
+
+Design mirrors :mod:`repro.obs.trace` deliberately:
+
+* a :class:`LogRecord` is a JSON-stable dict of ``ts/level/logger/
+  message/attrs`` plus the active ``{trace_id, span_id}`` (read from the
+  tracing context-var at emit time) and host ``pid/tid/thread`` — so a
+  ``/logs?trace_id=`` query lines up exactly with ``/trace/{id}``;
+* records land in a bounded, thread-safe :class:`LogBuffer` ring
+  (drops oldest, never grows), optionally teeing every record to a JSONL
+  sink for offline analysis;
+* process workers log into a **private** buffer (:func:`capturing`) and
+  ship the records home as dicts next to their spans
+  (:meth:`LogBuffer.ingest`), so one request's logs span many pids;
+* when logging is **unconfigured** (library/CLI default), emitting keeps
+  the old behaviour: one human-readable line on stderr for INFO and
+  above, nothing retained.  ``logger.debug`` is then two attribute reads
+  and a compare — the hot paths stay instrumented at negligible cost.
+
+Configured mode (the service path) retains everything at or above the
+buffer level and echoes at or above the (independent) echo level, so a
+quiet stderr and a complete in-memory ring coexist.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Union
+
+from .trace import current_context
+
+__all__ = [
+    "DEBUG",
+    "INFO",
+    "WARNING",
+    "ERROR",
+    "LogBuffer",
+    "LogRecord",
+    "Logger",
+    "capturing",
+    "configure_logging",
+    "current_log_buffer",
+    "disable_logging",
+    "get_logger",
+    "logging_configured",
+    "parse_level",
+]
+
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+
+_LEVEL_NAMES = {DEBUG: "DEBUG", INFO: "INFO", WARNING: "WARNING", ERROR: "ERROR"}
+_NAME_LEVELS = {name.lower(): level for level, name in _LEVEL_NAMES.items()}
+
+
+def parse_level(level: Union[int, str, None], default: int = INFO) -> int:
+    """``"info"``/``20``/``None`` -> a numeric level (``None`` -> default)."""
+    if level is None:
+        return default
+    if isinstance(level, int):
+        return level
+    try:
+        return _NAME_LEVELS[str(level).strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of "
+            f"{sorted(_NAME_LEVELS)}"
+        ) from None
+
+
+def level_name(level: int) -> str:
+    return _LEVEL_NAMES.get(level, str(level))
+
+
+class LogRecord:
+    """One structured log record, trace-correlated and JSON-stable."""
+
+    __slots__ = (
+        "ts",
+        "level",
+        "logger",
+        "message",
+        "attrs",
+        "trace_id",
+        "span_id",
+        "pid",
+        "tid",
+        "thread",
+    )
+
+    def __init__(
+        self,
+        ts: float,
+        level: int,
+        logger: str,
+        message: str,
+        attrs: Dict,
+        trace_id: Optional[str],
+        span_id: Optional[str],
+        pid: int,
+        tid: int,
+        thread: str,
+    ):
+        self.ts = ts
+        self.level = level
+        self.logger = logger
+        self.message = message
+        self.attrs = attrs
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.pid = pid
+        self.tid = tid
+        self.thread = thread
+
+    def as_dict(self) -> Dict:
+        """JSON/pickle-stable form (what process workers ship home)."""
+        return {
+            "ts": self.ts,
+            "level": self.level,
+            "level_name": level_name(self.level),
+            "logger": self.logger,
+            "message": self.message,
+            "attrs": dict(self.attrs),
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "pid": self.pid,
+            "tid": self.tid,
+            "thread": self.thread,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "LogRecord":
+        return cls(
+            ts=float(payload["ts"]),
+            level=int(payload["level"]),
+            logger=str(payload.get("logger", "")),
+            message=str(payload.get("message", "")),
+            attrs=dict(payload.get("attrs") or {}),
+            trace_id=payload.get("trace_id"),
+            span_id=payload.get("span_id"),
+            pid=int(payload.get("pid", 0)),
+            tid=int(payload.get("tid", 0)),
+            thread=str(payload.get("thread", "")),
+        )
+
+    def format_line(self) -> str:
+        """The human-readable stderr form."""
+        stamp = time.strftime("%H:%M:%S", time.localtime(self.ts))
+        extras = " ".join(
+            f"{key}={value}" for key, value in self.attrs.items()
+        )
+        parts = [
+            stamp,
+            f"{level_name(self.level):<7}",
+            f"{self.logger}:",
+            self.message,
+        ]
+        if extras:
+            parts.append(extras)
+        if self.trace_id:
+            parts.append(f"trace={self.trace_id[:8]}")
+        return " ".join(parts)
+
+
+class LogBuffer:
+    """Thread-safe bounded ring of records (drops oldest, never grows)."""
+
+    def __init__(self, max_records: int = 10_000):
+        if max_records < 1:
+            raise ValueError(
+                f"max_records must be >= 1, got {max_records}"
+            )
+        self.max_records = int(max_records)
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._records: Deque[LogRecord] = deque(maxlen=self.max_records)
+
+    def add(self, record: LogRecord) -> None:
+        with self._lock:
+            if len(self._records) == self.max_records:
+                self.dropped += 1
+            self._records.append(record)
+
+    def ingest(self, payloads: Iterable[Mapping]) -> int:
+        """Adopt records shipped from another process (dict form)."""
+        count = 0
+        for payload in payloads:
+            self.add(LogRecord.from_dict(payload))
+            count += 1
+        return count
+
+    def records(
+        self,
+        level: Union[int, str, None] = None,
+        trace_id: Optional[str] = None,
+        logger: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[LogRecord]:
+        """Newest-last filtered view; ``limit`` keeps the newest N."""
+        minimum = parse_level(level, default=0)
+        with self._lock:
+            records = list(self._records)
+        out = [
+            r
+            for r in records
+            if r.level >= minimum
+            and (trace_id is None or r.trace_id == trace_id)
+            and (logger is None or r.logger == logger)
+        ]
+        if limit is not None and limit >= 0:
+            out = out[-limit:]
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+class _LogConfig:
+    """The installed sink set: ring + thresholds + optional JSONL tee."""
+
+    __slots__ = ("buffer", "level", "echo_level", "jsonl_path", "_jsonl_lock")
+
+    def __init__(
+        self,
+        buffer: LogBuffer,
+        level: int,
+        echo_level: Optional[int],
+        jsonl_path: Optional[str],
+    ):
+        self.buffer = buffer
+        self.level = level
+        self.echo_level = echo_level
+        self.jsonl_path = jsonl_path
+        self._jsonl_lock = threading.Lock()
+
+    def emit(self, record: LogRecord) -> None:
+        if record.level < self.level:
+            return
+        self.buffer.add(record)
+        if self.jsonl_path is not None:
+            line = json.dumps(record.as_dict(), default=str)
+            try:
+                with self._jsonl_lock, open(
+                    self.jsonl_path, "a", encoding="utf-8"
+                ) as sink:
+                    sink.write(line + "\n")
+            except OSError:
+                pass
+        if (
+            self.echo_level is not None
+            and record.level >= self.echo_level
+        ):
+            print(record.format_line(), file=sys.stderr)
+
+
+#: ``None`` means unconfigured: INFO+ falls through to stderr, nothing
+#: is retained.  Mirrors the tracing layer's ``_COLLECTOR`` global.
+_CONFIG: Optional[_LogConfig] = None
+
+
+def logging_configured() -> bool:
+    return _CONFIG is not None
+
+
+def current_log_buffer() -> Optional[LogBuffer]:
+    config = _CONFIG
+    return None if config is None else config.buffer
+
+
+def configure_logging(
+    buffer: Optional[LogBuffer] = None,
+    level: Union[int, str] = DEBUG,
+    echo: Union[int, str, None] = INFO,
+    jsonl_path: Optional[str] = None,
+) -> LogBuffer:
+    """Install the process-wide log sink; returns its ring buffer.
+
+    ``level`` gates what the ring (and JSONL sink) retain; ``echo``
+    independently gates the human-readable stderr line (``None``
+    silences stderr entirely).
+    """
+    global _CONFIG
+    if buffer is None:
+        buffer = LogBuffer()
+    _CONFIG = _LogConfig(
+        buffer=buffer,
+        level=parse_level(level, default=DEBUG),
+        echo_level=None if echo is None else parse_level(echo),
+        jsonl_path=jsonl_path,
+    )
+    return buffer
+
+
+def disable_logging() -> None:
+    global _CONFIG
+    _CONFIG = None
+
+
+@contextmanager
+def capturing(
+    buffer: LogBuffer,
+    level: Union[int, str] = DEBUG,
+    echo: Union[int, str, None] = None,
+):
+    """Temporarily install ``buffer`` (worker processes, tests)."""
+    global _CONFIG
+    previous = _CONFIG
+    _CONFIG = _LogConfig(
+        buffer=buffer,
+        level=parse_level(level, default=DEBUG),
+        echo_level=None if echo is None else parse_level(echo),
+        jsonl_path=None,
+    )
+    try:
+        yield buffer
+    finally:
+        _CONFIG = previous
+
+
+class Logger:
+    """A named emitter; cheap enough to call on hot paths."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _log(self, level: int, message: str, attrs: Dict) -> None:
+        config = _CONFIG
+        if config is None:
+            # Unconfigured: keep the one human-readable line on stderr
+            # for INFO and above (library/CLI default behaviour).
+            if level < INFO:
+                return
+        elif level < config.level and (
+            config.echo_level is None or level < config.echo_level
+        ):
+            return
+        context = current_context()
+        thread = threading.current_thread()
+        record = LogRecord(
+            ts=time.time(),
+            level=level,
+            logger=self.name,
+            message=message,
+            attrs=attrs,
+            trace_id=None if context is None else context.trace_id,
+            span_id=None if context is None else context.span_id,
+            pid=os.getpid(),
+            tid=thread.ident or 0,
+            thread=thread.name,
+        )
+        if config is None:
+            print(record.format_line(), file=sys.stderr)
+        else:
+            config.emit(record)
+
+    def debug(self, message: str, **attrs) -> None:
+        self._log(DEBUG, message, attrs)
+
+    def info(self, message: str, **attrs) -> None:
+        self._log(INFO, message, attrs)
+
+    def warning(self, message: str, **attrs) -> None:
+        self._log(WARNING, message, attrs)
+
+    def error(self, message: str, **attrs) -> None:
+        self._log(ERROR, message, attrs)
+
+
+_LOGGERS: Dict[str, Logger] = {}
+_LOGGERS_LOCK = threading.Lock()
+
+
+def get_logger(name: str) -> Logger:
+    with _LOGGERS_LOCK:
+        logger = _LOGGERS.get(name)
+        if logger is None:
+            logger = Logger(name)
+            _LOGGERS[name] = logger
+        return logger

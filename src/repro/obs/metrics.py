@@ -101,6 +101,16 @@ class _Metric:
             f"# TYPE {self.name} {self.kind}",
         ]
 
+    def snapshot(self) -> Dict[Tuple[str, ...], float]:
+        """Point-in-time scalar value per label key (history sampler API).
+
+        Counters and gauges yield their value; histograms override this
+        to yield ``(count, sum)`` pairs so rates and means can be derived
+        from consecutive samples without keeping every observation.
+        """
+        with self._lock:
+            return {key: float(v) for key, v in self._samples.items()}
+
 
 class Counter(_Metric):
     """A monotonically increasing counter, optionally labelled."""
@@ -213,6 +223,13 @@ class Histogram(_Metric):
             state = self._samples.get(self._key(labels))
             return float(state[1]) if state else 0.0
 
+    def snapshot(self) -> Dict[Tuple[str, ...], Tuple[int, float]]:
+        with self._lock:
+            return {
+                key: (int(state[2]), float(state[1]))
+                for key, state in self._samples.items()
+            }
+
     def render(self) -> List[str]:
         lines = self.header()
         with self._lock:
@@ -297,6 +314,24 @@ class MetricsRegistry:
         for metric in metrics:
             lines.extend(metric.render())
         return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> Dict[str, dict]:
+        """One point-in-time view of every metric, for the history tier.
+
+        Maps metric name to ``{"kind", "labelnames", "samples"}`` where
+        ``samples`` maps each label-value tuple to the metric's scalar
+        value — ``(count, sum)`` for histograms.
+        """
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return {
+            metric.name: {
+                "kind": metric.kind,
+                "labelnames": metric.labelnames,
+                "samples": metric.snapshot(),
+            }
+            for metric in metrics
+        }
 
 
 #: The process-wide registry ``GET /metrics`` renders.

@@ -1,0 +1,204 @@
+"""Sampling wall-clock profiler: folded stacks from ``sys._current_frames``.
+
+Deterministic profilers (``cProfile``) tax every function call — useless
+against a hot bitset kernel whose inner loops are numpy calls.  A
+sampling profiler costs only its sampling ticks: a daemon thread wakes
+every ``interval`` seconds, snapshots every thread's current Python
+frame stack via ``sys._current_frames()``, and folds each stack into a
+``file.py:func;file.py:func;...`` -> count aggregate (root first, the
+flamegraph.pl / speedscope input format).  Overhead is proportional to
+the sampling rate, not the profiled code's call rate, and zero when no
+profiler is running.
+
+Safety: ``sys._current_frames()`` returns a point-in-time dict of frame
+objects; we walk ``f_back`` chains immediately and keep only strings, so
+no frame (and nothing it references) outlives the tick.  The sampler
+excludes its own thread.  GIL rotation means samples land preferentially
+on threads actually holding the interpreter — which is exactly the
+wall-clock attribution wanted for pure-Python time, while long native
+sections (numpy sweeps) appear as time charged to the calling line.
+
+``POST /profile`` runs one of these inside the worker process that owns
+a shard (results shipped home like spans); jobs can attach one for their
+whole execution.  Both render through :meth:`SamplingProfiler.as_dict`:
+folded stacks for flamegraph tooling plus a top-N text view.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["SamplingProfiler", "profile_for", "top_view"]
+
+
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    return f"{os.path.basename(code.co_filename)}:{code.co_name}"
+
+
+class SamplingProfiler:
+    """Aggregating stack sampler; use as a context manager or start/stop.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between sampling ticks (default 5 ms).
+    max_stacks:
+        Cap on distinct folded stacks retained (new stacks beyond the
+        cap are folded into ``"(other)"`` so memory stays bounded).
+    """
+
+    def __init__(self, interval: float = 0.005, max_stacks: int = 10_000):
+        if interval <= 0:
+            raise ValueError("profiler interval must be positive")
+        self.interval = float(interval)
+        self.max_stacks = int(max_stacks)
+        self._counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = 0.0
+        self.samples = 0
+        self.duration = 0.0
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def _sample(self, own_tid: int) -> None:
+        frames = sys._current_frames()
+        ticks: List[str] = []
+        for tid, frame in frames.items():
+            if tid == own_tid:
+                continue
+            stack: List[str] = []
+            while frame is not None:
+                stack.append(_frame_label(frame))
+                frame = frame.f_back
+            if stack:
+                stack.reverse()
+                ticks.append(";".join(stack))
+        del frames
+        with self._lock:
+            for key in ticks:
+                if (
+                    key not in self._counts
+                    and len(self._counts) >= self.max_stacks
+                ):
+                    key = "(other)"
+                self._counts[key] = self._counts.get(key, 0) + 1
+            self.samples += 1
+
+    def _run(self) -> None:
+        own_tid = threading.get_ident()
+        while not self._stop.wait(self.interval):
+            try:
+                self._sample(own_tid)
+            except Exception:  # noqa: BLE001 - profiler must never crash host
+                pass
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="sampling-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=2.0)
+            self._thread = None
+        if self._started_at:
+            self.duration = time.perf_counter() - self._started_at
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def folded(self) -> Dict[str, int]:
+        """``stack -> samples`` aggregate (stack is root-first, ;-joined)."""
+        with self._lock:
+            return dict(self._counts)
+
+    def folded_text(self) -> str:
+        """The flamegraph.pl input: one ``stack count`` line per stack."""
+        folded = self.folded()
+        lines = [
+            f"{stack} {count}"
+            for stack, count in sorted(
+                folded.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+        return "\n".join(lines)
+
+    def top(self, n: int = 15) -> str:
+        return top_view(self.folded(), self.samples, n)
+
+    def as_dict(self, top_n: int = 15) -> dict:
+        """The ``POST /profile`` result payload."""
+        return {
+            "interval": self.interval,
+            "samples": self.samples,
+            "duration": round(self.duration, 6),
+            "pid": os.getpid(),
+            "folded": self.folded(),
+            "top": self.top(top_n),
+        }
+
+
+def top_view(folded: Dict[str, int], samples: int, n: int = 15) -> str:
+    """A ``top(1)``-style text table from a folded aggregate.
+
+    ``self`` charges a sample to its leaf frame; ``total`` to every
+    frame on the stack (so parents accumulate their children).
+    """
+    self_counts: Dict[str, int] = {}
+    total_counts: Dict[str, int] = {}
+    for stack, count in folded.items():
+        frames = stack.split(";")
+        self_counts[frames[-1]] = self_counts.get(frames[-1], 0) + count
+        for frame in set(frames):
+            total_counts[frame] = total_counts.get(frame, 0) + count
+    rows = sorted(
+        self_counts.items(), key=lambda item: (-item[1], item[0])
+    )[:n]
+    denominator = max(1, samples)
+    lines = [f"{'self%':>7} {'total%':>7} {'samples':>8}  frame"]
+    for frame, self_count in rows:
+        total = total_counts.get(frame, self_count)
+        lines.append(
+            f"{100.0 * self_count / denominator:6.1f}% "
+            f"{100.0 * total / denominator:6.1f}% "
+            f"{self_count:8d}  {frame}"
+        )
+    return "\n".join(lines)
+
+
+def profile_for(
+    seconds: float, interval: float = 0.005, max_stacks: int = 10_000
+) -> SamplingProfiler:
+    """Run a profiler for ``seconds`` of wall time, synchronously.
+
+    The calling thread sleeps (and is itself sampled doing so); whatever
+    the process's other threads do during the window is what shows up.
+    """
+    profiler = SamplingProfiler(interval=interval, max_stacks=max_stacks)
+    profiler.start()
+    time.sleep(max(0.0, float(seconds)))
+    return profiler.stop()

@@ -1,0 +1,132 @@
+"""Per-job resource accounting: RSS, CPU time and lane-MB deltas.
+
+A long-lived service wants to answer "what did that job *cost*", not
+just how long it took.  :class:`ResourceProbe` snapshots three cheap
+process-level signals at construction and reports deltas on demand:
+
+* **CPU seconds** — ``resource.getrusage`` user+system time (falls back
+  to ``time.process_time`` off-POSIX), so a job that burned four cores
+  for a second reports ~4 s against ~1 s of wall time;
+* **RSS bytes** — resident set size from ``/proc/self/statm`` (falls
+  back to peak ``ru_maxrss``), so allocation-heavy jobs stand out even
+  after numpy frees its temporaries;
+* **lane bytes** — a process-global counter the bitset kernel feeds
+  with the estimated working-set bytes of every sweep chunk (the same
+  per-lane model the campaign executor's ``--max-lane-mb`` budget uses),
+  giving a backend-level "how much mask memory did this job stream"
+  figure that RSS alone can't show.
+
+The job queue wraps each attempt in a probe and folds the deltas into
+job status JSON plus the ``repro_job_cpu_seconds_total`` /
+``repro_job_lane_mb_total`` metrics; the campaign executor does the
+same per block.  Probes are allocation-free after construction and safe
+to nest.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Optional
+
+__all__ = [
+    "ResourceProbe",
+    "add_lane_bytes",
+    "lane_bytes_total",
+    "process_cpu_seconds",
+    "process_rss_bytes",
+]
+
+try:  # POSIX only; Windows falls back to time.process_time / 0 RSS.
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX
+    _resource = None
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def process_cpu_seconds() -> float:
+    """User+system CPU seconds consumed by this process so far."""
+    if _resource is not None:
+        usage = _resource.getrusage(_resource.RUSAGE_SELF)
+        return usage.ru_utime + usage.ru_stime
+    return time.process_time()  # pragma: no cover - non-POSIX
+
+
+def process_rss_bytes() -> int:
+    """Current resident set size in bytes (0 if unknowable)."""
+    try:
+        with open("/proc/self/statm", "rb") as statm:
+            fields = statm.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        pass
+    if _resource is not None:  # pragma: no cover - non-/proc POSIX
+        # ru_maxrss is the peak, in KiB on Linux — better than nothing.
+        return _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss * 1024
+    return 0  # pragma: no cover - non-POSIX
+
+
+# ---------------------------------------------------------------------------
+# lane-byte accounting (fed by the bitset kernel)
+# ---------------------------------------------------------------------------
+_LANE_LOCK = threading.Lock()
+_LANE_BYTES = 0
+
+
+def add_lane_bytes(n: int) -> None:
+    """Charge ``n`` estimated working-set bytes of lane masks (kernel)."""
+    global _LANE_BYTES
+    with _LANE_LOCK:
+        _LANE_BYTES += int(n)
+
+
+def lane_bytes_total() -> int:
+    with _LANE_LOCK:
+        return _LANE_BYTES
+
+
+class ResourceProbe:
+    """Deltas of CPU / RSS / lane bytes / wall time since construction."""
+
+    __slots__ = ("_wall", "_cpu", "_rss", "_lane_bytes")
+
+    def __init__(self):
+        self._wall = time.perf_counter()
+        self._cpu = process_cpu_seconds()
+        self._rss = process_rss_bytes()
+        self._lane_bytes = lane_bytes_total()
+
+    def delta(self) -> dict:
+        """The accounting record job status embeds (all deltas >= 0
+        except RSS, which legitimately goes negative when a job's
+        completion frees more than it allocated)."""
+        lane_bytes = lane_bytes_total() - self._lane_bytes
+        return {
+            "wall_seconds": round(time.perf_counter() - self._wall, 6),
+            "cpu_seconds": round(
+                max(0.0, process_cpu_seconds() - self._cpu), 6
+            ),
+            "rss_delta_bytes": process_rss_bytes() - self._rss,
+            "lane_mb": round(lane_bytes / (1024 * 1024), 3),
+        }
+
+    @staticmethod
+    def merge(deltas) -> Optional[dict]:
+        """Sum several delta records (campaign blocks -> one job figure)."""
+        deltas = [d for d in deltas if d]
+        if not deltas:
+            return None
+        return {
+            "wall_seconds": round(
+                sum(d.get("wall_seconds", 0.0) for d in deltas), 6
+            ),
+            "cpu_seconds": round(
+                sum(d.get("cpu_seconds", 0.0) for d in deltas), 6
+            ),
+            "rss_delta_bytes": sum(
+                d.get("rss_delta_bytes", 0) for d in deltas
+            ),
+            "lane_mb": round(sum(d.get("lane_mb", 0.0) for d in deltas), 3),
+        }

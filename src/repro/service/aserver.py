@@ -31,10 +31,13 @@ import json
 import signal
 import threading
 import time
+import urllib.parse
 from typing import Dict, Optional, Tuple
 
 from .. import __version__
 from ..errors import ReproError
+from ..obs.dashboard import dashboard_html
+from ..obs.log import get_logger
 from ..obs.trace import new_trace_id, root_span
 from .server import (
     DEFAULT_HOST,
@@ -51,6 +54,8 @@ __all__ = [
 
 _MAX_HEADERS = 100
 _MAX_BODY = 128 * 1024 * 1024
+
+_log = get_logger("aserver")
 
 _REASONS = {
     200: "OK",
@@ -191,7 +196,12 @@ class AsyncServiceServer:
     # -- routing (mirrors the threaded handler byte-for-byte) ------------
     async def _route(self, method, target, headers, body):
         started = time.perf_counter()
-        path = target.split("?", 1)[0].rstrip("/") or "/"
+        raw_path, _, raw_query = target.partition("?")
+        path = raw_path.rstrip("/") or "/"
+        query = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(raw_query).items()
+        }
         header_id = (headers.get("x-trace-id") or "").strip()
         trace_id = header_id[:64] if header_id else new_trace_id()
         route, status = path, 500
@@ -205,7 +215,7 @@ class AsyncServiceServer:
         ) as request_span:
             try:
                 route, status, payload = await self._handle(
-                    method, path, body
+                    method, path, query, body
                 )
             except NotFoundError as exc:
                 status, error = 404, str(exc)
@@ -225,8 +235,16 @@ class AsyncServiceServer:
                 service._m_request_seconds.observe(
                     time.perf_counter() - started, path=route
                 )
-        if self.verbose:
-            print(f"[aserver] {method} {path} -> {status}", flush=True)
+                # Structured replacement for the old "[aserver] GET /x
+                # -> 200" print; --verbose raises it to INFO (echoed on
+                # stderr when logging is configured).
+                (_log.info if self.verbose else _log.debug)(
+                    "request",
+                    method=method,
+                    path=route,
+                    status=status,
+                    seconds=round(time.perf_counter() - started, 6),
+                )
         if error is not None:
             payload = {"error": error, "trace_id": trace_id}
         return status, payload, trace_id
@@ -242,7 +260,7 @@ class AsyncServiceServer:
             raise ReproError("request body must be a JSON object")
         return payload
 
-    async def _handle(self, method, path, body):
+    async def _handle(self, method, path, query, body):
         """Returns (normalized route, status, payload)."""
         service = self.service
         loop = asyncio.get_running_loop()
@@ -252,6 +270,28 @@ class AsyncServiceServer:
             return path, 200, service.version()
         if method == "GET" and path == "/metrics":
             return path, 200, service.metrics.render()
+        if method == "GET" and path == "/metrics/history":
+            points = query.get("points")
+            return path, 200, service.metrics_history(
+                name=query.get("name") or None,
+                points=int(points) if points else None,
+            )
+        if method == "GET" and path == "/logs":
+            limit = query.get("limit")
+            return path, 200, service.logs(
+                level=query.get("level") or None,
+                trace_id=query.get("trace_id") or None,
+                logger=query.get("logger") or None,
+                limit=int(limit) if limit else 200,
+            )
+        if method == "POST" and path == "/profile":
+            # Blocks for the sampling window (service) or on the worker
+            # future — always off-loop.
+            payload = self._json_body(body)
+            result = await _off_loop(loop, service.profile, payload)
+            return path, 200, result
+        if method == "GET" and path == "/dashboard":
+            return path, 200, ("text/html; charset=utf-8", dashboard_html())
         if method == "GET" and path.startswith("/trace/"):
             trace_id = path[len("/trace/") :]
             if "/" not in trace_id:
@@ -301,6 +341,10 @@ class AsyncServiceServer:
         if isinstance(payload, str):
             body = payload.encode("utf-8")
             content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif isinstance(payload, tuple):
+            # (content_type, text) — the dashboard's HTML response.
+            content_type, text = payload
+            body = text.encode("utf-8")
         else:
             body = json.dumps(payload).encode("utf-8")
             content_type = "application/json"
@@ -347,11 +391,14 @@ async def _serve_async(
         workers = (
             service.pool.n_workers if service.pool is not None else 0
         )
-        print(
-            f"repro-rsn service (async, {workers} shard workers) "
-            f"listening on http://{server.host}:{server.port} "
-            f"(cache: {service.cache_dir or 'disabled'})",
-            flush=True,
+        # Structured when logging is configured (service __init__ does
+        # that), one human-readable stderr line otherwise.
+        service.log.info(
+            "service listening",
+            frontend="async",
+            shard_workers=workers,
+            url=f"http://{server.host}:{server.port}",
+            cache=service.cache_dir or "disabled",
         )
     try:
         await stop.wait()

@@ -18,20 +18,33 @@ from __future__ import annotations
 import json
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.faults import Fault, fault_to_dict
 from ..errors import ReproError
+from ..obs.trace import current_context
 
 __all__ = ["ServiceClient", "ServiceClientError"]
 
 
 class ServiceClientError(ReproError):
-    """An HTTP error response from the service (carries the status)."""
+    """An HTTP error response from the service.
 
-    def __init__(self, message: str, status: Optional[int] = None):
+    Carries the HTTP ``status`` and, when the server (or the request)
+    supplied one, the ``trace_id`` — so a client-side failure can be
+    looked up in the server's ``/logs?trace_id=`` and ``/trace/{id}``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        trace_id: Optional[str] = None,
+    ):
         self.status = status
+        self.trace_id = trace_id
         super().__init__(message)
 
 
@@ -110,6 +123,13 @@ class ServiceClient:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
+        if not trace_id:
+            # An active client-side trace propagates automatically, so
+            # server spans/logs join the caller's trace without every
+            # call site threading the id through.
+            context = current_context()
+            if context is not None:
+                trace_id = context.trace_id
         if trace_id:
             headers["X-Trace-Id"] = trace_id
         if payload is not None:
@@ -127,16 +147,26 @@ class ServiceClient:
                 self.last_trace_id = response.headers.get("X-Trace-Id")
         except urllib.error.HTTPError as exc:
             detail = ""
+            error_trace_id = exc.headers.get("X-Trace-Id") or trace_id
             try:
-                detail = json.loads(exc.read().decode("utf-8")).get(
-                    "error", ""
+                body_json = json.loads(exc.read().decode("utf-8"))
+                detail = body_json.get("error", "")
+                error_trace_id = (
+                    body_json.get("trace_id") or error_trace_id
                 )
             except Exception:
                 pass
+            self.last_trace_id = error_trace_id
             raise ServiceClientError(
                 f"{method} {path} failed with HTTP {exc.code}"
-                + (f": {detail}" if detail else ""),
+                + (f": {detail}" if detail else "")
+                + (
+                    f" [trace {error_trace_id}]"
+                    if error_trace_id
+                    else ""
+                ),
                 status=exc.code,
+                trace_id=error_trace_id,
             ) from None
         except urllib.error.URLError as exc:
             # Chained (not suppressed): the retry loop inspects the
@@ -297,6 +327,70 @@ class ServiceClient:
     ) -> Dict:
         """The server-side Chrome trace document for one trace id."""
         return self._request("GET", f"/trace/{trace_id}", timeout=timeout)
+
+    # -- telemetry --------------------------------------------------------
+    def metrics_history(
+        self,
+        name: Optional[str] = None,
+        points: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict:
+        """Ring-buffer time series from the server's history sampler."""
+        query = []
+        if name:
+            query.append(f"name={urllib.parse.quote(name)}")
+        if points is not None:
+            query.append(f"points={int(points)}")
+        path = "/metrics/history" + ("?" + "&".join(query) if query else "")
+        return self._request("GET", path, timeout=timeout)
+
+    def logs(
+        self,
+        level: Optional[str] = None,
+        trace_id: Optional[str] = None,
+        limit: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict:
+        """The server's recent structured log records, filtered."""
+        query = []
+        if level:
+            query.append(f"level={urllib.parse.quote(str(level))}")
+        if trace_id:
+            query.append(f"trace_id={urllib.parse.quote(trace_id)}")
+        if limit is not None:
+            query.append(f"limit={int(limit)}")
+        path = "/logs" + ("?" + "&".join(query) if query else "")
+        return self._request("GET", path, timeout=timeout)
+
+    def profile(
+        self,
+        seconds: float = 0.5,
+        interval: float = 0.005,
+        fingerprint: Optional[str] = None,
+        worker: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict:
+        """Run the sampling profiler server-side; returns folded stacks.
+
+        With a ``fingerprint`` (and a sharded server) the profile runs
+        inside the worker owning that shard; otherwise it samples the
+        front-end process.
+        """
+        payload: Dict = {"seconds": seconds, "interval": interval}
+        if fingerprint is not None:
+            payload["fingerprint"] = fingerprint
+        if worker is not None:
+            payload["worker"] = worker
+        return self._request(
+            "POST",
+            "/profile",
+            payload,
+            timeout=timeout if timeout is not None else seconds + 30.0,
+        )
+
+    def dashboard(self, timeout: Optional[float] = None) -> str:
+        """The self-contained HTML dashboard page."""
+        return self._request("GET", "/dashboard", timeout=timeout)
 
     def wait_ready(self, timeout: float = 10.0) -> Dict:
         """Poll ``/healthz`` until the server answers (startup helper)."""

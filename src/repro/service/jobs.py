@@ -37,6 +37,7 @@ from queue import Empty, Queue
 from typing import Callable, Dict, List, Optional
 
 from ..errors import ReproError
+from ..obs.resources import ResourceProbe
 from ..obs.trace import current_carrier, span, use_carrier
 
 __all__ = [
@@ -88,6 +89,12 @@ class Job:
         #: (campaign jobs wire their block executor here); ``None`` for
         #: handlers that never report.
         self.progress: Optional[float] = None
+        #: Resource deltas (cpu_seconds / rss_delta_bytes / lane_mb /
+        #: wall_seconds) measured across the job's run; ``None`` until
+        #: the job reaches a terminal state.  Attribution is per-process:
+        #: concurrent jobs see overlapping CPU and lane traffic.
+        self.resources: Optional[Dict] = None
+        self._probe: Optional[ResourceProbe] = None
         # Captured at submit time (the HTTP request thread): worker and
         # attempt threads re-attach it so job spans join the submitter's
         # trace.
@@ -136,6 +143,7 @@ class Job:
             "attempts": self.attempts,
             "progress": self.progress,
             "error": self.error,
+            "resources": self.resources,
             "result": self.result if self.done else None,
             "created_at": self.created_at,
             "started_at": self.started_at,
@@ -148,6 +156,8 @@ class Job:
         with self._lock:
             if self.status in JobStatus.TERMINAL:
                 return
+            if self._probe is not None:
+                self.resources = self._probe.delta()
             self.status = status
             self.result = result
             self.error = error
@@ -325,6 +335,7 @@ class JobQueue:
                 return  # cancelled between the backlog check and here
             job.status = JobStatus.RUNNING
         job.started_at = time.time()
+        job._probe = ResourceProbe()
         self._emit(job, "started")
         # Re-attach the submitter's trace on this worker thread; the
         # job.run span then covers queue wait-free runtime including all

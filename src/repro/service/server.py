@@ -22,6 +22,10 @@ DELETE   /jobs/<id>         cancel a job
 POST     /damage            synchronous coalesced fault-damage query
 GET      /healthz           liveness + versions + job counts
 GET      /metrics           Prometheus text exposition
+GET      /metrics/history   ring-buffer time series (?name=&points=)
+GET      /logs              structured log tail (?level=&trace_id=&limit=)
+POST     /profile           sampling profile (service or shard worker)
+GET      /dashboard         self-contained live HTML dashboard
 =======  =================  ==============================================
 
 Analyze jobs run through :class:`repro.analysis.CriticalityEngine` with
@@ -39,6 +43,7 @@ import os
 import signal
 import threading
 import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 
@@ -51,8 +56,17 @@ from ..analysis.engine import (
 from ..analysis.faults import fault_from_dict
 from ..errors import ReproError
 from ..ir import IR_VERSION
+from ..obs.dashboard import dashboard_html
 from ..obs.export import chrome_trace_events
+from ..obs.history import MetricsHistory
+from ..obs.log import (
+    configure_logging,
+    current_log_buffer,
+    get_logger,
+    logging_configured,
+)
 from ..obs.metrics import global_registry
+from ..obs.profile import profile_for
 from ..obs.trace import (
     current_carrier,
     current_collector,
@@ -110,6 +124,12 @@ class AnalysisService:
         shards: Optional[int] = None,
         prefer_shm: bool = True,
         start_method: Optional[str] = None,
+        history_interval: float = 1.0,
+        history_window: int = 300,
+        log_level: str = "debug",
+        log_echo: str = "info",
+        log_jsonl: Optional[str] = None,
+        profile_max_seconds: float = 30.0,
     ):
         self.cache_dir = (
             None
@@ -125,6 +145,24 @@ class AnalysisService:
         self.metrics = global_registry()
         if tracing and not tracing_enabled():
             enable_tracing()
+        # Structured logging: install the process-wide ring unless the
+        # host already configured one (tests, embedding applications).
+        # Worker-shipped records land in this buffer too.
+        if not logging_configured():
+            configure_logging(
+                level=log_level, echo=log_echo, jsonl_path=log_jsonl
+            )
+        self.log = get_logger("service")
+        self.profile_max_seconds = float(profile_max_seconds)
+        # Metrics history: a background sampler snapshotting the whole
+        # registry into bounded ring buffers (interval 0 disables).
+        self.history: Optional[MetricsHistory] = None
+        if history_interval and history_interval > 0:
+            self.history = MetricsHistory(
+                registry=self.metrics,
+                interval=history_interval,
+                window=history_window,
+            ).start()
         m = self.metrics
         self._m_requests = m.counter(
             "repro_http_requests_total",
@@ -144,6 +182,16 @@ class AnalysisService:
         self._m_job_seconds = m.histogram(
             "repro_job_seconds",
             "Job runtime from start to terminal state, by kind.",
+            ("kind",),
+        )
+        self._m_job_cpu = m.counter(
+            "repro_job_cpu_seconds_total",
+            "CPU seconds charged to finished jobs, by kind.",
+            ("kind",),
+        )
+        self._m_job_lane_mb = m.counter(
+            "repro_job_lane_mb_total",
+            "Lane-mask working-set MB streamed by finished jobs, by kind.",
             ("kind",),
         )
         self._m_queue_depth = m.gauge(
@@ -215,6 +263,16 @@ class AnalysisService:
             runtime = job.runtime_seconds
             if runtime is not None:
                 self._m_job_seconds.observe(runtime, kind=job.kind)
+            resources = job.resources
+            if resources:
+                self._m_job_cpu.inc(
+                    max(0.0, resources.get("cpu_seconds", 0.0)),
+                    kind=job.kind,
+                )
+                self._m_job_lane_mb.inc(
+                    max(0.0, resources.get("lane_mb", 0.0)),
+                    kind=job.kind,
+                )
 
     def _batch_event(self, occupancy: int, lanes: int, age: float) -> None:
         self._m_batch_occupancy.observe(occupancy)
@@ -611,6 +669,82 @@ class AnalysisService:
             raise NotFoundError(f"no spans recorded for trace {trace_id!r}")
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
+    def metrics_history(
+        self,
+        name: Optional[str] = None,
+        points: Optional[int] = None,
+    ) -> Dict:
+        """Ring-buffer time series for ``GET /metrics/history``."""
+        if self.history is None:
+            raise NotFoundError(
+                "metrics history is disabled "
+                "(start the service with history_interval > 0)"
+            )
+        return self.history.as_dict(name=name, points=points)
+
+    def logs(
+        self,
+        level: Optional[str] = None,
+        trace_id: Optional[str] = None,
+        logger: Optional[str] = None,
+        limit: int = 200,
+    ) -> Dict:
+        """Filtered tail of the structured log ring (``GET /logs``)."""
+        buffer = current_log_buffer()
+        if buffer is None:
+            raise NotFoundError("structured logging is not configured")
+        records = buffer.records(
+            level=level, trace_id=trace_id, logger=logger, limit=limit
+        )
+        return {
+            "records": [record.as_dict() for record in records],
+            "dropped": buffer.dropped,
+            "retained": len(buffer),
+        }
+
+    def profile(self, payload: Optional[Dict] = None) -> Dict:
+        """Run a sampling profile (``POST /profile``).
+
+        With a worker pool and a ``fingerprint`` (or explicit
+        ``worker``), the profiler runs *inside the worker process that
+        owns the shard* — its main loop keeps solving batches while a
+        background thread samples, and the folded stacks come home like
+        span payloads.  Otherwise the serving process profiles itself.
+        """
+        payload = payload or {}
+        seconds = float(payload.get("seconds", 0.5))
+        if seconds <= 0:
+            raise ReproError("profile 'seconds' must be positive")
+        seconds = min(seconds, self.profile_max_seconds)
+        interval = float(payload.get("interval", 0.005))
+        if interval <= 0:
+            raise ReproError("profile 'interval' must be positive")
+        fingerprint = payload.get("fingerprint")
+        worker = payload.get("worker")
+        if self.pool is not None and (
+            fingerprint or worker is not None
+        ):
+            if fingerprint:
+                entry = self._get_entry({"fingerprint": fingerprint})
+                self._pool_register(entry, int(payload.get("seed", 0)))
+                future = self.pool.profile(
+                    fingerprint=entry.fingerprint,
+                    seconds=seconds,
+                    interval=interval,
+                    carrier=current_carrier(),
+                )
+            else:
+                future = self.pool.profile(
+                    worker_id=int(worker),
+                    seconds=seconds,
+                    interval=interval,
+                    carrier=current_carrier(),
+                )
+            result = future.result(timeout=seconds + 30.0)
+            return {**result, "target": "worker"}
+        profiler = profile_for(seconds, interval=interval)
+        return {**profiler.as_dict(), "target": "service"}
+
     # -- liveness --------------------------------------------------------
     def healthz(self) -> Dict:
         out = {
@@ -645,6 +779,8 @@ class AnalysisService:
         self.queue.shutdown(drain=drain, timeout=timeout)
         if self.pool is not None:
             self.pool.close()
+        if self.history is not None:
+            self.history.stop()
 
 
 # ---------------------------------------------------------------------------
@@ -701,7 +837,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     def _route(self, method: str) -> None:
         started = time.perf_counter()
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        raw_path, _, raw_query = self.path.partition("?")
+        path = raw_path.rstrip("/") or "/"
+        # Last value wins for repeated keys, matching a plain dict API.
+        query = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(raw_query).items()
+        }
         # Accept the caller's X-Trace-Id (so a client can stitch its own
         # spans onto ours) or assign one; either way it is echoed on the
         # response and stamped into error bodies.
@@ -720,7 +862,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             path=path,
         ) as request_span:
             try:
-                route, status, payload = self._handle(method, path)
+                route, status, payload = self._handle(method, path, query)
             except NotFoundError as exc:
                 status, error = 404, str(exc)
             except (ReproError, ValueError, KeyError, TypeError) as exc:
@@ -737,6 +879,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 service._m_request_seconds.observe(
                     time.perf_counter() - started, path=route
                 )
+                service.log.debug(
+                    "request",
+                    method=method,
+                    path=route,
+                    status=status,
+                    seconds=round(time.perf_counter() - started, 6),
+                )
         if error is not None:
             self._error(status, error)
         elif isinstance(payload, str):
@@ -745,10 +894,16 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 payload.encode("utf-8"),
                 "text/plain; version=0.0.4; charset=utf-8",
             )
+        elif isinstance(payload, tuple):
+            # (content_type, text) — the dashboard's HTML response.
+            content_type, text = payload
+            self._send(status, text.encode("utf-8"), content_type)
         else:
             self._send_json(status, payload)
 
-    def _handle(self, method: str, path: str) -> Tuple[str, int, object]:
+    def _handle(
+        self, method: str, path: str, query: Dict[str, str]
+    ) -> Tuple[str, int, object]:
         """Returns (normalized route, status, payload)."""
         service = self.service
         if method == "GET" and path == "/healthz":
@@ -757,6 +912,24 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             return path, 200, service.version()
         if method == "GET" and path == "/metrics":
             return path, 200, service.metrics.render()
+        if method == "GET" and path == "/metrics/history":
+            points = query.get("points")
+            return path, 200, service.metrics_history(
+                name=query.get("name") or None,
+                points=int(points) if points else None,
+            )
+        if method == "GET" and path == "/logs":
+            limit = query.get("limit")
+            return path, 200, service.logs(
+                level=query.get("level") or None,
+                trace_id=query.get("trace_id") or None,
+                logger=query.get("logger") or None,
+                limit=int(limit) if limit else 200,
+            )
+        if method == "POST" and path == "/profile":
+            return path, 200, service.profile(self._read_json())
+        if method == "GET" and path == "/dashboard":
+            return path, 200, ("text/html; charset=utf-8", dashboard_html())
         if method == "GET" and path.startswith("/trace/"):
             trace_id = path[len("/trace/") :]
             if "/" not in trace_id:
@@ -841,10 +1014,12 @@ def serve(
         signal.signal(signal.SIGTERM, _shutdown)
     actual_host, actual_port = server.server_address[:2]
     if ready_message:
-        print(
-            f"repro-rsn service listening on http://{actual_host}:"
-            f"{actual_port} (cache: {service.cache_dir or 'disabled'})",
-            flush=True,
+        # Structured when logging is configured (service __init__ does
+        # that), one human-readable stderr line otherwise.
+        service.log.info(
+            "service listening",
+            url=f"http://{actual_host}:{actual_port}",
+            cache=service.cache_dir or "disabled",
         )
     try:
         server.serve_forever(poll_interval=0.1)

@@ -50,6 +50,7 @@ import multiprocessing
 
 from ..errors import ReproError
 from ..ir.shm import receive, ship
+from ..obs.log import LogBuffer, capturing, current_log_buffer, get_logger
 from ..obs.trace import SpanCollector, collecting, current_collector, span, use_carrier
 
 __all__ = [
@@ -180,6 +181,9 @@ def _worker_main(worker_id: int, work_q, result_q) -> None:
     from ..analysis.batch import BatchFaultAnalysis
     from ..analysis.engine import CriticalityEngine
     from ..ir.shm import detach
+    from ..obs.profile import profile_for
+
+    log = get_logger("worker")
 
     networks: Dict[str, Tuple[object, object]] = {}  # fp -> (ir, shm|None)
     register_errors: Dict[str, str] = {}
@@ -227,14 +231,22 @@ def _worker_main(worker_id: int, work_q, result_q) -> None:
         return net
 
     def _run(handler, carrier):
-        """Run one handler, recording spans into a private collector when
-        the request is traced; returns (payload, shipped spans)."""
+        """Run one handler, recording spans and log records into private
+        sinks when the request is traced; returns
+        ``(payload, shipped spans, shipped log records)``."""
         if carrier is None:
-            return handler(), []
-        local = SpanCollector()
-        with collecting(local), use_carrier(carrier):
+            return handler(), [], []
+        spans_local = SpanCollector()
+        logs_local = LogBuffer(1_000)
+        with collecting(spans_local), use_carrier(carrier), capturing(
+            logs_local
+        ):
             payload = handler()
-        return payload, [record.as_dict() for record in local.spans()]
+        return (
+            payload,
+            [record.as_dict() for record in spans_local.spans()],
+            [record.as_dict() for record in logs_local.records()],
+        )
 
     while True:
         message = work_q.get()
@@ -274,8 +286,46 @@ def _worker_main(worker_id: int, work_q, result_q) -> None:
                             "kernels": len(kernels),
                         },
                         [],
+                        [],
                     )
                 )
+                continue
+            if kind == "profile":
+                _, _, seconds, interval, carrier = message
+
+                def _profile(
+                    req_id=req_id,
+                    seconds=seconds,
+                    interval=interval,
+                    carrier=carrier,
+                ):
+                    try:
+                        with use_carrier(carrier):
+                            profiler = profile_for(
+                                seconds, interval=interval
+                            )
+                        payload = profiler.as_dict()
+                        payload["worker"] = worker_id
+                        result_q.put((req_id, True, payload, [], []))
+                    except Exception as exc:  # pragma: no cover
+                        result_q.put(
+                            (
+                                req_id,
+                                False,
+                                f"{type(exc).__name__}: {exc}",
+                                [],
+                                [],
+                            )
+                        )
+
+                # Off the message loop: the worker keeps solving damage
+                # batches while the profiler samples them — that load is
+                # exactly what should show up in the folded stacks.
+                threading.Thread(
+                    target=_profile,
+                    name=f"repro-worker-{worker_id}-profiler",
+                    daemon=True,
+                ).start()
                 continue
             if kind == "damage":
                 _, _, fp, seed, policy, chunk_lanes, faults, carrier = (
@@ -290,13 +340,20 @@ def _worker_main(worker_id: int, work_q, result_q) -> None:
                         lanes=len(faults),
                     ):
                         kernel = _kernel_of(fp, seed, policy, chunk_lanes)
-                        return [
+                        damages = [
                             float(d)
                             for d in kernel.damage_vector(faults)
                         ]
+                    log.debug(
+                        "damage batch solved",
+                        worker=worker_id,
+                        fingerprint=fp[:16],
+                        lanes=len(faults),
+                    )
+                    return damages
 
-                damages, spans = _run(_solve, carrier)
-                result_q.put((req_id, True, damages, spans))
+                damages, spans, logs = _run(_solve, carrier)
+                result_q.put((req_id, True, damages, spans, logs))
                 continue
             if kind == "analyze":
                 _, _, fp, seed, params, carrier = message
@@ -326,13 +383,13 @@ def _worker_main(worker_id: int, work_q, result_q) -> None:
                             "stats": engine.stats.as_dict(),
                         }
 
-                payload, spans = _run(_analyze, carrier)
-                result_q.put((req_id, True, payload, spans))
+                payload, spans, logs = _run(_analyze, carrier)
+                result_q.put((req_id, True, payload, spans, logs))
                 continue
             raise ReproError(f"unknown worker message {kind!r}")
         except Exception as exc:
             result_q.put(
-                (req_id, False, f"{type(exc).__name__}: {exc}", [])
+                (req_id, False, f"{type(exc).__name__}: {exc}", [], [])
             )
 
     # Orderly detach: kernels hold numpy views into the shared pages, so
@@ -587,6 +644,65 @@ class WorkerPool:
             )
         return future
 
+    def profile(
+        self,
+        fingerprint: Optional[str] = None,
+        worker_id: Optional[int] = None,
+        seconds: float = 0.5,
+        interval: float = 0.005,
+        carrier: Optional[Dict] = None,
+    ) -> "Future[Dict]":
+        """Sample the worker owning ``fingerprint``'s shard (or a
+        specific ``worker_id``) for ``seconds`` of wall time.
+
+        Worker-addressed like :meth:`ping` — the profiler must land on
+        one specific process — but non-blocking inside the worker: the
+        sampling runs on a worker-side thread while the message loop
+        keeps solving, so concurrent load shows up in the stacks.
+        """
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise PoolClosedError("worker pool is closed")
+            if worker_id is None:
+                if fingerprint is None:
+                    raise ReproError(
+                        "profile needs a fingerprint or a worker id"
+                    )
+                if fingerprint not in self._shipped:
+                    raise ReproError(
+                        f"network {fingerprint!r} not registered with "
+                        "the pool"
+                    )
+                worker_id = self.map.worker_of(
+                    self.map.shard_of(fingerprint)
+                )
+            handle = self._handles.get(worker_id)
+            if handle is None:
+                raise ReproError(f"no worker {worker_id}")
+            req = _Request(
+                next(self._req_ids), -1, fingerprint, 0, "profile", (), future
+            )
+            handle.inflight[req.req_id] = req
+        try:
+            handle.work_q.put(
+                (
+                    "profile",
+                    req.req_id,
+                    float(seconds),
+                    float(interval),
+                    carrier,
+                ),
+                timeout=5.0,
+            )
+        except Exception as exc:  # pragma: no cover - full pipe
+            with self._lock:
+                handle.inflight.pop(req.req_id, None)
+            future.set_exception(
+                WorkerCrashError(f"worker {worker_id} unreachable: {exc}")
+            )
+        return future
+
     def _submit(self, kind, fingerprint, seed, tail) -> Future:
         future: Future = Future()
         with self._lock:
@@ -714,7 +830,7 @@ class WorkerPool:
     def _collect_loop(self) -> None:
         while True:
             try:
-                req_id, ok, payload, spans = self._result_q.get(
+                req_id, ok, payload, spans, logs = self._result_q.get(
                     timeout=0.5
                 )
             except Exception:
@@ -734,6 +850,10 @@ class WorkerPool:
                 collector = current_collector()
                 if collector is not None:
                     collector.ingest(spans)
+            if logs:
+                buffer = current_log_buffer()
+                if buffer is not None:
+                    buffer.ingest(logs)
             if request.future.cancelled():
                 continue
             if ok:

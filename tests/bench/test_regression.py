@@ -13,6 +13,8 @@ from pathlib import Path
 import pytest
 
 from repro.bench.regression import (
+    BenchComparison,
+    HotPath,
     RegressionParseError,
     compare_baseline,
     load_hot_paths,
@@ -46,6 +48,23 @@ def _batch_baseline(bitset_seconds: float) -> dict:
             {
                 "design": "mbist_24_3",
                 "bitset_seconds": bitset_seconds,
+                **TINY,
+            }
+        ],
+    }
+
+
+def _telemetry_baseline(
+    disabled_seconds: float, tolerance: float = 0.05
+) -> dict:
+    return {
+        "benchmark": "telemetry-overhead",
+        "designs": [
+            {
+                "design": "mbist_24_3",
+                "disabled_seconds": disabled_seconds,
+                "history_interval": 0.01,
+                "tolerance": tolerance,
                 **TINY,
             }
         ],
@@ -101,9 +120,29 @@ class TestParsing:
         assert hot_path.baseline_seconds == 0.5
         assert hot_path.params == {"method": "fast"}
 
+    def test_telemetry_rows_parse_with_per_path_tolerance(self, tmp_path):
+        path = _write(tmp_path, _telemetry_baseline(1.0, tolerance=0.07))
+        benchmark, (hot_path,) = load_hot_paths(path)
+        assert benchmark == "telemetry-overhead"
+        assert hot_path.metric == "telemetry_overhead"
+        assert hot_path.tolerance == 0.07
+        assert hot_path.params["history_interval"] == 0.01
+
+    def test_telemetry_tolerance_defaults_to_five_percent(self, tmp_path):
+        payload = _telemetry_baseline(1.0)
+        del payload["designs"][0]["tolerance"]
+        _, (hot_path,) = load_hot_paths(_write(tmp_path, payload))
+        assert hot_path.tolerance == 0.05
+
+    def test_other_kinds_carry_no_tolerance_override(self, tmp_path):
+        _, (hot_path,) = load_hot_paths(
+            _write(tmp_path, _criticality_baseline(1.0))
+        )
+        assert hot_path.tolerance is None
+
     def test_real_baselines_parse(self):
         results = Path(__file__).resolve().parents[2] / "results"
-        for name in ("criticality", "batch", "ir"):
+        for name in ("criticality", "batch", "ir", "telemetry"):
             benchmark, hot_paths = load_hot_paths(
                 str(results / f"BENCH_{name}.json")
             )
@@ -171,6 +210,40 @@ class TestComparison:
         single = measure_hot_path(hot_path, repeats=1)
         best = measure_hot_path(hot_path, repeats=3)
         assert single > 0 and best > 0
+
+    def test_per_path_tolerance_overrides_gate_tolerance(self):
+        hot_path = HotPath(
+            design="d",
+            metric="telemetry_overhead",
+            n_segments=1,
+            n_muxes=1,
+            baseline_seconds=1.0,
+            tolerance=0.05,
+        )
+        comparison = BenchComparison(hot_path=hot_path, fresh_seconds=1.1)
+        # 10% over: within the gate-wide 20% but over the per-path 5%
+        assert comparison.regressed(0.2)
+        hot_path.tolerance = None
+        assert not comparison.regressed(0.2)
+
+    def test_telemetry_measure_overwrites_recorded_baseline(self, tmp_path):
+        # The recorded disabled timing is informational: the gate
+        # re-measures both sides fresh, so an absurd recorded value must
+        # not sway the ratio.
+        path = _write(tmp_path, _telemetry_baseline(1e6, tolerance=2.0))
+        _, (hot_path,) = load_hot_paths(path)
+        enabled = measure_hot_path(hot_path, repeats=1)
+        assert enabled > 0
+        assert hot_path.baseline_seconds < 1e3  # fresh, not the recorded 1e6
+
+    def test_telemetry_comparison_is_overhead_ratio(self, tmp_path):
+        # A generous per-row tolerance keeps this deterministic on noisy
+        # machines while still driving the full compare path.
+        path = _write(tmp_path, _telemetry_baseline(1e6, tolerance=25.0))
+        report = compare_baseline(path, repeats=2)
+        assert report.ok, report.format()
+        (comparison,) = report.comparisons
+        assert comparison.ratio < 26.0
 
 
 class TestCliExitCodes:

@@ -1,0 +1,161 @@
+"""Ring-buffer metrics history: sampling, rates, windowing, globals."""
+
+import time
+
+import pytest
+
+from repro.obs.history import (
+    MetricsHistory,
+    current_history,
+    disable_history,
+    enable_history,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.resources import add_lane_bytes
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def _series(payload, name):
+    return [s for s in payload["series"] if s["name"] == name]
+
+
+def test_sample_once_records_points_and_counts_series(registry):
+    counter = registry.counter("reqs_total", "Requests.", ("path",))
+    counter.inc(3, path="/damage")
+    history = MetricsHistory(registry=registry, interval=1.0, window=8)
+    live = history.sample_once(now=100.0)
+    assert live >= 1
+    rows = _series(history.as_dict(), "reqs_total")
+    assert rows[0]["labels"] == {"path": "/damage"}
+    assert rows[0]["points"] == [[100.0, 3.0]]
+
+
+def test_counter_rate_is_per_second_positive_delta(registry):
+    counter = registry.counter("n_total", "N.")
+    history = MetricsHistory(registry=registry, interval=1.0, window=8)
+    counter.inc(10)
+    history.sample_once(now=100.0)
+    counter.inc(5)
+    history.sample_once(now=102.0)
+    row = _series(history.as_dict(), "n_total")[0]
+    assert row["rate"] == [[102.0, 2.5]]
+
+
+def test_rate_clamps_resets_to_zero(registry):
+    # A gauge-like reset (service restart) must not produce a negative
+    # rate; the derivative clamps at zero.
+    gauge = registry.gauge("depth", "D.")
+    counter = registry.counter("c_total", "C.")
+    counter.inc(10)
+    history = MetricsHistory(registry=registry, interval=1.0, window=8)
+    history.sample_once(now=1.0)
+    counter._samples[()] = 2.0  # simulate a reset
+    gauge.set(4)
+    history.sample_once(now=2.0)
+    row = _series(history.as_dict(), "c_total")[0]
+    assert row["rate"] == [[2.0, 0.0]]
+    # gauges carry raw points, never a rate
+    assert "rate" not in _series(history.as_dict(), "depth")[0]
+
+
+def test_histogram_points_carry_count_and_sum(registry):
+    histogram = registry.histogram("lat", "L.", buckets=(1.0,))
+    histogram.observe(0.5)
+    histogram.observe(0.25)
+    history = MetricsHistory(registry=registry, interval=1.0, window=8)
+    history.sample_once(now=10.0)
+    histogram.observe(0.5)
+    history.sample_once(now=12.0)
+    row = _series(history.as_dict(), "lat")[0]
+    assert row["kind"] == "histogram"
+    assert row["points"] == [[10.0, 2, 0.75], [12.0, 3, 1.25]]
+    # rate derives from the cumulative count: one observation in 2 s
+    assert row["rate"] == [[12.0, 0.5]]
+
+
+def test_window_bounds_points(registry):
+    counter = registry.counter("w_total", "W.")
+    history = MetricsHistory(registry=registry, interval=1.0, window=3)
+    for tick in range(10):
+        counter.inc()
+        history.sample_once(now=float(tick))
+    row = _series(history.as_dict(), "w_total")[0]
+    assert [p[0] for p in row["points"]] == [7.0, 8.0, 9.0]
+    assert history.as_dict()["samples"] == 10
+
+
+def test_as_dict_name_filter_and_points_cap(registry):
+    a = registry.counter("a_total", "A.")
+    registry.counter("b_total", "B.")
+    history = MetricsHistory(registry=registry, interval=1.0, window=16)
+    for tick in range(5):
+        a.inc()
+        history.sample_once(now=float(tick))
+    only_a = history.as_dict(name="a_total")
+    assert {s["name"] for s in only_a["series"]} == {"a_total"}
+    capped = history.as_dict(name="a_total", points=2)["series"][0]
+    assert len(capped["points"]) == 2
+    assert capped["points"][-1][0] == 4.0
+
+
+def test_process_series_fed_at_each_tick(registry):
+    history = MetricsHistory(registry=registry, interval=1.0, window=8)
+    add_lane_bytes(2 * 1024 * 1024)
+    history.sample_once(now=1.0)
+    names = history.series_names()
+    assert "repro_process_rss_bytes" in names
+    assert "repro_process_cpu_seconds_total" in names
+    assert "repro_lane_bytes_total" in names
+    rss = _series(history.as_dict(), "repro_process_rss_bytes")[0]
+    assert rss["points"][0][1] > 0
+
+
+def test_background_thread_start_stop(registry):
+    registry.counter("bg_total", "BG.").inc()
+    history = MetricsHistory(registry=registry, interval=0.01, window=32)
+    assert not history.running
+    history.start()
+    try:
+        assert history.running
+        deadline = time.monotonic() + 5.0
+        while (
+            history.as_dict()["samples"] < 2
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        assert history.as_dict()["samples"] >= 2
+    finally:
+        history.stop()
+    assert not history.running
+
+
+def test_constructor_validation(registry):
+    with pytest.raises(ValueError):
+        MetricsHistory(registry=registry, interval=0.0)
+    with pytest.raises(ValueError):
+        MetricsHistory(registry=registry, window=1)
+
+
+def test_enable_history_idempotent_and_disable(registry):
+    disable_history()
+    try:
+        first = enable_history(
+            interval=0.5, window=16, registry=registry, start=False
+        )
+        assert current_history() is first
+        again = enable_history(
+            interval=0.5, window=16, registry=registry, start=False
+        )
+        assert again is first
+        replaced = enable_history(
+            interval=0.25, window=16, registry=registry, start=False
+        )
+        assert replaced is not first
+        assert current_history() is replaced
+    finally:
+        disable_history()
+    assert current_history() is None

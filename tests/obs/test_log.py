@@ -1,0 +1,180 @@
+"""Structured logging: levels, ring buffer, capture, trace correlation."""
+
+import json
+
+import pytest
+
+from repro.obs.log import (
+    DEBUG,
+    ERROR,
+    INFO,
+    WARNING,
+    LogBuffer,
+    LogRecord,
+    capturing,
+    configure_logging,
+    current_log_buffer,
+    disable_logging,
+    get_logger,
+    logging_configured,
+    parse_level,
+)
+from repro.obs.trace import current_context, enable_tracing, root_span
+
+
+def test_parse_level_accepts_names_numbers_and_none():
+    assert parse_level("debug") == DEBUG
+    assert parse_level("INFO") == INFO
+    assert parse_level(" Warning ") == WARNING
+    assert parse_level(ERROR) == ERROR
+    assert parse_level(None) == INFO
+    assert parse_level(None, default=0) == 0
+    with pytest.raises(ValueError):
+        parse_level("verbose")
+
+
+def test_unconfigured_emits_one_stderr_line_for_info(capsys):
+    disable_logging()
+    assert not logging_configured()
+    assert current_log_buffer() is None
+    log = get_logger("unit")
+    log.debug("hidden", detail=1)
+    log.info("shown", port=8471)
+    err = capsys.readouterr().err
+    lines = [line for line in err.splitlines() if line.strip()]
+    assert len(lines) == 1
+    assert "INFO" in lines[0] and "unit:" in lines[0]
+    assert "shown" in lines[0] and "port=8471" in lines[0]
+
+
+def test_configured_retains_debug_and_echo_gates_stderr(capsys):
+    buffer = LogBuffer()
+    with capturing(buffer, level="debug", echo="error"):
+        assert logging_configured()
+        assert current_log_buffer() is buffer
+        log = get_logger("unit")
+        log.debug("kept quietly", k=1)
+        log.info("also kept")
+        log.error("loud")
+    err = capsys.readouterr().err
+    assert "loud" in err and "kept quietly" not in err
+    messages = [r.message for r in buffer.records()]
+    assert messages == ["kept quietly", "also kept", "loud"]
+
+
+def test_buffer_level_gates_retention():
+    buffer = LogBuffer()
+    with capturing(buffer, level="warning"):
+        log = get_logger("unit")
+        log.debug("no")
+        log.info("no")
+        log.warning("yes")
+    assert [r.message for r in buffer.records()] == ["yes"]
+
+
+def test_records_filtering_newest_last():
+    buffer = LogBuffer()
+    with capturing(buffer):
+        log_a = get_logger("alpha")
+        log_b = get_logger("beta")
+        log_a.info("one")
+        log_b.warning("two")
+        log_a.error("three")
+    assert [r.message for r in buffer.records(level="warning")] == [
+        "two",
+        "three",
+    ]
+    assert [r.message for r in buffer.records(logger="alpha")] == [
+        "one",
+        "three",
+    ]
+    assert [r.message for r in buffer.records(limit=1)] == ["three"]
+
+
+def test_ring_drops_oldest_and_counts_drops():
+    buffer = LogBuffer(max_records=2)
+    with capturing(buffer):
+        log = get_logger("unit")
+        for index in range(5):
+            log.info(f"m{index}")
+    assert len(buffer) == 2
+    assert buffer.dropped == 3
+    assert [r.message for r in buffer.records()] == ["m3", "m4"]
+    buffer.clear()
+    assert len(buffer) == 0 and buffer.dropped == 0
+
+
+def test_trace_correlation_and_roundtrip():
+    enable_tracing()
+    buffer = LogBuffer()
+    with capturing(buffer):
+        log = get_logger("unit")
+        with root_span("test.span"):
+            context = current_context()
+            log.info("inside", step=2)
+    record = buffer.records()[-1]
+    assert record.trace_id == context.trace_id
+    assert record.span_id == context.span_id
+    # as_dict -> from_dict is the cross-process shipping path
+    payload = json.loads(json.dumps(record.as_dict()))
+    clone = LogRecord.from_dict(payload)
+    assert clone.message == "inside"
+    assert clone.attrs == {"step": 2}
+    assert clone.trace_id == record.trace_id
+    assert clone.level == INFO
+    line = clone.format_line()
+    assert "inside" in line and "step=2" in line
+    assert f"trace={record.trace_id[:8]}" in line
+
+
+def test_ingest_adopts_shipped_records():
+    buffer = LogBuffer()
+    shipped = [
+        {
+            "ts": 1.0,
+            "level": INFO,
+            "logger": "worker",
+            "message": "solved",
+            "attrs": {"faults": 16},
+            "trace_id": "t" * 32,
+            "span_id": "s" * 16,
+            "pid": 4242,
+            "tid": 1,
+            "thread": "MainThread",
+        }
+    ]
+    assert buffer.ingest(shipped) == 1
+    record = buffer.records(trace_id="t" * 32)[0]
+    assert record.pid == 4242 and record.message == "solved"
+
+
+def test_configure_logging_jsonl_tee(tmp_path):
+    sink = tmp_path / "service.jsonl"
+    buffer = configure_logging(level="info", echo=None, jsonl_path=str(sink))
+    try:
+        get_logger("unit").info("teed", n=3)
+    finally:
+        disable_logging()
+    assert not logging_configured()
+    assert [r.message for r in buffer.records()] == ["teed"]
+    lines = sink.read_text().splitlines()
+    assert len(lines) == 1
+    payload = json.loads(lines[0])
+    assert payload["message"] == "teed"
+    assert payload["attrs"] == {"n": 3}
+    assert payload["level_name"] == "INFO"
+
+
+def test_capturing_restores_previous_config():
+    outer = LogBuffer()
+    with capturing(outer):
+        with capturing(LogBuffer()):
+            get_logger("unit").info("inner")
+        get_logger("unit").info("outer")
+        assert current_log_buffer() is outer
+    assert [r.message for r in outer.records()] == ["outer"]
+
+
+def test_log_buffer_rejects_empty_ring():
+    with pytest.raises(ValueError):
+        LogBuffer(max_records=0)

@@ -1,0 +1,107 @@
+"""Sampling profiler: folded stacks, top view, bounded stack table."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profile import SamplingProfiler, profile_for, top_view
+
+
+def _spin(stop):
+    # A busy Python loop so GIL-holding samples land on a frame in this
+    # file with a recognisable function name.
+    while not stop.is_set():
+        sum(range(500))
+
+
+@pytest.fixture
+def busy_thread():
+    stop = threading.Event()
+    thread = threading.Thread(target=_spin, args=(stop,), daemon=True)
+    thread.start()
+    yield
+    stop.set()
+    thread.join(timeout=5.0)
+
+
+def test_profiler_folds_busy_thread_stacks(busy_thread):
+    profiler = SamplingProfiler(interval=0.002)
+    with profiler:
+        time.sleep(0.3)
+    assert profiler.samples > 0
+    assert profiler.duration > 0
+    folded = profiler.folded()
+    assert folded
+    spin_stacks = [s for s in folded if "test_profile.py:_spin" in s]
+    assert spin_stacks, sorted(folded)[:5]
+    # stacks are root-first: the thread bootstrap frames precede _spin
+    stack = spin_stacks[0].split(";")
+    assert stack.index(
+        [f for f in stack if f.endswith(":_spin")][0]
+    ) > 0
+
+
+def test_profile_for_is_synchronous_and_stopped(busy_thread):
+    profiler = profile_for(0.2, interval=0.002)
+    assert profiler.samples > 0
+    payload = profiler.as_dict()
+    assert set(payload) == {
+        "interval",
+        "samples",
+        "duration",
+        "pid",
+        "folded",
+        "top",
+    }
+    assert payload["duration"] >= 0.2
+    assert payload["folded"]
+    assert "frame" in payload["top"]
+
+
+def test_folded_text_is_flamegraph_input(busy_thread):
+    profiler = profile_for(0.2, interval=0.002)
+    lines = profiler.folded_text().splitlines()
+    assert lines
+    for line in lines:
+        stack, _, count = line.rpartition(" ")
+        assert stack and int(count) > 0
+    # sorted by count descending
+    counts = [int(line.rpartition(" ")[2]) for line in lines]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_max_stacks_overflow_folds_into_other():
+    profiler = SamplingProfiler(interval=0.01, max_stacks=1)
+    profiler._counts["a.py:f"] = 1
+    # the aggregation path routes new stacks beyond the cap to "(other)"
+    own = threading.get_ident() + 1  # sample every thread incl. this one
+    profiler._sample(own)
+    folded = profiler.folded()
+    assert set(folded) == {"a.py:f", "(other)"}
+    assert folded["(other)"] >= 1
+
+
+def test_top_view_self_and_total_attribution():
+    folded = {
+        "main.py:run;batch.py:solve": 6,
+        "main.py:run;io.py:read": 2,
+        "main.py:run": 2,
+    }
+    text = top_view(folded, samples=10, n=5)
+    lines = text.splitlines()
+    assert lines[0].split() == ["self%", "total%", "samples", "frame"]
+    by_frame = {line.split()[-1]: line for line in lines[1:]}
+    # batch.py:solve: 6 self, 6 total of 10 samples
+    assert by_frame["batch.py:solve"].split()[:3] == [
+        "60.0%",
+        "60.0%",
+        "6",
+    ]
+    # main.py:run: 2 self but on every stack -> 100% total
+    assert by_frame["main.py:run"].split()[:3] == ["20.0%", "100.0%", "2"]
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        SamplingProfiler(interval=0.0)

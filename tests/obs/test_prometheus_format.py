@@ -1,0 +1,120 @@
+"""Prometheus text-exposition conformance for the stdlib registry.
+
+The service's ``/metrics`` endpoint is scraped by real Prometheus
+deployments, so the hand-rolled renderer must honour the text-format
+contract: escaped label values, a terminal ``+Inf`` bucket, internally
+consistent ``_bucket``/``_sum``/``_count`` triplets, and a render order
+stable across scrapes (so scrape diffs are meaningful).
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def _lines(registry):
+    return registry.render().splitlines()
+
+
+def test_label_value_escaping_is_unambiguous(registry):
+    counter = registry.counter("esc_total", "E.", ("path",))
+    counter.inc(path='quote " backslash \\ newline \n end')
+    line = next(
+        line for line in _lines(registry) if line.startswith("esc_total{")
+    )
+    value = re.search(r'path="(.*)"} 1$', line).group(1)
+    assert value == 'quote \\" backslash \\\\ newline \\n end'
+    # unescaping restores the original, so the encoding is lossless
+    unescaped = (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+    assert unescaped == 'quote " backslash \\ newline \n end'
+    # the record stays a single physical line
+    assert "\n" not in line
+
+
+def test_histogram_ends_with_inf_bucket_equal_to_count(registry):
+    histogram = registry.histogram("lat", "L.", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 5.0, 50.0):
+        histogram.observe(value)
+    lines = _lines(registry)
+    buckets = [line for line in lines if line.startswith("lat_bucket")]
+    assert buckets[-1] == 'lat_bucket{le="+Inf"} 4'
+    assert histogram.buckets[-1] == math.inf
+    # cumulative and monotonic
+    counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+    assert counts == sorted(counts)
+
+
+def test_bucket_sum_count_triplet_consistency_per_labelset(registry):
+    histogram = registry.histogram(
+        "req", "R.", ("path",), buckets=(0.1, 1.0)
+    )
+    observations = {
+        "/damage": (0.05, 0.2, 2.0),
+        "/jobs": (0.5,),
+    }
+    for path, values in observations.items():
+        for value in values:
+            histogram.observe(value, path=path)
+    text = registry.render()
+    for path, values in observations.items():
+        inf = re.search(
+            r'req_bucket\{path="%s", le="\+Inf"\} (\d+)' % path, text
+        )
+        count = re.search(r'req_count\{path="%s"\} (\d+)' % path, text)
+        total = re.search(
+            r'req_sum\{path="%s"\} ([0-9.eE+-]+)' % path, text
+        )
+        assert int(inf.group(1)) == len(values)
+        assert int(count.group(1)) == len(values)
+        assert float(total.group(1)) == pytest.approx(sum(values))
+
+
+def test_render_order_is_stable_across_updates(registry):
+    # register out of name order and interleave updates; scrapes must
+    # render identical line order regardless
+    gauge = registry.gauge("zz_depth", "Z.")
+    counter = registry.counter("aa_total", "A.", ("kind",))
+    counter.inc(kind="b")
+    counter.inc(kind="a")
+    gauge.set(1)
+    first = _lines(registry)
+    counter.inc(kind="a")
+    gauge.set(2)
+    second = _lines(registry)
+
+    def shape(lines):
+        return [line.rsplit(" ", 1)[0] for line in lines]
+
+    assert shape(first) == shape(second)
+    # metrics are name-sorted, samples label-sorted
+    names = [
+        line.split("{")[0].split()[0]
+        for line in first
+        if not line.startswith("#")
+    ]
+    assert names == sorted(names)
+    a_lines = [line for line in first if line.startswith("aa_total{")]
+    assert a_lines == sorted(a_lines)
+
+
+def test_help_and_type_precede_samples(registry):
+    registry.counter("c_total", "Help text.").inc()
+    lines = _lines(registry)
+    index = lines.index("# HELP c_total Help text.")
+    assert lines[index + 1] == "# TYPE c_total counter"
+    assert lines[index + 2] == "c_total 1"
+
+
+def test_render_ends_with_newline(registry):
+    registry.gauge("g", "G.").set(1)
+    assert registry.render().endswith("\n")

@@ -1,0 +1,81 @@
+"""Resource probes: CPU/RSS/lane-byte deltas and their merge."""
+
+from repro.obs.resources import (
+    ResourceProbe,
+    add_lane_bytes,
+    lane_bytes_total,
+    process_cpu_seconds,
+    process_rss_bytes,
+)
+
+
+def test_process_signals_are_live():
+    assert process_rss_bytes() > 0
+    before = process_cpu_seconds()
+    acc = 0
+    for value in range(200_000):
+        acc += value
+    assert process_cpu_seconds() >= before
+
+
+def test_lane_byte_counter_is_cumulative():
+    before = lane_bytes_total()
+    add_lane_bytes(1024)
+    add_lane_bytes(1024)
+    assert lane_bytes_total() == before + 2048
+
+
+def test_probe_delta_fields_and_lane_attribution():
+    probe = ResourceProbe()
+    add_lane_bytes(3 * 1024 * 1024)
+    delta = probe.delta()
+    assert set(delta) == {
+        "wall_seconds",
+        "cpu_seconds",
+        "rss_delta_bytes",
+        "lane_mb",
+    }
+    assert delta["wall_seconds"] >= 0.0
+    assert delta["cpu_seconds"] >= 0.0
+    assert delta["lane_mb"] == 3.0
+    assert isinstance(delta["rss_delta_bytes"], int)
+
+
+def test_nested_probes_are_independent():
+    outer = ResourceProbe()
+    add_lane_bytes(1024 * 1024)
+    inner = ResourceProbe()
+    add_lane_bytes(1024 * 1024)
+    assert inner.delta()["lane_mb"] == 1.0
+    assert outer.delta()["lane_mb"] == 2.0
+
+
+def test_merge_sums_records_and_skips_empty():
+    merged = ResourceProbe.merge(
+        [
+            {
+                "wall_seconds": 1.0,
+                "cpu_seconds": 2.0,
+                "rss_delta_bytes": 100,
+                "lane_mb": 0.5,
+            },
+            None,
+            {
+                "wall_seconds": 0.5,
+                "cpu_seconds": 0.25,
+                "rss_delta_bytes": -40,
+                "lane_mb": 1.5,
+            },
+        ]
+    )
+    assert merged == {
+        "wall_seconds": 1.5,
+        "cpu_seconds": 2.25,
+        "rss_delta_bytes": 60,
+        "lane_mb": 2.0,
+    }
+
+
+def test_merge_of_nothing_is_none():
+    assert ResourceProbe.merge([]) is None
+    assert ResourceProbe.merge([None, {}]) is None

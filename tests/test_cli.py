@@ -280,3 +280,99 @@ class TestCampaign:
                     "--rates", "not-a-rate",
                 ]
             )
+
+
+class TestTop:
+    @pytest.fixture()
+    def live_url(self):
+        import threading
+
+        from repro.service import AnalysisService, make_server
+
+        service = AnalysisService(no_cache=True, history_interval=0.05)
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        # let the sampler tick at least once so the frame has data
+        service.history.sample_once()
+        yield f"http://{host}:{port}"
+        service.close(drain=False, timeout=10.0)
+        server.shutdown()
+        thread.join(timeout=10.0)
+        server.server_close()
+
+    def test_once_renders_single_frame(self, live_url, capsys):
+        assert main(["top", "--once", "--url", live_url]) == 0
+        out = capsys.readouterr().out
+        assert "repro-rsn top" in out
+        assert "requests/s" in out
+        assert "job queue" in out
+        assert "\x1b[2J" not in out  # no clear escape on a single frame
+
+    def test_iterations_renders_n_frames(self, live_url, capsys):
+        assert main(
+            [
+                "top", "--url", live_url,
+                "--iterations", "2", "--interval", "0.05",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("repro-rsn top") == 2
+        assert "\x1b[2J" in out  # frames after the first clear the screen
+
+    def test_unreachable_service_exits_one(self, capsys):
+        assert (
+            main(
+                [
+                    "top", "--once",
+                    "--url", "http://127.0.0.1:1",
+                    "--timeout", "0.5",
+                ]
+            )
+            == 1
+        )
+        assert "top:" in capsys.readouterr().err
+
+    def test_top_rejects_bad_flags(self):
+        with pytest.raises(SystemExit):
+            main(["top", "--interval", "0"])
+        with pytest.raises(SystemExit):
+            main(["top", "--log-lines", "-1"])
+
+
+class TestServeTelemetryFlags:
+    def test_serve_flags_reach_the_service(self, monkeypatch):
+        import repro.service as service_module
+
+        captured = {}
+
+        def fake_serve(**kwargs):
+            captured.update(kwargs)
+            return 0
+
+        monkeypatch.setattr(service_module, "serve", fake_serve)
+        assert (
+            main(
+                [
+                    "serve", "--frontend", "thread",
+                    "--history-interval", "0.25",
+                    "--history-window", "64",
+                    "--log-level", "warning",
+                    "--log-json", "/tmp/svc.jsonl",
+                ]
+            )
+            == 0
+        )
+        assert captured["history_interval"] == 0.25
+        assert captured["history_window"] == 64
+        assert captured["log_level"] == "warning"
+        assert captured["log_jsonl"] == "/tmp/svc.jsonl"
+
+    def test_history_interval_zero_allowed_negative_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--history-interval", "-1"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--history-window", "0"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--log-level", "verbose"])
